@@ -1,0 +1,175 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate
+// pieces the figure-scale simulations lean on. Not a paper figure —
+// these guard against performance regressions that would make the
+// paper-scale runs impractical.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "policy/c3.hpp"
+#include "server/queue_discipline.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantile.hpp"
+#include "store/partitioner.hpp"
+#include "util/rng.hpp"
+#include "workload/fanout_dist.hpp"
+#include "workload/size_dist.hpp"
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  brb::sim::EventQueue queue;
+  brb::util::Rng rng(1);
+  const int batch = 1024;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      queue.push(brb::sim::Time::nanos(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    while (auto entry = queue.pop()) benchmark::DoNotOptimize(entry->when);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    brb::sim::Simulator sim;
+    int remaining = 10'000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_after(brb::sim::Duration::nanos(100), tick);
+    };
+    sim.schedule_after(brb::sim::Duration::nanos(100), tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  brb::stats::Histogram histogram;
+  brb::util::Rng rng(2);
+  for (auto _ : state) {
+    histogram.record(rng.uniform_int(1, 100'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  brb::stats::Histogram histogram;
+  brb::util::Rng rng(3);
+  for (int i = 0; i < 1'000'000; ++i) histogram.record(rng.uniform_int(1, 100'000'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.value_at_quantile(0.99));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  brb::stats::P2Quantile p2(0.99);
+  brb::util::Rng rng(4);
+  for (auto _ : state) {
+    p2.add(rng.uniform());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void BM_PriorityDiscipline(benchmark::State& state) {
+  brb::server::PriorityDiscipline discipline;
+  brb::util::Rng rng(5);
+  const int batch = 512;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      brb::server::QueuedRead read;
+      read.request.priority = rng.uniform();
+      discipline.push(std::move(read));
+    }
+    while (auto read = discipline.pop()) benchmark::DoNotOptimize(read->request.priority);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PriorityDiscipline);
+
+void BM_C3Scoring(benchmark::State& state) {
+  brb::policy::C3Config config;
+  config.num_clients = 18;
+  brb::policy::C3Selector selector(config);
+  const std::vector<brb::store::ServerId> replicas = {0, 1, 2};
+  brb::store::ServerFeedback feedback;
+  feedback.queue_length = 3;
+  feedback.service_rate = 14'000.0;
+  feedback.service_time = brb::sim::Duration::micros(280);
+  for (brb::store::ServerId s : replicas) {
+    selector.on_send(s, brb::sim::Duration::micros(280));
+    selector.on_response(s, feedback, brb::sim::Duration::micros(500),
+                         brb::sim::Duration::micros(280));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(replicas, brb::sim::Duration::micros(280)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_C3Scoring);
+
+void BM_RingPartitionerLookup(benchmark::State& state) {
+  brb::store::RingPartitioner partitioner(9, 3);
+  brb::util::Rng rng(6);
+  for (auto _ : state) {
+    const auto key = static_cast<brb::store::KeyId>(rng.next_u64());
+    benchmark::DoNotOptimize(partitioner.replicas_for_key(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingPartitionerLookup);
+
+void BM_ConsistentHashLookup(benchmark::State& state) {
+  std::vector<brb::store::ServerId> servers;
+  for (brb::store::ServerId s = 0; s < 9; ++s) servers.push_back(s);
+  brb::store::ConsistentHashPartitioner partitioner(servers, 3, 64);
+  brb::util::Rng rng(7);
+  for (auto _ : state) {
+    const auto key = static_cast<brb::store::KeyId>(rng.next_u64());
+    benchmark::DoNotOptimize(partitioner.group_of(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsistentHashLookup);
+
+void BM_GeneralizedParetoSample(benchmark::State& state) {
+  brb::workload::GeneralizedParetoSizeDist dist;
+  brb::util::Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneralizedParetoSample);
+
+void BM_LogNormalFanoutSample(benchmark::State& state) {
+  const auto dist = brb::workload::LogNormalFanout::for_mean(8.6, 2.0, 512);
+  brb::util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogNormalFanoutSample);
+
+void BM_ZipfSample(benchmark::State& state) {
+  brb::util::ZipfDistribution zipf(0.9, 100'000);
+  brb::util::Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

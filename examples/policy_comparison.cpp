@@ -1,0 +1,56 @@
+// Side-by-side policy comparison on one workload.
+//
+// Walks through the design space the library exposes — replica
+// selection, server scheduling, task-awareness, dispatch control — by
+// running a ladder of systems from "random + FIFO" up to the ideal
+// global queue, with one-line explanations of what each step adds.
+//
+//   $ ./example_policy_comparison
+#include <iostream>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using brb::core::ScenarioConfig;
+  using brb::core::SystemKind;
+
+  struct Step {
+    SystemKind kind;
+    const char* what_it_adds;
+  };
+  const std::vector<Step> ladder = {
+      {SystemKind::kRandomFifo, "baseline: random replica, FIFO servers"},
+      {SystemKind::kFifoDirect, "+ load-aware replica selection (least outstanding)"},
+      {SystemKind::kC3, "+ C3: cubic replica ranking + rate control (NSDI'15)"},
+      {SystemKind::kRequestSjfDirect, "+ size-aware scheduling (per-request SJF)"},
+      {SystemKind::kEqualMaxDirect, "+ task-aware priorities (BRB EqualMax)"},
+      {SystemKind::kEqualMaxCredits, "+ credits admission control (realizable BRB)"},
+      {SystemKind::kEqualMaxModel, "ideal: shared global priority queue (unrealizable)"},
+  };
+
+  ScenarioConfig base;
+  base.num_tasks = 40'000;
+  base.seed = 11;
+
+  std::cout << "Policy ladder on one workload (" << base.num_tasks << " tasks, "
+            << base.utilization * 100 << "% load, mean fan-out 8.6):\n\n";
+  brb::stats::Table table({"system", "median", "p95", "p99", "what this step adds"});
+  for (const Step& step : ladder) {
+    ScenarioConfig config = base;
+    config.system = step.kind;
+    const brb::core::RunResult result = brb::core::run_scenario(config);
+    const brb::core::LatencySummary summary = brb::core::summarize_tasks(result);
+    table.add_row({to_string(step.kind), brb::stats::fmt_millis(summary.p50_ms),
+                   brb::stats::fmt_millis(summary.p95_ms),
+                   brb::stats::fmt_millis(summary.p99_ms), step.what_it_adds});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading guide: each row reuses the same cluster, workload and seed;\n"
+               "only the policy stack changes. Task-aware priorities are the big\n"
+               "median/p95 lever; pooling (the ideal model) is the tail lever that\n"
+               "the credits scheme approximates while staying decentralized.\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "client/app_client.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace brb::client {
+
+AppClient::AppClient(sim::Simulator& sim, Config config, const store::Partitioner& partitioner,
+                     const server::ServiceTimeModel& cost_model,
+                     std::unique_ptr<policy::ReplicaSelector> selector,
+                     const policy::PriorityPolicy& priority_policy,
+                     std::unique_ptr<DispatchGate> gate, util::Rng rng)
+    : Actor(sim),
+      config_(config),
+      partitioner_(&partitioner),
+      cost_model_(&cost_model),
+      selector_(std::move(selector)),
+      priority_policy_(&priority_policy),
+      gate_(std::move(gate)),
+      rng_(rng) {
+  if (!selector_) throw std::invalid_argument("AppClient: null selector");
+  if (!gate_) throw std::invalid_argument("AppClient: null gate");
+  if (config_.cost_noise_sigma < 0.0) {
+    throw std::invalid_argument("AppClient: negative cost noise sigma");
+  }
+  gate_->set_transmit([this](OutboundRequest& out) { transmit_now(out); });
+}
+
+sim::Duration AppClient::forecast_cost(std::uint32_t size_hint) {
+  const sim::Duration exact = cost_model_->expected(size_hint);
+  if (config_.cost_noise_sigma == 0.0) return exact;
+  // Multiplicative log-normal noise with unit mean models imperfect
+  // size knowledge (forecast-quality ablation).
+  const double sigma = config_.cost_noise_sigma;
+  const double factor = rng_.lognormal(-0.5 * sigma * sigma, sigma);
+  const auto noisy =
+      static_cast<std::int64_t>(static_cast<double>(exact.count_nanos()) * factor);
+  return sim::Duration::nanos(std::max<std::int64_t>(1, noisy));
+}
+
+void AppClient::submit(const workload::TaskSpec& task) {
+  if (task.requests.empty()) {
+    throw std::invalid_argument("AppClient::submit: task with no requests");
+  }
+  ++stats_.tasks_submitted;
+
+  // 1. Plan: forecast costs and group requests by replica group.
+  policy::TaskPlan plan;
+  plan.task_id = task.id;
+  plan.arrival = now();
+  plan.requests.reserve(task.requests.size());
+  for (const workload::RequestSpec& spec : task.requests) {
+    policy::PlannedRequest planned;
+    planned.key = spec.key;
+    planned.size_hint = spec.size_hint;
+    planned.group = partitioner_->group_of(spec.key);
+    planned.expected_cost = forecast_cost(spec.size_hint);
+    plan.requests.push_back(planned);
+  }
+
+  // 2. Replica selection: jointly per sub-task (BRB) or per request.
+  // Ordered maps keep the selector's observation order deterministic.
+  if (config_.select_per_subtask) {
+    std::map<store::GroupId, std::int64_t> group_cost;
+    for (const policy::PlannedRequest& planned : plan.requests) {
+      group_cost[planned.group] += planned.expected_cost.count_nanos();
+    }
+    std::map<store::GroupId, store::ServerId> chosen;
+    for (const auto& [group, cost] : group_cost) {
+      chosen[group] = selector_->select(partitioner_->replicas_of(group),
+                                        sim::Duration::nanos(cost));
+    }
+    for (policy::PlannedRequest& planned : plan.requests) {
+      planned.server = chosen[planned.group];
+    }
+  } else {
+    for (policy::PlannedRequest& planned : plan.requests) {
+      planned.server =
+          selector_->select(partitioner_->replicas_of(planned.group), planned.expected_cost);
+    }
+  }
+
+  // 3. Bottleneck + priorities (the task-aware step).
+  policy::compute_bottleneck(plan);
+  priority_policy_->assign(plan);
+
+  // 4. Track the task and dispatch every request through the gate.
+  PendingTask pending;
+  pending.spec = task;
+  pending.remaining = static_cast<std::uint32_t>(plan.requests.size());
+  pending.started = now();
+  pending_tasks_.emplace(task.id, std::move(pending));
+
+  for (const policy::PlannedRequest& planned : plan.requests) {
+    OutboundRequest out;
+    out.server = planned.server;
+    out.group = planned.group;
+    out.request.request_id =
+        (static_cast<std::uint64_t>(config_.id) << 40) | next_request_serial_++;
+    out.request.task_id = task.id;
+    out.request.key = planned.key;
+    out.request.client = config_.id;
+    out.request.priority = planned.priority;
+    out.request.expected_cost = planned.expected_cost;
+    out.request.sent_at = now();  // refined at actual transmit time
+    // The selector sees load at *offer* time so that requests held by a
+    // gate (credits exhausted, rate limited) still count against the
+    // server they are bound for — otherwise the client keeps piling
+    // work onto a throttled replica it believes is idle.
+    selector_->on_send(out.server, out.request.expected_cost);
+    gate_->offer(std::move(out));
+  }
+}
+
+void AppClient::transmit_now(OutboundRequest& out) {
+  if (!network_send_) throw std::logic_error("AppClient: network send hook not installed");
+  out.request.sent_at = now();
+  InflightRequest inflight;
+  inflight.task_id = out.request.task_id;
+  inflight.server = out.server;
+  inflight.sent_at = now();
+  inflight.expected_cost = out.request.expected_cost;
+  inflight_.emplace(out.request.request_id, inflight);
+  ++stats_.requests_sent;
+  network_send_(out);
+}
+
+void AppClient::on_response(const store::ReadResponse& response) {
+  const auto inflight_it = inflight_.find(response.request_id);
+  if (inflight_it == inflight_.end()) {
+    throw std::logic_error("AppClient::on_response: unknown request id");
+  }
+  const InflightRequest inflight = inflight_it->second;
+  inflight_.erase(inflight_it);
+  ++stats_.responses_received;
+
+  const sim::Duration rtt = now() - inflight.sent_at;
+  selector_->on_response(inflight.server, response.feedback, rtt, inflight.expected_cost);
+  gate_->on_response(inflight.server, response.feedback);
+  if (hooks_.on_request_complete) hooks_.on_request_complete(rtt);
+
+  const auto task_it = pending_tasks_.find(response.task_id);
+  if (task_it == pending_tasks_.end()) {
+    throw std::logic_error("AppClient::on_response: response for unknown task");
+  }
+  PendingTask& task = task_it->second;
+  if (task.remaining == 0) throw std::logic_error("AppClient::on_response: task overcomplete");
+  if (--task.remaining == 0) {
+    ++stats_.tasks_completed;
+    const sim::Duration latency = now() - task.started;
+    if (hooks_.on_task_complete) hooks_.on_task_complete(task.spec, latency);
+    pending_tasks_.erase(task_it);
+  }
+}
+
+}  // namespace brb::client

@@ -1,0 +1,111 @@
+// The application server ("client" in the paper's terminology).
+//
+// Receives end-user tasks, splits them into sub-tasks (one per replica
+// group), forecasts request costs from requested value sizes, selects a
+// replica per sub-task, assigns BRB priorities, and dispatches through
+// the configured gate. Tracks in-flight requests and reports task
+// completion (a task completes when its last request completes — the
+// property all of BRB exploits).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "client/dispatch_gate.hpp"
+#include "policy/priority_policy.hpp"
+#include "policy/replica_selector.hpp"
+#include "server/service_model.hpp"
+#include "sim/simulator.hpp"
+#include "store/partitioner.hpp"
+#include "util/rng.hpp"
+#include "workload/task.hpp"
+
+namespace brb::client {
+
+/// Cumulative per-client counters.
+struct ClientStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+};
+
+class AppClient : public sim::Actor {
+ public:
+  struct Config {
+    store::ClientId id = 0;
+    /// log-normal sigma of multiplicative forecast noise; 0 = exact
+    /// size knowledge (the default assumption in the paper).
+    double cost_noise_sigma = 0.0;
+    /// Select a replica once per sub-task (true, BRB's joint choice)
+    /// or independently per request (false, C3-style).
+    bool select_per_subtask = true;
+  };
+
+  /// Completion hooks, installed by the experiment runner.
+  struct Hooks {
+    std::function<void(const workload::TaskSpec&, sim::Duration latency)> on_task_complete;
+    std::function<void(sim::Duration latency)> on_request_complete;
+  };
+
+  AppClient(sim::Simulator& sim, Config config, const store::Partitioner& partitioner,
+            const server::ServiceTimeModel& cost_model,
+            std::unique_ptr<policy::ReplicaSelector> selector,
+            const policy::PriorityPolicy& priority_policy, std::unique_ptr<DispatchGate> gate,
+            util::Rng rng);
+
+  /// Transport hook: actually puts a request on the wire. Installed by
+  /// the cluster wiring.
+  using NetworkSendFn = std::function<void(const OutboundRequest&)>;
+  void set_network_send(NetworkSendFn fn) { network_send_ = std::move(fn); }
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Entry point: a task arrives at this application server.
+  void submit(const workload::TaskSpec& task);
+
+  /// Delivery of a response from the network.
+  void on_response(const store::ReadResponse& response);
+
+  /// Called by the gate when a request is released to the transport:
+  /// stamps send time, notifies the selector, transmits.
+  void transmit_now(OutboundRequest& out);
+
+  const ClientStats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+  DispatchGate& gate() noexcept { return *gate_; }
+  policy::ReplicaSelector& selector() noexcept { return *selector_; }
+  std::uint64_t in_flight() const noexcept { return inflight_.size(); }
+
+ private:
+  struct InflightRequest {
+    store::TaskId task_id = 0;
+    store::ServerId server = 0;
+    sim::Time sent_at;
+    sim::Duration expected_cost = sim::Duration::zero();
+  };
+  struct PendingTask {
+    workload::TaskSpec spec;
+    std::uint32_t remaining = 0;
+    sim::Time started;
+  };
+
+  sim::Duration forecast_cost(std::uint32_t size_hint);
+
+  Config config_;
+  const store::Partitioner* partitioner_;
+  const server::ServiceTimeModel* cost_model_;
+  std::unique_ptr<policy::ReplicaSelector> selector_;
+  const policy::PriorityPolicy* priority_policy_;
+  std::unique_ptr<DispatchGate> gate_;
+  util::Rng rng_;
+  NetworkSendFn network_send_;
+  Hooks hooks_;
+  ClientStats stats_;
+  std::unordered_map<store::RequestId, InflightRequest> inflight_;
+  std::unordered_map<store::TaskId, PendingTask> pending_tasks_;
+  std::uint64_t next_request_serial_ = 0;
+};
+
+}  // namespace brb::client

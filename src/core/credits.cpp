@@ -1,0 +1,289 @@
+#include "core/credits.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace brb::core {
+
+// ---------------------------------------------------------------------------
+// CreditGate
+
+CreditGate::CreditGate(sim::Simulator& sim, std::uint32_t num_servers, CreditsConfig config,
+                       std::vector<double> initial_credits)
+    : sim_(&sim), config_(config) {
+  if (num_servers == 0) throw std::invalid_argument("CreditGate: no servers");
+  if (initial_credits.size() != num_servers) {
+    throw std::invalid_argument("CreditGate: initial credits arity mismatch");
+  }
+  servers_.resize(num_servers);
+  for (std::uint32_t s = 0; s < num_servers; ++s) servers_[s].balance = initial_credits[s];
+}
+
+bool CreditGate::later(const Held& a, const Held& b) noexcept {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.seq > b.seq;
+}
+
+void CreditGate::heap_push(PerServer& ps, Held held) {
+  ps.heap.push_back(std::move(held));
+  std::size_t i = ps.heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(ps.heap[parent], ps.heap[i])) break;
+    std::swap(ps.heap[parent], ps.heap[i]);
+    i = parent;
+  }
+}
+
+CreditGate::Held CreditGate::heap_pop(PerServer& ps) {
+  Held out = std::move(ps.heap.front());
+  ps.heap.front() = std::move(ps.heap.back());
+  ps.heap.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = ps.heap.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && later(ps.heap[smallest], ps.heap[left])) smallest = left;
+    if (right < n && later(ps.heap[smallest], ps.heap[right])) smallest = right;
+    if (smallest == i) break;
+    std::swap(ps.heap[i], ps.heap[smallest]);
+    i = smallest;
+  }
+  return out;
+}
+
+void CreditGate::start() {
+  running_ = true;
+  sim_->schedule_after(config_.measure_interval, [this] { measure_tick(); });
+}
+
+void CreditGate::measure_tick() {
+  if (!running_) return;
+  if (report_) {
+    std::vector<double> rates(servers_.size());
+    const double window_sec = config_.measure_interval.as_seconds();
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      rates[s] = static_cast<double>(servers_[s].offered_in_window) / window_sec;
+      servers_[s].offered_in_window = 0;
+    }
+    report_(rates);
+  }
+  sim_->schedule_after(config_.measure_interval, [this] { measure_tick(); });
+}
+
+void CreditGate::offer(client::OutboundRequest out) {
+  const store::ServerId server = out.server;
+  if (server >= servers_.size()) throw std::out_of_range("CreditGate::offer: bad server");
+  PerServer& ps = servers_[server];
+  ++ps.offered_in_window;
+  if (ps.heap.empty() && ps.balance >= 1.0) {
+    ps.balance -= 1.0;
+    transmit(out);
+    return;
+  }
+  heap_push(ps, Held{out.request.priority, next_seq_++, sim_->now(), std::move(out)});
+  ++held_;
+  ++hold_events_;
+}
+
+void CreditGate::on_grant(const std::vector<double>& credits) {
+  if (credits.size() != servers_.size()) {
+    throw std::invalid_argument("CreditGate::on_grant: arity mismatch");
+  }
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    // Credits are shares of the *coming* interval; a bounded carryover
+    // of unused balance smooths bursts across grant boundaries.
+    const double carryover =
+        std::min(servers_[s].balance, config_.carryover_cap_factor * credits[s]);
+    servers_[s].balance = credits[s] + std::max(0.0, carryover);
+    drain(static_cast<store::ServerId>(s));
+  }
+}
+
+void CreditGate::drain(store::ServerId server) {
+  PerServer& ps = servers_[server];
+  while (!ps.heap.empty() && ps.balance >= 1.0) {
+    Held held = heap_pop(ps);
+    ps.balance -= 1.0;
+    --held_;
+    total_hold_time_ += sim_->now() - held.held_at;
+    transmit(held.out);
+  }
+}
+
+double CreditGate::balance(store::ServerId server) const {
+  if (server >= servers_.size()) throw std::out_of_range("CreditGate::balance: bad server");
+  return servers_[server].balance;
+}
+
+// ---------------------------------------------------------------------------
+// CreditsController
+
+CreditsController::CreditsController(sim::Simulator& sim, std::uint32_t num_clients,
+                                     std::vector<double> capacities, CreditsConfig config)
+    : sim_(&sim), num_clients_(num_clients), capacities_(std::move(capacities)), config_(config) {
+  if (num_clients_ == 0) throw std::invalid_argument("CreditsController: no clients");
+  if (capacities_.empty()) throw std::invalid_argument("CreditsController: no servers");
+  for (const double c : capacities_) {
+    if (c <= 0.0) throw std::invalid_argument("CreditsController: non-positive capacity");
+  }
+  demand_.assign(num_clients_, std::vector<double>(capacities_.size(), 0.0));
+  capacity_factor_.assign(capacities_.size(), 1.0);
+  congested_this_interval_.assign(capacities_.size(), false);
+}
+
+void CreditsController::start() {
+  running_ = true;
+  sim_->schedule_after(config_.adapt_interval, [this] { adapt_tick(); });
+}
+
+void CreditsController::on_demand_report(store::ClientId client,
+                                         const std::vector<double>& per_server_rate) {
+  if (client >= num_clients_) throw std::out_of_range("CreditsController: bad client id");
+  if (per_server_rate.size() != capacities_.size()) {
+    throw std::invalid_argument("CreditsController: report arity mismatch");
+  }
+  ++stats_.demand_reports;
+  const double a = config_.demand_ewma_alpha;
+  for (std::size_t s = 0; s < capacities_.size(); ++s) {
+    demand_[client][s] = a * per_server_rate[s] + (1.0 - a) * demand_[client][s];
+  }
+}
+
+void CreditsController::on_congestion_signal(store::ServerId server, std::uint32_t) {
+  if (server >= capacities_.size()) throw std::out_of_range("CreditsController: bad server id");
+  ++stats_.congestion_signals;
+  congested_this_interval_[server] = true;
+}
+
+std::vector<double> CreditsController::allocate_proportional(const std::vector<double>& demands,
+                                                             double capacity_per_interval) {
+  std::vector<double> grants(demands.size(), 0.0);
+  double total = 0.0;
+  for (const double d : demands) total += std::max(0.0, d);
+  if (total <= 0.0) {
+    // No demand on record: hand out equal shares so newly active
+    // clients are not starved until their first report lands.
+    const double share = capacity_per_interval / static_cast<double>(demands.size());
+    for (double& g : grants) g = share;
+    return grants;
+  }
+  for (std::size_t c = 0; c < demands.size(); ++c) {
+    grants[c] = std::max(0.0, demands[c]) / total * capacity_per_interval;
+  }
+  return grants;
+}
+
+void CreditsController::adapt_tick() {
+  if (!running_) return;
+  ++stats_.adaptations;
+
+  // Update congestion factors: multiplicative decrease on signal,
+  // additive recovery otherwise.
+  for (std::size_t s = 0; s < capacities_.size(); ++s) {
+    if (congested_this_interval_[s]) {
+      capacity_factor_[s] =
+          std::max(config_.min_capacity_factor, capacity_factor_[s] * config_.congestion_backoff);
+      congested_this_interval_[s] = false;
+    } else {
+      capacity_factor_[s] = std::min(1.0, capacity_factor_[s] + config_.recovery_step);
+    }
+  }
+
+  // Per server: a small equal floor (so bursty newcomers are not
+  // stalled for a whole interval), the rest proportional to demand.
+  std::vector<std::vector<double>> grants(num_clients_,
+                                          std::vector<double>(capacities_.size(), 0.0));
+  const double interval_sec = config_.adapt_interval.as_seconds();
+  std::vector<double> demands(num_clients_);
+  for (std::size_t s = 0; s < capacities_.size(); ++s) {
+    for (std::uint32_t c = 0; c < num_clients_; ++c) demands[c] = demand_[c][s];
+    const double budget = capacities_[s] * capacity_factor_[s] * interval_sec;
+    const double floor_budget = budget * config_.min_share_fraction;
+    const double floor_each = floor_budget / static_cast<double>(num_clients_);
+    const std::vector<double> share = allocate_proportional(demands, budget - floor_budget);
+    for (std::uint32_t c = 0; c < num_clients_; ++c) grants[c][s] = floor_each + share[c];
+  }
+
+  if (send_grant_) {
+    for (std::uint32_t c = 0; c < num_clients_; ++c) {
+      send_grant_(c, grants[c]);
+      ++stats_.grants_sent;
+    }
+  }
+  sim_->schedule_after(config_.adapt_interval, [this] { adapt_tick(); });
+}
+
+double CreditsController::capacity_factor(store::ServerId server) const {
+  if (server >= capacity_factor_.size()) {
+    throw std::out_of_range("CreditsController: bad server id");
+  }
+  return capacity_factor_[server];
+}
+
+// ---------------------------------------------------------------------------
+// CreditAwareSelector
+
+CreditAwareSelector::CreditAwareSelector(std::unique_ptr<policy::ReplicaSelector> inner,
+                                         const CreditGate& gate)
+    : inner_(std::move(inner)), gate_(&gate) {
+  if (!inner_) throw std::invalid_argument("CreditAwareSelector: null inner selector");
+}
+
+store::ServerId CreditAwareSelector::select(const std::vector<store::ServerId>& replicas,
+                                            sim::Duration expected_cost) {
+  std::vector<store::ServerId> funded;
+  funded.reserve(replicas.size());
+  for (const store::ServerId s : replicas) {
+    if (gate_->balance(s) >= 1.0) funded.push_back(s);
+  }
+  if (funded.empty() || funded.size() == replicas.size()) {
+    return inner_->select(replicas, expected_cost);
+  }
+  return inner_->select(funded, expected_cost);
+}
+
+void CreditAwareSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
+  inner_->on_send(server, expected_cost);
+}
+
+void CreditAwareSelector::on_response(store::ServerId server,
+                                      const store::ServerFeedback& feedback, sim::Duration rtt,
+                                      sim::Duration expected_cost) {
+  inner_->on_response(server, feedback, rtt, expected_cost);
+}
+
+// ---------------------------------------------------------------------------
+// CongestionMonitor
+
+CongestionMonitor::CongestionMonitor(sim::Simulator& sim,
+                                     std::vector<server::BackendServer*> servers,
+                                     CreditsConfig config, SignalFn signal)
+    : sim_(&sim), servers_(std::move(servers)), config_(config), signal_(std::move(signal)) {
+  if (servers_.empty()) throw std::invalid_argument("CongestionMonitor: no servers");
+  if (!signal_) throw std::invalid_argument("CongestionMonitor: null signal fn");
+}
+
+void CongestionMonitor::start() {
+  running_ = true;
+  sim_->schedule_after(config_.monitor_interval, [this] { tick(); });
+}
+
+void CongestionMonitor::tick() {
+  if (!running_) return;
+  for (server::BackendServer* server : servers_) {
+    const std::uint32_t threshold = static_cast<std::uint32_t>(
+        config_.congestion_queue_factor * static_cast<double>(server->config().cores));
+    const std::uint32_t queue = server->queue_length();
+    if (queue > threshold) {
+      ++signals_;
+      signal_(server->config().id, queue);
+    }
+  }
+  sim_->schedule_after(config_.monitor_interval, [this] { tick(); });
+}
+
+}  // namespace brb::core

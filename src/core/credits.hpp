@@ -1,0 +1,237 @@
+// The credits realization of BRB (§2.2).
+//
+// "We develop a credits strategy where clients report their demands at
+// measurement intervals and are assigned credits (i.e., shares of
+// server capacity) proportionally to demands via a logically-
+// centralized controller; once demand exceeds server capacity, a
+// congestion signal is sent to the controller and the credits
+// allocations are adapted accordingly at 1s intervals. In such a
+// realization, each server maintains a separate priority-queue."
+//
+// Three cooperating pieces:
+//   CreditsController — the logically-centralized allocator. Collects
+//     demand reports, allocates each server's (possibly congestion-
+//     reduced) capacity proportionally to client demands every
+//     adaptation interval, and pushes grants to clients.
+//   CreditGate — client side. Measures per-server demand, reports it
+//     every measurement interval, spends credits to transmit, and holds
+//     excess requests in a local priority queue until the next grant.
+//   CongestionMonitor — server side. Watches queue lengths and signals
+//     the controller when a server's backlog exceeds its capacity
+//     threshold.
+//
+// All control messages travel over the simulated network (latency
+// applies), which is exactly the realism gap between credits and the
+// ideal model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "client/dispatch_gate.hpp"
+#include "server/backend_server.hpp"
+#include "sim/simulator.hpp"
+#include "store/types.hpp"
+
+namespace brb::core {
+
+struct CreditsConfig {
+  /// Controller re-allocation period (the paper's 1 s).
+  sim::Duration adapt_interval = sim::Duration::seconds(1.0);
+  /// Client demand-report period (the paper's "measurement interval").
+  sim::Duration measure_interval = sim::Duration::millis(100);
+  /// Server queue length (in multiples of core count) that triggers a
+  /// congestion signal. The signal means "demand exceeds capacity"
+  /// (paper §2.2), i.e. a sustained standing queue — not transient
+  /// burstiness, which a 70%-utilized server exhibits constantly.
+  double congestion_queue_factor = 32.0;
+  /// Congestion monitor sampling period.
+  sim::Duration monitor_interval = sim::Duration::millis(100);
+  /// Multiplicative capacity reduction applied to a congested server's
+  /// allocatable capacity.
+  double congestion_backoff = 0.9;
+  /// Additive recovery (fraction of full capacity) per congestion-free
+  /// adaptation interval.
+  double recovery_step = 0.25;
+  /// Floor on the congestion factor.
+  double min_capacity_factor = 0.5;
+  /// EWMA weight of the newest demand report.
+  double demand_ewma_alpha = 0.5;
+  /// Fraction of each server's capacity distributed as a guaranteed
+  /// equal floor before proportional allocation. Bounds the stall a
+  /// client suffers when it bursts onto a server it has no recent
+  /// demand history with (grant would otherwise be ~0 for a whole
+  /// adaptation interval).
+  double min_share_fraction = 0.10;
+  /// Unused balance carried into the next interval, as a multiple of
+  /// the new grant (0 = strict reset). Smooths task bursts that span a
+  /// grant boundary.
+  double carryover_cap_factor = 0.5;
+};
+
+struct ControllerStats {
+  std::uint64_t demand_reports = 0;
+  std::uint64_t congestion_signals = 0;
+  std::uint64_t adaptations = 0;
+  std::uint64_t grants_sent = 0;
+};
+
+/// Client-side credit gate (one per client).
+class CreditGate final : public client::DispatchGate {
+ public:
+  /// `report_demand` ships this client's per-server demand rates
+  /// (requests/s since the previous report) to the controller over the
+  /// network.
+  using ReportFn = std::function<void(const std::vector<double>& per_server_rate)>;
+
+  CreditGate(sim::Simulator& sim, std::uint32_t num_servers, CreditsConfig config,
+             std::vector<double> initial_credits);
+
+  void set_report(ReportFn fn) { report_ = std::move(fn); }
+
+  /// Starts the periodic demand measurement loop.
+  void start();
+  /// Stops scheduling further measurements (lets the simulation drain).
+  void stop() noexcept { running_ = false; }
+
+  void offer(client::OutboundRequest out) override;
+  std::size_t held() const noexcept override { return held_; }
+  std::string name() const override { return "credits"; }
+
+  /// Grant delivery from the controller: balances reset to the new
+  /// allocation and held requests drain in priority order.
+  void on_grant(const std::vector<double>& credits);
+
+  double balance(store::ServerId server) const;
+
+  /// Requests that were ever held for lack of credits.
+  std::uint64_t hold_events() const noexcept { return hold_events_; }
+  /// Cumulative time held requests spent waiting for credits.
+  sim::Duration total_hold_time() const noexcept { return total_hold_time_; }
+
+ private:
+  struct Held {
+    store::Priority priority;
+    std::uint64_t seq;
+    sim::Time held_at;
+    client::OutboundRequest out;
+  };
+  struct PerServer {
+    double balance = 0.0;
+    std::uint64_t offered_in_window = 0;
+    std::vector<Held> heap;  // min-heap on (priority, seq)
+  };
+
+  void measure_tick();
+  void drain(store::ServerId server);
+  static bool later(const Held& a, const Held& b) noexcept;
+  void heap_push(PerServer& ps, Held held);
+  Held heap_pop(PerServer& ps);
+
+  sim::Simulator* sim_;
+  CreditsConfig config_;
+  std::vector<PerServer> servers_;
+  ReportFn report_;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::size_t held_ = 0;
+  std::uint64_t hold_events_ = 0;
+  sim::Duration total_hold_time_ = sim::Duration::zero();
+};
+
+/// The logically-centralized allocator.
+class CreditsController {
+ public:
+  /// `capacities[s]` = server s's nominal capacity in requests/s.
+  /// `send_grant(client, credits)` ships an allocation to one client
+  /// over the network.
+  using GrantFn = std::function<void(store::ClientId, const std::vector<double>&)>;
+
+  CreditsController(sim::Simulator& sim, std::uint32_t num_clients,
+                    std::vector<double> capacities, CreditsConfig config);
+
+  void set_grant_sender(GrantFn fn) { send_grant_ = std::move(fn); }
+
+  /// Begins the periodic adaptation loop.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  /// Network delivery of a client demand report.
+  void on_demand_report(store::ClientId client, const std::vector<double>& per_server_rate);
+
+  /// Network delivery of a server congestion signal.
+  void on_congestion_signal(store::ServerId server, std::uint32_t queue_length);
+
+  /// Proportional allocation (exposed for tests): given per-client
+  /// demand for one server and its allocatable capacity, returns each
+  /// client's credit share for one adaptation interval.
+  static std::vector<double> allocate_proportional(const std::vector<double>& demands,
+                                                   double capacity_per_interval);
+
+  const ControllerStats& stats() const noexcept { return stats_; }
+  double capacity_factor(store::ServerId server) const;
+
+ private:
+  void adapt_tick();
+
+  sim::Simulator* sim_;
+  std::uint32_t num_clients_;
+  std::vector<double> capacities_;
+  CreditsConfig config_;
+  GrantFn send_grant_;
+  bool running_ = false;
+  /// demand_[c][s] = EWMA demand rate of client c at server s (req/s).
+  std::vector<std::vector<double>> demand_;
+  std::vector<double> capacity_factor_;
+  std::vector<bool> congested_this_interval_;
+  ControllerStats stats_;
+};
+
+/// Replica-selection decorator that prefers replicas the client can
+/// actually pay for. The client owns both its selector state and its
+/// credit balances, so consulting them jointly is purely local: among
+/// replicas with at least one credit, defer to the inner selector;
+/// only when every replica of the group is broke does the request get
+/// queued at the inner selector's unconstrained choice.
+class CreditAwareSelector final : public policy::ReplicaSelector {
+ public:
+  CreditAwareSelector(std::unique_ptr<policy::ReplicaSelector> inner, const CreditGate& gate);
+
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  void on_send(store::ServerId server, sim::Duration expected_cost) override;
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) override;
+  std::string name() const override { return "credit-aware(" + inner_->name() + ")"; }
+
+ private:
+  std::unique_ptr<policy::ReplicaSelector> inner_;
+  const CreditGate* gate_;
+};
+
+/// Server-side queue watchdog that emits congestion signals.
+class CongestionMonitor {
+ public:
+  using SignalFn = std::function<void(store::ServerId, std::uint32_t queue_length)>;
+
+  CongestionMonitor(sim::Simulator& sim, std::vector<server::BackendServer*> servers,
+                    CreditsConfig config, SignalFn signal);
+
+  void start();
+  void stop() noexcept { running_ = false; }
+  std::uint64_t signals_emitted() const noexcept { return signals_; }
+
+ private:
+  void tick();
+
+  sim::Simulator* sim_;
+  std::vector<server::BackendServer*> servers_;
+  CreditsConfig config_;
+  SignalFn signal_;
+  bool running_ = false;
+  std::uint64_t signals_ = 0;
+};
+
+}  // namespace brb::core

@@ -1,0 +1,182 @@
+#include "core/fig1.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "client/app_client.hpp"
+#include "net/network.hpp"
+#include "policy/priority_policy.hpp"
+#include "policy/replica_selector.hpp"
+#include "server/backend_server.hpp"
+#include "sim/simulator.hpp"
+#include "store/partitioner.hpp"
+#include "util/rng.hpp"
+#include "workload/task.hpp"
+
+namespace brb::core {
+
+namespace {
+
+// Keys: A=0, B=1, C=2, D=3, E=4, warm-up F=5.
+constexpr store::KeyId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5;
+
+/// Fixed placement matching the figure: replication factor 1,
+/// group g == server g. A,E,F -> S1(0); B,C -> S2(1); D -> S3(2).
+class Fig1Partitioner final : public store::Partitioner {
+ public:
+  Fig1Partitioner() : groups_{{0}, {1}, {2}} {}
+
+  store::GroupId group_of(store::KeyId key) const override {
+    switch (key) {
+      case kA:
+      case kE:
+      case kF:
+        return 0;
+      case kB:
+      case kC:
+        return 1;
+      case kD:
+        return 2;
+      default:
+        throw std::out_of_range("Fig1Partitioner: unknown key");
+    }
+  }
+  const std::vector<store::ServerId>& replicas_of(store::GroupId group) const override {
+    return groups_.at(group);
+  }
+  std::uint32_t num_groups() const noexcept override { return 3; }
+  std::uint32_t num_servers() const noexcept override { return 3; }
+  std::uint32_t replication_factor() const noexcept override { return 1; }
+
+ private:
+  std::vector<std::vector<store::ServerId>> groups_;
+};
+
+}  // namespace
+
+Fig1Result run_fig1(const std::string& policy_name) {
+  // One "unit" = 1 ms of service; the warm-up request takes 0.1 unit.
+  constexpr std::uint32_t kUnitBytes = 1000;
+  constexpr std::uint32_t kWarmupBytes = 100;
+  const sim::Duration unit = sim::Duration::millis(1.0);
+
+  sim::Simulator sim;
+  util::Rng rng(1);
+  net::Network::Config net_config;
+  net_config.one_way_latency = sim::Duration::micros(10);
+  net::Network network(sim, net_config, rng.split());
+
+  Fig1Partitioner partitioner;
+  // 1 us per byte, no base cost and no noise: exactly unit-cost requests.
+  const server::SizeLinearServiceModel service_model(sim::Duration::zero(), 1000.0, 0.0);
+
+  const auto priority_policy = policy::make_priority_policy(policy_name);
+
+  std::vector<std::unique_ptr<server::BackendServer>> servers;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    server::BackendServer::Config config;
+    config.id = s;
+    config.cores = 1;
+    servers.push_back(
+        std::make_unique<server::BackendServer>(sim, config, service_model, rng.split()));
+    // Priority queues reveal the policy; with FifoPolicy all priorities
+    // equal the task arrival time, which degrades to FIFO order.
+    servers.back()->use_private_queue(server::make_discipline("priority"));
+  }
+  for (const store::KeyId key : {kA, kB, kC, kD, kE}) {
+    servers[partitioner.group_of(key)]->storage().put_meta(key, kUnitBytes);
+  }
+  servers[0]->storage().put_meta(kF, kWarmupBytes);
+
+  Fig1Result result;
+  std::map<store::TaskId, double> completions;
+
+  std::vector<std::unique_ptr<client::AppClient>> clients;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    client::AppClient::Config config;
+    config.id = c;
+    clients.push_back(std::make_unique<client::AppClient>(
+        sim, config, partitioner, service_model,
+        std::make_unique<policy::FirstReplicaSelector>(), *priority_policy,
+        std::make_unique<client::DirectGate>(), rng.split()));
+  }
+
+  const auto key_name = [](store::KeyId key) {
+    switch (key) {
+      case kA:
+        return "A";
+      case kB:
+        return "B";
+      case kC:
+        return "C";
+      case kD:
+        return "D";
+      case kE:
+        return "E";
+      default:
+        return "?";
+    }
+  };
+
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    const net::NodeId client_node = 3 + c;
+    clients[c]->set_network_send(
+        [&network, &servers, client_node](const client::OutboundRequest& out) {
+          server::BackendServer* target = servers[out.server].get();
+          network.send(client_node, out.server, store::kRequestWireBytes,
+                       [target, request = out.request] { target->receive(request); });
+        });
+    client::AppClient::Hooks hooks;
+    hooks.on_task_complete = [&completions, &sim, unit](const workload::TaskSpec& task,
+                                                        sim::Duration) {
+      completions[task.id] = sim.now().as_millis() / unit.as_millis();
+    };
+    clients[c]->set_hooks(hooks);
+  }
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    servers[s]->set_response_handler([&, s](const store::ReadResponse& response) {
+      if (response.key != kF) {
+        const double end = sim.now().as_millis();
+        const double start = end - response.feedback.service_time.as_millis();
+        result.schedule.push_back(Fig1Entry{key_name(response.key), "S" + std::to_string(s + 1),
+                                            start, end});
+      }
+      const net::NodeId client_node = 3 + response.client;
+      client::AppClient* target = clients[response.client].get();
+      network.send(s, client_node, store::kResponseHeaderBytes,
+                   [target, response] { target->on_response(response); });
+    });
+  }
+
+  // Warm-up task occupies S1 so that A and E are both queued when the
+  // first scheduling decision happens.
+  workload::TaskSpec warmup;
+  warmup.id = 0;
+  warmup.client = 0;
+  warmup.requests = {workload::RequestSpec{kF, kWarmupBytes}};
+  workload::TaskSpec t1;
+  t1.id = 1;
+  t1.client = 0;
+  t1.requests = {workload::RequestSpec{kA, kUnitBytes}, workload::RequestSpec{kB, kUnitBytes},
+                 workload::RequestSpec{kC, kUnitBytes}};
+  workload::TaskSpec t2;
+  t2.id = 2;
+  t2.client = 1;
+  t2.requests = {workload::RequestSpec{kD, kUnitBytes}, workload::RequestSpec{kE, kUnitBytes}};
+
+  sim.schedule_at(sim::Time::zero(), [&] { clients[0]->submit(warmup); });
+  sim.schedule_at(sim::Time::zero(), [&] { clients[0]->submit(t1); });
+  sim.schedule_at(sim::Time::zero(), [&] { clients[1]->submit(t2); });
+  sim.run();
+
+  if (completions.size() != 3) throw std::logic_error("run_fig1: not all tasks completed");
+  result.t1_completion_units = completions[1];
+  result.t2_completion_units = completions[2];
+  std::sort(result.schedule.begin(), result.schedule.end(),
+            [](const Fig1Entry& a, const Fig1Entry& b) { return a.end_units < b.end_units; });
+  return result;
+}
+
+}  // namespace brb::core

@@ -1,0 +1,82 @@
+#include "core/global_queue.hpp"
+
+#include <stdexcept>
+
+namespace brb::core {
+
+GlobalQueueModel::GlobalQueueModel(
+    const store::Partitioner& partitioner,
+    const std::function<std::unique_ptr<server::QueueDiscipline>()>& discipline_factory)
+    : partitioner_(&partitioner) {
+  const std::uint32_t num_groups = partitioner_->num_groups();
+  group_queues_.reserve(num_groups);
+  for (std::uint32_t g = 0; g < num_groups; ++g) group_queues_.push_back(discipline_factory());
+
+  groups_of_.resize(partitioner_->num_servers());
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    for (const store::ServerId s : partitioner_->replicas_of(g)) {
+      if (s >= groups_of_.size()) {
+        throw std::invalid_argument("GlobalQueueModel: server id outside cluster");
+      }
+      groups_of_[s].push_back(g);
+    }
+  }
+}
+
+void GlobalQueueModel::attach_servers(std::vector<server::BackendServer*> servers) {
+  servers_ = std::move(servers);
+  for (server::BackendServer* server : servers_) {
+    if (server == nullptr) throw std::invalid_argument("GlobalQueueModel: null server");
+    server->set_work_source(*this);
+  }
+}
+
+void GlobalQueueModel::submit(server::QueuedRead read, store::GroupId group) {
+  if (group >= group_queues_.size()) {
+    throw std::out_of_range("GlobalQueueModel::submit: bad group");
+  }
+  read.submit_seq = next_submit_seq_++;
+  group_queues_[group]->push(std::move(read));
+  ++total_queued_;
+
+  // Work-pull: wake an idle replica of this group (the queue "knows"
+  // global state — that is what makes the model ideal/unrealizable).
+  for (const store::ServerId s : partitioner_->replicas_of(group)) {
+    if (s < servers_.size() && servers_[s]->idle_cores() > 0) {
+      servers_[s]->pump();
+      break;
+    }
+  }
+}
+
+std::optional<server::QueuedRead> GlobalQueueModel::next_for(store::ServerId server) {
+  if (server >= groups_of_.size()) return std::nullopt;
+  const server::QueueDiscipline* best_queue = nullptr;
+  store::GroupId best_group = 0;
+  server::QueueHead best_head{};
+  for (const store::GroupId g : groups_of_[server]) {
+    const auto head = group_queues_[g]->peek();
+    if (!head) continue;
+    const bool wins = best_queue == nullptr || head->priority < best_head.priority ||
+                      (head->priority == best_head.priority &&
+                       head->submit_seq < best_head.submit_seq);
+    if (wins) {
+      best_queue = group_queues_[g].get();
+      best_group = g;
+      best_head = *head;
+    }
+  }
+  if (best_queue == nullptr) return std::nullopt;
+  auto read = group_queues_[best_group]->pop();
+  if (read) --total_queued_;
+  return read;
+}
+
+std::size_t GlobalQueueModel::backlog(store::ServerId server) const {
+  if (server >= groups_of_.size()) return 0;
+  std::size_t total = 0;
+  for (const store::GroupId g : groups_of_[server]) total += group_queues_[g]->size();
+  return total;
+}
+
+}  // namespace brb::core

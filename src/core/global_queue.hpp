@@ -1,0 +1,65 @@
+// The paper's ideal "model" realization (§2.2).
+//
+// "Servers utilize a work-pulling mechanism to fetch requests from a
+// single global priority-based queue shared by all clients. However,
+// such a model is unrealizable since it assumes perfect knowledge of
+// global state."
+//
+// We realize the thought experiment inside the simulator: one logical
+// priority queue, partitioned internally by replica group because a
+// server may only serve keys it replicates. An idle server instantly
+// pulls the highest-priority request among the groups it belongs to;
+// ties break on global submission order, making the whole structure
+// behave exactly like a single shared priority queue restricted by
+// data placement. Coordination is free (that is the point of the
+// ideal); the client<->store network latency is still paid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "server/backend_server.hpp"
+#include "server/queue_discipline.hpp"
+#include "store/partitioner.hpp"
+#include "store/types.hpp"
+
+namespace brb::core {
+
+class GlobalQueueModel final : public server::WorkSource {
+ public:
+  /// `discipline_factory` builds one queue per replica group —
+  /// PriorityDiscipline for BRB-model, FifoDiscipline for the
+  /// task-oblivious ideal ablation.
+  GlobalQueueModel(const store::Partitioner& partitioner,
+                   const std::function<std::unique_ptr<server::QueueDiscipline>()>&
+                       discipline_factory);
+
+  /// Registers the serving fleet; must cover every ServerId the
+  /// partitioner references.
+  void attach_servers(std::vector<server::BackendServer*> servers);
+
+  /// A request reaches the (logically centralized) queue. Stamps the
+  /// global submission sequence and immediately offers work to an idle
+  /// replica if one exists.
+  void submit(server::QueuedRead read, store::GroupId group);
+
+  // WorkSource interface (invoked by idle servers work-pulling).
+  std::optional<server::QueuedRead> next_for(store::ServerId server) override;
+  std::size_t backlog(store::ServerId server) const override;
+
+  /// Total queued requests across all groups.
+  std::size_t total_backlog() const noexcept { return total_queued_; }
+
+ private:
+  const store::Partitioner* partitioner_;
+  std::vector<std::unique_ptr<server::QueueDiscipline>> group_queues_;
+  /// groups_of_[s] = replica groups server s participates in.
+  std::vector<std::vector<store::GroupId>> groups_of_;
+  std::vector<server::BackendServer*> servers_;
+  std::uint64_t next_submit_seq_ = 0;
+  std::size_t total_queued_ = 0;
+};
+
+}  // namespace brb::core

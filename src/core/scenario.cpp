@@ -1,0 +1,521 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "client/app_client.hpp"
+#include "core/global_queue.hpp"
+#include "net/network.hpp"
+#include "policy/priority_policy.hpp"
+#include "policy/replica_selector.hpp"
+#include "server/backend_server.hpp"
+#include "server/service_model.hpp"
+#include "sim/simulator.hpp"
+#include "store/partitioner.hpp"
+#include "util/logger.hpp"
+#include "util/rng.hpp"
+#include "workload/task_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace brb::core {
+
+namespace {
+
+std::unique_ptr<policy::ReplicaSelector> make_selector(const std::string& name,
+                                                       const ScenarioConfig& config,
+                                                       util::Rng rng) {
+  if (name == "random") return std::make_unique<policy::RandomSelector>(rng);
+  if (name == "round-robin") return std::make_unique<policy::RoundRobinSelector>();
+  if (name == "least-outstanding") return std::make_unique<policy::LeastOutstandingSelector>();
+  if (name == "least-pending-cost") return std::make_unique<policy::LeastPendingCostSelector>();
+  if (name == "c3") {
+    policy::C3Config c3 = config.c3;
+    c3.num_clients = config.num_clients;
+    return std::make_unique<policy::C3Selector>(c3);
+  }
+  if (name == "first") return std::make_unique<policy::FirstReplicaSelector>();
+  throw std::invalid_argument("make_selector: unknown selector: " + name);
+}
+
+/// Per-system defaults: selector, priority policy, queue discipline.
+struct SystemProfile {
+  std::string selector;
+  std::string priority_policy;
+  std::string server_discipline;
+  bool select_per_subtask = true;
+};
+
+SystemProfile profile_for(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kC3:
+      return {"c3", "fifo", "fifo", /*select_per_subtask=*/false};
+    case SystemKind::kEqualMaxCredits:
+    case SystemKind::kEqualMaxDirect:
+      // BRB selects replicas load-aware per sub-task ("intelligent
+      // replica selection", §2). Least-pending-cost tracks the
+      // forecast work a client has bound to each server — the
+      // strongest decentralized signal available to it (measured in
+      // bench_abl_policy_matrix; beats C3-style ranking for sub-task
+      // granularity).
+      return {"least-pending-cost", "equalmax", "priority", true};
+    case SystemKind::kUnifIncrCredits:
+    case SystemKind::kUnifIncrDirect:
+      return {"least-pending-cost", "unifincr", "priority", true};
+    case SystemKind::kEqualMaxModel:
+      return {"first", "equalmax", "priority", true};
+    case SystemKind::kUnifIncrModel:
+      return {"first", "unifincr", "priority", true};
+    case SystemKind::kFifoDirect:
+      return {"least-outstanding", "fifo", "fifo", false};
+    case SystemKind::kRandomFifo:
+      return {"random", "fifo", "fifo", false};
+    case SystemKind::kFifoModel:
+      return {"first", "fifo", "fifo", true};
+    case SystemKind::kRequestSjfDirect:
+      return {"least-pending-cost", "request-sjf", "priority", false};
+    case SystemKind::kCumSlackCredits:
+      return {"least-pending-cost", "cumslack", "priority", true};
+    case SystemKind::kCumSlackModel:
+      return {"first", "cumslack", "priority", true};
+  }
+  throw std::invalid_argument("profile_for: unknown system kind");
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (config.num_clients == 0) throw std::invalid_argument("run_scenario: no clients");
+  if (config.num_tasks == 0 && config.tasks_override == nullptr && config.trace_path.empty()) {
+    throw std::invalid_argument("run_scenario: no tasks");
+  }
+  if (config.utilization <= 0.0 || config.utilization >= 1.5) {
+    throw std::invalid_argument("run_scenario: utilization out of range (0, 1.5)");
+  }
+  if (config.warmup_fraction < 0.0 || config.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("run_scenario: warmup fraction out of [0,1)");
+  }
+
+  const SystemProfile profile = profile_for(config.system);
+  const std::uint32_t num_servers = config.cluster.num_servers;
+  const std::uint32_t num_clients = config.num_clients;
+
+  // Trace replay: tasks come from a file or an in-memory list.
+  std::vector<workload::TaskSpec> trace_storage;
+  const std::vector<workload::TaskSpec>* replay = config.tasks_override;
+  if (replay == nullptr && !config.trace_path.empty()) {
+    trace_storage = workload::TraceReader::read_file(config.trace_path);
+    std::sort(trace_storage.begin(), trace_storage.end(),
+              [](const workload::TaskSpec& a, const workload::TaskSpec& b) {
+                return a.arrival < b.arrival;
+              });
+    replay = &trace_storage;
+  }
+  if (replay != nullptr && replay->empty()) {
+    throw std::invalid_argument("run_scenario: empty trace");
+  }
+  const std::uint64_t total_tasks = replay ? replay->size() : config.num_tasks;
+
+  // --- RNG streams: one independent stream per concern. ---
+  util::Rng master(config.seed);
+  util::Rng rng_network = master.split();
+  util::Rng rng_dataset = master.split();
+  util::Rng rng_workload = master.split();
+  std::vector<util::Rng> rng_servers;
+  rng_servers.reserve(num_servers);
+  for (std::uint32_t s = 0; s < num_servers; ++s) rng_servers.push_back(master.split());
+  std::vector<util::Rng> rng_clients;
+  rng_clients.reserve(num_clients);
+  for (std::uint32_t c = 0; c < num_clients; ++c) rng_clients.push_back(master.split());
+
+  // --- substrate ---
+  sim::Simulator sim;
+  net::Network::Config net_config;
+  net_config.one_way_latency = config.net_latency;
+  net_config.jitter_max = config.net_jitter;
+  net::Network network(sim, net_config, rng_network);
+
+  store::RingPartitioner partitioner(num_servers, config.replication);
+
+  const auto size_dist = workload::make_size_distribution(config.size_spec);
+  const auto key_dist = workload::make_key_distribution(config.key_spec);
+  const auto fanout_dist = workload::make_fanout_distribution(config.fanout_spec);
+  workload::Dataset dataset(key_dist->num_keys(), *size_dist, rng_dataset);
+
+  // Calibrate the service model against the workload's mean value size
+  // (trace replay uses the trace's own empirical mean).
+  double mean_size = size_dist->mean();
+  if (replay != nullptr) {
+    double acc = 0.0;
+    std::uint64_t count = 0;
+    for (const workload::TaskSpec& task : *replay) {
+      for (const workload::RequestSpec& request : task.requests) {
+        acc += request.size_hint;
+        ++count;
+      }
+    }
+    if (count == 0) throw std::invalid_argument("run_scenario: trace has no requests");
+    mean_size = std::max(1.0, acc / static_cast<double>(count));
+  }
+  const server::SizeLinearServiceModel service_model = server::SizeLinearServiceModel::calibrate(
+      config.cluster.service_rate_per_core, mean_size, config.service_base,
+      config.service_noise_sigma);
+
+  // --- arrival rate from capacity planning (never hard-coded). ---
+  workload::CapacityPlanner planner(config.cluster);
+  const double task_rate =
+      replay ? static_cast<double>(replay->size()) /
+                   std::max(1e-3, replay->back().arrival.as_seconds())
+             : planner.task_rate_for_utilization(config.utilization, fanout_dist->mean());
+
+  // --- node ids: servers, then clients, then controller, then queue. ---
+  const net::NodeId controller_node = num_servers + num_clients;
+  const net::NodeId global_queue_node = controller_node + 1;
+
+  // --- servers ---
+  std::vector<std::unique_ptr<server::BackendServer>> servers;
+  servers.reserve(num_servers);
+  for (std::uint32_t s = 0; s < num_servers; ++s) {
+    server::BackendServer::Config server_config;
+    server_config.id = s;
+    server_config.cores = config.cluster.cores_per_server;
+    servers.push_back(std::make_unique<server::BackendServer>(sim, server_config, service_model,
+                                                              rng_servers[s]));
+  }
+  // Populate every replica with the dataset (value sizes drive work).
+  if (replay != nullptr) {
+    for (const workload::TaskSpec& task : *replay) {
+      for (const workload::RequestSpec& request : task.requests) {
+        for (const store::ServerId s : partitioner.replicas_for_key(request.key)) {
+          servers[s]->storage().put_meta(request.key, std::max(1u, request.size_hint));
+        }
+      }
+    }
+  } else {
+    for (std::uint64_t key = 0; key < dataset.num_keys(); ++key) {
+      for (const store::ServerId s : partitioner.replicas_for_key(key)) {
+        servers[s]->storage().put_meta(key, dataset.size_of(key));
+      }
+    }
+  }
+
+  // --- work sources ---
+  std::unique_ptr<GlobalQueueModel> global_queue;
+  if (uses_global_queue(config.system)) {
+    global_queue = std::make_unique<GlobalQueueModel>(partitioner, [&] {
+      return server::make_discipline(profile.server_discipline);
+    });
+    std::vector<server::BackendServer*> raw;
+    raw.reserve(servers.size());
+    for (const auto& s : servers) raw.push_back(s.get());
+    global_queue->attach_servers(std::move(raw));
+  } else {
+    for (const auto& s : servers) {
+      s->use_private_queue(server::make_discipline(profile.server_discipline));
+    }
+  }
+
+  // --- result & hooks ---
+  RunResult result;
+  result.system = config.system;
+  result.seed = config.seed;
+  result.task_latency = stats::LatencyRecorder(config.keep_raw_latencies);
+  result.request_latency = stats::LatencyRecorder(config.keep_raw_latencies);
+  const std::uint64_t warmup_tasks =
+      static_cast<std::uint64_t>(config.warmup_fraction * static_cast<double>(total_tasks));
+
+  // --- clients ---
+  const std::string selector_name =
+      config.selector_override.empty() ? profile.selector : config.selector_override;
+  const auto priority_policy = policy::make_priority_policy(profile.priority_policy);
+
+  // Credits machinery (only wired for credits systems).
+  std::unique_ptr<CreditsController> controller;
+  std::unique_ptr<CongestionMonitor> monitor;
+  std::vector<CreditGate*> credit_gates(num_clients, nullptr);
+
+  const double per_server_capacity =
+      static_cast<double>(config.cluster.cores_per_server) * config.cluster.service_rate_per_core;
+
+  std::vector<std::unique_ptr<client::AppClient>> clients;
+  clients.reserve(num_clients);
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    client::AppClient::Config client_config;
+    client_config.id = c;
+    client_config.cost_noise_sigma = config.cost_noise_sigma;
+    client_config.select_per_subtask = profile.select_per_subtask;
+
+    std::unique_ptr<client::DispatchGate> gate;
+    if (uses_credits(config.system)) {
+      // Bootstrap: equal share of each server's capacity per interval.
+      std::vector<double> initial(num_servers,
+                                  per_server_capacity * config.credits.adapt_interval.as_seconds() /
+                                      static_cast<double>(num_clients));
+      auto credit_gate =
+          std::make_unique<CreditGate>(sim, num_servers, config.credits, std::move(initial));
+      credit_gates[c] = credit_gate.get();
+      gate = std::move(credit_gate);
+    } else if (config.system == SystemKind::kC3) {
+      policy::CubicRateController::Config rate = config.rate;
+      if (rate.initial_rate <= 0.0) {
+        rate.initial_rate = per_server_capacity / static_cast<double>(num_clients);
+      }
+      gate = std::make_unique<client::RateLimitedGate>(sim, rate);
+    } else {
+      gate = std::make_unique<client::DirectGate>();
+    }
+
+    // Sequence the split explicitly: argument evaluation order is
+    // unspecified and both expressions touch rng_clients[c].
+    util::Rng selector_rng = rng_clients[c].split();
+    std::unique_ptr<policy::ReplicaSelector> selector =
+        make_selector(selector_name, config, selector_rng);
+    if (credit_gates[c] != nullptr) {
+      // Credits systems select jointly over replica load *and* local
+      // credit balances (both are client-local state).
+      selector = std::make_unique<CreditAwareSelector>(std::move(selector), *credit_gates[c]);
+    }
+    clients.push_back(std::make_unique<client::AppClient>(
+        sim, client_config, partitioner, service_model, std::move(selector), *priority_policy,
+        std::move(gate), rng_clients[c]));
+  }
+
+  // --- transport wiring ---
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    client::AppClient* client = clients[c].get();
+    const net::NodeId client_node = num_servers + c;
+    if (uses_global_queue(config.system)) {
+      client->set_network_send([&network, &sim, client_node, global_queue_node,
+                                queue = global_queue.get()](const client::OutboundRequest& out) {
+        network.send(client_node, global_queue_node, store::kRequestWireBytes,
+                     [queue, request = out.request, group = out.group, &sim] {
+                       queue->submit(server::QueuedRead{request, sim.now()}, group);
+                     });
+      });
+    } else {
+      client->set_network_send(
+          [&network, &sim, client_node, &servers](const client::OutboundRequest& out) {
+            server::BackendServer* target = servers[out.server].get();
+            network.send(client_node, out.server, store::kRequestWireBytes,
+                         [target, request = out.request] { target->receive(request); });
+          });
+    }
+  }
+  for (std::uint32_t s = 0; s < num_servers; ++s) {
+    servers[s]->set_response_handler(
+        [&network, &clients, s, num_servers](const store::ReadResponse& response) {
+          const net::NodeId client_node = num_servers + response.client;
+          client::AppClient* target = clients[response.client].get();
+          network.send(s, client_node, store::kResponseHeaderBytes + response.value_size,
+                       [target, response] { target->on_response(response); });
+        });
+  }
+
+  // --- credits wiring ---
+  if (uses_credits(config.system)) {
+    std::vector<double> capacities(num_servers, per_server_capacity);
+    controller =
+        std::make_unique<CreditsController>(sim, num_clients, std::move(capacities),
+                                            config.credits);
+    for (std::uint32_t c = 0; c < num_clients; ++c) {
+      CreditGate* gate = credit_gates[c];
+      const net::NodeId client_node = num_servers + c;
+      gate->set_report([&network, client_node, controller_node, c,
+                        ctrl = controller.get()](const std::vector<double>& rates) {
+        network.send(client_node, controller_node, 64,
+                     [ctrl, c, rates] { ctrl->on_demand_report(c, rates); });
+      });
+      gate->start();
+    }
+    controller->set_grant_sender([&network, controller_node, num_servers, &credit_gates](
+                                     store::ClientId client, const std::vector<double>& credits) {
+      const net::NodeId client_node = num_servers + client;
+      CreditGate* gate = credit_gates[client];
+      network.send(controller_node, client_node, 64,
+                   [gate, credits] { gate->on_grant(credits); });
+    });
+    controller->start();
+
+    std::vector<server::BackendServer*> raw;
+    raw.reserve(servers.size());
+    for (const auto& s : servers) raw.push_back(s.get());
+    monitor = std::make_unique<CongestionMonitor>(
+        sim, std::move(raw), config.credits,
+        [&network, controller_node, ctrl = controller.get()](store::ServerId server,
+                                                             std::uint32_t queue_length) {
+          network.send(server, controller_node, 64, [ctrl, server, queue_length] {
+            ctrl->on_congestion_signal(server, queue_length);
+          });
+        });
+    monitor->start();
+  }
+
+  // --- completion accounting ---
+  std::uint64_t completed = 0;
+  for (const auto& client : clients) {
+    client::AppClient::Hooks hooks;
+    hooks.on_task_complete = [&result, &completed, &sim, &config, total_tasks, warmup_tasks](
+                                 const workload::TaskSpec& task, sim::Duration latency) {
+      ++completed;
+      ++result.tasks_completed;
+      if (task.id >= warmup_tasks) {
+        result.task_latency.record(latency);
+        ++result.tasks_measured;
+      }
+      if (config.on_task_complete) config.on_task_complete(task, latency);
+      if (completed == total_tasks) sim.stop();
+    };
+    hooks.on_request_complete = [&result](sim::Duration latency) {
+      result.request_latency.record(latency);
+      ++result.requests_completed;
+    };
+    client->set_hooks(hooks);
+  }
+
+  // --- workload ---
+  workload::TaskGenerator::Config gen_config;
+  gen_config.num_clients = num_clients;
+  std::unique_ptr<workload::ArrivalProcess> arrivals;
+  if (config.paced_arrivals) {
+    arrivals = std::make_unique<workload::PacedArrivals>(task_rate);
+  } else {
+    arrivals = std::make_unique<workload::PoissonArrivals>(task_rate);
+  }
+  workload::TaskGenerator generator(gen_config, dataset, *key_dist, *fanout_dist,
+                                    std::move(arrivals), rng_workload);
+
+  // Arrival pump. Trace replay schedules everything upfront (arrival
+  // order is arbitrary but times are fixed); generated workloads pump
+  // lazily — each arrival schedules the next.
+  std::function<void()> schedule_next = [&] {
+    if (generator.tasks_generated() >= total_tasks) return;
+    workload::TaskSpec task = generator.next();
+    result.tasks_submitted++;
+    sim.schedule_at(task.arrival, [&, task = std::move(task)]() mutable {
+      clients[task.client]->submit(task);
+      schedule_next();
+    });
+  };
+  if (replay != nullptr) {
+    for (const workload::TaskSpec& task : *replay) {
+      result.tasks_submitted++;
+      sim.schedule_at(task.arrival, [&clients, &task, num_clients] {
+        clients[task.client % num_clients]->submit(task);
+      });
+    }
+  } else {
+    schedule_next();
+  }
+
+  // Watchdog: generous bound on total simulated time; a healthy run
+  // stops at task completion long before this fires.
+  const double expected_span_sec = static_cast<double>(total_tasks) / task_rate;
+  const sim::Time deadline = sim::Time::seconds(expected_span_sec * 3.0 + 120.0);
+  sim.schedule_at(deadline, [&sim] { sim.stop(); });
+
+  sim.run();
+
+  // --- teardown checks & result assembly ---
+  if (result.tasks_completed != total_tasks) {
+    throw std::runtime_error(
+        "run_scenario: simulation stalled: completed " + std::to_string(result.tasks_completed) +
+        " of " + std::to_string(total_tasks) + " tasks (system " + to_string(config.system) +
+        ", seed " + std::to_string(config.seed) + ")");
+  }
+
+  result.sim_duration = sim.now() - sim::Time::zero();
+  result.events_processed = sim.events_processed();
+  result.network_messages = network.stats().messages_sent;
+  result.network_bytes = network.stats().bytes_sent;
+
+  result.server_utilization.reserve(num_servers);
+  double util_acc = 0.0;
+  const double span_sec = result.sim_duration.as_seconds();
+  for (const auto& s : servers) {
+    const double busy = s->stats().busy_time.as_seconds() /
+                        (span_sec * static_cast<double>(s->config().cores));
+    result.server_utilization.push_back(busy);
+    util_acc += busy;
+  }
+  result.mean_utilization = util_acc / static_cast<double>(num_servers);
+
+  if (controller) {
+    result.congestion_signals = controller->stats().congestion_signals;
+    result.controller_adaptations = controller->stats().adaptations;
+    for (const CreditGate* gate : credit_gates) {
+      if (gate == nullptr) continue;
+      result.credit_hold_events += gate->hold_events();
+      result.credit_hold_time += gate->total_hold_time();
+    }
+  }
+  std::uint64_t held = 0;
+  for (const auto& client : clients) {
+    held = std::max<std::uint64_t>(held, client->gate().held());
+  }
+  result.gate_held_requests = held;
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+LatencySummary summarize_tasks(const RunResult& result) {
+  LatencySummary summary;
+  summary.p50_ms = result.task_latency.percentile(50).as_millis();
+  summary.p95_ms = result.task_latency.percentile(95).as_millis();
+  summary.p99_ms = result.task_latency.percentile(99).as_millis();
+  summary.mean_ms = result.task_latency.mean().as_millis();
+  return summary;
+}
+
+AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
+                          bool parallel) {
+  if (seeds.empty()) throw std::invalid_argument("run_seeds: no seeds");
+  std::vector<RunResult> runs(seeds.size());
+  if (parallel && seeds.size() > 1) {
+    // One thread per seed: simulations share no mutable state. First
+    // exception (if any) is rethrown after all threads join.
+    std::vector<std::thread> workers;
+    std::vector<std::exception_ptr> errors(seeds.size());
+    workers.reserve(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      workers.emplace_back([&, i] {
+        try {
+          ScenarioConfig run_config = config;
+          run_config.seed = seeds[i];
+          runs[i] = run_scenario(run_config);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  } else {
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      ScenarioConfig run_config = config;
+      run_config.seed = seeds[i];
+      runs[i] = run_scenario(run_config);
+    }
+  }
+
+  AggregateResult aggregate;
+  aggregate.system = config.system;
+  for (RunResult& run : runs) {
+    const LatencySummary summary = summarize_tasks(run);
+    aggregate.p50_ms.add(summary.p50_ms);
+    aggregate.p95_ms.add(summary.p95_ms);
+    aggregate.p99_ms.add(summary.p99_ms);
+    aggregate.mean_ms.add(summary.mean_ms);
+    aggregate.runs.push_back(std::move(run));
+  }
+  return aggregate;
+}
+
+}  // namespace brb::core

@@ -1,0 +1,123 @@
+// The systems under comparison.
+//
+// Figure 2 of the paper compares five: C3 (state of the art) and the
+// {EqualMax, UnifIncr} x {Credits, Model} matrix. The remaining kinds
+// are ablations this reproduction adds to separate mechanisms (see
+// DESIGN.md section 4).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace brb::core {
+
+enum class SystemKind {
+  /// C3 (NSDI '15): cubic replica ranking + cubic rate control,
+  /// task-oblivious FIFO servers.
+  kC3,
+  /// BRB EqualMax priorities, credits realization.
+  kEqualMaxCredits,
+  /// BRB UnifIncr priorities, credits realization.
+  kUnifIncrCredits,
+  /// BRB EqualMax priorities, ideal global-queue model.
+  kEqualMaxModel,
+  /// BRB UnifIncr priorities, ideal global-queue model.
+  kUnifIncrModel,
+  // --- ablations beyond the paper's Figure 2 ---
+  /// Task-oblivious baseline: least-outstanding selection, FIFO servers.
+  kFifoDirect,
+  /// Random replica selection, FIFO servers (memcached-era floor).
+  kRandomFifo,
+  /// BRB EqualMax without any admission control (no credits).
+  kEqualMaxDirect,
+  /// BRB UnifIncr without any admission control (no credits).
+  kUnifIncrDirect,
+  /// Ideal global queue but FIFO (separates pooling from priorities).
+  kFifoModel,
+  /// Per-request SJF, direct (separates size-aware from task-aware).
+  kRequestSjfDirect,
+  /// CumSlack extension (exact serialized slack), credits realization.
+  kCumSlackCredits,
+  /// CumSlack extension, ideal global queue.
+  kCumSlackModel,
+};
+
+inline std::string to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kC3:
+      return "c3";
+    case SystemKind::kEqualMaxCredits:
+      return "equalmax-credits";
+    case SystemKind::kUnifIncrCredits:
+      return "unifincr-credits";
+    case SystemKind::kEqualMaxModel:
+      return "equalmax-model";
+    case SystemKind::kUnifIncrModel:
+      return "unifincr-model";
+    case SystemKind::kFifoDirect:
+      return "fifo-direct";
+    case SystemKind::kRandomFifo:
+      return "random-fifo";
+    case SystemKind::kEqualMaxDirect:
+      return "equalmax-direct";
+    case SystemKind::kUnifIncrDirect:
+      return "unifincr-direct";
+    case SystemKind::kFifoModel:
+      return "fifo-model";
+    case SystemKind::kRequestSjfDirect:
+      return "request-sjf-direct";
+    case SystemKind::kCumSlackCredits:
+      return "cumslack-credits";
+    case SystemKind::kCumSlackModel:
+      return "cumslack-model";
+  }
+  return "unknown";
+}
+
+inline SystemKind system_kind_from_name(const std::string& name) {
+  if (name == "c3") return SystemKind::kC3;
+  if (name == "equalmax-credits") return SystemKind::kEqualMaxCredits;
+  if (name == "unifincr-credits") return SystemKind::kUnifIncrCredits;
+  if (name == "equalmax-model") return SystemKind::kEqualMaxModel;
+  if (name == "unifincr-model") return SystemKind::kUnifIncrModel;
+  if (name == "fifo-direct") return SystemKind::kFifoDirect;
+  if (name == "random-fifo") return SystemKind::kRandomFifo;
+  if (name == "equalmax-direct") return SystemKind::kEqualMaxDirect;
+  if (name == "unifincr-direct") return SystemKind::kUnifIncrDirect;
+  if (name == "fifo-model") return SystemKind::kFifoModel;
+  if (name == "request-sjf-direct") return SystemKind::kRequestSjfDirect;
+  if (name == "cumslack-credits") return SystemKind::kCumSlackCredits;
+  if (name == "cumslack-model") return SystemKind::kCumSlackModel;
+  throw std::invalid_argument("system_kind_from_name: unknown system: " + name);
+}
+
+/// True when servers pull from the shared global queue.
+inline bool uses_global_queue(SystemKind kind) {
+  return kind == SystemKind::kEqualMaxModel || kind == SystemKind::kUnifIncrModel ||
+         kind == SystemKind::kFifoModel || kind == SystemKind::kCumSlackModel;
+}
+
+/// True when the credits controller machinery is active.
+inline bool uses_credits(SystemKind kind) {
+  return kind == SystemKind::kEqualMaxCredits || kind == SystemKind::kUnifIncrCredits ||
+         kind == SystemKind::kCumSlackCredits;
+}
+
+/// True for task-aware (BRB) priority assignment.
+inline bool is_task_aware(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kEqualMaxCredits:
+    case SystemKind::kUnifIncrCredits:
+    case SystemKind::kEqualMaxModel:
+    case SystemKind::kUnifIncrModel:
+    case SystemKind::kEqualMaxDirect:
+    case SystemKind::kUnifIncrDirect:
+    case SystemKind::kCumSlackCredits:
+    case SystemKind::kCumSlackModel:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace brb::core

@@ -1,0 +1,54 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace brb::net {
+
+namespace {
+
+constexpr std::uint64_t pair_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+Network::Network(sim::Simulator& sim, Config config, util::Rng rng)
+    : sim_(&sim), config_(config), rng_(rng) {
+  if (config_.one_way_latency.is_negative() || config_.jitter_max.is_negative()) {
+    throw std::invalid_argument("Network: negative latency");
+  }
+}
+
+sim::Duration Network::latency(NodeId from, NodeId to) const {
+  if (const auto it = pair_latency_.find(pair_key(from, to)); it != pair_latency_.end()) {
+    return it->second;
+  }
+  return config_.one_way_latency;
+}
+
+void Network::set_pair_latency(NodeId from, NodeId to, sim::Duration latency) {
+  if (latency.is_negative()) throw std::invalid_argument("Network: negative latency");
+  pair_latency_[pair_key(from, to)] = latency;
+}
+
+sim::Time Network::reserve_delivery_slot(NodeId from, NodeId to) {
+  sim::Duration delay = latency(from, to);
+  if (config_.jitter_max > sim::Duration::zero()) {
+    delay += config_.jitter_max * rng_.uniform();
+  }
+  sim::Time deliver_at = sim_->now() + delay;
+  auto& last = last_delivery_[pair_key(from, to)];
+  if (deliver_at < last) deliver_at = last;  // keep the pair FIFO
+  last = deliver_at;
+  return deliver_at;
+}
+
+void Network::send(NodeId from, NodeId to, std::uint32_t bytes,
+                   std::function<void()> on_deliver) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  const sim::Time deliver_at = reserve_delivery_slot(from, to);
+  sim_->schedule_at(deliver_at, std::move(on_deliver));
+}
+
+}  // namespace brb::net

@@ -1,0 +1,68 @@
+// Message-level network model.
+//
+// The paper's simulation assumes a fixed one-way latency (50 us) between
+// application servers and the backend tier. `Network` models point-to-
+// point delivery with a base latency plus optional jitter, delivering a
+// typed closure at the receiver after that delay. Delivery is reliable
+// and per-pair FIFO (jitter can reorder across pairs, matching a
+// datacenter fabric with per-flow ordering).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace brb::net {
+
+/// Identifies an endpoint (client, server, controller) in the topology.
+using NodeId = std::uint32_t;
+
+/// Cumulative traffic counters, exposed for tests and reports.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  struct Config {
+    /// Base one-way propagation + switching delay.
+    sim::Duration one_way_latency = sim::Duration::micros(50);
+    /// Uniform jitter added on top: U[0, jitter_max].
+    sim::Duration jitter_max = sim::Duration::zero();
+  };
+
+  Network(sim::Simulator& sim, Config config, util::Rng rng);
+
+  /// Delivers `on_deliver` at the receiver after the one-way delay.
+  /// `bytes` is accounted in stats only (the model is latency-bound, as
+  /// in the paper; bandwidth is not a simulated resource).
+  void send(NodeId from, NodeId to, std::uint32_t bytes, std::function<void()> on_deliver);
+
+  /// Overrides the latency for one ordered pair (used in tests and in
+  /// heterogeneous-topology ablations).
+  void set_pair_latency(NodeId from, NodeId to, sim::Duration latency);
+
+  sim::Duration latency(NodeId from, NodeId to) const;
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  /// Per-ordered-pair FIFO guarantee: the next delivery on a pair never
+  /// precedes the previous one even with jitter.
+  sim::Time reserve_delivery_slot(NodeId from, NodeId to);
+
+  sim::Simulator* sim_;
+  Config config_;
+  util::Rng rng_;
+  NetworkStats stats_;
+  std::unordered_map<std::uint64_t, sim::Duration> pair_latency_;
+  std::unordered_map<std::uint64_t, sim::Time> last_delivery_;
+};
+
+}  // namespace brb::net

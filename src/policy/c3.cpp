@@ -1,0 +1,183 @@
+#include "policy/c3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace brb::policy {
+
+C3Selector::C3Selector(C3Config config) : config_(config) {
+  if (config_.ewma_alpha <= 0.0 || config_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("C3Selector: ewma_alpha must be in (0,1]");
+  }
+  if (config_.queue_exponent < 1.0) {
+    throw std::invalid_argument("C3Selector: queue_exponent must be >= 1");
+  }
+  if (config_.num_clients == 0) throw std::invalid_argument("C3Selector: num_clients == 0");
+}
+
+const C3Selector::ServerState& C3Selector::state_of(store::ServerId server) const {
+  static const ServerState kEmpty{};
+  const auto it = servers_.find(server);
+  return it == servers_.end() ? kEmpty : it->second;
+}
+
+double C3Selector::score(store::ServerId server) const {
+  const ServerState& s = state_of(server);
+  const double prior_ns = static_cast<double>(config_.prior_service_time.count_nanos());
+  const double service_ns = s.seen && s.ewma_service_time_ns > 0 ? s.ewma_service_time_ns
+                                                                 : prior_ns;
+  const double response_ns = s.seen ? s.ewma_response_ns : 0.0;
+  const double q_hat =
+      1.0 + static_cast<double>(s.outstanding) * static_cast<double>(config_.num_clients) +
+      s.ewma_queue;
+  // Psi = R - 1/mu + q^b / mu, all in nanoseconds.
+  return response_ns - service_ns + std::pow(q_hat, config_.queue_exponent) * service_ns;
+}
+
+store::ServerId C3Selector::select(const std::vector<store::ServerId>& replicas, sim::Duration) {
+  if (replicas.empty()) throw std::invalid_argument("C3Selector: empty replica set");
+  store::ServerId best = replicas.front();
+  double best_score = score(best);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    const double candidate = score(replicas[i]);
+    if (candidate < best_score || (candidate == best_score && replicas[i] < best)) {
+      best = replicas[i];
+      best_score = candidate;
+    }
+  }
+  return best;
+}
+
+void C3Selector::on_send(store::ServerId server, sim::Duration) {
+  ++servers_[server].outstanding;
+}
+
+void C3Selector::on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                             sim::Duration rtt, sim::Duration) {
+  ServerState& s = servers_[server];
+  if (s.outstanding > 0) --s.outstanding;
+  const double a = config_.ewma_alpha;
+  const double rtt_ns = static_cast<double>(rtt.count_nanos());
+  // Server-wide rate mu (req/s) -> expected per-request service time.
+  const double service_ns =
+      feedback.service_rate > 0 ? 1e9 / feedback.service_rate
+                                : static_cast<double>(feedback.service_time.count_nanos());
+  if (!s.seen) {
+    s.ewma_response_ns = rtt_ns;
+    s.ewma_queue = feedback.queue_length;
+    s.ewma_service_time_ns = service_ns;
+    s.seen = true;
+    return;
+  }
+  s.ewma_response_ns = a * rtt_ns + (1 - a) * s.ewma_response_ns;
+  s.ewma_queue = a * static_cast<double>(feedback.queue_length) + (1 - a) * s.ewma_queue;
+  s.ewma_service_time_ns = a * service_ns + (1 - a) * s.ewma_service_time_ns;
+}
+
+std::uint32_t C3Selector::outstanding(store::ServerId server) const {
+  return state_of(server).outstanding;
+}
+
+CubicRateController::CubicRateController(Config config) : config_(config) {
+  if (config_.initial_rate <= 0.0 || config_.max_rate < config_.initial_rate) {
+    throw std::invalid_argument("CubicRateController: bad rate bounds");
+  }
+  if (config_.beta <= 0.0 || config_.beta >= 1.0) {
+    throw std::invalid_argument("CubicRateController: beta must be in (0,1)");
+  }
+  if (config_.scaling <= 0.0) throw std::invalid_argument("CubicRateController: scaling <= 0");
+  if (config_.burst < 1.0) throw std::invalid_argument("CubicRateController: burst < 1");
+  if (config_.min_rate <= 0.0 || config_.min_rate > config_.initial_rate) {
+    throw std::invalid_argument("CubicRateController: bad min_rate");
+  }
+  if (config_.window <= sim::Duration::zero()) {
+    throw std::invalid_argument("CubicRateController: non-positive window");
+  }
+  if (config_.congestion_tolerance < 1.0) {
+    throw std::invalid_argument("CubicRateController: tolerance < 1");
+  }
+}
+
+CubicRateController::ServerRate& CubicRateController::slot(store::ServerId server,
+                                                           sim::Time now) {
+  auto& s = rates_[server];
+  if (!s.initialized) {
+    s.rate = config_.initial_rate;
+    s.tokens = config_.burst;
+    s.last_refill = now;
+    s.rate_max = config_.initial_rate;
+    s.epoch_start = now;
+    s.window_start = now;
+    s.initialized = true;
+  }
+  return s;
+}
+
+void CubicRateController::refill(ServerRate& s, sim::Time now) const {
+  const double elapsed_sec = (now - s.last_refill).as_seconds();
+  if (elapsed_sec > 0) {
+    s.tokens = std::min(config_.burst, s.tokens + elapsed_sec * s.rate);
+    s.last_refill = now;
+  }
+}
+
+bool CubicRateController::try_acquire(store::ServerId server, sim::Time now) {
+  ServerRate& s = slot(server, now);
+  refill(s, now);
+  if (s.tokens >= 1.0) {
+    s.tokens -= 1.0;
+    ++s.sent_in_window;
+    return true;
+  }
+  return false;
+}
+
+sim::Time CubicRateController::earliest_send(store::ServerId server, sim::Time now) {
+  ServerRate& s = slot(server, now);
+  refill(s, now);
+  if (s.tokens >= 1.0) return now;
+  const double deficit = 1.0 - s.tokens;
+  const double wait_sec = deficit / s.rate;
+  return now + std::max(sim::Duration::nanos(1), sim::Duration::seconds(wait_sec));
+}
+
+void CubicRateController::close_window(ServerRate& s, sim::Time now) {
+  const double window_sec = (now - s.window_start).as_seconds();
+  const bool enough_data = s.sent_in_window >= config_.min_window_samples && window_sec > 0;
+  const bool congested =
+      enough_data && static_cast<double>(s.sent_in_window) >
+                         config_.congestion_tolerance * static_cast<double>(s.received_in_window);
+  if (congested) {
+    // Multiplicative decrease; remember the pre-decrease rate (W_max).
+    s.rate_max = s.rate;
+    s.rate = std::max(config_.min_rate, s.rate * (1.0 - config_.beta));
+    s.epoch_start = now;
+    ++decreases_;
+  } else {
+    // Cubic growth: rate(t) = C (t - K)^3 + W_max with
+    // K = cbrt(W_max * beta / C), so rate(epoch_start) equals the
+    // post-decrease rate and recovery accelerates toward W_max.
+    const double t = (now - s.epoch_start).as_seconds();
+    const double k = std::cbrt(s.rate_max * config_.beta / config_.scaling);
+    const double target = config_.scaling * std::pow(t - k, 3.0) + s.rate_max;
+    s.rate = std::clamp(target, config_.min_rate, config_.max_rate);
+  }
+  s.window_start = now;
+  s.sent_in_window = 0;
+  s.received_in_window = 0;
+}
+
+void CubicRateController::on_response(store::ServerId server, const store::ServerFeedback&,
+                                      sim::Time now) {
+  ServerRate& s = slot(server, now);
+  ++s.received_in_window;
+  if (now - s.window_start >= config_.window) close_window(s, now);
+}
+
+double CubicRateController::rate_of(store::ServerId server) const {
+  const auto it = rates_.find(server);
+  return it == rates_.end() ? config_.initial_rate : it->second.rate;
+}
+
+}  // namespace brb::policy

@@ -1,0 +1,149 @@
+// C3: adaptive replica selection (Suresh et al., NSDI 2015).
+//
+// The paper's state-of-the-art comparator. Re-implemented from the
+// published description (the original is closed source):
+//
+//  * Replica ranking. Each client maintains, per server s, EWMAs of the
+//    measured response time R̄_s, of the server-reported queue length
+//    q̄_s, and of the server-reported service rate µ̄_s. The queue-size
+//    estimate compensates for concurrency:
+//        q̂_s = 1 + os_s * n + q̄_s
+//    (os_s = this client's outstanding requests to s, n = number of
+//    clients). Replicas are ranked by the cubic scoring function
+//        Ψ_s = R̄_s − 1/µ̄_s + (q̂_s)^3 / µ̄_s
+//    and the minimum wins. The cubic exponent penalizes long queues
+//    super-linearly, avoiding herd behavior.
+//
+//  * Cubic rate control. Each (client, server) pair has a sending-rate
+//    cap adapted like TCP CUBIC: multiplicative decrease when the
+//    server's reported queue grows while we are transmitting above the
+//    receive rate, cubic recovery toward the previous maximum
+//    otherwise. The gate delays (never drops) requests that exceed the
+//    current rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/replica_selector.hpp"
+#include "sim/time.hpp"
+#include "store/types.hpp"
+
+namespace brb::policy {
+
+struct C3Config {
+  /// Weight of the newest sample in the EWMAs (0..1].
+  double ewma_alpha = 0.5;
+  /// Exponent b of the queue-size penalty (the paper uses b = 3).
+  double queue_exponent = 3.0;
+  /// Concurrency compensation: number of clients sharing each server.
+  std::uint32_t num_clients = 1;
+  /// Initial per-server service-time guess until feedback arrives.
+  sim::Duration prior_service_time = sim::Duration::micros(285);
+};
+
+/// Client-local replica ranking state (one instance per client).
+class C3Selector final : public ReplicaSelector {
+ public:
+  explicit C3Selector(C3Config config);
+
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  void on_send(store::ServerId server, sim::Duration expected_cost) override;
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) override;
+  std::string name() const override { return "c3"; }
+
+  /// The scoring function, exposed for tests.
+  double score(store::ServerId server) const;
+  std::uint32_t outstanding(store::ServerId server) const;
+
+ private:
+  struct ServerState {
+    double ewma_response_ns = 0.0;
+    double ewma_queue = 0.0;
+    double ewma_service_time_ns = 0.0;
+    std::uint32_t outstanding = 0;
+    bool seen = false;
+  };
+
+  const ServerState& state_of(store::ServerId server) const;
+
+  C3Config config_;
+  std::unordered_map<store::ServerId, ServerState> servers_;
+};
+
+/// CUBIC-style sending-rate controller for one client (all servers).
+///
+/// Decisions are made per measurement window: if the transmit rate
+/// sustainedly exceeds the receive rate (the server is falling behind),
+/// the per-server cap decreases multiplicatively; otherwise it grows
+/// along the cubic curve toward the pre-decrease maximum and beyond.
+class CubicRateController {
+ public:
+  struct Config {
+    /// Initial per-server rate cap, requests/second. 0 means "resolve
+    /// to a fair share of server capacity" — the experiment runner
+    /// substitutes capacity/num_clients before construction.
+    double initial_rate = 0.0;
+    /// Multiplicative decrease factor on congestion.
+    double beta = 0.2;
+    /// Cubic growth coefficient (rate units per second^3).
+    double scaling = 250'000.0;
+    /// Ceiling on the rate cap.
+    double max_rate = 1e7;
+    /// Floor on the rate cap (keeps recovery possible).
+    double min_rate = 10.0;
+    /// Token bucket depth (burst tolerance), in requests.
+    double burst = 8.0;
+    /// Rate measurement / decision window (C3 uses 20 ms).
+    sim::Duration window = sim::Duration::millis(20);
+    /// Send rate must exceed receive rate by this factor to count as
+    /// congestion. Generous: pipeline fill during bursts makes
+    /// send > receive transiently without any server distress.
+    double congestion_tolerance = 1.4;
+    /// Minimum sends in a window before a congestion verdict.
+    std::uint32_t min_window_samples = 8;
+  };
+
+  explicit CubicRateController(Config config);
+
+  /// True if a request to `server` may be transmitted at `now`
+  /// (consumes a token and counts as a send). Otherwise the caller
+  /// should retry at `earliest_send(server, now)`.
+  bool try_acquire(store::ServerId server, sim::Time now);
+
+  /// Earliest instant at which a token will be available.
+  sim::Time earliest_send(store::ServerId server, sim::Time now);
+
+  /// Feedback hook: closes measurement windows and adapts the rate.
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback, sim::Time now);
+
+  double rate_of(store::ServerId server) const;
+  std::uint64_t decreases() const noexcept { return decreases_; }
+
+ private:
+  struct ServerRate {
+    double rate;              // current cap, req/s
+    double tokens;            // token bucket level
+    sim::Time last_refill;    // bucket bookkeeping
+    double rate_max;          // pre-decrease maximum (CUBIC W_max)
+    sim::Time epoch_start;    // time of last decrease
+    sim::Time window_start;   // current measurement window
+    std::uint32_t sent_in_window = 0;
+    std::uint32_t received_in_window = 0;
+    bool initialized = false;
+  };
+
+  ServerRate& slot(store::ServerId server, sim::Time now);
+  void refill(ServerRate& s, sim::Time now) const;
+  void close_window(ServerRate& s, sim::Time now);
+
+  Config config_;
+  std::unordered_map<store::ServerId, ServerRate> rates_;
+  std::uint64_t decreases_ = 0;
+};
+
+}  // namespace brb::policy

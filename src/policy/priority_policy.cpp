@@ -1,0 +1,62 @@
+#include "policy/priority_policy.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace brb::policy {
+
+void compute_bottleneck(TaskPlan& plan) {
+  std::unordered_map<store::GroupId, std::int64_t> group_cost;
+  for (const PlannedRequest& request : plan.requests) {
+    group_cost[request.group] += request.expected_cost.count_nanos();
+  }
+  std::int64_t bottleneck = 0;
+  for (const auto& [group, cost] : group_cost) bottleneck = std::max(bottleneck, cost);
+  plan.bottleneck_cost = sim::Duration::nanos(bottleneck);
+}
+
+void FifoPolicy::assign(TaskPlan& plan) const {
+  const auto arrival_ns = static_cast<store::Priority>(plan.arrival.count_nanos());
+  for (PlannedRequest& request : plan.requests) request.priority = arrival_ns;
+}
+
+void EqualMaxPolicy::assign(TaskPlan& plan) const {
+  const auto bottleneck = static_cast<store::Priority>(plan.bottleneck_cost.count_nanos());
+  for (PlannedRequest& request : plan.requests) request.priority = bottleneck;
+}
+
+void UnifIncrPolicy::assign(TaskPlan& plan) const {
+  const std::int64_t bottleneck = plan.bottleneck_cost.count_nanos();
+  for (PlannedRequest& request : plan.requests) {
+    const std::int64_t slack = bottleneck - request.expected_cost.count_nanos();
+    request.priority = static_cast<store::Priority>(slack < 0 ? 0 : slack);
+  }
+}
+
+void RequestSjfPolicy::assign(TaskPlan& plan) const {
+  for (PlannedRequest& request : plan.requests) {
+    request.priority = static_cast<store::Priority>(request.expected_cost.count_nanos());
+  }
+}
+
+void CumSlackPolicy::assign(TaskPlan& plan) const {
+  const std::int64_t bottleneck = plan.bottleneck_cost.count_nanos();
+  std::unordered_map<store::GroupId, std::int64_t> running;
+  for (PlannedRequest& request : plan.requests) {
+    std::int64_t& cumulative = running[request.group];
+    cumulative += request.expected_cost.count_nanos();
+    const std::int64_t slack = bottleneck - cumulative;
+    request.priority = static_cast<store::Priority>(slack < 0 ? 0 : slack);
+  }
+}
+
+std::unique_ptr<PriorityPolicy> make_priority_policy(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "equalmax") return std::make_unique<EqualMaxPolicy>();
+  if (name == "unifincr") return std::make_unique<UnifIncrPolicy>();
+  if (name == "request-sjf") return std::make_unique<RequestSjfPolicy>();
+  if (name == "cumslack") return std::make_unique<CumSlackPolicy>();
+  throw std::invalid_argument("make_priority_policy: unknown policy: " + name);
+}
+
+}  // namespace brb::policy

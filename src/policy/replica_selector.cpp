@@ -1,0 +1,99 @@
+#include "policy/replica_selector.hpp"
+
+#include <stdexcept>
+
+namespace brb::policy {
+
+void ReplicaSelector::on_send(store::ServerId, sim::Duration) {}
+void ReplicaSelector::on_response(store::ServerId, const store::ServerFeedback&, sim::Duration,
+                                  sim::Duration) {}
+
+store::ServerId RandomSelector::select(const std::vector<store::ServerId>& replicas,
+                                       sim::Duration) {
+  if (replicas.empty()) throw std::invalid_argument("RandomSelector: empty replica set");
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(replicas.size()) - 1));
+  return replicas[idx];
+}
+
+store::ServerId RoundRobinSelector::select(const std::vector<store::ServerId>& replicas,
+                                           sim::Duration) {
+  if (replicas.empty()) throw std::invalid_argument("RoundRobinSelector: empty replica set");
+  return replicas[static_cast<std::size_t>(counter_++ % replicas.size())];
+}
+
+store::ServerId LeastOutstandingSelector::select(const std::vector<store::ServerId>& replicas,
+                                                 sim::Duration) {
+  if (replicas.empty()) throw std::invalid_argument("LeastOutstandingSelector: empty replicas");
+  // Rotate the scan start so ties do not herd every client onto the
+  // lowest server id (a classic cause of load concentration).
+  const std::size_t start = static_cast<std::size_t>(rotation_++) % replicas.size();
+  store::ServerId best = replicas[start];
+  std::uint32_t best_count = outstanding(best);
+  for (std::size_t step = 1; step < replicas.size(); ++step) {
+    const store::ServerId candidate = replicas[(start + step) % replicas.size()];
+    const std::uint32_t count = outstanding(candidate);
+    if (count < best_count) {
+      best = candidate;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::uint32_t LeastOutstandingSelector::outstanding(store::ServerId server) const {
+  const auto it = outstanding_.find(server);
+  return it == outstanding_.end() ? 0 : it->second;
+}
+
+void LeastOutstandingSelector::on_send(store::ServerId server, sim::Duration) {
+  ++outstanding_[server];
+}
+
+void LeastOutstandingSelector::on_response(store::ServerId server, const store::ServerFeedback&,
+                                           sim::Duration, sim::Duration) {
+  auto it = outstanding_.find(server);
+  if (it != outstanding_.end() && it->second > 0) --it->second;
+}
+
+store::ServerId LeastPendingCostSelector::select(const std::vector<store::ServerId>& replicas,
+                                                 sim::Duration) {
+  if (replicas.empty()) throw std::invalid_argument("LeastPendingCostSelector: empty replicas");
+  const std::size_t start = static_cast<std::size_t>(rotation_++) % replicas.size();
+  store::ServerId best = replicas[start];
+  sim::Duration best_cost = pending_cost(best);
+  for (std::size_t step = 1; step < replicas.size(); ++step) {
+    const store::ServerId candidate = replicas[(start + step) % replicas.size()];
+    const sim::Duration cost = pending_cost(candidate);
+    if (cost < best_cost) {
+      best = candidate;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+sim::Duration LeastPendingCostSelector::pending_cost(store::ServerId server) const {
+  const auto it = pending_ns_.find(server);
+  return sim::Duration::nanos(it == pending_ns_.end() ? 0 : it->second);
+}
+
+void LeastPendingCostSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
+  pending_ns_[server] += expected_cost.count_nanos();
+}
+
+void LeastPendingCostSelector::on_response(store::ServerId server, const store::ServerFeedback&,
+                                           sim::Duration, sim::Duration expected_cost) {
+  auto it = pending_ns_.find(server);
+  if (it == pending_ns_.end()) return;
+  it->second -= expected_cost.count_nanos();
+  if (it->second < 0) it->second = 0;
+}
+
+store::ServerId FirstReplicaSelector::select(const std::vector<store::ServerId>& replicas,
+                                             sim::Duration) {
+  if (replicas.empty()) throw std::invalid_argument("FirstReplicaSelector: empty replica set");
+  return replicas.front();
+}
+
+}  // namespace brb::policy

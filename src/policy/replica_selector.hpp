@@ -1,0 +1,111 @@
+// Replica selection policies.
+//
+// Exploiting replication ("intelligent replica selection") is the
+// spatial half of BRB's optimization; the paper builds on the authors'
+// prior C3 work for this. The selector interface is client-local:
+// each client owns one selector instance and feeds it observations
+// (sends, responses with piggybacked feedback).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "store/types.hpp"
+#include "util/rng.hpp"
+
+namespace brb::policy {
+
+class ReplicaSelector {
+ public:
+  virtual ~ReplicaSelector() = default;
+
+  /// Chooses one replica for a request (or sub-task) with the given
+  /// forecast cost. `replicas` is never empty.
+  virtual store::ServerId select(const std::vector<store::ServerId>& replicas,
+                                 sim::Duration expected_cost) = 0;
+
+  /// A request was actually transmitted to `server`.
+  virtual void on_send(store::ServerId server, sim::Duration expected_cost);
+
+  /// A response arrived: round-trip latency plus server feedback.
+  virtual void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                           sim::Duration rtt, sim::Duration expected_cost);
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random choice (the memcached-era baseline).
+class RandomSelector final : public ReplicaSelector {
+ public:
+  explicit RandomSelector(util::Rng rng) : rng_(rng) {}
+
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Cycles deterministically through the replica list.
+class RoundRobinSelector final : public ReplicaSelector {
+ public:
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+/// Fewest outstanding requests from this client (classic least-
+/// outstanding-requests load balancing). Ties break on server id.
+class LeastOutstandingSelector final : public ReplicaSelector {
+ public:
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  void on_send(store::ServerId server, sim::Duration expected_cost) override;
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) override;
+  std::string name() const override { return "least-outstanding"; }
+
+  std::uint32_t outstanding(store::ServerId server) const;
+
+ private:
+  std::unordered_map<store::ServerId, std::uint32_t> outstanding_;
+  std::uint64_t rotation_ = 0;
+};
+
+/// Least forecast work in flight (outstanding expected cost) — BRB's
+/// default: cheap, cost-aware, and sub-task friendly. Ties break on
+/// server id.
+class LeastPendingCostSelector final : public ReplicaSelector {
+ public:
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  void on_send(store::ServerId server, sim::Duration expected_cost) override;
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) override;
+  std::string name() const override { return "least-pending-cost"; }
+
+  sim::Duration pending_cost(store::ServerId server) const;
+
+ private:
+  std::unordered_map<store::ServerId, std::int64_t> pending_ns_;
+  std::uint64_t rotation_ = 0;
+};
+
+/// Always the first replica — used by the ideal model (placement is
+/// irrelevant when servers work-pull from the global queue).
+class FirstReplicaSelector final : public ReplicaSelector {
+ public:
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override;
+  std::string name() const override { return "first"; }
+};
+
+}  // namespace brb::policy

@@ -1,0 +1,102 @@
+#include "server/backend_server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/logger.hpp"
+
+namespace brb::server {
+
+PrivateQueueSource::PrivateQueueSource(std::unique_ptr<QueueDiscipline> discipline)
+    : discipline_(std::move(discipline)) {
+  if (!discipline_) throw std::invalid_argument("PrivateQueueSource: null discipline");
+}
+
+void PrivateQueueSource::enqueue(QueuedRead read) { discipline_->push(std::move(read)); }
+
+std::optional<QueuedRead> PrivateQueueSource::next_for(store::ServerId) {
+  return discipline_->pop();
+}
+
+BackendServer::BackendServer(sim::Simulator& sim, Config config,
+                             const ServiceTimeModel& service_model, util::Rng rng)
+    : Actor(sim), config_(config), service_model_(&service_model), rng_(rng) {
+  if (config_.cores == 0) throw std::invalid_argument("BackendServer: zero cores");
+  if (config_.rate_ewma_alpha <= 0.0 || config_.rate_ewma_alpha > 1.0) {
+    throw std::invalid_argument("BackendServer: rate_ewma_alpha must be in (0,1]");
+  }
+  // Neutral prior: rate implied by the expected service time of an
+  // average-sized (1-byte baseline) request. Refined on first completion.
+  const double expected_ns = static_cast<double>(service_model_->expected(1).count_nanos());
+  ewma_rate_ = expected_ns > 0 ? 1e9 / expected_ns * config_.cores : 1.0;
+}
+
+PrivateQueueSource& BackendServer::use_private_queue(
+    std::unique_ptr<QueueDiscipline> discipline) {
+  owned_source_ = std::make_unique<PrivateQueueSource>(std::move(discipline));
+  private_source_ = owned_source_.get();
+  source_ = owned_source_.get();
+  return *owned_source_;
+}
+
+void BackendServer::receive(const store::ReadRequest& request) {
+  if (private_source_ == nullptr) {
+    throw std::logic_error("BackendServer::receive: no private queue (model mode pulls instead)");
+  }
+  private_source_->enqueue(QueuedRead{request, now()});
+  stats_.max_queue_seen = std::max<std::uint64_t>(stats_.max_queue_seen, queue_length());
+  pump();
+}
+
+void BackendServer::pump() {
+  if (source_ == nullptr) throw std::logic_error("BackendServer::pump: no work source");
+  while (busy_cores_ < config_.cores) {
+    auto read = source_->next_for(config_.id);
+    if (!read) break;
+    start_service(std::move(*read));
+  }
+}
+
+std::uint32_t BackendServer::queue_length() const {
+  return source_ == nullptr ? 0 : static_cast<std::uint32_t>(source_->backlog(config_.id));
+}
+
+void BackendServer::start_service(QueuedRead read) {
+  ++busy_cores_;
+  // Actual work is driven by the replica's stored value size; absent
+  // keys (possible in unit tests) serve as 1-byte values.
+  const std::uint32_t size = storage_.size_of(read.request.key).value_or(1);
+  const sim::Duration service_time = service_model_->sample(size, rng_);
+  const sim::Time done_at = now() + service_time;
+  sim().schedule_at(done_at, [this, read = std::move(read), service_time] {
+    complete(read, service_time);
+  });
+}
+
+void BackendServer::complete(const QueuedRead& read, sim::Duration service_time) {
+  --busy_cores_;
+  ++stats_.served;
+  stats_.busy_time += service_time;
+
+  // EWMA of the whole-server completion rate implied by this service
+  // time (cores working in parallel).
+  const double rate_sample =
+      1e9 / static_cast<double>(service_time.count_nanos()) * config_.cores;
+  ewma_rate_ = config_.rate_ewma_alpha * rate_sample + (1.0 - config_.rate_ewma_alpha) * ewma_rate_;
+
+  store::ReadResponse response;
+  response.request_id = read.request.request_id;
+  response.task_id = read.request.task_id;
+  response.key = read.request.key;
+  response.client = read.request.client;
+  response.server = config_.id;
+  response.value_size = storage_.size_of(read.request.key).value_or(1);
+  response.feedback.queue_length = queue_length();
+  response.feedback.service_rate = ewma_rate_;
+  response.feedback.service_time = service_time;
+  if (on_response_) on_response_(response);
+
+  pump();
+}
+
+}  // namespace brb::server

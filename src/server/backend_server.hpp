@@ -1,0 +1,135 @@
+// The backend storage server.
+//
+// Each server owns `cores` independent service units that drain a work
+// source. In the normal (decentralized) configuration the work source
+// is the server's private queue discipline; in the paper's ideal
+// "model" configuration all servers share the global priority queue and
+// work-pull from it (see core/global_queue.hpp).
+//
+// Every response piggybacks load feedback (queue length and an EWMA of
+// the observed service rate) — the signal C3 consumes; BRB is free to
+// ignore or use it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "server/queue_discipline.hpp"
+#include "server/service_model.hpp"
+#include "sim/simulator.hpp"
+#include "store/storage_engine.hpp"
+#include "store/types.hpp"
+#include "util/rng.hpp"
+
+namespace brb::server {
+
+/// Where an idle core looks for its next request. Implementations:
+/// `PrivateQueueSource` below and `core::GlobalQueueModel`.
+class WorkSource {
+ public:
+  virtual ~WorkSource() = default;
+
+  /// Next request this server may serve, if any.
+  virtual std::optional<QueuedRead> next_for(store::ServerId server) = 0;
+
+  /// Requests currently waiting that this server could serve.
+  virtual std::size_t backlog(store::ServerId server) const = 0;
+};
+
+/// The standard per-server queue.
+class PrivateQueueSource final : public WorkSource {
+ public:
+  explicit PrivateQueueSource(std::unique_ptr<QueueDiscipline> discipline);
+
+  void enqueue(QueuedRead read);
+  std::optional<QueuedRead> next_for(store::ServerId) override;
+  std::size_t backlog(store::ServerId) const override { return discipline_->size(); }
+  const QueueDiscipline& discipline() const noexcept { return *discipline_; }
+
+ private:
+  std::unique_ptr<QueueDiscipline> discipline_;
+};
+
+/// Cumulative per-server counters for reports and tests.
+struct ServerStats {
+  std::uint64_t served = 0;
+  sim::Duration busy_time = sim::Duration::zero();
+  std::uint64_t max_queue_seen = 0;
+};
+
+class BackendServer : public sim::Actor {
+ public:
+  struct Config {
+    store::ServerId id = 0;
+    std::uint32_t cores = 4;
+    /// EWMA smoothing for the advertised service rate (0..1; weight of
+    /// the newest sample).
+    double rate_ewma_alpha = 0.2;
+  };
+
+  /// `on_response` is invoked at service completion; the cluster wiring
+  /// routes it through the network back to the issuing client.
+  using ResponseHandler = std::function<void(const store::ReadResponse&)>;
+
+  BackendServer(sim::Simulator& sim, Config config, const ServiceTimeModel& service_model,
+                util::Rng rng);
+
+  /// Attaches this server to its work source. For the private-queue
+  /// configuration pass the PrivateQueueSource; for the ideal model
+  /// pass the shared global queue. Must be called before traffic.
+  void set_work_source(WorkSource& source) { source_ = &source; }
+  void set_response_handler(ResponseHandler handler) { on_response_ = std::move(handler); }
+
+  /// Local storage replica (populated by the cluster loader).
+  store::StorageEngine& storage() noexcept { return storage_; }
+  const store::StorageEngine& storage() const noexcept { return storage_; }
+
+  /// Delivery of a read request from the network (private-queue mode).
+  void receive(const store::ReadRequest& request);
+
+  /// Makes idle cores pull work; called by the work source when new
+  /// work arrives that this server could serve.
+  void pump();
+
+  std::uint32_t idle_cores() const noexcept { return config_.cores - busy_cores_; }
+  std::uint32_t busy_cores() const noexcept { return busy_cores_; }
+
+  /// Queue length advertised in feedback (waiting requests only).
+  std::uint32_t queue_length() const;
+
+  /// Advertised service rate (requests/s, whole server). Before any
+  /// completion this is cores / expected(mean) — a neutral prior.
+  double advertised_service_rate() const noexcept { return ewma_rate_; }
+
+  const ServerStats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  void start_service(QueuedRead read);
+  void complete(const QueuedRead& read, sim::Duration service_time);
+
+  Config config_;
+  const ServiceTimeModel* service_model_;
+  util::Rng rng_;
+  WorkSource* source_ = nullptr;
+  PrivateQueueSource* private_source_ = nullptr;  // set iff source is private
+  ResponseHandler on_response_;
+  store::StorageEngine storage_;
+  std::uint32_t busy_cores_ = 0;
+  double ewma_rate_ = 0.0;
+  ServerStats stats_;
+
+  friend class PrivateQueueBinding;
+
+ public:
+  /// Convenience: installs a private queue with the given discipline
+  /// and returns it (owned by the server).
+  PrivateQueueSource& use_private_queue(std::unique_ptr<QueueDiscipline> discipline);
+
+ private:
+  std::unique_ptr<PrivateQueueSource> owned_source_;
+};
+
+}  // namespace brb::server

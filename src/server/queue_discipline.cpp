@@ -1,0 +1,80 @@
+#include "server/queue_discipline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace brb::server {
+
+void FifoDiscipline::push(QueuedRead read) { queue_.push_back(std::move(read)); }
+
+std::optional<QueuedRead> FifoDiscipline::pop() {
+  if (queue_.empty()) return std::nullopt;
+  QueuedRead out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+std::optional<QueueHead> FifoDiscipline::peek() const {
+  if (queue_.empty()) return std::nullopt;
+  return QueueHead{0.0, queue_.front().submit_seq};
+}
+
+void PriorityDiscipline::push(QueuedRead read) {
+  heap_.push_back(Node{read.request.priority, next_seq_++, std::move(read)});
+  sift_up(heap_.size() - 1);
+}
+
+std::optional<QueueHead> PriorityDiscipline::peek() const {
+  if (heap_.empty()) return std::nullopt;
+  return QueueHead{heap_.front().priority, heap_.front().read.submit_seq};
+}
+
+std::optional<QueuedRead> PriorityDiscipline::pop() {
+  if (heap_.empty()) return std::nullopt;
+  QueuedRead out = std::move(heap_.front().read);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void PriorityDiscipline::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void PriorityDiscipline::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void SjfDiscipline::push(QueuedRead read) {
+  // Reuse the priority heap keyed on the expected per-request cost.
+  read.request.priority =
+      static_cast<store::Priority>(read.request.expected_cost.count_nanos());
+  inner_.push(std::move(read));
+}
+
+std::optional<QueuedRead> SjfDiscipline::pop() { return inner_.pop(); }
+
+std::unique_ptr<QueueDiscipline> make_discipline(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoDiscipline>();
+  if (name == "priority") return std::make_unique<PriorityDiscipline>();
+  if (name == "sjf") return std::make_unique<SjfDiscipline>();
+  throw std::invalid_argument("make_discipline: unknown discipline: " + name);
+}
+
+}  // namespace brb::server

@@ -1,0 +1,106 @@
+// Server-side queue disciplines.
+//
+// The task-oblivious baseline serves FIFO; BRB servers serve by the
+// client-assigned priority (lower value first, FIFO within equal
+// priorities — the stable tie-break keeps runs deterministic).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "store/types.hpp"
+
+namespace brb::server {
+
+/// A read waiting for a core. `submit_seq` is a global submission
+/// counter stamped by multi-queue schedulers (the ideal model) to give
+/// deterministic FIFO tie-breaking across queues; private per-server
+/// queues may leave it zero.
+struct QueuedRead {
+  store::ReadRequest request;
+  sim::Time enqueued_at;
+  std::uint64_t submit_seq = 0;
+};
+
+/// What the next pop() would return, for cross-queue comparison.
+struct QueueHead {
+  store::Priority priority = 0.0;
+  std::uint64_t submit_seq = 0;
+};
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  virtual void push(QueuedRead read) = 0;
+  virtual std::optional<QueuedRead> pop() = 0;
+  /// Key of the element pop() would return; nullopt when empty. FIFO
+  /// disciplines report priority 0 so cross-queue comparison reduces to
+  /// submission order.
+  virtual std::optional<QueueHead> peek() const = 0;
+  virtual std::size_t size() const noexcept = 0;
+  bool empty() const noexcept { return size() == 0; }
+  virtual std::string name() const = 0;
+};
+
+/// First-in first-out.
+class FifoDiscipline final : public QueueDiscipline {
+ public:
+  void push(QueuedRead read) override;
+  std::optional<QueuedRead> pop() override;
+  std::optional<QueueHead> peek() const override;
+  std::size_t size() const noexcept override { return queue_.size(); }
+  std::string name() const override { return "fifo"; }
+
+ private:
+  std::deque<QueuedRead> queue_;
+};
+
+/// Minimum priority value first; FIFO among equals.
+class PriorityDiscipline final : public QueueDiscipline {
+ public:
+  void push(QueuedRead read) override;
+  std::optional<QueuedRead> pop() override;
+  std::optional<QueueHead> peek() const override;
+  std::size_t size() const noexcept override { return heap_.size(); }
+  std::string name() const override { return "priority"; }
+
+ private:
+  struct Node {
+    store::Priority priority;
+    std::uint64_t seq;
+    QueuedRead read;
+  };
+  static bool later(const Node& a, const Node& b) noexcept {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq > b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Node> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Shortest-job-first on the client's expected cost; FIFO among equals.
+/// Used by the per-request SJF ablation (task-oblivious but size-aware).
+class SjfDiscipline final : public QueueDiscipline {
+ public:
+  void push(QueuedRead read) override;
+  std::optional<QueuedRead> pop() override;
+  std::optional<QueueHead> peek() const override { return inner_.peek(); }
+  std::size_t size() const noexcept override { return inner_.size(); }
+  std::string name() const override { return "sjf"; }
+
+ private:
+  PriorityDiscipline inner_;
+};
+
+std::unique_ptr<QueueDiscipline> make_discipline(const std::string& name);
+
+}  // namespace brb::server

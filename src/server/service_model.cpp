@@ -1,0 +1,74 @@
+#include "server/service_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace brb::server {
+
+SizeLinearServiceModel::SizeLinearServiceModel(sim::Duration base, double per_byte_nanos,
+                                               double noise_sigma)
+    : base_(base),
+      per_byte_nanos_(per_byte_nanos),
+      noise_sigma_(noise_sigma),
+      noise_mu_(-0.5 * noise_sigma * noise_sigma) {
+  if (base_.is_negative()) throw std::invalid_argument("SizeLinearServiceModel: negative base");
+  if (per_byte_nanos_ < 0.0) {
+    throw std::invalid_argument("SizeLinearServiceModel: negative per-byte cost");
+  }
+  if (noise_sigma_ < 0.0) throw std::invalid_argument("SizeLinearServiceModel: negative sigma");
+  if (base_.count_nanos() == 0 && per_byte_nanos_ == 0.0) {
+    throw std::invalid_argument("SizeLinearServiceModel: zero service time");
+  }
+}
+
+SizeLinearServiceModel SizeLinearServiceModel::calibrate(double target_rate_per_sec,
+                                                         double mean_size_bytes,
+                                                         sim::Duration base, double noise_sigma) {
+  if (target_rate_per_sec <= 0.0) {
+    throw std::invalid_argument("SizeLinearServiceModel::calibrate: rate <= 0");
+  }
+  if (mean_size_bytes <= 0.0) {
+    throw std::invalid_argument("SizeLinearServiceModel::calibrate: mean size <= 0");
+  }
+  const double target_mean_ns = 1e9 / target_rate_per_sec;
+  const double size_budget_ns = target_mean_ns - static_cast<double>(base.count_nanos());
+  if (size_budget_ns <= 0.0) {
+    throw std::invalid_argument(
+        "SizeLinearServiceModel::calibrate: base overhead exceeds the mean service budget");
+  }
+  return SizeLinearServiceModel(base, size_budget_ns / mean_size_bytes, noise_sigma);
+}
+
+sim::Duration SizeLinearServiceModel::expected(std::uint32_t size) const {
+  return base_ + sim::Duration::nanos(
+                     static_cast<std::int64_t>(per_byte_nanos_ * static_cast<double>(size)));
+}
+
+sim::Duration SizeLinearServiceModel::sample(std::uint32_t size, util::Rng& rng) const {
+  const sim::Duration mean = expected(size);
+  if (noise_sigma_ == 0.0) return mean;
+  const double factor = rng.lognormal(noise_mu_, noise_sigma_);
+  const auto nanos = static_cast<std::int64_t>(static_cast<double>(mean.count_nanos()) * factor);
+  return sim::Duration::nanos(nanos > 0 ? nanos : 1);
+}
+
+ExponentialServiceModel::ExponentialServiceModel(sim::Duration mean) : mean_(mean) {
+  if (mean_ <= sim::Duration::zero()) {
+    throw std::invalid_argument("ExponentialServiceModel: mean must be positive");
+  }
+}
+
+sim::Duration ExponentialServiceModel::sample(std::uint32_t, util::Rng& rng) const {
+  const double ns = rng.exponential(static_cast<double>(mean_.count_nanos()));
+  return sim::Duration::nanos(ns < 1.0 ? 1 : static_cast<std::int64_t>(ns));
+}
+
+sim::Duration ExponentialServiceModel::expected(std::uint32_t) const { return mean_; }
+
+DeterministicServiceModel::DeterministicServiceModel(sim::Duration value) : value_(value) {
+  if (value_ <= sim::Duration::zero()) {
+    throw std::invalid_argument("DeterministicServiceModel: value must be positive");
+  }
+}
+
+}  // namespace brb::server

@@ -1,0 +1,90 @@
+// Service-time models.
+//
+// The paper's servers run "at an average service rate of 3500
+// requests/s" per core, with per-request work driven by the requested
+// value's size. `SizeLinearServiceModel` captures that: a fixed
+// per-request overhead plus a size-proportional term, calibrated so the
+// *mean* service time over a given size distribution equals the target
+// rate. An exponential model is provided for analytic validation
+// against M/M/c queueing formulas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace brb::server {
+
+class ServiceTimeModel {
+ public:
+  virtual ~ServiceTimeModel() = default;
+
+  /// Sampled service duration for a value of `size` bytes (> 0).
+  virtual sim::Duration sample(std::uint32_t size, util::Rng& rng) const = 0;
+
+  /// Expected service duration for a value of `size` bytes. This is the
+  /// client-side forecast (the paper's clients predict cost from the
+  /// requested value size).
+  virtual sim::Duration expected(std::uint32_t size) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// t(size) = base + size * per_byte, optionally scaled by log-normal
+/// noise with unit mean (sigma = 0 gives a deterministic model).
+class SizeLinearServiceModel final : public ServiceTimeModel {
+ public:
+  SizeLinearServiceModel(sim::Duration base, double per_byte_nanos, double noise_sigma = 0.0);
+
+  /// Calibrates per_byte so that E[t] = 1/target_rate given the mean
+  /// value size: per_byte = (1/rate - base) / mean_size.
+  static SizeLinearServiceModel calibrate(double target_rate_per_sec, double mean_size_bytes,
+                                          sim::Duration base = sim::Duration::micros(50),
+                                          double noise_sigma = 0.0);
+
+  sim::Duration sample(std::uint32_t size, util::Rng& rng) const override;
+  sim::Duration expected(std::uint32_t size) const override;
+  std::string name() const override { return "size-linear"; }
+
+  sim::Duration base() const noexcept { return base_; }
+  double per_byte_nanos() const noexcept { return per_byte_nanos_; }
+  double noise_sigma() const noexcept { return noise_sigma_; }
+
+ private:
+  sim::Duration base_;
+  double per_byte_nanos_;
+  double noise_sigma_;
+  double noise_mu_;  // -sigma^2/2 so the noise factor has mean exactly 1
+};
+
+/// Exponentially distributed service time with a size-independent mean;
+/// turns each server core into an M/M/1-style station for validation.
+class ExponentialServiceModel final : public ServiceTimeModel {
+ public:
+  explicit ExponentialServiceModel(sim::Duration mean);
+
+  sim::Duration sample(std::uint32_t size, util::Rng& rng) const override;
+  sim::Duration expected(std::uint32_t size) const override;
+  std::string name() const override { return "exponential"; }
+
+ private:
+  sim::Duration mean_;
+};
+
+/// Deterministic size-independent service time (M/D/c validation).
+class DeterministicServiceModel final : public ServiceTimeModel {
+ public:
+  explicit DeterministicServiceModel(sim::Duration value);
+
+  sim::Duration sample(std::uint32_t, util::Rng&) const override { return value_; }
+  sim::Duration expected(std::uint32_t) const override { return value_; }
+  std::string name() const override { return "deterministic"; }
+
+ private:
+  sim::Duration value_;
+};
+
+}  // namespace brb::server

@@ -1,0 +1,85 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace brb::sim {
+
+EventId EventQueue::push(Time when, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Node{when, next_seq_++, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Only mark ids that are actually still in the heap: scan is avoided
+  // by trusting the tombstone set; double-cancel and cancel-after-run
+  // are detected by the insert result and the pop-side erase.
+  for (const Node& node : heap_) {
+    if (node.id == id) {
+      const bool inserted = cancelled_.insert(id).second;
+      if (inserted) --live_;
+      return inserted;
+    }
+  }
+  return false;
+}
+
+std::optional<Time> EventQueue::peek_time() {
+  skim();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().when;
+}
+
+std::optional<EventQueue::Entry> EventQueue::pop() {
+  skim();
+  if (heap_.empty()) return std::nullopt;
+  Entry out{heap_.front().when, heap_.front().id, std::move(heap_.front().fn)};
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  --live_;
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace brb::sim

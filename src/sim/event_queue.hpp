@@ -1,0 +1,83 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, sequence number) so that events
+// scheduled for the same instant run in scheduling order — this
+// stability is what makes whole simulations bit-reproducible across
+// runs and platforms. Cancellation is lazy (tombstones), keeping both
+// schedule and pop O(log n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace brb::sim {
+
+/// Identifies a scheduled event for cancellation. Ids are never reused
+/// within one queue.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  struct Entry {
+    Time when;
+    EventId id = 0;
+    Callback fn;
+  };
+
+  EventQueue() = default;
+
+  /// Adds an event; returns its id. O(log n).
+  EventId push(Time when, Callback fn);
+
+  /// Cancels a pending event. Returns false if the id is unknown,
+  /// already executed, or already cancelled. Costs a linear scan of the
+  /// pending set (cancellation is rare in this codebase — watchdogs and
+  /// tests); the tombstone is reclaimed when the entry reaches the top.
+  bool cancel(EventId id);
+
+  /// Time of the earliest live event, if any.
+  std::optional<Time> peek_time();
+
+  /// Removes and returns the earliest live event; empty when drained.
+  std::optional<Entry> pop();
+
+  /// Number of live (non-cancelled) events.
+  std::size_t size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Node {
+    Time when;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    Callback fn;
+  };
+
+  static bool later(const Node& a, const Node& b) noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Pops tombstoned nodes off the top until a live node (or empty).
+  void skim();
+
+  std::vector<Node> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace brb::sim

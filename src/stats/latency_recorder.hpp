@@ -1,0 +1,49 @@
+// Latency collection facade used by clients and the experiment runner.
+//
+// Records `sim::Duration` samples into both an HDR histogram (for
+// robust tail quantiles) and summary statistics; can optionally keep
+// the raw samples for exact quantiles in smaller runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace brb::stats {
+
+class LatencyRecorder {
+ public:
+  /// `keep_raw` additionally retains every sample (exact quantiles;
+  /// memory proportional to sample count).
+  explicit LatencyRecorder(bool keep_raw = false);
+
+  void record(sim::Duration latency);
+
+  std::uint64_t count() const noexcept { return histogram_.count(); }
+  sim::Duration mean() const;
+  sim::Duration min() const;
+  sim::Duration max() const;
+
+  /// Percentile p in [0,100]. Uses exact samples when kept, else the
+  /// histogram. Throws when empty.
+  sim::Duration percentile(double p) const;
+
+  const Histogram& histogram() const noexcept { return histogram_; }
+  const Summary& summary() const noexcept { return summary_; }
+  bool keeps_raw() const noexcept { return keep_raw_; }
+
+  void merge(const LatencyRecorder& other);
+  void reset();
+
+ private:
+  bool keep_raw_;
+  Histogram histogram_;
+  Summary summary_;
+  ExactQuantiles raw_;
+};
+
+}  // namespace brb::stats

@@ -1,0 +1,81 @@
+// Exact and streaming quantile estimators.
+//
+// `ExactQuantiles` keeps every sample (used in tests as ground truth
+// and in moderate-scale experiments); `P2Quantile` is the classic
+// Jain & Chlamtac (1985) constant-space estimator used where memory is
+// at a premium; `ReservoirSample` gives a fixed-size uniform sample.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace brb::stats {
+
+/// Stores all samples; quantiles computed on demand via nth_element
+/// with linear interpolation (type-7, the R/NumPy default).
+class ExactQuantiles {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// q in [0,1]. Throws when empty.
+  double quantile(double q) const;
+  double percentile(double p) const { return quantile(p / 100.0); }
+
+  void clear() { values_.clear(); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+};
+
+/// P² single-quantile estimator: five markers, O(1) per observation.
+class P2Quantile {
+ public:
+  /// q in (0,1).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact while fewer than five samples seen.
+  double value() const;
+  std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t n_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double increments_[5] = {0, 0, 0, 0, 0};
+  std::vector<double> warmup_;
+};
+
+/// Algorithm-R uniform reservoir of fixed capacity.
+class ReservoirSample {
+ public:
+  ReservoirSample(std::size_t capacity, util::Rng rng);
+
+  void add(double x);
+  std::uint64_t seen() const noexcept { return seen_; }
+  const std::vector<double>& sample() const noexcept { return sample_; }
+
+  /// Quantile over the reservoir contents. Throws when empty.
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  util::Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+}  // namespace brb::stats

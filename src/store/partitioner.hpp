@@ -1,0 +1,94 @@
+// Key partitioning and replica placement.
+//
+// The paper's system model: a set S of "flexible" servers where every
+// server belongs to R replica groups; a replica group is the set of
+// servers holding one data partition. We implement the Cassandra-style
+// ring placement that induces exactly this structure (group g is served
+// by servers g, g+1, ..., g+R-1 mod |S|), plus a consistent-hash ring
+// with virtual nodes for cluster-resizing scenarios.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "store/types.hpp"
+
+namespace brb::store {
+
+/// Deterministic 64-bit key hash (SplitMix64 finalizer) used by every
+/// partitioner so placement is stable across runs and platforms.
+std::uint64_t hash_key(KeyId key) noexcept;
+
+/// Maps keys to replica groups and groups to server sets.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual GroupId group_of(KeyId key) const = 0;
+  virtual const std::vector<ServerId>& replicas_of(GroupId group) const = 0;
+  virtual std::uint32_t num_groups() const noexcept = 0;
+  virtual std::uint32_t num_servers() const noexcept = 0;
+  virtual std::uint32_t replication_factor() const noexcept = 0;
+
+  /// Replica set for a key (convenience).
+  const std::vector<ServerId>& replicas_for_key(KeyId key) const {
+    return replicas_of(group_of(key));
+  }
+};
+
+/// Ring placement: one group per server; group g -> servers
+/// {g, g+1, ..., g+R-1 mod S}; key -> group via hash mod S. This is the
+/// paper's "flexible servers" model (each server participates in R
+/// groups) in its simplest deterministic form.
+class RingPartitioner final : public Partitioner {
+ public:
+  RingPartitioner(std::uint32_t num_servers, std::uint32_t replication_factor);
+
+  GroupId group_of(KeyId key) const override;
+  const std::vector<ServerId>& replicas_of(GroupId group) const override;
+  std::uint32_t num_groups() const noexcept override { return num_servers_; }
+  std::uint32_t num_servers() const noexcept override { return num_servers_; }
+  std::uint32_t replication_factor() const noexcept override { return replication_; }
+
+ private:
+  std::uint32_t num_servers_;
+  std::uint32_t replication_;
+  std::vector<std::vector<ServerId>> groups_;
+};
+
+/// Consistent-hash ring with virtual nodes; groups are the distinct
+/// replica sets formed by walking the ring. Supports add/remove of
+/// servers with minimal key movement — exercised by tests and the
+/// elasticity example, not by the paper's fixed 9-server evaluation.
+class ConsistentHashPartitioner final : public Partitioner {
+ public:
+  ConsistentHashPartitioner(std::vector<ServerId> servers, std::uint32_t replication_factor,
+                            std::uint32_t vnodes_per_server = 64);
+
+  GroupId group_of(KeyId key) const override;
+  const std::vector<ServerId>& replicas_of(GroupId group) const override;
+  std::uint32_t num_groups() const noexcept override;
+  std::uint32_t num_servers() const noexcept override;
+  std::uint32_t replication_factor() const noexcept override { return replication_; }
+
+  void add_server(ServerId server);
+  void remove_server(ServerId server);
+
+  /// Fraction of a uniform keyspace owned by each server as primary.
+  std::map<ServerId, double> ownership(std::size_t probe_keys = 100'000) const;
+
+ private:
+  void rebuild_groups();
+  std::vector<ServerId> walk_ring(std::uint64_t point) const;
+
+  std::vector<ServerId> servers_;
+  std::uint32_t replication_;
+  std::uint32_t vnodes_;
+  std::map<std::uint64_t, ServerId> ring_;  // hash point -> server
+  std::vector<std::vector<ServerId>> groups_;
+  std::map<std::uint64_t, GroupId> point_to_group_;  // ring point -> group index
+};
+
+}  // namespace brb::store

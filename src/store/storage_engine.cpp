@@ -1,0 +1,45 @@
+#include "store/storage_engine.hpp"
+
+namespace brb::store {
+
+void StorageEngine::put_meta(KeyId key, std::uint32_t size_bytes) {
+  auto& slot = values_[key];
+  stored_bytes_ -= slot.size_bytes;
+  slot.size_bytes = size_bytes;
+  slot.payload.clear();
+  stored_bytes_ += size_bytes;
+}
+
+void StorageEngine::put(KeyId key, std::string payload) {
+  auto& slot = values_[key];
+  stored_bytes_ -= slot.size_bytes;
+  slot.size_bytes = static_cast<std::uint32_t>(payload.size());
+  stored_bytes_ += slot.size_bytes;
+  if (store_payloads_) {
+    slot.payload = std::move(payload);
+  } else {
+    slot.payload.clear();
+  }
+}
+
+std::optional<std::uint32_t> StorageEngine::size_of(KeyId key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second.size_bytes;
+}
+
+std::optional<ValueMeta> StorageEngine::get(KeyId key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StorageEngine::erase(KeyId key) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  stored_bytes_ -= it->second.size_bytes;
+  values_.erase(it);
+  return true;
+}
+
+}  // namespace brb::store

@@ -1,0 +1,53 @@
+// In-memory key-value storage engine.
+//
+// Each backend server owns one engine holding the replicas of its
+// partitions. The simulator needs value *sizes* (they drive service
+// time); real payload bytes are optional so examples can exercise a
+// genuine get/put path without inflating experiment memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "store/types.hpp"
+
+namespace brb::store {
+
+struct ValueMeta {
+  std::uint32_t size_bytes = 0;
+  /// Inline payload; empty when the engine runs in metadata-only mode.
+  std::string payload;
+};
+
+class StorageEngine {
+ public:
+  /// `store_payloads` controls whether put() keeps the actual bytes.
+  explicit StorageEngine(bool store_payloads = false) : store_payloads_(store_payloads) {}
+
+  /// Inserts or replaces a value described only by its size.
+  void put_meta(KeyId key, std::uint32_t size_bytes);
+
+  /// Inserts or replaces a value with payload (size derived).
+  void put(KeyId key, std::string payload);
+
+  /// Size lookup; nullopt when the key is absent.
+  std::optional<std::uint32_t> size_of(KeyId key) const;
+
+  /// Full lookup (payload empty in metadata-only mode).
+  std::optional<ValueMeta> get(KeyId key) const;
+
+  bool erase(KeyId key);
+  bool contains(KeyId key) const { return values_.count(key) > 0; }
+
+  std::size_t num_keys() const noexcept { return values_.size(); }
+  std::uint64_t stored_bytes() const noexcept { return stored_bytes_; }
+
+ private:
+  bool store_payloads_;
+  std::unordered_map<KeyId, ValueMeta> values_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace brb::store

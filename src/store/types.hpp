@@ -1,0 +1,75 @@
+// Shared identifier and protocol types for the replicated data store.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace brb::store {
+
+/// Key in the data store's flat 64-bit keyspace.
+using KeyId = std::uint64_t;
+
+/// A replica group: the set of servers holding one data partition.
+using GroupId = std::uint32_t;
+
+/// Backend server index within the cluster (also its net::NodeId).
+using ServerId = net::NodeId;
+
+/// Application-server (client) index (also its net::NodeId).
+using ClientId = net::NodeId;
+
+/// Globally unique task identifier.
+using TaskId = std::uint64_t;
+
+/// Globally unique request identifier.
+using RequestId = std::uint64_t;
+
+/// Scheduling priority attached to a read request. Lower values are
+/// served first. BRB policies encode costs/slacks (in nanoseconds of
+/// expected work) here; FIFO encodes the arrival timestamp.
+using Priority = double;
+
+/// Server-side load feedback piggybacked on every response (the
+/// mechanism C3 relies on; free for BRB to observe as well).
+struct ServerFeedback {
+  /// Requests waiting in the server queue when the response was sent.
+  std::uint32_t queue_length = 0;
+  /// EWMA of the server's observed service rate, requests/second.
+  double service_rate = 0.0;
+  /// Actual service duration of this request.
+  sim::Duration service_time = sim::Duration::zero();
+};
+
+/// A read for one key, stamped with scheduling metadata.
+struct ReadRequest {
+  RequestId request_id = 0;
+  TaskId task_id = 0;
+  KeyId key = 0;
+  ClientId client = 0;
+  Priority priority = 0.0;
+  /// Client-forecast service cost (used by cost-aware disciplines).
+  sim::Duration expected_cost = sim::Duration::zero();
+  /// Time the client handed the request to the transport.
+  sim::Time sent_at;
+};
+
+/// Completion record delivered back to the client.
+struct ReadResponse {
+  RequestId request_id = 0;
+  TaskId task_id = 0;
+  KeyId key = 0;
+  ClientId client = 0;
+  ServerId server = 0;
+  std::uint32_t value_size = 0;
+  ServerFeedback feedback;
+};
+
+/// Approximate wire sizes for traffic accounting (header + key for a
+/// request; header + value payload for a response).
+constexpr std::uint32_t kRequestWireBytes = 64;
+constexpr std::uint32_t kResponseHeaderBytes = 64;
+
+}  // namespace brb::store

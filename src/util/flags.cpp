@@ -1,0 +1,93 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace brb::util {
+
+namespace {
+
+std::string env_name_for(std::string_view flag) {
+  std::string name = "BRB_";
+  for (const char c : flag) {
+    name.push_back(c == '-' ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return name;
+}
+
+bool parse_bool(std::string_view text, bool fallback) {
+  if (text == "1" || text == "true" || text == "yes" || text == "on") return true;
+  if (text == "0" || text == "false" || text == "no" || text == "off") return false;
+  return fallback;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) continue;  // bare "--" separator
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` unless the next token is another flag; then boolean.
+    if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+      values_.emplace(std::string(arg), argv[i + 1]);
+      ++i;
+    } else {
+      values_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+std::optional<std::string> Flags::get(std::string_view name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name_for(name).c_str()); env != nullptr) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string Flags::get_string(std::string_view name, std::string_view fallback) const {
+  if (const auto v = get(name)) return *v;
+  return std::string(fallback);
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) + ": not an integer: " + *v);
+  }
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) + ": not a number: " + *v);
+  }
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return parse_bool(*v, fallback);
+}
+
+bool Flags::has(std::string_view name) const { return values_.find(name) != values_.end(); }
+
+}  // namespace brb::util

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`
+// (no value). Also reads `BRB_`-prefixed environment variables as
+// defaults so `BRB_PAPER=1 ./bench_fig2_latency` works in the
+// argument-less `for b in build/bench/*` loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace brb::util {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on a malformed flag
+  /// (missing value for `--name` followed by another flag is treated as
+  /// a boolean `true`).
+  Flags(int argc, const char* const* argv);
+
+  /// Builds an empty flag set (environment variables still consulted).
+  Flags() = default;
+
+  /// Looks up a flag, falling back to the environment variable
+  /// BRB_<NAME> (upper-cased, '-' replaced by '_').
+  std::optional<std::string> get(std::string_view name) const;
+
+  std::string get_string(std::string_view name, std::string_view fallback) const;
+  std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  double get_double(std::string_view name, double fallback) const;
+  bool get_bool(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// True if the flag was passed explicitly on the command line.
+  bool has(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace brb::util

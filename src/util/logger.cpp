@@ -1,0 +1,53 @@
+#include "util/logger.hpp"
+
+namespace brb::util {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+namespace {
+
+std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool Logger::set_level_from_name(std::string_view name) noexcept {
+  if (name == "trace") {
+    level_ = LogLevel::kTrace;
+  } else if (name == "debug") {
+    level_ = LogLevel::kDebug;
+  } else if (name == "info") {
+    level_ = LogLevel::kInfo;
+  } else if (name == "warn") {
+    level_ = LogLevel::kWarn;
+  } else if (name == "error") {
+    level_ = LogLevel::kError;
+  } else if (name == "off") {
+    level_ = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  std::cerr << '[' << level_name(level) << "] [" << component << "] " << message << '\n';
+}
+
+}  // namespace brb::util

@@ -1,0 +1,71 @@
+// Minimal leveled logger.
+//
+// The simulator is hot-path sensitive: log statements below the active
+// level cost one branch. Output goes to stderr so bench tables on stdout
+// stay machine-parsable.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace brb::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log level. Defaults to kWarn so library consumers are
+/// quiet unless they opt in.
+class Logger {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+  static bool enabled(LogLevel level) noexcept { return level >= level_; }
+
+  /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown names
+  /// leave the level unchanged and return false.
+  static bool set_level_from_name(std::string_view name) noexcept;
+
+  static void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace brb::util
+
+// Streaming log macros; the argument expressions are not evaluated when
+// the level is disabled.
+#define BRB_LOG(level, component)                        \
+  if (!::brb::util::Logger::enabled(level)) {            \
+  } else                                                 \
+    ::brb::util::detail::LogLine(level, component)
+
+#define BRB_TRACE(component) BRB_LOG(::brb::util::LogLevel::kTrace, component)
+#define BRB_DEBUG(component) BRB_LOG(::brb::util::LogLevel::kDebug, component)
+#define BRB_INFO(component) BRB_LOG(::brb::util::LogLevel::kInfo, component)
+#define BRB_WARN(component) BRB_LOG(::brb::util::LogLevel::kWarn, component)
+#define BRB_ERROR(component) BRB_LOG(::brb::util::LogLevel::kError, component)

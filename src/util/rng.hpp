@@ -1,0 +1,149 @@
+// Deterministic pseudo-random number generation for the BRB simulator.
+//
+// All stochastic behaviour in the library flows through `Rng`, a
+// xoshiro256** generator seeded via SplitMix64. Components derive
+// independent sub-streams with `Rng::split()` so that adding a consumer
+// never perturbs the draws seen by another (critical for reproducible
+// multi-seed experiments).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace brb::util {
+
+/// SplitMix64: fast 64-bit mixer used for seeding and stream derivation.
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the general-purpose generator recommended by Blackman &
+/// Vigna (2018). 256-bit state, period 2^256 - 1, passes BigCrush.
+class Xoshiro256StarStar {
+ public:
+  explicit Xoshiro256StarStar(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// Advances the state by 2^128 steps; used to derive non-overlapping
+  /// sub-streams from one seed.
+  void long_jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// High-level random source with the distribution samplers the simulator
+/// and workload generators need. Cheap to copy; each copy continues the
+/// same stream, so prefer `split()` to create independent streams.
+class Rng {
+ public:
+  /// Seeds the stream. Identical seeds yield identical draw sequences.
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Derives an independent stream: the child is seeded from this
+  /// stream's output, then this stream long-jumps so parent and child
+  /// never overlap.
+  Rng split() noexcept;
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64() noexcept { return gen_.next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given mean (= 1/rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare: stateless).
+  double normal(double mu, double sigma);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Classic Pareto (Type I): support [scale, inf), P(X > x) = (scale/x)^shape.
+  /// Requires shape > 0, scale > 0.
+  double pareto(double shape, double scale);
+
+  /// Generalized Pareto: location + scale * ((1-u)^(-shape) - 1) / shape.
+  /// shape == 0 degenerates to the (shifted) exponential. Requires scale > 0.
+  double generalized_pareto(double shape, double scale, double location);
+
+  /// Pareto truncated to [lo, hi] by inverse-CDF restriction (not
+  /// rejection), so the cost is a single draw. Requires 0 < lo < hi.
+  double bounded_pareto(double shape, double lo, double hi);
+
+  /// Poisson-distributed count with the given mean. Knuth's product
+  /// method for small means, PTRS-style normal-based rejection cutover
+  /// for large means. Requires mean >= 0.
+  std::int64_t poisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  Xoshiro256StarStar gen_;
+};
+
+/// Zipf(s, n) sampler over {1, ..., n} using rejection-inversion
+/// (Hoermann & Derflinger 1996), O(1) per draw after O(1) setup, valid
+/// for any exponent s >= 0 (s == 0 is the uniform distribution).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(double exponent, std::uint64_t num_elements);
+
+  /// Draws a rank in [1, num_elements].
+  std::uint64_t sample(Rng& rng) const;
+
+  double exponent() const noexcept { return s_; }
+  std::uint64_t num_elements() const noexcept { return n_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  double s_ = 0.0;
+  std::uint64_t n_ = 0;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double cut_ = 0.0;
+};
+
+}  // namespace brb::util

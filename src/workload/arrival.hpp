@@ -1,0 +1,57 @@
+// Task arrival processes.
+//
+// The paper uses open-loop Poisson task arrivals with the mean rate set
+// to a fraction of system capacity. Deterministic (paced) arrivals are
+// provided for tests and calibration.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace brb::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Gap until the next arrival (strictly positive).
+  virtual sim::Duration next_gap(util::Rng& rng) = 0;
+
+  /// Mean arrival rate in tasks/second.
+  virtual double rate_per_sec() const noexcept = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Poisson process: exponential inter-arrival gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_sec);
+
+  sim::Duration next_gap(util::Rng& rng) override;
+  double rate_per_sec() const noexcept override { return rate_; }
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double rate_;
+};
+
+/// Fixed-gap arrivals at the given rate.
+class PacedArrivals final : public ArrivalProcess {
+ public:
+  explicit PacedArrivals(double rate_per_sec);
+
+  sim::Duration next_gap(util::Rng&) override { return gap_; }
+  double rate_per_sec() const noexcept override { return rate_; }
+  std::string name() const override { return "paced"; }
+
+ private:
+  double rate_;
+  sim::Duration gap_;
+};
+
+}  // namespace brb::workload

@@ -1,0 +1,36 @@
+#include "workload/capacity.hpp"
+
+namespace brb::workload {
+
+CapacityPlanner::CapacityPlanner(ClusterSpec spec) : spec_(spec) {
+  if (spec_.num_servers == 0 || spec_.cores_per_server == 0) {
+    throw std::invalid_argument("CapacityPlanner: empty cluster");
+  }
+  if (spec_.service_rate_per_core <= 0.0) {
+    throw std::invalid_argument("CapacityPlanner: non-positive service rate");
+  }
+}
+
+double CapacityPlanner::system_capacity_rps() const noexcept {
+  return static_cast<double>(spec_.num_servers) * static_cast<double>(spec_.cores_per_server) *
+         spec_.service_rate_per_core;
+}
+
+double CapacityPlanner::request_rate_for_utilization(double utilization) const {
+  if (utilization < 0.0) throw std::invalid_argument("CapacityPlanner: negative utilization");
+  return utilization * system_capacity_rps();
+}
+
+double CapacityPlanner::task_rate_for_utilization(double utilization, double mean_fanout) const {
+  if (mean_fanout <= 0.0) throw std::invalid_argument("CapacityPlanner: mean fan-out <= 0");
+  return request_rate_for_utilization(utilization) / mean_fanout;
+}
+
+double CapacityPlanner::utilization_for_task_rate(double task_rate, double mean_fanout) const {
+  if (task_rate < 0.0 || mean_fanout <= 0.0) {
+    throw std::invalid_argument("CapacityPlanner: bad task rate or fan-out");
+  }
+  return task_rate * mean_fanout / system_capacity_rps();
+}
+
+}  // namespace brb::workload

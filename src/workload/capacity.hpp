@@ -1,0 +1,42 @@
+// Capacity planning: translate a target utilization into arrival rates.
+//
+// The paper pins the offered load at 70% of system capacity where
+// capacity = servers x cores x per-core service rate. This helper keeps
+// that arithmetic in one audited place instead of scattered constants.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace brb::workload {
+
+struct ClusterSpec {
+  std::uint32_t num_servers = 9;
+  std::uint32_t cores_per_server = 4;
+  /// Average per-core service rate in requests/second.
+  double service_rate_per_core = 3500.0;
+};
+
+class CapacityPlanner {
+ public:
+  explicit CapacityPlanner(ClusterSpec spec);
+
+  /// Aggregate request service capacity, requests/second.
+  double system_capacity_rps() const noexcept;
+
+  /// Request arrival rate achieving `utilization` in [0, 1).
+  double request_rate_for_utilization(double utilization) const;
+
+  /// Task arrival rate achieving `utilization` given the mean fan-out.
+  double task_rate_for_utilization(double utilization, double mean_fanout) const;
+
+  /// Utilization produced by a given task rate and mean fan-out.
+  double utilization_for_task_rate(double task_rate, double mean_fanout) const;
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+
+ private:
+  ClusterSpec spec_;
+};
+
+}  // namespace brb::workload

@@ -1,0 +1,124 @@
+#include "workload/fanout_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace brb::workload {
+
+FixedFanout::FixedFanout(std::uint32_t n) : n_(n) {
+  if (n_ == 0) throw std::invalid_argument("FixedFanout: n == 0");
+}
+
+GeometricFanout::GeometricFanout(double mean) : mean_(mean) {
+  if (mean_ < 1.0) throw std::invalid_argument("GeometricFanout: mean < 1");
+  // X = 1 + G where G ~ Geometric(p) counts failures before success:
+  // E[X] = 1 + (1-p)/p  =>  p = 1 / mean.
+  p_ = 1.0 / mean_;
+}
+
+std::uint32_t GeometricFanout::sample(util::Rng& rng) const {
+  if (p_ >= 1.0) return 1;
+  double u = rng.uniform();
+  if (u <= 0.0) u = 1e-300;
+  const double g = std::floor(std::log(u) / std::log(1.0 - p_));
+  const double value = 1.0 + std::max(0.0, g);
+  return value > 4096.0 ? 4096u : static_cast<std::uint32_t>(value);
+}
+
+LogNormalFanout::LogNormalFanout(double mu, double sigma, std::uint32_t cap)
+    : mu_(mu), sigma_(sigma), cap_(cap) {
+  if (sigma_ <= 0.0) throw std::invalid_argument("LogNormalFanout: sigma <= 0");
+  if (cap_ == 0) throw std::invalid_argument("LogNormalFanout: cap == 0");
+  mean_ = discretized_mean(mu_, sigma_, cap_);
+}
+
+double LogNormalFanout::discretized_mean(double mu, double sigma, std::uint32_t cap) {
+  // E[round/clamp(exp(N))] by quadrature over the standard normal.
+  constexpr int kPanels = 1 << 14;
+  double acc = 0.0;
+  double weight = 0.0;
+  for (int i = 0; i < kPanels; ++i) {
+    // Gauss-like midpoint rule over z in [-8, 8].
+    const double z = -8.0 + 16.0 * (static_cast<double>(i) + 0.5) / kPanels;
+    const double w = std::exp(-0.5 * z * z);
+    double v = std::round(std::exp(mu + sigma * z));
+    v = std::clamp(v, 1.0, static_cast<double>(cap));
+    acc += w * v;
+    weight += w;
+  }
+  return acc / weight;
+}
+
+LogNormalFanout LogNormalFanout::for_mean(double target_mean, double sigma, std::uint32_t cap) {
+  if (target_mean < 1.0) throw std::invalid_argument("LogNormalFanout: target mean < 1");
+  // Bisection on mu; the discretized mean is monotone in mu.
+  double lo = -5.0;
+  double hi = 15.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (discretized_mean(mid, sigma, cap) < target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return LogNormalFanout(0.5 * (lo + hi), sigma, cap);
+}
+
+std::uint32_t LogNormalFanout::sample(util::Rng& rng) const {
+  const double v = std::round(rng.lognormal(mu_, sigma_));
+  if (v < 1.0) return 1;
+  if (v > static_cast<double>(cap_)) return cap_;
+  return static_cast<std::uint32_t>(v);
+}
+
+EmpiricalFanout::EmpiricalFanout(std::vector<double> weights) {
+  if (weights.empty()) throw std::invalid_argument("EmpiricalFanout: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("EmpiricalFanout: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("EmpiricalFanout: zero total weight");
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  double mean_acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cumulative_.push_back(acc);
+    mean_acc += static_cast<double>(i + 1) * weights[i] / total;
+  }
+  cumulative_.back() = 1.0;  // absorb rounding
+  mean_ = mean_acc;
+}
+
+std::uint32_t EmpiricalFanout::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::uint32_t>(std::distance(cumulative_.begin(), it)) + 1;
+}
+
+std::unique_ptr<FanoutDistribution> make_fanout_distribution(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  for (std::string item; std::getline(ss, item, ':');) parts.push_back(item);
+  if (parts.empty()) throw std::invalid_argument("make_fanout_distribution: empty spec");
+  const auto arg = [&](std::size_t i, double fallback) {
+    return parts.size() > i ? std::stod(parts[i]) : fallback;
+  };
+  const std::string& kind = parts[0];
+  if (kind == "fixed") {
+    return std::make_unique<FixedFanout>(static_cast<std::uint32_t>(arg(1, 8)));
+  }
+  if (kind == "geometric") {
+    return std::make_unique<GeometricFanout>(arg(1, 8.6));
+  }
+  if (kind == "lognormal") {
+    return std::make_unique<LogNormalFanout>(LogNormalFanout::for_mean(
+        arg(1, 8.6), arg(2, 0.8), static_cast<std::uint32_t>(arg(3, 1024))));
+  }
+  throw std::invalid_argument("make_fanout_distribution: unknown kind: " + kind);
+}
+
+}  // namespace brb::workload

@@ -1,0 +1,49 @@
+#include "workload/key_dist.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "store/partitioner.hpp"
+
+namespace brb::workload {
+
+UniformKeys::UniformKeys(std::uint64_t num_keys) : n_(num_keys) {
+  if (n_ == 0) throw std::invalid_argument("UniformKeys: num_keys == 0");
+}
+
+store::KeyId UniformKeys::sample(util::Rng& rng) const {
+  return static_cast<store::KeyId>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n_) - 1));
+}
+
+ZipfKeys::ZipfKeys(std::uint64_t num_keys, double exponent)
+    : n_(num_keys), zipf_(exponent, num_keys) {
+  if (n_ == 0) throw std::invalid_argument("ZipfKeys: num_keys == 0");
+}
+
+store::KeyId ZipfKeys::sample(util::Rng& rng) const {
+  const std::uint64_t rank = zipf_.sample(rng);  // 1-based
+  // Scramble so popularity is uncorrelated with partition placement.
+  return store::hash_key(rank - 1) % n_;
+}
+
+std::unique_ptr<KeyDistribution> make_key_distribution(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  for (std::string item; std::getline(ss, item, ':');) parts.push_back(item);
+  if (parts.empty()) throw std::invalid_argument("make_key_distribution: empty spec");
+  const auto arg = [&](std::size_t i, double fallback) {
+    return parts.size() > i ? std::stod(parts[i]) : fallback;
+  };
+  if (parts[0] == "uniform") {
+    return std::make_unique<UniformKeys>(static_cast<std::uint64_t>(arg(1, 100'000)));
+  }
+  if (parts[0] == "zipf") {
+    return std::make_unique<ZipfKeys>(static_cast<std::uint64_t>(arg(1, 100'000)),
+                                      arg(2, 0.9));
+  }
+  throw std::invalid_argument("make_key_distribution: unknown kind: " + parts[0]);
+}
+
+}  // namespace brb::workload

@@ -1,0 +1,34 @@
+// Task and request specifications produced by workload generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "store/types.hpp"
+
+namespace brb::workload {
+
+/// One key access within a task. `size_hint` is the stored value size,
+/// which the client uses to forecast service cost (the paper's clients
+/// forecast "based on the size of the value they are requesting").
+struct RequestSpec {
+  store::KeyId key = 0;
+  std::uint32_t size_hint = 0;
+};
+
+/// One end-user task: a batch of logically-related reads that is
+/// complete only when every read completes.
+struct TaskSpec {
+  store::TaskId id = 0;
+  /// Which application server (client) receives the task.
+  store::ClientId client = 0;
+  sim::Time arrival;
+  std::vector<RequestSpec> requests;
+
+  std::uint32_t fanout() const noexcept {
+    return static_cast<std::uint32_t>(requests.size());
+  }
+};
+
+}  // namespace brb::workload

@@ -1,0 +1,78 @@
+// Synthetic task-stream generator (the SoundCloud-trace stand-in).
+//
+// Generates the keyspace (assigning each key a stable value size from
+// the size distribution) and then an open-loop task stream: Poisson (or
+// paced) arrivals, fan-out per task, distinct keys per task drawn from
+// the popularity distribution, round-robin (or random) assignment of
+// tasks to application servers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/fanout_dist.hpp"
+#include "workload/key_dist.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/task.hpp"
+
+namespace brb::workload {
+
+/// Stable per-key value sizes for a generated keyspace. Sizes are drawn
+/// once from the size distribution with a dedicated RNG stream, so the
+/// same (seed, num_keys, distribution) triple always produces the same
+/// dataset — across processes and across the systems under comparison.
+class Dataset {
+ public:
+  Dataset(std::uint64_t num_keys, const SizeDistribution& sizes, util::Rng rng);
+
+  std::uint32_t size_of(store::KeyId key) const;
+  std::uint64_t num_keys() const noexcept { return sizes_.size(); }
+  double mean_size() const noexcept { return mean_size_; }
+
+ private:
+  std::vector<std::uint32_t> sizes_;
+  double mean_size_ = 0.0;
+};
+
+class TaskGenerator {
+ public:
+  struct Config {
+    std::uint32_t num_clients = 18;
+    /// Tasks are assigned to clients round-robin when true, uniformly
+    /// at random otherwise.
+    bool round_robin_clients = true;
+    /// Keys within one task are distinct (a playlist does not fetch
+    /// the same track twice).
+    bool distinct_keys = true;
+  };
+
+  TaskGenerator(Config config, const Dataset& dataset, const KeyDistribution& keys,
+                const FanoutDistribution& fanout, std::unique_ptr<ArrivalProcess> arrivals,
+                util::Rng rng);
+
+  /// Produces the next task; arrival times are strictly increasing.
+  TaskSpec next();
+
+  /// Materializes `count` tasks (for traces and tests).
+  std::vector<TaskSpec> generate(std::size_t count);
+
+  std::uint64_t tasks_generated() const noexcept { return next_task_id_; }
+  const ArrivalProcess& arrivals() const noexcept { return *arrivals_; }
+
+ private:
+  Config config_;
+  const Dataset* dataset_;
+  const KeyDistribution* keys_;
+  const FanoutDistribution* fanout_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  util::Rng rng_;
+  sim::Time clock_ = sim::Time::zero();
+  std::uint64_t next_task_id_ = 0;
+  std::uint32_t next_client_ = 0;
+};
+
+}  // namespace brb::workload

@@ -1,0 +1,369 @@
+// Tests for the credits realization: controller allocation, the
+// client-side gate, congestion monitoring, credit-aware selection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/credits.hpp"
+#include "policy/replica_selector.hpp"
+#include "server/backend_server.hpp"
+#include "server/service_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace brb::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// Proportional allocation (pure function)
+
+TEST(AllocateProportional, ProportionalToDemand) {
+  const auto grants = CreditsController::allocate_proportional({100.0, 300.0}, 1000.0);
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_DOUBLE_EQ(grants[0], 250.0);
+  EXPECT_DOUBLE_EQ(grants[1], 750.0);
+}
+
+TEST(AllocateProportional, ZeroDemandGivesEqualShares) {
+  const auto grants = CreditsController::allocate_proportional({0.0, 0.0, 0.0, 0.0}, 1000.0);
+  for (const double g : grants) EXPECT_DOUBLE_EQ(g, 250.0);
+}
+
+TEST(AllocateProportional, NegativeDemandTreatedAsZero) {
+  const auto grants = CreditsController::allocate_proportional({-50.0, 100.0}, 300.0);
+  EXPECT_DOUBLE_EQ(grants[0], 0.0);
+  EXPECT_DOUBLE_EQ(grants[1], 300.0);
+}
+
+TEST(AllocateProportional, ConservesCapacity) {
+  const auto grants =
+      CreditsController::allocate_proportional({17.0, 3.0, 42.0, 8.0, 30.0}, 12345.0);
+  double total = 0.0;
+  for (const double g : grants) total += g;
+  EXPECT_NEAR(total, 12345.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// CreditGate
+
+client::OutboundRequest make_out(store::ServerId server, store::Priority priority,
+                                 store::RequestId id) {
+  client::OutboundRequest out;
+  out.server = server;
+  out.request.request_id = id;
+  out.request.priority = priority;
+  return out;
+}
+
+struct GateFixture {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  std::unique_ptr<CreditGate> gate;
+  std::vector<store::RequestId> transmitted;
+
+  explicit GateFixture(std::vector<double> initial) {
+    gate = std::make_unique<CreditGate>(simulator, static_cast<std::uint32_t>(initial.size()),
+                                        config, std::move(initial));
+    gate->set_transmit([this](client::OutboundRequest& out) {
+      transmitted.push_back(out.request.request_id);
+    });
+  }
+};
+
+TEST(CreditGate, SpendsCreditsToTransmit) {
+  GateFixture f({2.0, 2.0});
+  f.gate->offer(make_out(0, 1.0, 1));
+  f.gate->offer(make_out(0, 1.0, 2));
+  EXPECT_EQ(f.transmitted.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.gate->balance(0), 0.0);
+}
+
+TEST(CreditGate, HoldsWhenBroke) {
+  GateFixture f({1.0, 1.0});
+  f.gate->offer(make_out(0, 1.0, 1));
+  f.gate->offer(make_out(0, 1.0, 2));
+  EXPECT_EQ(f.transmitted.size(), 1u);
+  EXPECT_EQ(f.gate->held(), 1u);
+  EXPECT_EQ(f.gate->hold_events(), 1u);
+}
+
+TEST(CreditGate, GrantDrainsInPriorityOrder) {
+  GateFixture f({0.0, 0.0});
+  f.gate->offer(make_out(0, 5.0, 1));
+  f.gate->offer(make_out(0, 1.0, 2));
+  f.gate->offer(make_out(0, 3.0, 3));
+  EXPECT_EQ(f.gate->held(), 3u);
+  f.gate->on_grant({10.0, 10.0});
+  ASSERT_EQ(f.transmitted.size(), 3u);
+  EXPECT_EQ(f.transmitted, (std::vector<store::RequestId>{2, 3, 1}));
+}
+
+TEST(CreditGate, PartialGrantDrainsHighestPriorityOnly) {
+  GateFixture f({0.0});
+  f.gate->offer(make_out(0, 5.0, 1));
+  f.gate->offer(make_out(0, 1.0, 2));
+  f.gate->on_grant({1.0});
+  ASSERT_EQ(f.transmitted.size(), 1u);
+  EXPECT_EQ(f.transmitted[0], 2u);
+  EXPECT_EQ(f.gate->held(), 1u);
+}
+
+TEST(CreditGate, CarryoverIsBounded) {
+  GateFixture f({100.0});
+  // Nothing spent; carryover cap 0.5 * grant.
+  f.gate->on_grant({10.0});
+  EXPECT_DOUBLE_EQ(f.gate->balance(0), 10.0 + 5.0);
+}
+
+TEST(CreditGate, HoldTimeAccumulates) {
+  GateFixture f({0.0});
+  f.simulator.schedule_at(Time::millis(1), [&] { f.gate->offer(make_out(0, 1.0, 1)); });
+  f.simulator.schedule_at(Time::millis(5), [&] { f.gate->on_grant({1.0}); });
+  f.simulator.run();
+  EXPECT_EQ(f.gate->total_hold_time().count_nanos(), Duration::millis(4).count_nanos());
+}
+
+TEST(CreditGate, FifoWithinEqualPriority) {
+  GateFixture f({0.0});
+  for (store::RequestId id = 1; id <= 10; ++id) f.gate->offer(make_out(0, 7.0, id));
+  f.gate->on_grant({10.0});
+  for (store::RequestId id = 1; id <= 10; ++id) ASSERT_EQ(f.transmitted[id - 1], id);
+}
+
+TEST(CreditGate, MeasurementReportsDemandRates) {
+  GateFixture f({100.0, 100.0});
+  std::vector<std::vector<double>> reports;
+  f.gate->set_report([&](const std::vector<double>& rates) { reports.push_back(rates); });
+  f.gate->start();
+  f.simulator.schedule_at(Time::millis(10), [&] {
+    for (int i = 0; i < 7; ++i) f.gate->offer(make_out(0, 1.0, static_cast<std::uint64_t>(i)));
+    f.gate->offer(make_out(1, 1.0, 99));
+  });
+  f.simulator.run_until(Time::millis(150));
+  f.gate->stop();
+  ASSERT_GE(reports.size(), 1u);
+  // 7 offers to server 0 in a 100ms window -> 70 req/s.
+  EXPECT_NEAR(reports[0][0], 70.0, 1e-9);
+  EXPECT_NEAR(reports[0][1], 10.0, 1e-9);
+  // Second window has no offers.
+  if (reports.size() > 1) EXPECT_DOUBLE_EQ(reports[1][0], 0.0);
+}
+
+TEST(CreditGate, RejectsMalformedInput) {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  EXPECT_THROW(CreditGate(simulator, 0, config, {}), std::invalid_argument);
+  EXPECT_THROW(CreditGate(simulator, 2, config, {1.0}), std::invalid_argument);
+  GateFixture f({1.0});
+  EXPECT_THROW(f.gate->offer(make_out(5, 1.0, 1)), std::out_of_range);
+  EXPECT_THROW(f.gate->on_grant({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(f.gate->balance(9), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// CreditsController
+
+struct ControllerFixture {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  std::unique_ptr<CreditsController> controller;
+  std::vector<std::pair<store::ClientId, std::vector<double>>> grants;
+
+  ControllerFixture(std::uint32_t clients, std::vector<double> capacities) {
+    controller = std::make_unique<CreditsController>(simulator, clients, std::move(capacities),
+                                                     config);
+    controller->set_grant_sender([this](store::ClientId client, const std::vector<double>& g) {
+      grants.emplace_back(client, g);
+    });
+  }
+};
+
+TEST(CreditsController, GrantsProportionallyAfterReports) {
+  ControllerFixture f(2, {1000.0});
+  f.controller->on_demand_report(0, {100.0});
+  f.controller->on_demand_report(1, {300.0});
+  f.controller->start();
+  f.simulator.run_until(Time::seconds(1.5));
+  f.controller->stop();
+  ASSERT_EQ(f.grants.size(), 2u);
+  // EWMA from zero with alpha 0.5 halves the report, but proportions
+  // are preserved: client 1 gets 3x client 0 of the proportional pool.
+  const double floor_each = 1000.0 * f.config.min_share_fraction / 2.0;
+  const double pool = 1000.0 * (1.0 - f.config.min_share_fraction);
+  EXPECT_NEAR(f.grants[0].second[0], floor_each + pool * 0.25, 1e-6);
+  EXPECT_NEAR(f.grants[1].second[0], floor_each + pool * 0.75, 1e-6);
+}
+
+TEST(CreditsController, TotalGrantsEqualCapacityPerInterval) {
+  ControllerFixture f(3, {500.0, 700.0});
+  f.controller->on_demand_report(0, {10.0, 20.0});
+  f.controller->on_demand_report(1, {30.0, 40.0});
+  f.controller->on_demand_report(2, {60.0, 0.0});
+  f.controller->start();
+  f.simulator.run_until(Time::seconds(1.5));
+  f.controller->stop();
+  ASSERT_EQ(f.grants.size(), 3u);
+  double total_s0 = 0.0;
+  double total_s1 = 0.0;
+  for (const auto& [client, grant] : f.grants) {
+    total_s0 += grant[0];
+    total_s1 += grant[1];
+  }
+  EXPECT_NEAR(total_s0, 500.0, 1e-6);
+  EXPECT_NEAR(total_s1, 700.0, 1e-6);
+}
+
+TEST(CreditsController, CongestionShrinksThenRecovers) {
+  ControllerFixture f(1, {1000.0});
+  f.controller->start();
+  f.controller->on_congestion_signal(0, 99);
+  f.simulator.run_until(Time::seconds(1.5));
+  EXPECT_NEAR(f.controller->capacity_factor(0), f.config.congestion_backoff, 1e-9);
+  // No further signals: factor recovers toward 1.
+  f.simulator.run_until(Time::seconds(4.5));
+  f.controller->stop();
+  EXPECT_NEAR(f.controller->capacity_factor(0), 1.0, 1e-9);
+}
+
+TEST(CreditsController, FactorNeverBelowFloor) {
+  ControllerFixture f(1, {1000.0});
+  f.controller->start();
+  // Signal congestion every interval for a long time.
+  for (int i = 0; i < 40; ++i) {
+    f.simulator.schedule_at(Time::seconds(0.5 + i), [&] {
+      f.controller->on_congestion_signal(0, 500);
+    });
+  }
+  f.simulator.run_until(Time::seconds(42));
+  f.controller->stop();
+  EXPECT_GE(f.controller->capacity_factor(0), f.config.min_capacity_factor - 1e-9);
+}
+
+TEST(CreditsController, RejectsMalformedInput) {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  EXPECT_THROW(CreditsController(simulator, 0, {100.0}, config), std::invalid_argument);
+  EXPECT_THROW(CreditsController(simulator, 1, {}, config), std::invalid_argument);
+  EXPECT_THROW(CreditsController(simulator, 1, {0.0}, config), std::invalid_argument);
+  ControllerFixture f(2, {100.0});
+  EXPECT_THROW(f.controller->on_demand_report(5, {1.0}), std::out_of_range);
+  EXPECT_THROW(f.controller->on_demand_report(0, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(f.controller->on_congestion_signal(3, 1), std::out_of_range);
+  EXPECT_THROW(f.controller->capacity_factor(3), std::out_of_range);
+}
+
+TEST(CreditsController, StatsCount) {
+  ControllerFixture f(1, {100.0});
+  f.controller->on_demand_report(0, {1.0});
+  f.controller->on_congestion_signal(0, 10);
+  f.controller->start();
+  f.simulator.run_until(Time::seconds(2.5));
+  f.controller->stop();
+  EXPECT_EQ(f.controller->stats().demand_reports, 1u);
+  EXPECT_EQ(f.controller->stats().congestion_signals, 1u);
+  EXPECT_EQ(f.controller->stats().adaptations, 2u);
+  EXPECT_EQ(f.controller->stats().grants_sent, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CongestionMonitor
+
+TEST(CongestionMonitor, SignalsOnlyAboveThreshold) {
+  sim::Simulator simulator;
+  server::DeterministicServiceModel model(Duration::millis(10));
+  server::BackendServer::Config server_config;
+  server_config.id = 0;
+  server_config.cores = 1;
+  server::BackendServer server(simulator, server_config, model, util::Rng(1));
+  server.use_private_queue(server::make_discipline("fifo"));
+  server.set_response_handler([](const store::ReadResponse&) {});
+  server.storage().put_meta(1, 100);
+
+  CreditsConfig config;
+  config.congestion_queue_factor = 4.0;  // threshold: queue > 4
+  std::vector<std::uint32_t> signals;
+  CongestionMonitor monitor(simulator, {&server}, config,
+                            [&](store::ServerId, std::uint32_t queue) {
+                              signals.push_back(queue);
+                            });
+  monitor.start();
+
+  // Queue only 3 deep: below threshold, silent.
+  simulator.schedule_at(Time::millis(1), [&] {
+    for (store::RequestId id = 0; id < 4; ++id) {
+      store::ReadRequest request;
+      request.request_id = id;
+      request.key = 1;
+      server.receive(request);
+    }
+  });
+  simulator.run_until(Time::millis(9));
+  EXPECT_TRUE(signals.empty());
+
+  // Pile on 20 more: queue length exceeds 4, monitor fires.
+  simulator.schedule_at(Time::millis(10), [&] {
+    for (store::RequestId id = 100; id < 120; ++id) {
+      store::ReadRequest request;
+      request.request_id = id;
+      request.key = 1;
+      server.receive(request);
+    }
+  });
+  simulator.run_until(Time::millis(250));
+  monitor.stop();
+  EXPECT_FALSE(signals.empty());
+  EXPECT_GT(signals.front(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// CreditAwareSelector
+
+TEST(CreditAwareSelector, PrefersFundedReplicas) {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  CreditGate gate(simulator, 3, config, {0.0, 5.0, 0.0});
+  auto selector = std::make_unique<policy::RoundRobinSelector>();
+  CreditAwareSelector aware(std::move(selector), gate);
+  // Only server 1 is funded.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(aware.select({0, 1, 2}, Duration::zero()), 1u);
+  }
+}
+
+TEST(CreditAwareSelector, FallsBackWhenAllBroke) {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  CreditGate gate(simulator, 3, config, {0.0, 0.0, 0.0});
+  CreditAwareSelector aware(std::make_unique<policy::FirstReplicaSelector>(), gate);
+  EXPECT_EQ(aware.select({2, 1, 0}, Duration::zero()), 2u);  // inner decides
+}
+
+TEST(CreditAwareSelector, PassThroughWhenAllFunded) {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  CreditGate gate(simulator, 3, config, {5.0, 5.0, 5.0});
+  CreditAwareSelector aware(std::make_unique<policy::RoundRobinSelector>(), gate);
+  EXPECT_EQ(aware.select({0, 1, 2}, Duration::zero()), 0u);
+  EXPECT_EQ(aware.select({0, 1, 2}, Duration::zero()), 1u);
+}
+
+TEST(CreditAwareSelector, ForwardsObservations) {
+  sim::Simulator simulator;
+  CreditsConfig config;
+  CreditGate gate(simulator, 2, config, {1.0, 1.0});
+  auto inner = std::make_unique<policy::LeastOutstandingSelector>();
+  policy::LeastOutstandingSelector* raw = inner.get();
+  CreditAwareSelector aware(std::move(inner), gate);
+  aware.on_send(0, Duration::micros(10));
+  EXPECT_EQ(raw->outstanding(0), 1u);
+  store::ServerFeedback feedback;
+  aware.on_response(0, feedback, Duration::micros(100), Duration::micros(10));
+  EXPECT_EQ(raw->outstanding(0), 0u);
+}
+
+}  // namespace
+}  // namespace brb::core

@@ -1,0 +1,281 @@
+// Tests for the network model and the data-store substrate
+// (partitioners, storage engine).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "store/partitioner.hpp"
+#include "store/storage_engine.hpp"
+#include "util/rng.hpp"
+
+namespace brb {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// Network
+
+TEST(Network, DeliversAfterOneWayLatency) {
+  sim::Simulator simulator;
+  net::Network network(simulator, {Duration::micros(50), Duration::zero()}, util::Rng(1));
+  Time delivered = Time::zero();
+  network.send(0, 1, 100, [&] { delivered = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(delivered, Time::micros(50));
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  sim::Simulator simulator;
+  net::Network network(simulator, {Duration::micros(50), Duration::zero()}, util::Rng(2));
+  network.send(0, 1, 100, [] {});
+  network.send(1, 0, 250, [] {});
+  simulator.run();
+  EXPECT_EQ(network.stats().messages_sent, 2u);
+  EXPECT_EQ(network.stats().bytes_sent, 350u);
+}
+
+TEST(Network, PairLatencyOverride) {
+  sim::Simulator simulator;
+  net::Network network(simulator, {Duration::micros(50), Duration::zero()}, util::Rng(3));
+  network.set_pair_latency(0, 1, Duration::micros(200));
+  EXPECT_EQ(network.latency(0, 1), Duration::micros(200));
+  EXPECT_EQ(network.latency(1, 0), Duration::micros(50));  // directional
+  Time delivered = Time::zero();
+  network.send(0, 1, 10, [&] { delivered = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(delivered, Time::micros(200));
+}
+
+TEST(Network, JitterStaysWithinBound) {
+  sim::Simulator simulator;
+  net::Network network(simulator, {Duration::micros(50), Duration::micros(20)}, util::Rng(4));
+  std::vector<Time> deliveries;
+  for (int i = 0; i < 200; ++i) {
+    network.send(0, static_cast<net::NodeId>(i + 1), 10,
+                 [&] { deliveries.push_back(simulator.now()); });
+  }
+  simulator.run();
+  for (const Time t : deliveries) {
+    EXPECT_GE(t, Time::micros(50));
+    EXPECT_LE(t, Time::micros(70));
+  }
+}
+
+TEST(Network, PerPairFifoEvenWithJitter) {
+  sim::Simulator simulator;
+  net::Network network(simulator, {Duration::micros(50), Duration::micros(40)}, util::Rng(5));
+  std::vector<int> order;
+  // Staggered sends on one pair; jitter could reorder without the
+  // FIFO reservation.
+  for (int i = 0; i < 50; ++i) {
+    simulator.schedule_at(Time::micros(i), [&network, &order, i] {
+      network.send(3, 4, 10, [&order, i] { order.push_back(i); });
+    });
+  }
+  simulator.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Network, RejectsNegativeLatency) {
+  sim::Simulator simulator;
+  EXPECT_THROW(net::Network(simulator,
+                            {Duration::micros(50) - Duration::micros(100), Duration::zero()},
+                            util::Rng(6)),
+               std::invalid_argument);
+  net::Network network(simulator, {Duration::micros(50), Duration::zero()}, util::Rng(7));
+  EXPECT_THROW(network.set_pair_latency(0, 1, Duration::zero() - Duration::micros(1)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// hash_key / RingPartitioner
+
+TEST(HashKey, DeterministicAndMixing) {
+  EXPECT_EQ(store::hash_key(42), store::hash_key(42));
+  std::set<std::uint64_t> hashes;
+  for (store::KeyId k = 0; k < 10000; ++k) hashes.insert(store::hash_key(k));
+  EXPECT_EQ(hashes.size(), 10000u);  // no collisions on small range
+}
+
+TEST(RingPartitioner, PaperTopology) {
+  store::RingPartitioner partitioner(9, 3);
+  EXPECT_EQ(partitioner.num_groups(), 9u);
+  EXPECT_EQ(partitioner.num_servers(), 9u);
+  EXPECT_EQ(partitioner.replication_factor(), 3u);
+  // Group g holds servers {g, g+1, g+2 mod 9}.
+  const auto& group7 = partitioner.replicas_of(7);
+  EXPECT_EQ(group7, (std::vector<store::ServerId>{7, 8, 0}));
+}
+
+TEST(RingPartitioner, EveryServerInExactlyRGroups) {
+  store::RingPartitioner partitioner(9, 3);
+  std::map<store::ServerId, int> membership;
+  for (store::GroupId g = 0; g < partitioner.num_groups(); ++g) {
+    for (const store::ServerId s : partitioner.replicas_of(g)) ++membership[s];
+  }
+  ASSERT_EQ(membership.size(), 9u);
+  for (const auto& [server, count] : membership) EXPECT_EQ(count, 3);
+}
+
+TEST(RingPartitioner, KeyGroupsBalanced) {
+  store::RingPartitioner partitioner(9, 3);
+  std::map<store::GroupId, int> counts;
+  for (store::KeyId k = 0; k < 90000; ++k) ++counts[partitioner.group_of(k)];
+  for (const auto& [group, count] : counts) {
+    EXPECT_NEAR(count, 10000, 600) << "group " << group;
+  }
+}
+
+TEST(RingPartitioner, ReplicasForKeyConsistent) {
+  store::RingPartitioner partitioner(9, 3);
+  for (store::KeyId k = 0; k < 100; ++k) {
+    EXPECT_EQ(partitioner.replicas_for_key(k),
+              partitioner.replicas_of(partitioner.group_of(k)));
+  }
+}
+
+TEST(RingPartitioner, ReplicationOne) {
+  store::RingPartitioner partitioner(3, 1);
+  for (store::GroupId g = 0; g < 3; ++g) {
+    EXPECT_EQ(partitioner.replicas_of(g).size(), 1u);
+  }
+}
+
+TEST(RingPartitioner, FullReplication) {
+  store::RingPartitioner partitioner(3, 3);
+  for (store::GroupId g = 0; g < 3; ++g) {
+    EXPECT_EQ(partitioner.replicas_of(g).size(), 3u);
+  }
+}
+
+TEST(RingPartitioner, RejectsBadConfig) {
+  EXPECT_THROW(store::RingPartitioner(0, 1), std::invalid_argument);
+  EXPECT_THROW(store::RingPartitioner(3, 0), std::invalid_argument);
+  EXPECT_THROW(store::RingPartitioner(3, 4), std::invalid_argument);
+  store::RingPartitioner ok(3, 2);
+  EXPECT_THROW(ok.replicas_of(3), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// ConsistentHashPartitioner
+
+std::vector<store::ServerId> servers_0_to(std::uint32_t n) {
+  std::vector<store::ServerId> servers;
+  for (store::ServerId s = 0; s < n; ++s) servers.push_back(s);
+  return servers;
+}
+
+TEST(ConsistentHash, ReplicaSetsAreDistinctServers) {
+  store::ConsistentHashPartitioner partitioner(servers_0_to(9), 3, 32);
+  for (store::GroupId g = 0; g < partitioner.num_groups(); ++g) {
+    const auto& replicas = partitioner.replicas_of(g);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<store::ServerId> unique(replicas.begin(), replicas.end());
+    ASSERT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(ConsistentHash, OwnershipRoughlyBalanced) {
+  store::ConsistentHashPartitioner partitioner(servers_0_to(9), 3, 128);
+  const auto ownership = partitioner.ownership(50'000);
+  for (const auto& [server, share] : ownership) {
+    EXPECT_GT(share, 0.04) << "server " << server;
+    EXPECT_LT(share, 0.22) << "server " << server;
+  }
+}
+
+TEST(ConsistentHash, MinimalDisruptionOnAdd) {
+  store::ConsistentHashPartitioner before(servers_0_to(9), 3, 64);
+  store::ConsistentHashPartitioner after(servers_0_to(9), 3, 64);
+  after.add_server(9);
+  int moved = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    const auto key = static_cast<store::KeyId>(i) * 40503ULL;
+    if (before.replicas_for_key(key).front() != after.replicas_for_key(key).front()) ++moved;
+  }
+  // Adding 1 of 10 servers should move roughly 1/10th of primaries,
+  // certainly far less than half.
+  EXPECT_LT(moved, probes / 2);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHash, RemoveRestoresCapacityInvariant) {
+  store::ConsistentHashPartitioner partitioner(servers_0_to(5), 3, 32);
+  partitioner.remove_server(4);
+  EXPECT_EQ(partitioner.num_servers(), 4u);
+  EXPECT_THROW(partitioner.remove_server(4), std::invalid_argument);
+  // Cannot drop below the replication factor.
+  partitioner.remove_server(3);
+  EXPECT_THROW(partitioner.remove_server(2), std::invalid_argument);
+}
+
+TEST(ConsistentHash, AddDuplicateRejected) {
+  store::ConsistentHashPartitioner partitioner(servers_0_to(3), 2, 16);
+  EXPECT_THROW(partitioner.add_server(1), std::invalid_argument);
+}
+
+TEST(ConsistentHash, RejectsBadConfig) {
+  EXPECT_THROW(store::ConsistentHashPartitioner({}, 1, 16), std::invalid_argument);
+  EXPECT_THROW(store::ConsistentHashPartitioner(servers_0_to(2), 3, 16), std::invalid_argument);
+  EXPECT_THROW(store::ConsistentHashPartitioner(servers_0_to(2), 1, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine
+
+TEST(StorageEngine, PutMetaAndLookup) {
+  store::StorageEngine engine;
+  engine.put_meta(1, 100);
+  EXPECT_TRUE(engine.contains(1));
+  EXPECT_EQ(engine.size_of(1), 100u);
+  EXPECT_FALSE(engine.size_of(2).has_value());
+  EXPECT_EQ(engine.num_keys(), 1u);
+  EXPECT_EQ(engine.stored_bytes(), 100u);
+}
+
+TEST(StorageEngine, OverwriteAdjustsBytes) {
+  store::StorageEngine engine;
+  engine.put_meta(1, 100);
+  engine.put_meta(1, 250);
+  EXPECT_EQ(engine.stored_bytes(), 250u);
+  EXPECT_EQ(engine.num_keys(), 1u);
+}
+
+TEST(StorageEngine, PayloadModeStoresBytes) {
+  store::StorageEngine engine(true);
+  engine.put(7, "hello world");
+  const auto value = engine.get(7);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->payload, "hello world");
+  EXPECT_EQ(value->size_bytes, 11u);
+}
+
+TEST(StorageEngine, MetadataModeDropsPayload) {
+  store::StorageEngine engine(false);
+  engine.put(7, "hello world");
+  const auto value = engine.get(7);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(value->payload.empty());
+  EXPECT_EQ(value->size_bytes, 11u);
+}
+
+TEST(StorageEngine, EraseReleasesBytes) {
+  store::StorageEngine engine;
+  engine.put_meta(1, 100);
+  engine.put_meta(2, 50);
+  EXPECT_TRUE(engine.erase(1));
+  EXPECT_FALSE(engine.erase(1));
+  EXPECT_EQ(engine.stored_bytes(), 50u);
+  EXPECT_EQ(engine.num_keys(), 1u);
+}
+
+}  // namespace
+}  // namespace brb

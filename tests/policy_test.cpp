@@ -1,0 +1,425 @@
+// Tests for replica selectors, the C3 implementation, and the BRB
+// priority-assignment policies (the paper's core algorithms).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "policy/c3.hpp"
+#include "policy/priority_policy.hpp"
+#include "policy/replica_selector.hpp"
+#include "util/rng.hpp"
+
+namespace brb::policy {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+const std::vector<store::ServerId> kReplicas = {3, 5, 7};
+
+store::ServerFeedback feedback(std::uint32_t queue, double rate) {
+  store::ServerFeedback f;
+  f.queue_length = queue;
+  f.service_rate = rate;
+  f.service_time = Duration::micros(300);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Simple selectors
+
+TEST(RandomSelector, UniformOverReplicas) {
+  RandomSelector selector{util::Rng(1)};
+  std::map<store::ServerId, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[selector.select(kReplicas, Duration::zero())];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [server, count] : counts) EXPECT_NEAR(count, 10000, 700);
+}
+
+TEST(RandomSelector, ThrowsOnEmpty) {
+  RandomSelector selector{util::Rng(2)};
+  EXPECT_THROW(selector.select({}, Duration::zero()), std::invalid_argument);
+}
+
+TEST(RoundRobinSelector, Cycles) {
+  RoundRobinSelector selector;
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 3u);
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 5u);
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 7u);
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 3u);
+}
+
+TEST(LeastOutstandingSelector, PicksIdleServer) {
+  LeastOutstandingSelector selector;
+  selector.on_send(3, Duration::zero());
+  selector.on_send(3, Duration::zero());
+  selector.on_send(5, Duration::zero());
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 7u);
+}
+
+TEST(LeastOutstandingSelector, ResponsesDecrement) {
+  LeastOutstandingSelector selector;
+  selector.on_send(3, Duration::zero());
+  selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::zero());
+  EXPECT_EQ(selector.outstanding(3), 0u);
+  // Double response never underflows.
+  selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::zero());
+  EXPECT_EQ(selector.outstanding(3), 0u);
+}
+
+TEST(LeastOutstandingSelector, TieBreakRotates) {
+  LeastOutstandingSelector selector;
+  std::map<store::ServerId, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[selector.select(kReplicas, Duration::zero())];
+  // All tied at zero outstanding: rotation spreads the picks evenly.
+  for (const auto& [server, count] : counts) EXPECT_EQ(count, 1000);
+}
+
+TEST(LeastPendingCostSelector, PicksCheapestServer) {
+  LeastPendingCostSelector selector;
+  selector.on_send(3, Duration::micros(500));
+  selector.on_send(5, Duration::micros(100));
+  selector.on_send(7, Duration::micros(300));
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 5u);
+  EXPECT_EQ(selector.pending_cost(3), Duration::micros(500));
+}
+
+TEST(LeastPendingCostSelector, ResponsesReleaseCost) {
+  LeastPendingCostSelector selector;
+  selector.on_send(3, Duration::micros(500));
+  selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::micros(500));
+  EXPECT_EQ(selector.pending_cost(3), Duration::zero());
+  // Over-release clamps at zero.
+  selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::micros(500));
+  EXPECT_EQ(selector.pending_cost(3), Duration::zero());
+}
+
+TEST(FirstReplicaSelector, AlwaysFront) {
+  FirstReplicaSelector selector;
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 3u);
+  EXPECT_THROW(selector.select({}, Duration::zero()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// C3 selector
+
+C3Config c3_config() {
+  C3Config config;
+  config.num_clients = 18;
+  return config;
+}
+
+TEST(C3Selector, PrefersShorterQueues) {
+  C3Selector selector(c3_config());
+  selector.on_response(3, feedback(20, 14'000), Duration::micros(500), Duration::zero());
+  selector.on_response(5, feedback(1, 14'000), Duration::micros(500), Duration::zero());
+  selector.on_response(7, feedback(10, 14'000), Duration::micros(500), Duration::zero());
+  EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 5u);
+}
+
+TEST(C3Selector, CubicPenaltyDominatesForLongQueues) {
+  C3Selector selector(c3_config());
+  // Server 3: tiny response time but a huge queue; server 5: slower
+  // responses, empty queue. The q^3 term must win.
+  selector.on_response(3, feedback(50, 14'000), Duration::micros(100), Duration::zero());
+  selector.on_response(5, feedback(0, 14'000), Duration::micros(2'000), Duration::zero());
+  EXPECT_GT(selector.score(3), selector.score(5));
+}
+
+TEST(C3Selector, OutstandingRequestsRaiseScore) {
+  C3Selector selector(c3_config());
+  selector.on_response(3, feedback(2, 14'000), Duration::micros(500), Duration::zero());
+  const double before = selector.score(3);
+  selector.on_send(3, Duration::zero());
+  selector.on_send(3, Duration::zero());
+  EXPECT_GT(selector.score(3), before);
+  EXPECT_EQ(selector.outstanding(3), 2u);
+}
+
+TEST(C3Selector, EwmaSmoothsResponseTimes) {
+  C3Config config = c3_config();
+  config.ewma_alpha = 0.5;
+  C3Selector selector(config);
+  selector.on_response(3, feedback(0, 14'000), Duration::micros(1000), Duration::zero());
+  selector.on_response(3, feedback(0, 14'000), Duration::micros(2000), Duration::zero());
+  // EWMA(1000, 2000; a=0.5) = 1500us -> score reflects the blend, and
+  // selecting between two servers with raw extremes goes to the one
+  // whose smoothed estimate is lower.
+  selector.on_response(5, feedback(0, 14'000), Duration::micros(1600), Duration::zero());
+  EXPECT_LT(selector.score(3), selector.score(5));
+}
+
+TEST(C3Selector, UnknownServersUseNeutralPrior) {
+  C3Selector selector(c3_config());
+  // Never-seen servers are selectable without throwing.
+  EXPECT_NO_THROW(selector.select(kReplicas, Duration::zero()));
+}
+
+TEST(C3Selector, RejectsBadConfig) {
+  C3Config bad = c3_config();
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(C3Selector{bad}, std::invalid_argument);
+  bad = c3_config();
+  bad.queue_exponent = 0.5;
+  EXPECT_THROW(C3Selector{bad}, std::invalid_argument);
+  bad = c3_config();
+  bad.num_clients = 0;
+  EXPECT_THROW(C3Selector{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cubic rate controller
+
+CubicRateController::Config rate_config(double initial = 1000.0) {
+  CubicRateController::Config config;
+  config.initial_rate = initial;
+  return config;
+}
+
+TEST(CubicRateController, TokenBucketLimitsBurst) {
+  CubicRateController controller(rate_config());
+  const Time t0 = Time::zero();
+  int sent = 0;
+  while (controller.try_acquire(1, t0)) ++sent;
+  EXPECT_EQ(sent, 8);  // burst depth
+}
+
+TEST(CubicRateController, TokensRefillAtRate) {
+  CubicRateController controller(rate_config(1000.0));
+  Time t = Time::zero();
+  while (controller.try_acquire(1, t)) {
+  }
+  // After 10ms at 1000 req/s, ~10 tokens are back (capped at burst 8).
+  t = Time::millis(10);
+  int sent = 0;
+  while (controller.try_acquire(1, t)) ++sent;
+  EXPECT_EQ(sent, 8);
+  // After 2ms, exactly 2 tokens.
+  t = Time::millis(12);
+  sent = 0;
+  while (controller.try_acquire(1, t)) ++sent;
+  EXPECT_EQ(sent, 2);
+}
+
+TEST(CubicRateController, EarliestSendIsConsistent) {
+  CubicRateController controller(rate_config(1000.0));
+  Time t = Time::zero();
+  while (controller.try_acquire(1, t)) {
+  }
+  const Time when = controller.earliest_send(1, t);
+  EXPECT_GT(when, t);
+  // At the promised time a token is indeed available.
+  EXPECT_TRUE(controller.try_acquire(1, when));
+}
+
+TEST(CubicRateController, DecreasesWhenReceiveLagsSend) {
+  CubicRateController controller(rate_config(1000.0));
+  // Window 1: send 10, receive only 2 -> congestion on window close.
+  Time t = Time::zero();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(controller.try_acquire(1, t));
+  t = Time::millis(2);
+  controller.try_acquire(1, t);
+  t = Time::millis(4);
+  controller.try_acquire(1, t);
+  t = Time::millis(25);  // past the 20ms window
+  controller.on_response(1, feedback(5, 10'000), t);
+  EXPECT_LT(controller.rate_of(1), 1000.0);
+  EXPECT_EQ(controller.decreases(), 1u);
+}
+
+TEST(CubicRateController, GrowsWhenBalanced) {
+  CubicRateController controller(rate_config(1000.0));
+  Time t = Time::zero();
+  // Balanced traffic across several windows -> cubic growth kicks in.
+  for (int w = 1; w <= 50; ++w) {
+    for (int i = 0; i < 4; ++i) controller.try_acquire(1, t);
+    t = Time::millis(w * 21);
+    for (int i = 0; i < 4; ++i) controller.on_response(1, feedback(0, 10'000), t);
+  }
+  EXPECT_GT(controller.rate_of(1), 1000.0);
+  EXPECT_EQ(controller.decreases(), 0u);
+}
+
+TEST(CubicRateController, RecoveryApproachesPreDecreaseRate) {
+  CubicRateController controller(rate_config(1000.0));
+  Time t = Time::zero();
+  // Force one decrease.
+  for (int i = 0; i < 8; ++i) controller.try_acquire(1, t);
+  t = Time::millis(25);
+  controller.on_response(1, feedback(9, 10'000), t);
+  const double post_decrease = controller.rate_of(1);
+  ASSERT_LT(post_decrease, 1000.0);
+  // Balanced windows afterwards: rate recovers toward 1000 within ~1s.
+  for (int w = 1; w <= 50; ++w) {
+    controller.try_acquire(1, t);
+    t = t + Duration::millis(21);
+    controller.on_response(1, feedback(0, 10'000), t);
+  }
+  EXPECT_GE(controller.rate_of(1), 1000.0 * 0.95);
+}
+
+TEST(CubicRateController, RespectsMinAndMaxRate) {
+  CubicRateController::Config config = rate_config(100.0);
+  config.min_rate = 50.0;
+  config.max_rate = 200.0;
+  CubicRateController controller(config);
+  Time t = Time::zero();
+  // Hammer with congestion verdicts.
+  for (int w = 1; w <= 30; ++w) {
+    for (int i = 0; i < 10; ++i) controller.try_acquire(1, t);
+    t = t + Duration::millis(21);
+    controller.on_response(1, feedback(99, 1'000), t);
+  }
+  EXPECT_GE(controller.rate_of(1), 50.0);
+  // And with long balanced growth.
+  for (int w = 1; w <= 200; ++w) {
+    controller.try_acquire(1, t);
+    t = t + Duration::millis(21);
+    controller.on_response(1, feedback(0, 10'000), t);
+  }
+  EXPECT_LE(controller.rate_of(1), 200.0);
+}
+
+TEST(CubicRateController, RejectsBadConfig) {
+  EXPECT_THROW(CubicRateController(rate_config(0.0)), std::invalid_argument);
+  auto bad = rate_config();
+  bad.beta = 1.5;
+  EXPECT_THROW(CubicRateController{bad}, std::invalid_argument);
+  bad = rate_config();
+  bad.burst = 0.5;
+  EXPECT_THROW(CubicRateController{bad}, std::invalid_argument);
+  bad = rate_config();
+  bad.congestion_tolerance = 0.9;
+  EXPECT_THROW(CubicRateController{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Priority policies (the BRB algorithms)
+
+TaskPlan make_plan(std::vector<std::pair<store::GroupId, std::int64_t>> requests) {
+  TaskPlan plan;
+  plan.task_id = 1;
+  plan.arrival = Time::micros(123);
+  for (const auto& [group, cost_ns] : requests) {
+    PlannedRequest request;
+    request.group = group;
+    request.expected_cost = Duration::nanos(cost_ns);
+    plan.requests.push_back(request);
+  }
+  compute_bottleneck(plan);
+  return plan;
+}
+
+TEST(ComputeBottleneck, SumsPerGroupAndTakesMax) {
+  // Fig. 1 structure: group 0 = {A:1}, group 1 = {B:1, C:1}, unit 1000ns.
+  const TaskPlan plan = make_plan({{0, 1000}, {1, 1000}, {1, 1000}});
+  EXPECT_EQ(plan.bottleneck_cost.count_nanos(), 2000);
+}
+
+TEST(ComputeBottleneck, SingleRequest) {
+  const TaskPlan plan = make_plan({{0, 500}});
+  EXPECT_EQ(plan.bottleneck_cost.count_nanos(), 500);
+}
+
+TEST(FifoPolicy, PriorityIsArrivalTime) {
+  TaskPlan plan = make_plan({{0, 1000}, {1, 2000}});
+  FifoPolicy policy;
+  policy.assign(plan);
+  for (const auto& request : plan.requests) {
+    EXPECT_DOUBLE_EQ(request.priority, 123'000.0);
+  }
+}
+
+TEST(EqualMaxPolicy, AllRequestsGetBottleneckCost) {
+  TaskPlan plan = make_plan({{0, 1000}, {1, 1000}, {1, 1000}});
+  EqualMaxPolicy policy;
+  policy.assign(plan);
+  for (const auto& request : plan.requests) {
+    EXPECT_DOUBLE_EQ(request.priority, 2000.0);
+  }
+}
+
+TEST(EqualMaxPolicy, ShorterTasksGetBetterPriority) {
+  // Fig. 1: T1 bottleneck 2 units, T2 bottleneck 1 unit -> T2's
+  // requests outrank T1's everywhere.
+  TaskPlan t1 = make_plan({{0, 1000}, {1, 1000}, {1, 1000}});
+  TaskPlan t2 = make_plan({{2, 1000}, {0, 1000}});
+  EqualMaxPolicy policy;
+  policy.assign(t1);
+  policy.assign(t2);
+  EXPECT_LT(t2.requests[1].priority, t1.requests[0].priority);
+}
+
+TEST(UnifIncrPolicy, PriorityIsSlackBehindBottleneck) {
+  TaskPlan plan = make_plan({{0, 1000}, {1, 1500}, {2, 3000}});
+  UnifIncrPolicy policy;
+  policy.assign(plan);
+  EXPECT_DOUBLE_EQ(plan.requests[0].priority, 2000.0);  // 3000 - 1000
+  EXPECT_DOUBLE_EQ(plan.requests[1].priority, 1500.0);  // 3000 - 1500
+  EXPECT_DOUBLE_EQ(plan.requests[2].priority, 0.0);     // the bottleneck
+}
+
+TEST(UnifIncrPolicy, BottleneckRequestHasZeroSlack) {
+  TaskPlan plan = make_plan({{0, 100}, {1, 100}, {2, 100}});
+  UnifIncrPolicy policy;
+  policy.assign(plan);
+  // All groups equal: every request is its group's bottleneck.
+  for (const auto& request : plan.requests) EXPECT_DOUBLE_EQ(request.priority, 0.0);
+}
+
+TEST(UnifIncrPolicy, SlackNeverNegative) {
+  TaskPlan plan = make_plan({{0, 500}, {0, 700}});  // same group sums to 1200
+  UnifIncrPolicy policy;
+  policy.assign(plan);
+  for (const auto& request : plan.requests) EXPECT_GE(request.priority, 0.0);
+}
+
+TEST(CumSlackPolicy, LastBottleneckRequestHasZeroSlack) {
+  // Group 1 holds two 1000ns requests (bottleneck 2000ns).
+  TaskPlan plan = make_plan({{0, 1000}, {1, 1000}, {1, 1000}});
+  CumSlackPolicy policy;
+  policy.assign(plan);
+  EXPECT_DOUBLE_EQ(plan.requests[0].priority, 1000.0);  // 2000 - 1000
+  EXPECT_DOUBLE_EQ(plan.requests[1].priority, 1000.0);  // first of group 1
+  EXPECT_DOUBLE_EQ(plan.requests[2].priority, 0.0);     // cumulative = bottleneck
+}
+
+TEST(CumSlackPolicy, MatchesUnifIncrForSingletonSubtasks) {
+  TaskPlan a = make_plan({{0, 500}, {1, 1500}, {2, 900}});
+  TaskPlan b = a;
+  CumSlackPolicy cumslack;
+  UnifIncrPolicy unifincr;
+  cumslack.assign(a);
+  unifincr.assign(b);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].priority, b.requests[i].priority);
+  }
+}
+
+TEST(CumSlackPolicy, SlackNeverNegative) {
+  TaskPlan plan = make_plan({{0, 300}, {0, 300}, {0, 300}, {1, 100}});
+  CumSlackPolicy policy;
+  policy.assign(plan);
+  for (const auto& request : plan.requests) EXPECT_GE(request.priority, 0.0);
+}
+
+TEST(RequestSjfPolicy, PriorityIsOwnCost) {
+  TaskPlan plan = make_plan({{0, 111}, {1, 222}});
+  RequestSjfPolicy policy;
+  policy.assign(plan);
+  EXPECT_DOUBLE_EQ(plan.requests[0].priority, 111.0);
+  EXPECT_DOUBLE_EQ(plan.requests[1].priority, 222.0);
+}
+
+TEST(PolicyFactory, KnownNames) {
+  EXPECT_EQ(make_priority_policy("fifo")->name(), "fifo");
+  EXPECT_EQ(make_priority_policy("equalmax")->name(), "equalmax");
+  EXPECT_EQ(make_priority_policy("unifincr")->name(), "unifincr");
+  EXPECT_EQ(make_priority_policy("request-sjf")->name(), "request-sjf");
+  EXPECT_EQ(make_priority_policy("cumslack")->name(), "cumslack");
+  EXPECT_THROW(make_priority_policy("lifo"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace brb::policy

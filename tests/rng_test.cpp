@@ -1,0 +1,329 @@
+// Tests for util::Rng and its distributions: determinism, stream
+// independence, and statistical sanity of every sampler.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace brb::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, LongJumpChangesStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(4);
+  stats::Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, UniformThrowsOnInvertedBounds) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::map<std::int64_t, int> histogram;
+  for (int i = 0; i < 60000; ++i) ++histogram[rng.uniform_int(1, 6)];
+  ASSERT_EQ(histogram.size(), 6u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GE(value, 1);
+    EXPECT_LE(value, 6);
+    // Each face ~10000; allow generous slack.
+    EXPECT_NEAR(count, 10000, 600);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndCv) {
+  Rng rng(10);
+  stats::Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.05);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev() / s.mean(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(10);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  stats::Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMean) {
+  Rng rng(12);
+  stats::Summary s;
+  const double mu = 0.0;
+  const double sigma = 0.5;
+  for (int i = 0; i < 200000; ++i) s.add(rng.lognormal(mu, sigma));
+  EXPECT_NEAR(s.mean(), std::exp(mu + sigma * sigma / 2), 0.02);
+}
+
+TEST(Rng, ParetoSupportAndMean) {
+  Rng rng(13);
+  stats::Summary s;
+  const double shape = 3.0;
+  const double scale = 2.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.pareto(shape, scale);
+    ASSERT_GE(v, scale);
+    s.add(v);
+  }
+  // E[X] = shape*scale/(shape-1) = 3.
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+}
+
+TEST(Rng, GeneralizedParetoReducesToExponentialAtZeroShape) {
+  Rng rng(14);
+  stats::Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.generalized_pareto(0.0, 2.0, 0.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, GeneralizedParetoMeanMatchesFormula) {
+  Rng rng(15);
+  stats::Summary s;
+  const double shape = 0.3;
+  const double scale = 100.0;
+  for (int i = 0; i < 400000; ++i) s.add(rng.generalized_pareto(shape, scale, 0.0));
+  // E[X] = scale / (1 - shape) for shape < 1.
+  EXPECT_NEAR(s.mean(), scale / (1.0 - shape), scale * 0.05);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(16);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 64.0, 4096.0);
+    ASSERT_GE(v, 64.0);
+    ASSERT_LE(v, 4096.0);
+  }
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(17);
+  stats::Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(static_cast<double>(rng.poisson(3.0)));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.variance(), 3.0, 0.15);
+}
+
+TEST(Rng, PoissonLargeMean) {
+  Rng rng(18);
+  stats::Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(s.mean(), 200.0, 1.0);
+  EXPECT_NEAR(s.variance(), 200.0, 10.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(20);
+  Rng child = parent.split();
+  // Correlation between the two streams should be negligible.
+  stats::Summary cov;
+  stats::Summary a_stats;
+  stats::Summary b_stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double a = parent.uniform();
+    const double b = child.uniform();
+    a_stats.add(a);
+    b_stats.add(b);
+    cov.add((a - 0.5) * (b - 0.5));
+  }
+  EXPECT_LT(std::abs(cov.mean()), 0.003);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(21);
+  Rng b(21);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child_a.next_u64(), child_b.next_u64());
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(22);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, WeightedIndexRejectsDegenerateInput) {
+  Rng rng(23);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(24);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  Rng rng(25);
+  ZipfDistribution zipf(0.0, 10);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng) - 1];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 800);
+}
+
+TEST(Zipf, RankOneIsHottest) {
+  Rng rng(26);
+  ZipfDistribution zipf(1.2, 1000);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.sample(rng) - 1];
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[99]);
+  EXPECT_GT(counts[99], counts[999]);
+}
+
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  Rng rng(27);
+  const double s = 1.0;
+  ZipfDistribution zipf(s, 100);
+  std::vector<double> counts(100, 0.0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng) - 1];
+  // count(rank 1) / count(rank 10) should be ~ 10^s.
+  EXPECT_NEAR(counts[0] / counts[9], 10.0, 1.0);
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(28);
+  ZipfDistribution zipf(1.5, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(Zipf, SamplesAlwaysInRange) {
+  Rng rng(29);
+  ZipfDistribution zipf(0.9, 37);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = zipf.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 37u);
+  }
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(1.0, 0), std::invalid_argument);
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadProbabilityMatchesAnalytic) {
+  const double s = GetParam();
+  Rng rng(31);
+  const std::uint64_t n = 50;
+  ZipfDistribution zipf(s, n);
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) harmonic += 1.0 / std::pow(static_cast<double>(k), s);
+  const double expect_p1 = 1.0 / harmonic;
+  int hits = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) hits += zipf.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / draws, expect_p1, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.5, 0.9, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace brb::util

@@ -1,0 +1,247 @@
+// Tests for the discrete-event engine: ordering, stability,
+// cancellation, clock semantics.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace brb::sim {
+namespace {
+
+using namespace brb::sim::literals;
+
+TEST(Time, ArithmeticRoundTrips) {
+  const Time t = Time::micros(100);
+  const Duration d = Duration::micros(50);
+  EXPECT_EQ((t + d).count_nanos(), 150'000);
+  EXPECT_EQ((t + d) - d, t);
+  EXPECT_EQ((t + d) - t, d);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ((5_us).count_nanos(), 5'000);
+  EXPECT_EQ((2_ms).count_nanos(), 2'000'000);
+  EXPECT_EQ((1_s).count_nanos(), 1'000'000'000);
+  EXPECT_EQ((7_ns).count_nanos(), 7);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::micros(1), Time::micros(2));
+  EXPECT_LE(Duration::zero(), Duration::nanos(0));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+}
+
+TEST(Time, DurationScaling) {
+  EXPECT_EQ((Duration::micros(100) * 2.5).count_nanos(), 250'000);
+  EXPECT_EQ((Duration::micros(100) / 4.0).count_nanos(), 25'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(3) / Duration::millis(1), 3.0);
+}
+
+TEST(Time, ToStringPicksScale) {
+  EXPECT_EQ(to_string(Duration::nanos(5)), "5ns");
+  EXPECT_EQ(to_string(Duration::micros(42)), "42.000us");
+  EXPECT_EQ(to_string(Duration::millis(1.5)), "1.500ms");
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2.000s");
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(Time::micros(30), [&] { order.push_back(3); });
+  q.push(Time::micros(10), [&] { order.push_back(1); });
+  q.push(Time::micros(20), [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.push(Time::micros(5), [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.pop()) e->fn();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.push(Time::micros(1), [&] { ++fired; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(Time::micros(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(Time::micros(1), [&] { order.push_back(1); });
+  const EventId id = q.push(Time::micros(2), [&] { order.push_back(2); });
+  q.push(Time::micros(3), [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(Time::micros(1), [] {});
+  q.push(Time::micros(2), [] {});
+  EXPECT_TRUE(q.cancel(early));
+  ASSERT_TRUE(q.peek_time().has_value());
+  EXPECT_EQ(*q.peek_time(), Time::micros(2));
+}
+
+TEST(EventQueue, RandomizedOrderingProperty) {
+  util::Rng rng(99);
+  EventQueue q;
+  for (int i = 0; i < 5000; ++i) {
+    q.push(Time::nanos(rng.uniform_int(0, 1000)), [] {});
+  }
+  Time last = Time::zero();
+  std::size_t popped = 0;
+  while (auto e = q.pop()) {
+    ASSERT_GE(e->when, last);
+    last = e->when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 5000u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  Time seen = Time::zero();
+  sim.schedule_at(Time::micros(123), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, Time::micros(123));
+  EXPECT_EQ(sim.now(), Time::micros(123));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_at(Time::micros(10), [&] {
+    sim.schedule_after(Duration::micros(5), [&] { times.push_back(sim.now().count_nanos()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 15'000);
+}
+
+TEST(Simulator, ThrowsOnSchedulingInPast) {
+  Simulator sim;
+  sim.schedule_at(Time::micros(10), [&] {
+    EXPECT_THROW(sim.schedule_at(Time::micros(5), [] {}), ScheduleInPastError);
+    EXPECT_THROW(sim.schedule_after(Duration::micros(1) - Duration::micros(2), [] {}),
+                 ScheduleInPastError);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::micros(10), [&] { ++fired; });
+  sim.schedule_at(Time::micros(20), [&] { ++fired; });
+  sim.schedule_at(Time::micros(30), [&] { ++fired; });
+  const auto executed = sim.run_until(Time::micros(20));
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Time::micros(20));
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(Time::millis(5));
+  EXPECT_EQ(sim.now(), Time::millis(5));
+}
+
+TEST(Simulator, StopPreemptsRemainingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::micros(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(Time::micros(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::micros(1), [&] { ++fired; });
+  sim.schedule_at(Time::micros(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsProcessedAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(Time::micros(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(Simulator, CancelledEventNeverRuns) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(Time::micros(5), [&] { ++fired; });
+  sim.schedule_at(Time::micros(1), [&] { EXPECT_TRUE(sim.cancel(id)); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, SameInstantEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(Time::micros(7), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingAtSameInstantRunsAfterEarlierPeers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::micros(1), [&] {
+    order.push_back(1);
+    // Same-time event scheduled mid-execution runs after already-queued
+    // peers at that instant (sequence order).
+    sim.schedule_at(Time::micros(1), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(Time::micros(1), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace brb::sim

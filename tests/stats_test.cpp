@@ -1,0 +1,368 @@
+// Tests for the stats module: summaries, histograms, quantile
+// estimators, latency recorder, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/latency_recorder.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+namespace brb::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  util::Rng rng(1);
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(10, 3);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  a.add(2.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summary, NumericalStabilityLargeOffset) {
+  Summary s;
+  for (int i = 0; i < 10000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(Histogram, EmptyThrowsOnQuantile) {
+  Histogram h;
+  EXPECT_THROW(h.value_at_quantile(0.5), std::logic_error);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.median(), 1234);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::int64_t v = 0; v < 1000; ++v) h.record(v);
+  // Values below the sub-bucket resolution are recorded exactly; the
+  // median rank is ceil(0.5 * 1000) = 500th smallest, i.e. value 499.
+  EXPECT_EQ(h.value_at_quantile(0.5), 499);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 999);
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  Histogram h(3'600'000'000'000LL, 3);
+  util::Rng rng(2);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 200000; ++i) {
+    values.push_back(rng.uniform_int(1, 1'000'000'000));
+    h.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const auto exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.value_at_quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.01)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanTracksSum) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, OverflowClampsAndCounts) {
+  Histogram h(1000, 3);
+  h.record(5000);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_LE(h.max(), 1000);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-17);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.value_at_quantile(0.5), 0);
+}
+
+TEST(Histogram, MergeSameGeometry) {
+  Histogram a;
+  Histogram b;
+  util::Rng rng(3);
+  Histogram reference;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(1, 10'000'000);
+    (i % 2 == 0 ? a : b).record(v);
+    reference.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), reference.count());
+  EXPECT_EQ(a.value_at_quantile(0.99), reference.value_at_quantile(0.99));
+  EXPECT_EQ(a.min(), reference.min());
+  EXPECT_EQ(a.max(), reference.max());
+}
+
+TEST(Histogram, MergeDifferentGeometryApproximates) {
+  Histogram coarse(1'000'000, 2);
+  Histogram fine(1'000'000, 4);
+  for (int i = 1; i <= 1000; ++i) fine.record(i * 997 % 1'000'000 + 1);
+  coarse.merge(fine);
+  EXPECT_EQ(coarse.count(), 1000u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_THROW(h.value_at_quantile(0.5), std::logic_error);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 6), std::invalid_argument);
+}
+
+TEST(Histogram, RecordNBulk) {
+  Histogram h;
+  h.record_n(42, 1000);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.median(), 42);
+  h.record_n(42, 0);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(ExactQuantiles, MatchesSortedOrderStats) {
+  ExactQuantiles eq;
+  for (int i = 100; i >= 1; --i) eq.add(i);
+  EXPECT_DOUBLE_EQ(eq.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(eq.quantile(1.0), 100.0);
+  // Type-7: h = q*(n-1); q=0.5 -> 50.5.
+  EXPECT_DOUBLE_EQ(eq.quantile(0.5), 50.5);
+}
+
+TEST(ExactQuantiles, ThrowsWhenEmpty) {
+  ExactQuantiles eq;
+  EXPECT_THROW(eq.quantile(0.5), std::logic_error);
+}
+
+TEST(ExactQuantiles, SingleElement) {
+  ExactQuantiles eq;
+  eq.add(7.0);
+  EXPECT_DOUBLE_EQ(eq.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(eq.quantile(0.99), 7.0);
+}
+
+class P2Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Sweep, TracksUniformQuantile) {
+  const double q = GetParam();
+  P2Quantile p2(q);
+  util::Rng rng(4);
+  for (int i = 0; i < 200000; ++i) p2.add(rng.uniform());
+  EXPECT_NEAR(p2.value(), q, 0.01) << "q=" << q;
+}
+
+TEST_P(P2Sweep, TracksExponentialQuantile) {
+  const double q = GetParam();
+  P2Quantile p2(q);
+  util::Rng rng(5);
+  ExactQuantiles exact;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.exponential(1.0);
+    p2.add(v);
+    exact.add(v);
+  }
+  const double truth = exact.quantile(q);
+  EXPECT_NEAR(p2.value(), truth, std::max(0.02, truth * 0.05)) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Sweep, ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+TEST(P2Quantile, FewSamplesFallsBackToExact) {
+  P2Quantile p2(0.5);
+  p2.add(3.0);
+  p2.add(1.0);
+  p2.add(2.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2Quantile, ThrowsWhenEmpty) {
+  P2Quantile p2(0.5);
+  EXPECT_THROW(p2.value(), std::logic_error);
+}
+
+TEST(ReservoirSample, KeepsAllWhenUnderCapacity) {
+  ReservoirSample r(100, util::Rng(6));
+  for (int i = 0; i < 50; ++i) r.add(i);
+  EXPECT_EQ(r.sample().size(), 50u);
+  EXPECT_EQ(r.seen(), 50u);
+}
+
+TEST(ReservoirSample, CapsAtCapacity) {
+  ReservoirSample r(100, util::Rng(7));
+  for (int i = 0; i < 10000; ++i) r.add(i);
+  EXPECT_EQ(r.sample().size(), 100u);
+  EXPECT_EQ(r.seen(), 10000u);
+}
+
+TEST(ReservoirSample, UniformInclusionProbability) {
+  // Each element should survive with p = capacity/n; check the mean of
+  // retained values is near the stream mean.
+  ReservoirSample r(500, util::Rng(8));
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) r.add(i);
+  Summary s;
+  for (const double v : r.sample()) s.add(v);
+  EXPECT_NEAR(s.mean(), (n - 1) / 2.0, n * 0.05);
+}
+
+TEST(ReservoirSample, QuantileOnReservoir) {
+  ReservoirSample r(1000, util::Rng(9));
+  for (int i = 1; i <= 1000; ++i) r.add(i);
+  EXPECT_NEAR(r.quantile(0.5), 500.5, 1.0);
+}
+
+TEST(ReservoirSample, RejectsZeroCapacity) {
+  EXPECT_THROW(ReservoirSample(0, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(LatencyRecorder, RecordsAndSummarizes) {
+  LatencyRecorder r(false);
+  r.record(sim::Duration::millis(1));
+  r.record(sim::Duration::millis(2));
+  r.record(sim::Duration::millis(3));
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_NEAR(r.mean().as_millis(), 2.0, 0.01);
+  EXPECT_NEAR(r.percentile(50).as_millis(), 2.0, 0.02);
+  EXPECT_EQ(r.min().count_nanos(), sim::Duration::millis(1).count_nanos());
+  EXPECT_EQ(r.max().count_nanos(), sim::Duration::millis(3).count_nanos());
+}
+
+TEST(LatencyRecorder, RawModeIsExact) {
+  LatencyRecorder r(true);
+  for (int i = 1; i <= 1001; ++i) r.record(sim::Duration::nanos(i));
+  EXPECT_EQ(r.percentile(50).count_nanos(), 501);
+}
+
+TEST(LatencyRecorder, NegativeDurationsClampToZero) {
+  LatencyRecorder r(false);
+  r.record(sim::Duration::nanos(-5));
+  EXPECT_EQ(r.min().count_nanos(), 0);
+}
+
+TEST(LatencyRecorder, MergeCombines) {
+  LatencyRecorder a(false);
+  LatencyRecorder b(false);
+  a.record(sim::Duration::millis(1));
+  b.record(sim::Duration::millis(3));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean().as_millis(), 2.0, 0.01);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableFormatters, Render) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_millis(2.5, 1), "2.5ms");
+  EXPECT_EQ(fmt_ratio(1.987, 2), "1.99x");
+}
+
+}  // namespace
+}  // namespace brb::stats

@@ -1,0 +1,123 @@
+// Tests for the util module: flags parsing and the logger.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/logger.hpp"
+
+namespace brb::util {
+namespace {
+
+Flags parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  const Flags flags = parse({"--tasks", "500"});
+  EXPECT_EQ(flags.get_int("tasks", 0), 500);
+  EXPECT_TRUE(flags.has("tasks"));
+}
+
+TEST(Flags, EqualsSeparatedValue) {
+  const Flags flags = parse({"--utilization=0.7"});
+  EXPECT_DOUBLE_EQ(flags.get_double("utilization", 0.0), 0.7);
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  const Flags flags = parse({"--paper"});
+  EXPECT_TRUE(flags.get_bool("paper", false));
+}
+
+TEST(Flags, BooleanFollowedByFlag) {
+  const Flags flags = parse({"--csv", "--tasks", "10"});
+  EXPECT_TRUE(flags.get_bool("csv", false));
+  EXPECT_EQ(flags.get_int("tasks", 0), 10);
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = parse({"input.csv", "--tasks", "5", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  const Flags flags = parse({"--tasks", "abc"});
+  EXPECT_THROW(flags.get_int("tasks", 0), std::invalid_argument);
+  const Flags flags2 = parse({"--ratio", "x.y"});
+  EXPECT_THROW(flags2.get_double("ratio", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ::setenv("BRB_TEST_ONLY_FLAG", "77", 1);
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get_int("test-only-flag", 0), 77);
+  ::unsetenv("BRB_TEST_ONLY_FLAG");
+  EXPECT_EQ(flags.get_int("test-only-flag", 5), 5);
+}
+
+TEST(Flags, CommandLineBeatsEnvironment) {
+  ::setenv("BRB_PRIORITY_SRC", "env", 1);
+  const Flags flags = parse({"--priority-src", "cli"});
+  EXPECT_EQ(flags.get_string("priority-src", ""), "cli");
+  ::unsetenv("BRB_PRIORITY_SRC");
+}
+
+TEST(Logger, LevelFiltering) {
+  const LogLevel original = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+  Logger::set_level(LogLevel::kTrace);
+  EXPECT_TRUE(Logger::enabled(LogLevel::kDebug));
+  Logger::set_level(original);
+}
+
+TEST(Logger, LevelFromName) {
+  const LogLevel original = Logger::level();
+  EXPECT_TRUE(Logger::set_level_from_name("debug"));
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  EXPECT_TRUE(Logger::set_level_from_name("off"));
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+  EXPECT_FALSE(Logger::set_level_from_name("verbose"));
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);  // unchanged on failure
+  Logger::set_level(original);
+}
+
+TEST(Logger, MacroShortCircuitsWhenDisabled) {
+  const LogLevel original = Logger::level();
+  Logger::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  BRB_DEBUG("test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  Logger::set_level(original);
+}
+
+}  // namespace
+}  // namespace brb::util
