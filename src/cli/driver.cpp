@@ -1,0 +1,403 @@
+#include "cli/driver.hpp"
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "stats/table.hpp"
+#include "workload/arrival.hpp"
+#include "workload/capacity.hpp"
+#include "workload/fanout_dist.hpp"
+#include "workload/key_dist.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/task_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace brb::cli {
+
+namespace {
+
+using core::AggregateResult;
+using core::RunResult;
+using core::ScenarioConfig;
+
+sim::Duration micros_flag(const util::Flags& flags, std::string_view name,
+                          sim::Duration fallback) {
+  return sim::Duration::micros(flags.get_double(name, fallback.as_micros()));
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  return os;
+}
+
+}  // namespace
+
+ScenarioConfig config_from_flags(const util::Flags& flags) {
+  ScenarioConfig config;  // paper defaults
+  const bool paper = flags.get_bool("paper", false);
+
+  // --- cluster ---
+  config.cluster.num_servers =
+      static_cast<std::uint32_t>(flags.get_uint("servers", config.cluster.num_servers));
+  config.cluster.cores_per_server =
+      static_cast<std::uint32_t>(flags.get_uint("cores", config.cluster.cores_per_server));
+  config.cluster.service_rate_per_core =
+      flags.get_double("rate", config.cluster.service_rate_per_core);
+  config.replication = static_cast<std::uint32_t>(flags.get_uint("replication", config.replication));
+  config.num_clients = static_cast<std::uint32_t>(flags.get_uint("clients", config.num_clients));
+
+  // --- workload ---
+  config.num_tasks = flags.get_uint("tasks", paper ? 500'000 : 60'000);
+  config.utilization = flags.get_double("utilization", config.utilization);
+  config.trace_path = flags.get_string("trace", config.trace_path);
+  config.fanout_spec = flags.get_string("fanout", config.fanout_spec);
+  config.size_spec = flags.get_string("sizes", config.size_spec);
+  config.key_spec = flags.get_string("keys", config.key_spec);
+  config.paced_arrivals = flags.get_bool("paced", config.paced_arrivals);
+
+  // --- timing ---
+  config.net_latency = micros_flag(flags, "net-latency-us", config.net_latency);
+  config.net_jitter = micros_flag(flags, "net-jitter-us", config.net_jitter);
+  config.service_base = micros_flag(flags, "service-base-us", config.service_base);
+  config.service_noise_sigma = flags.get_double("service-noise", config.service_noise_sigma);
+  config.cost_noise_sigma = flags.get_double("cost-noise", config.cost_noise_sigma);
+
+  // --- measurement ---
+  config.warmup_fraction = flags.get_double("warmup", config.warmup_fraction);
+  config.keep_raw_latencies = flags.get_bool("keep-raw", config.keep_raw_latencies);
+
+  // --- system under test ---
+  config.system = core::system_kind_from_name(
+      flags.get_string("system", to_string(config.system)));
+  config.seed = flags.get_uint("seed", config.seed);
+  config.selector_override = flags.get_string("selector", config.selector_override);
+
+  // --- credits controller ---
+  config.credits.adapt_interval = sim::Duration::seconds(
+      flags.get_double("credits-adapt-s", config.credits.adapt_interval.as_seconds()));
+  config.credits.measure_interval = sim::Duration::millis(flags.get_double(
+      "credits-measure-ms", config.credits.measure_interval.as_millis()));
+  config.credits.monitor_interval = sim::Duration::millis(flags.get_double(
+      "credits-monitor-ms", config.credits.monitor_interval.as_millis()));
+  config.credits.congestion_queue_factor =
+      flags.get_double("credits-congestion-factor", config.credits.congestion_queue_factor);
+  config.credits.congestion_backoff =
+      flags.get_double("credits-backoff", config.credits.congestion_backoff);
+  config.credits.recovery_step =
+      flags.get_double("credits-recovery", config.credits.recovery_step);
+  config.credits.min_capacity_factor =
+      flags.get_double("credits-min-capacity", config.credits.min_capacity_factor);
+  config.credits.demand_ewma_alpha =
+      flags.get_double("credits-ewma", config.credits.demand_ewma_alpha);
+  config.credits.min_share_fraction =
+      flags.get_double("credits-min-share", config.credits.min_share_fraction);
+  config.credits.carryover_cap_factor =
+      flags.get_double("credits-carryover", config.credits.carryover_cap_factor);
+
+  // --- C3 comparator ---
+  config.c3.ewma_alpha = flags.get_double("c3-ewma", config.c3.ewma_alpha);
+  config.c3.queue_exponent = flags.get_double("c3-exponent", config.c3.queue_exponent);
+  config.rate.initial_rate = flags.get_double("rate-initial", config.rate.initial_rate);
+  config.rate.beta = flags.get_double("rate-beta", config.rate.beta);
+  config.rate.scaling = flags.get_double("rate-scaling", config.rate.scaling);
+  config.rate.burst = flags.get_double("rate-burst", config.rate.burst);
+  config.rate.window =
+      sim::Duration::millis(flags.get_double("rate-window-ms", config.rate.window.as_millis()));
+
+  return config;
+}
+
+std::vector<std::uint64_t> seeds_from_flags(const util::Flags& flags,
+                                            std::uint64_t default_count) {
+  if (const auto list = flags.get("seed-list")) {
+    std::vector<std::uint64_t> seeds;
+    std::stringstream ss(*list);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+      if (part.empty()) continue;
+      try {
+        // stoull silently wraps negatives, so reject the sign up front.
+        if (part[0] == '-') throw std::invalid_argument("negative");
+        seeds.push_back(std::stoull(part));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("--seed-list: not a seed: " + part);
+      }
+    }
+    if (seeds.empty()) throw std::invalid_argument("--seed-list: empty list");
+    return seeds;
+  }
+  const std::uint64_t count = flags.get_uint("seeds", default_count);
+  if (count == 0) throw std::invalid_argument("--seeds: must be >= 1");
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < count; ++s) seeds.push_back(s + 1);
+  return seeds;
+}
+
+void record_trace(const ScenarioConfig& base, const std::string& path) {
+  util::Rng rng(base.seed);
+  const auto sizes = workload::make_size_distribution(base.size_spec);
+  const auto keys = workload::make_key_distribution(base.key_spec);
+  const auto fanout = workload::make_fanout_distribution(base.fanout_spec);
+  workload::Dataset dataset(keys->num_keys(), *sizes, rng.split());
+  workload::TaskGenerator::Config gen_config;
+  gen_config.num_clients = base.num_clients;
+  const workload::CapacityPlanner planner(base.cluster);
+  const double task_rate = planner.task_rate_for_utilization(base.utilization, fanout->mean());
+  std::unique_ptr<workload::ArrivalProcess> arrivals;
+  if (base.paced_arrivals) {
+    arrivals = std::make_unique<workload::PacedArrivals>(task_rate);
+  } else {
+    arrivals = std::make_unique<workload::PoissonArrivals>(task_rate);
+  }
+  workload::TaskGenerator generator(gen_config, dataset, *keys, *fanout, std::move(arrivals),
+                                    rng.split());
+  const auto tasks = generator.generate(base.num_tasks);
+  workload::TraceWriter::write_file(path, tasks);
+}
+
+namespace {
+
+stats::Json config_json(const ScenarioConfig& config) {
+  stats::Json j = stats::Json::object();
+  j["servers"] = config.cluster.num_servers;
+  j["cores_per_server"] = config.cluster.cores_per_server;
+  j["service_rate_per_core"] = config.cluster.service_rate_per_core;
+  j["replication"] = config.replication;
+  j["clients"] = config.num_clients;
+  j["tasks"] = config.num_tasks;
+  j["utilization"] = config.utilization;
+  j["trace"] = config.trace_path;
+  j["fanout"] = config.fanout_spec;
+  j["sizes"] = config.size_spec;
+  j["keys"] = config.key_spec;
+  j["paced_arrivals"] = config.paced_arrivals;
+  j["net_latency_us"] = config.net_latency.as_micros();
+  j["net_jitter_us"] = config.net_jitter.as_micros();
+  j["service_base_us"] = config.service_base.as_micros();
+  j["service_noise_sigma"] = config.service_noise_sigma;
+  j["cost_noise_sigma"] = config.cost_noise_sigma;
+  j["warmup_fraction"] = config.warmup_fraction;
+  j["selector_override"] = config.selector_override;
+  return j;
+}
+
+stats::Json summary_json(const stats::Summary& s) {
+  stats::Json j = stats::Json::object();
+  j["mean"] = s.mean();
+  j["stddev"] = s.stddev();
+  j["min"] = s.min();
+  j["max"] = s.max();
+  return j;
+}
+
+stats::Json run_json(const RunResult& run) {
+  const core::LatencySummary latency = core::summarize_tasks(run);
+  stats::Json j = stats::Json::object();
+  j["seed"] = run.seed;
+  j["p50_ms"] = latency.p50_ms;
+  j["p95_ms"] = latency.p95_ms;
+  j["p99_ms"] = latency.p99_ms;
+  j["mean_ms"] = latency.mean_ms;
+  j["tasks_completed"] = run.tasks_completed;
+  j["tasks_measured"] = run.tasks_measured;
+  j["requests_completed"] = run.requests_completed;
+  j["mean_utilization"] = run.mean_utilization;
+  j["network_messages"] = run.network_messages;
+  j["network_bytes"] = run.network_bytes;
+  j["congestion_signals"] = run.congestion_signals;
+  j["controller_adaptations"] = run.controller_adaptations;
+  j["credit_hold_events"] = run.credit_hold_events;
+  j["credit_hold_time_s"] = run.credit_hold_time.as_seconds();
+  j["gate_held_requests"] = run.gate_held_requests;
+  j["sim_seconds"] = run.sim_duration.as_seconds();
+  j["events_processed"] = run.events_processed;
+  j["wall_seconds"] = run.wall_seconds;
+  return j;
+}
+
+}  // namespace
+
+stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
+                        const std::vector<std::uint64_t>& seeds,
+                        const std::vector<CaseResult>& results) {
+  stats::Json root = stats::Json::object();
+  root["tool"] = "brbsim";
+  root["scenario"] = scenario;
+  root["config"] = config_json(base);
+  stats::Json seed_array = stats::Json::array();
+  for (const std::uint64_t s : seeds) seed_array.push_back(s);
+  root["seeds"] = std::move(seed_array);
+
+  stats::Json cases = stats::Json::array();
+  for (const CaseResult& result : results) {
+    stats::Json c = stats::Json::object();
+    c["label"] = result.spec.label;
+    c["system"] = to_string(result.spec.config.system);
+    c["utilization"] = result.spec.config.utilization;
+    c["fanout"] = result.spec.config.fanout_spec;
+    stats::Json latency = stats::Json::object();
+    latency["p50_ms"] = summary_json(result.aggregate.p50_ms);
+    latency["p95_ms"] = summary_json(result.aggregate.p95_ms);
+    latency["p99_ms"] = summary_json(result.aggregate.p99_ms);
+    latency["mean_ms"] = summary_json(result.aggregate.mean_ms);
+    c["task_latency_ms"] = std::move(latency);
+    stats::Json runs = stats::Json::array();
+    for (const RunResult& run : result.aggregate.runs) runs.push_back(run_json(run));
+    c["runs"] = std::move(runs);
+    cases.push_back(std::move(c));
+  }
+  root["cases"] = std::move(cases);
+  return root;
+}
+
+void report_csv(std::ostream& os, const std::string& scenario,
+                const std::vector<CaseResult>& results) {
+  os << "scenario,label,system,seed,p50_ms,p95_ms,p99_ms,mean_ms,tasks_completed,"
+        "requests_completed,mean_utilization,congestion_signals,credit_hold_events,"
+        "wall_seconds\n";
+  for (const CaseResult& result : results) {
+    const std::string prefix = stats::csv_field(scenario) + "," +
+                               stats::csv_field(result.spec.label) + "," +
+                               to_string(result.spec.config.system);
+    for (const RunResult& run : result.aggregate.runs) {
+      const core::LatencySummary latency = core::summarize_tasks(run);
+      os << prefix << "," << run.seed << "," << latency.p50_ms << "," << latency.p95_ms << ","
+         << latency.p99_ms << "," << latency.mean_ms << "," << run.tasks_completed << ","
+         << run.requests_completed << "," << run.mean_utilization << ","
+         << run.congestion_signals << "," << run.credit_hold_events << "," << run.wall_seconds
+         << "\n";
+    }
+    // The cross-seed aggregate row (seed column = "all").
+    const AggregateResult& agg = result.aggregate;
+    os << prefix << ",all," << agg.p50_ms.mean() << "," << agg.p95_ms.mean() << ","
+       << agg.p99_ms.mean() << "," << agg.mean_ms.mean() << ",,,,,,\n";
+  }
+}
+
+void print_usage(std::ostream& os) {
+  os << "brbsim — unified BRB experiment driver\n\n"
+        "usage: brbsim [--scenario=NAME] [overrides...] [--json=PATH] [--csv=PATH]\n"
+        "       brbsim --record-trace=PATH [workload overrides...]\n"
+        "       brbsim --list\n\n"
+        "scenarios:\n";
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    os << "  " << spec.name << std::string(spec.name.size() < 14 ? 14 - spec.name.size() : 1, ' ')
+       << spec.summary << "\n";
+  }
+  os << "\nrun control:\n"
+        "  --seeds=N             run seeds 1..N (default 3; 6 with --paper)\n"
+        "  --seed-list=1,5,9     explicit seed list (wins over --seeds)\n"
+        "  --serial              disable the per-seed worker threads\n"
+        "  --paper               full paper scale (500k tasks, 6 seeds)\n"
+        "  --json=PATH  --csv=PATH  machine-readable artifacts\n"
+        "  --quiet               suppress the console table\n"
+        "\ncluster / workload overrides (paper defaults otherwise):\n"
+        "  --servers --cores --rate --replication --clients --tasks\n"
+        "  --utilization --fanout=SPEC --sizes=SPEC --keys=SPEC --paced\n"
+        "  --trace=PATH (trace-replay input)\n"
+        "\ntiming / measurement:\n"
+        "  --net-latency-us --net-jitter-us --service-base-us\n"
+        "  --service-noise --cost-noise --warmup --keep-raw\n"
+        "\npolicy knobs:\n"
+        "  --system --selector --systems=a,b,c (scenario system set)\n"
+        "  --loads=0.5,0.7 (load-sweep)  --fanouts=spec,... (fanout-sweep)\n"
+        "  --credits-{adapt-s,measure-ms,monitor-ms,congestion-factor,backoff,\n"
+        "             recovery,min-capacity,ewma,min-share,carryover}\n"
+        "  --c3-{ewma,exponent}  --rate-{initial,beta,scaling,burst,window-ms}\n"
+        "\nEvery flag also reads a BRB_<NAME> environment default\n"
+        "(e.g. BRB_PAPER=1, BRB_TASKS=10000).\n";
+}
+
+int run_brbsim(int argc, const char* const* argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.get_bool("help", false)) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (flags.get_bool("list", false)) {
+      for (const ScenarioSpec& spec : scenario_registry()) {
+        std::cout << spec.name << "\t" << spec.summary << "\n";
+      }
+      return 0;
+    }
+
+    const ScenarioConfig base = config_from_flags(flags);
+
+    if (const auto trace_out = flags.get("record-trace")) {
+      record_trace(base, *trace_out);
+      std::cout << "recorded " << base.num_tasks << " tasks to " << *trace_out << "\n";
+      return 0;
+    }
+
+    const std::string scenario_name = flags.get_string("scenario", "paper");
+    const ScenarioSpec* scenario = find_scenario(scenario_name);
+    if (scenario == nullptr) {
+      std::cerr << "brbsim: unknown scenario '" << scenario_name
+                << "' (see brbsim --list)\n";
+      return 2;
+    }
+
+    const bool paper = flags.get_bool("paper", false);
+    const std::vector<std::uint64_t> seeds = seeds_from_flags(flags, paper ? 6 : 3);
+    const bool parallel = !flags.get_bool("serial", false);
+    const bool quiet = flags.get_bool("quiet", false);
+
+    const std::vector<ExperimentCase> cases = scenario->expand(base, flags);
+    if (cases.empty()) {
+      std::cerr << "brbsim: scenario '" << scenario_name << "' expanded to no cases\n";
+      return 2;
+    }
+
+    if (!quiet) {
+      std::cout << "# brbsim scenario=" << scenario_name << ": " << cases.size() << " cases x "
+                << seeds.size() << " seeds, " << base.num_tasks << " tasks each\n";
+    }
+
+    std::vector<CaseResult> results;
+    results.reserve(cases.size());
+    for (const ExperimentCase& experiment : cases) {
+      AggregateResult aggregate = core::run_seeds(experiment.config, seeds, parallel);
+      if (!quiet) std::cerr << "[brbsim] finished " << experiment.label << "\n";
+      results.push_back({experiment, std::move(aggregate)});
+    }
+
+    if (!quiet) {
+      stats::Table table({"case", "p50 ms", "p95 ms", "p99 ms", "mean ms", "sd(p99)"});
+      for (const CaseResult& result : results) {
+        const AggregateResult& agg = result.aggregate;
+        table.add_row({result.spec.label, stats::fmt_double(agg.p50_ms.mean(), 3),
+                       stats::fmt_double(agg.p95_ms.mean(), 3),
+                       stats::fmt_double(agg.p99_ms.mean(), 3),
+                       stats::fmt_double(agg.mean_ms.mean(), 3),
+                       stats::fmt_double(agg.p99_ms.stddev(), 3)});
+      }
+      table.print(std::cout);
+    }
+
+    if (const auto json_path = flags.get("json")) {
+      auto os = open_or_throw(*json_path);
+      report_json(scenario_name, base, seeds, results).dump(os);
+      os << "\n";
+      if (!quiet) std::cout << "wrote " << *json_path << "\n";
+    }
+    if (const auto csv_path = flags.get("csv")) {
+      auto os = open_or_throw(*csv_path);
+      report_csv(os, scenario_name, results);
+      if (!quiet) std::cout << "wrote " << *csv_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "brbsim: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace brb::cli

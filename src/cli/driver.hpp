@@ -1,0 +1,57 @@
+// The `brbsim` unified experiment driver.
+//
+// One binary replaces the copy-pasted bench mains: pick a scenario from
+// the registry, override any `ScenarioConfig` field with a flag, run
+// every case across seeds (in parallel by default), and get an aligned
+// console table plus machine-readable JSON / CSV artifacts.
+//
+//   brbsim --scenario=paper --seeds=3 --json=out.json
+//   brbsim --scenario=load-sweep --loads=0.6,0.8 --tasks=30000 --csv=sweep.csv
+//   brbsim --record-trace=trace.csv --tasks=20000
+//   brbsim --scenario=trace-replay --trace=trace.csv
+//   brbsim --list
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "cli/scenario_registry.hpp"
+#include "core/scenario.hpp"
+#include "stats/report.hpp"
+#include "util/flags.hpp"
+
+namespace brb::cli {
+
+/// One executed case with its cross-seed aggregate.
+struct CaseResult {
+  ExperimentCase spec;
+  core::AggregateResult aggregate;
+};
+
+/// Builds the driver's base config: paper defaults, then every
+/// `--flag` override (see `print_usage` for the full list).
+core::ScenarioConfig config_from_flags(const util::Flags& flags);
+
+/// Seed list: `--seed-list=1,5,9` wins, else 1..`--seeds`.
+std::vector<std::uint64_t> seeds_from_flags(const util::Flags& flags,
+                                            std::uint64_t default_count);
+
+/// Generates the base config's workload and writes it as a trace file.
+void record_trace(const core::ScenarioConfig& base, const std::string& path);
+
+/// The JSON artifact for one finished driver invocation.
+stats::Json report_json(const std::string& scenario, const core::ScenarioConfig& base,
+                        const std::vector<std::uint64_t>& seeds,
+                        const std::vector<CaseResult>& results);
+
+/// Per-run CSV (one row per case x seed, plus one aggregate row).
+void report_csv(std::ostream& os, const std::string& scenario,
+                const std::vector<CaseResult>& results);
+
+void print_usage(std::ostream& os);
+
+/// Full driver entry point (what tools/brbsim_main.cpp calls).
+/// Returns a process exit code; never throws.
+int run_brbsim(int argc, const char* const* argv);
+
+}  // namespace brb::cli

@@ -1,0 +1,168 @@
+#include "cli/scenario_registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace brb::cli {
+
+namespace {
+
+using core::ScenarioConfig;
+using core::SystemKind;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+std::vector<ExperimentCase> per_system(const ScenarioConfig& base,
+                                       const std::vector<SystemKind>& systems) {
+  std::vector<ExperimentCase> cases;
+  cases.reserve(systems.size());
+  for (const SystemKind kind : systems) {
+    ScenarioConfig config = base;
+    config.system = kind;
+    cases.push_back({to_string(kind), std::move(config)});
+  }
+  return cases;
+}
+
+/// Figure 2's five systems: C3 against the BRB matrix.
+const std::vector<SystemKind> kPaperSystems = {
+    SystemKind::kC3,
+    SystemKind::kEqualMaxCredits,
+    SystemKind::kEqualMaxModel,
+    SystemKind::kUnifIncrCredits,
+    SystemKind::kUnifIncrModel,
+};
+
+/// Every SystemKind, baselines through ablations (bench_abl_policy_matrix).
+const std::vector<SystemKind> kMatrixSystems = {
+    SystemKind::kRandomFifo,       SystemKind::kFifoDirect,      SystemKind::kRequestSjfDirect,
+    SystemKind::kC3,               SystemKind::kEqualMaxDirect,  SystemKind::kUnifIncrDirect,
+    SystemKind::kEqualMaxCredits,  SystemKind::kUnifIncrCredits, SystemKind::kCumSlackCredits,
+    SystemKind::kFifoModel,        SystemKind::kEqualMaxModel,   SystemKind::kUnifIncrModel,
+    SystemKind::kCumSlackModel,
+};
+
+std::vector<ExperimentCase> expand_paper(const ScenarioConfig& base, const util::Flags& flags) {
+  return per_system(base, systems_from_flags(flags, kPaperSystems));
+}
+
+std::vector<ExperimentCase> expand_policy_matrix(const ScenarioConfig& base,
+                                                 const util::Flags& flags) {
+  return per_system(base, systems_from_flags(flags, kMatrixSystems));
+}
+
+std::vector<ExperimentCase> expand_load_sweep(const ScenarioConfig& base,
+                                              const util::Flags& flags) {
+  const std::vector<double> loads =
+      doubles_from_flag(flags, "loads", {0.50, 0.60, 0.70, 0.80, 0.90});
+  const auto systems = systems_from_flags(
+      flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits, SystemKind::kEqualMaxModel});
+  std::vector<ExperimentCase> cases;
+  for (const double util : loads) {
+    for (const SystemKind kind : systems) {
+      ScenarioConfig config = base;
+      config.system = kind;
+      config.utilization = util;
+      std::ostringstream label;
+      label << to_string(kind) << "@util=" << util;
+      cases.push_back({label.str(), std::move(config)});
+    }
+  }
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_fanout_sweep(const ScenarioConfig& base,
+                                                const util::Flags& flags) {
+  // The bench_abl_fanout_sweep ladder: degenerate fan-out 1 up to the
+  // skewed log-normal the paper's workload uses.
+  std::vector<std::string> specs = {
+      "fixed:1",  "fixed:4", "geometric:8.6", "lognormal:8.6:1.0:512", "lognormal:8.6:2.0:512",
+      "fixed:32",
+  };
+  if (const auto custom = flags.get("fanouts")) specs = split_csv(*custom);
+  const auto systems =
+      systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits});
+  std::vector<ExperimentCase> cases;
+  for (const std::string& spec : specs) {
+    for (const SystemKind kind : systems) {
+      ScenarioConfig config = base;
+      config.system = kind;
+      config.fanout_spec = spec;
+      cases.push_back({to_string(kind) + "@fanout=" + spec, std::move(config)});
+    }
+  }
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_trace_replay(const ScenarioConfig& base,
+                                                const util::Flags& flags) {
+  if (base.trace_path.empty()) {
+    throw std::invalid_argument(
+        "scenario trace-replay needs --trace=PATH (record one with "
+        "brbsim --record-trace=PATH or example_trace_replay)");
+  }
+  return per_system(base,
+                    systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits}));
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> registry = {
+      {"paper", "Figure 2: the five-system comparison at paper defaults", expand_paper},
+      {"load-sweep", "utilization sweep (--loads=0.5,...) over C3 / credits / model",
+       expand_load_sweep},
+      {"fanout-sweep", "fan-out distribution sweep (--fanouts=spec,...)", expand_fanout_sweep},
+      {"policy-matrix", "all 13 systems: baselines, BRB, ablations", expand_policy_matrix},
+      {"trace-replay", "replay a recorded trace (--trace=PATH) across systems",
+       expand_trace_replay},
+  };
+  return registry;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<SystemKind> systems_from_flags(const util::Flags& flags,
+                                           std::vector<SystemKind> fallback) {
+  const auto value = flags.get("systems");
+  if (!value) return fallback;
+  std::vector<SystemKind> systems;
+  for (const std::string& name : split_csv(*value)) {
+    systems.push_back(core::system_kind_from_name(name));
+  }
+  if (systems.empty()) throw std::invalid_argument("--systems: empty list");
+  return systems;
+}
+
+std::vector<double> doubles_from_flag(const util::Flags& flags, std::string_view name,
+                                      std::vector<double> fallback) {
+  const auto value = flags.get(name);
+  if (!value) return fallback;
+  std::vector<double> out;
+  for (const std::string& part : split_csv(*value)) {
+    try {
+      out.push_back(std::stod(part));
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string("--") + std::string(name) +
+                                  ": not a number: " + part);
+    }
+  }
+  if (out.empty()) throw std::invalid_argument(std::string("--") + std::string(name) +
+                                               ": empty list");
+  return out;
+}
+
+}  // namespace brb::cli

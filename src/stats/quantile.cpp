@@ -5,20 +5,31 @@
 
 namespace brb::stats {
 
+namespace {
+
+/// Type-7 interpolation (the R/NumPy default) over sorted order
+/// statistics. The single definition every estimator here shares, so
+/// exact, warmup and reservoir quantiles can never drift apart.
+double type7(const std::vector<double>& sorted, double q) {
+  const double h =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (h - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 double ExactQuantiles::quantile(double q) const {
   if (values_.empty()) throw std::logic_error("ExactQuantiles::quantile: no samples");
-  q = std::clamp(q, 0.0, 1.0);
-  // Type-7 interpolation on the order statistics.
-  const double h = q * static_cast<double>(values_.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(h));
-  const auto hi = std::min(lo + 1, values_.size() - 1);
-  std::nth_element(values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(lo),
-                   values_.end());
-  const double v_lo = values_[lo];
-  if (hi == lo) return v_lo;
-  const double v_hi =
-      *std::min_element(values_.begin() + static_cast<std::ptrdiff_t>(lo) + 1, values_.end());
-  return v_lo + (h - static_cast<double>(lo)) * (v_hi - v_lo);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // `add` only appends, so a size mismatch is the complete staleness
+  // signal (and `clear` empties both vectors).
+  if (sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  return type7(sorted_, q);
 }
 
 P2Quantile::P2Quantile(double q) : q_(q) {
@@ -97,12 +108,11 @@ double P2Quantile::linear(int i, double d) const {
 double P2Quantile::value() const {
   if (n_ == 0) throw std::logic_error("P2Quantile::value: no samples");
   if (warmup_.size() < 5 || n_ <= 5) {
+    // Exact small-sample answer, interpolated consistently with the
+    // rest of the stats module (ExactQuantiles, ReservoirSample).
     std::vector<double> sorted = warmup_;
     std::sort(sorted.begin(), sorted.end());
-    const auto idx = static_cast<std::size_t>(
-        std::clamp(q_ * static_cast<double>(sorted.size() - 1), 0.0,
-                   static_cast<double>(sorted.size() - 1)));
-    return sorted[idx];
+    return type7(sorted, q_);
   }
   return heights_[2];
 }
@@ -119,8 +129,9 @@ void ReservoirSample::add(double x) {
     sample_.push_back(x);
     return;
   }
-  const auto j =
-      static_cast<std::uint64_t>(rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+  // Full-width draw: `seen_` is a uint64 and may legitimately exceed
+  // the int64 range that `uniform_int` covers.
+  const std::uint64_t j = replacement_index(rng_, seen_);
   if (j < capacity_) sample_[static_cast<std::size_t>(j)] = x;
 }
 
@@ -128,10 +139,7 @@ double ReservoirSample::quantile(double q) const {
   if (sample_.empty()) throw std::logic_error("ReservoirSample::quantile: no samples");
   std::vector<double> sorted = sample_;
   std::sort(sorted.begin(), sorted.end());
-  const double h = std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(h));
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
-  return sorted[lo] + (h - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+  return type7(sorted, q);
 }
 
 }  // namespace brb::stats

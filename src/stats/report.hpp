@@ -1,0 +1,85 @@
+// Machine-readable experiment artifacts.
+//
+// `Json` is a minimal ordered JSON document — objects, arrays, strings,
+// numbers, booleans, null — sufficient for the `BENCH_*.json` artifacts
+// the experiment driver emits, without an external dependency. Keys
+// keep insertion order so artifacts diff cleanly across runs.
+// `csv_field` quotes a value for the companion CSV emitter.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace brb::stats {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() noexcept : kind_(Kind::kNull) {}
+  Json(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}
+  /// Any integer type; a uint64 above int64 range degrades to double.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  Json(T v) noexcept : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {
+    if constexpr (std::is_unsigned_v<T> && sizeof(T) >= sizeof(std::int64_t)) {
+      if (v > static_cast<T>(std::numeric_limits<std::int64_t>::max())) {
+        kind_ = Kind::kDouble;
+        double_ = static_cast<double>(v);
+      }
+    }
+  }
+  Json(double v) noexcept : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Object access; inserts a null member on first use. The document
+  /// must be an object (or null, which is promoted).
+  Json& operator[](const std::string& key);
+
+  /// Array append. The document must be an array (or null, promoted).
+  void push_back(Json value);
+
+  std::size_t size() const noexcept;
+
+  /// Serializes with two-space indentation (compact with indent < 0).
+  void dump(std::ostream& os, int indent = 2) const;
+  std::string dump_string(int indent = 2) const;
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escapes a string for JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Quotes a CSV field when it contains a comma, quote, or newline.
+std::string csv_field(const std::string& s);
+
+}  // namespace brb::stats

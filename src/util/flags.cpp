@@ -72,6 +72,21 @@ std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const 
   }
 }
 
+std::uint64_t Flags::get_uint(std::string_view name, std::uint64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) + ": not an integer: " + *v);
+  }
+  if (parsed < 0) {
+    throw std::invalid_argument("flag --" + std::string(name) + ": must be >= 0, got " + *v);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
 double Flags::get_double(std::string_view name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;

@@ -31,6 +31,10 @@ class Flags {
 
   std::string get_string(std::string_view name, std::string_view fallback) const;
   std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  /// Non-negative integer flag (counts, sizes). Throws
+  /// std::invalid_argument on a negative value instead of letting a
+  /// "--tasks=-1" wrap through an unsigned cast.
+  std::uint64_t get_uint(std::string_view name, std::uint64_t fallback) const;
   double get_double(std::string_view name, double fallback) const;
   bool get_bool(std::string_view name, bool fallback) const;
 

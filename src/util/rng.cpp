@@ -73,12 +73,17 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   const std::uint64_t range =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(gen_.next());  // full span
+  return lo + static_cast<std::int64_t>(uniform_u64_below(range));
+}
+
+std::uint64_t Rng::uniform_u64_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform_u64_below: bound == 0");
   // Classic rejection sampling: discard the partial block at the top of
   // the 64-bit space so every residue is equally likely.
-  const std::uint64_t threshold = (0 - range) % range;  // 2^64 mod range
+  const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
   for (;;) {
     const std::uint64_t r = gen_.next();
-    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+    if (r >= threshold) return r % bound;
   }
 }
 

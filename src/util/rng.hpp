@@ -74,6 +74,11 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
+  /// Uniform integer in [0, bound). Requires bound > 0. Covers the full
+  /// uint64 range, unlike `uniform_int` whose bounds are int64 — use
+  /// this for counters that may exceed 2^63 (e.g. reservoir sampling).
+  std::uint64_t uniform_u64_below(std::uint64_t bound);
+
   /// True with probability p (clamped to [0, 1]).
   bool bernoulli(double p) noexcept;
 

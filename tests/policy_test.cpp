@@ -259,6 +259,39 @@ TEST(CubicRateController, RecoveryApproachesPreDecreaseRate) {
   EXPECT_GE(controller.rate_of(1), 1000.0 * 0.95);
 }
 
+TEST(CubicRateController, RecoveryCrossesWmaxAndKeepsGrowing) {
+  // Full CUBIC episode: a decrease records W_max = 1000, the recovery
+  // curve climbs back, crosses W_max (the curve's inflection point),
+  // and continues into the convex probing region beyond it.
+  CubicRateController controller(rate_config(1000.0));
+  Time t = Time::zero();
+  for (int i = 0; i < 8; ++i) controller.try_acquire(1, t);
+  t = Time::millis(25);
+  controller.on_response(1, feedback(9, 10'000), t);  // congestion verdict
+  ASSERT_EQ(controller.decreases(), 1u);
+  const double post_decrease = controller.rate_of(1);
+  ASSERT_LT(post_decrease, 1000.0);
+
+  // Balanced windows until the cap crosses W_max.
+  double rate_at_crossing = 0.0;
+  for (int w = 1; w <= 400 && rate_at_crossing == 0.0; ++w) {
+    controller.try_acquire(1, t);
+    t = t + Duration::millis(21);
+    controller.on_response(1, feedback(0, 10'000), t);
+    if (controller.rate_of(1) > 1000.0) rate_at_crossing = controller.rate_of(1);
+  }
+  ASSERT_GT(rate_at_crossing, 1000.0) << "recovery never crossed W_max";
+
+  // Past W_max the curve is convex: growth must continue, not plateau.
+  for (int w = 0; w < 100; ++w) {
+    controller.try_acquire(1, t);
+    t = t + Duration::millis(21);
+    controller.on_response(1, feedback(0, 10'000), t);
+  }
+  EXPECT_GT(controller.rate_of(1), rate_at_crossing);
+  EXPECT_EQ(controller.decreases(), 1u);  // no spurious decreases en route
+}
+
 TEST(CubicRateController, RespectsMinAndMaxRate) {
   CubicRateController::Config config = rate_config(100.0);
   config.min_rate = 50.0;

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -94,6 +96,43 @@ TEST(Rng, UniformIntCoversAllValues) {
 TEST(Rng, UniformIntSingleton) {
   Rng rng(7);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformU64BelowRespectsBound) {
+  Rng rng(21);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.uniform_u64_below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64BelowMatchesUniformIntStream) {
+  // Same rejection-sampling core: for int64-expressible bounds the two
+  // APIs must consume the generator identically and agree draw-by-draw.
+  Rng a(22);
+  Rng b(22);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(a.uniform_u64_below(1000)), b.uniform_int(0, 999));
+  }
+}
+
+TEST(Rng, UniformU64BelowUniformBeyondInt64Range) {
+  // Bounds past 2^63 are exactly the regime uniform_int cannot span.
+  Rng rng(23);
+  const std::uint64_t bound = (1ULL << 63) + (1ULL << 62);
+  const std::uint64_t bucket_width = bound / 8 + 1;
+  std::array<int, 8> buckets{};
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.uniform_u64_below(bound);
+    ASSERT_LT(v, bound);
+    ++buckets[static_cast<std::size_t>(v / bucket_width)];
+  }
+  for (const int count : buckets) EXPECT_NEAR(count, draws / 8, draws / 8 * 0.10);
+}
+
+TEST(Rng, UniformU64BelowRejectsZeroBound) {
+  Rng rng(24);
+  EXPECT_THROW(rng.uniform_u64_below(0), std::invalid_argument);
 }
 
 TEST(Rng, BernoulliEdgeCases) {

@@ -61,6 +61,35 @@ TEST(ScenarioEdge, FixedFanoutOne) {
   EXPECT_EQ(result.requests_completed, config.num_tasks);
 }
 
+TEST(ScenarioEdge, GateDrainsFullyAcrossPolicyMatrix) {
+  // RunResult documents gate_held_requests as "held at end of run
+  // (should be 0)": whatever the dispatch mechanism (direct, credits,
+  // rate-gated C3, global queue), a completed run must not strand
+  // requests inside a client gate.
+  const SystemKind matrix[] = {
+      SystemKind::kC3,
+      SystemKind::kEqualMaxCredits,
+      SystemKind::kUnifIncrCredits,
+      SystemKind::kEqualMaxModel,
+      SystemKind::kUnifIncrModel,
+      SystemKind::kFifoDirect,
+      SystemKind::kRandomFifo,
+      SystemKind::kEqualMaxDirect,
+      SystemKind::kUnifIncrDirect,
+      SystemKind::kFifoModel,
+      SystemKind::kRequestSjfDirect,
+      SystemKind::kCumSlackCredits,
+      SystemKind::kCumSlackModel,
+  };
+  for (const SystemKind kind : matrix) {
+    ScenarioConfig config = small_config(kind);
+    config.num_tasks = 1500;
+    const RunResult result = run_scenario(config);
+    EXPECT_EQ(result.gate_held_requests, 0u) << to_string(kind);
+    EXPECT_EQ(result.tasks_completed, config.num_tasks) << to_string(kind);
+  }
+}
+
 TEST(ScenarioEdge, TransientOverloadStillCompletes) {
   // Offered load 20% above capacity for a short burst: queues grow, the
   // congestion machinery engages, and the drain finishes the run.

@@ -3,14 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
 #include "stats/latency_recorder.hpp"
 #include "stats/quantile.hpp"
+#include "stats/report.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "util/rng.hpp"
@@ -218,6 +222,73 @@ TEST(ExactQuantiles, SingleElement) {
   EXPECT_DOUBLE_EQ(eq.quantile(0.99), 7.0);
 }
 
+TEST(ExactQuantiles, QuantileDoesNotReorderValues) {
+  // Regression: quantile() used to nth_element the sample buffer in
+  // place, scrambling values() and mutating under const.
+  ExactQuantiles eq;
+  for (int i = 100; i >= 1; --i) eq.add(i);
+  const std::vector<double> before = eq.values();
+  eq.quantile(0.5);
+  eq.quantile(0.99);
+  EXPECT_EQ(eq.values(), before);
+}
+
+TEST(ExactQuantiles, RepeatedQueriesUseSortedCache) {
+  ExactQuantiles eq;
+  util::Rng rng(17);
+  for (int i = 0; i < 5000; ++i) eq.add(rng.uniform());
+  const double first = eq.quantile(0.95);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(eq.quantile(0.95), first);
+  // A mutation invalidates the cache even at unchanged count semantics.
+  eq.add(1e9);
+  EXPECT_DOUBLE_EQ(eq.quantile(1.0), 1e9);
+}
+
+TEST(ExactQuantiles, CacheInvalidatedByClearAndRefill) {
+  ExactQuantiles eq;
+  for (int i = 1; i <= 10; ++i) eq.add(i);
+  EXPECT_DOUBLE_EQ(eq.quantile(1.0), 10.0);
+  eq.clear();
+  for (int i = 101; i <= 110; ++i) eq.add(i);  // same count, new values
+  EXPECT_DOUBLE_EQ(eq.quantile(1.0), 110.0);
+}
+
+TEST(ExactQuantiles, ConcurrentQuantileReadsAreSafeAndConsistent) {
+  // The parallel multi-seed runner reads AggregateResult percentiles
+  // from several threads; racing first reads must agree.
+  ExactQuantiles eq;
+  util::Rng rng(18);
+  for (int i = 0; i < 20000; ++i) eq.add(rng.exponential(1.0));
+  ExactQuantiles reference = eq;
+  const double expected_p50 = reference.quantile(0.5);
+  const double expected_p99 = reference.quantile(0.99);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (eq.quantile(0.5) != expected_p50) mismatches.fetch_add(1);
+        if (eq.quantile(0.99) != expected_p99) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ExactQuantiles, CopyAndAssignKeepSamples) {
+  ExactQuantiles eq;
+  for (int i = 1; i <= 9; ++i) eq.add(i);
+  eq.quantile(0.5);  // populate the cache before copying
+  const ExactQuantiles copy = eq;
+  EXPECT_EQ(copy.count(), 9u);
+  EXPECT_DOUBLE_EQ(copy.quantile(0.5), 5.0);
+  ExactQuantiles assigned;
+  assigned.add(42.0);
+  assigned = eq;
+  EXPECT_DOUBLE_EQ(assigned.quantile(1.0), 9.0);
+}
+
 class P2Sweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(P2Sweep, TracksUniformQuantile) {
@@ -250,6 +321,24 @@ TEST(P2Quantile, FewSamplesFallsBackToExact) {
   p2.add(1.0);
   p2.add(2.0);
   EXPECT_DOUBLE_EQ(p2.value(), 2.0);
+}
+
+TEST(P2Quantile, SmallSampleMatchesExactQuantiles) {
+  // Regression: the warmup path used nearest-rank, inconsistent with
+  // the type-7 interpolation used by every other estimator here.
+  util::Rng rng(19);
+  for (int n = 1; n <= 5; ++n) {
+    for (const double q : {0.25, 0.5, 0.9, 0.95, 0.99}) {
+      P2Quantile p2(q);
+      ExactQuantiles exact;
+      for (int i = 0; i < n; ++i) {
+        const double v = rng.uniform(0.0, 100.0);
+        p2.add(v);
+        exact.add(v);
+      }
+      EXPECT_DOUBLE_EQ(p2.value(), exact.quantile(q)) << "n=" << n << " q=" << q;
+    }
+  }
 }
 
 TEST(P2Quantile, RejectsBadQuantile) {
@@ -295,6 +384,27 @@ TEST(ReservoirSample, QuantileOnReservoir) {
 
 TEST(ReservoirSample, RejectsZeroCapacity) {
   EXPECT_THROW(ReservoirSample(0, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(ReservoirSample, ReplacementIndexUniformPastInt64Boundary) {
+  // Regression: `seen_` used to be funneled through uniform_int's
+  // int64 parameter, overflowing (UB) once a stream passes 2^63
+  // observations. The replacement draw must stay uniform over the full
+  // [0, seen) range beyond that boundary.
+  util::Rng rng(20);
+  const std::uint64_t seen = (1ULL << 63) + 987654321ULL;
+  const std::uint64_t bucket_width = seen / 16 + 1;
+  std::vector<int> buckets(16, 0);
+  const int draws = 64000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t j = ReservoirSample::replacement_index(rng, seen);
+    ASSERT_LT(j, seen);
+    ++buckets[static_cast<std::size_t>(j / bucket_width)];
+  }
+  const double expected = draws / 16.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    EXPECT_NEAR(buckets[b], expected, expected * 0.10) << "bucket " << b;
+  }
 }
 
 TEST(LatencyRecorder, RecordsAndSummarizes) {
@@ -362,6 +472,56 @@ TEST(TableFormatters, Render) {
   EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
   EXPECT_EQ(fmt_millis(2.5, 1), "2.5ms");
   EXPECT_EQ(fmt_ratio(1.987, 2), "1.99x");
+}
+
+TEST(Json, ScalarsRenderCompactly) {
+  EXPECT_EQ(Json{}.dump_string(-1), "null");
+  EXPECT_EQ(Json(true).dump_string(-1), "true");
+  EXPECT_EQ(Json(42).dump_string(-1), "42");
+  EXPECT_EQ(Json(std::uint64_t{7}).dump_string(-1), "7");
+  EXPECT_EQ(Json(2.5).dump_string(-1), "2.5");
+  EXPECT_EQ(Json("hi").dump_string(-1), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j["z"] = 1;
+  j["a"] = 2;
+  j["z"] = 3;  // update in place, no duplicate key
+  EXPECT_EQ(j.dump_string(-1), "{\"z\":3,\"a\":2}");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, NestedStructuresRender) {
+  Json j = Json::object();
+  Json runs = Json::array();
+  runs.push_back(1);
+  runs.push_back("two");
+  j["runs"] = std::move(runs);
+  j["empty_obj"] = Json::object();
+  j["empty_arr"] = Json::array();
+  EXPECT_EQ(j.dump_string(-1), "{\"runs\":[1,\"two\"],\"empty_obj\":{},\"empty_arr\":[]}");
+}
+
+TEST(Json, EscapesStringsAndNonFiniteNumbers) {
+  Json j = Json::object();
+  j["s"] = "a\"b\\c\nd";
+  j["nan"] = std::nan("");
+  EXPECT_EQ(j.dump_string(-1), "{\"s\":\"a\\\"b\\\\c\\nd\",\"nan\":null}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  EXPECT_THROW(arr["key"], std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(1), std::logic_error);
+}
+
+TEST(CsvField, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
 }
 
 }  // namespace

@@ -69,6 +69,17 @@ TEST(Flags, MalformedNumberThrows) {
   EXPECT_THROW(flags2.get_double("ratio", 0.0), std::invalid_argument);
 }
 
+TEST(Flags, GetUintParsesAndRejectsNegatives) {
+  const Flags flags = parse({"--tasks", "500", "--seeds", "-1"});
+  EXPECT_EQ(flags.get_uint("tasks", 0), 500u);
+  EXPECT_EQ(flags.get_uint("missing", 7), 7u);
+  // Counts must not wrap through an unsigned cast: -1 is an error, not
+  // 2^64 - 1 seeds.
+  EXPECT_THROW(flags.get_uint("seeds", 1), std::invalid_argument);
+  const Flags bad = parse({"--tasks", "many"});
+  EXPECT_THROW(bad.get_uint("tasks", 0), std::invalid_argument);
+}
+
 TEST(Flags, EnvironmentFallback) {
   ::setenv("BRB_TEST_ONLY_FLAG", "77", 1);
   const Flags flags = parse({});

@@ -1,0 +1,5 @@
+// Entry point for the unified experiment driver; all logic lives in
+// src/cli so it is linkable (and testable) from the library.
+#include "cli/driver.hpp"
+
+int main(int argc, char** argv) { return brb::cli::run_brbsim(argc, argv); }
