@@ -4,11 +4,18 @@
 // fan-out 1 every policy degenerates to per-request scheduling, and the
 // BRB-vs-C3 gap should shrink; with large skewed fan-outs the
 // bottleneck structure dominates and the gap widens.
-// Flags: --tasks N --seeds N  (BRB_PAPER=1 for scale)
+//
+// The sweep itself lives in the `brbsim` scenario registry
+// ("fanout-sweep") — this harness only expands that scenario, runs it,
+// and prints the C3-vs-BRB ratio table.
+// Flags: --tasks N --seeds N --fanouts spec,...  (BRB_PAPER=1 for scale)
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "cli/driver.hpp"
+#include "cli/scenario_registry.hpp"
 #include "core/scenario.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -20,45 +27,48 @@ int main(int argc, char** argv) {
   const brb::util::Flags flags(argc, argv);
   const bool paper = flags.get_bool("paper", false);
 
-  ScenarioConfig base;
-  base.num_tasks = static_cast<std::uint64_t>(flags.get_int("tasks", paper ? 150'000 : 30'000));
-  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds", paper ? 4 : 2));
-  std::vector<std::uint64_t> seeds;
-  for (std::uint64_t s = 0; s < num_seeds; ++s) seeds.push_back(s + 1);
+  ScenarioConfig base = brb::cli::config_from_flags(flags);
+  if (!flags.has("tasks")) base.num_tasks = paper ? 150'000 : 30'000;
+  const std::vector<std::uint64_t> seeds =
+      brb::cli::seeds_from_flags(flags, paper ? 4 : 2);
 
-  struct FanoutCase {
-    std::string label;
-    std::string spec;
-  };
-  const std::vector<FanoutCase> cases = {
-      {"fixed 1", "fixed:1"},
-      {"fixed 4", "fixed:4"},
-      {"geometric 8.6", "geometric:8.6"},
-      {"lognormal 8.6 s=1.0", "lognormal:8.6:1.0:512"},
-      {"lognormal 8.6 s=2.0", "lognormal:8.6:2.0:512"},
-      {"fixed 32", "fixed:32"},
-  };
+  const brb::cli::ScenarioSpec* scenario = brb::cli::find_scenario("fanout-sweep");
+  const std::vector<brb::cli::ExperimentCase> cases = scenario->expand(base, flags);
 
   std::cout << "# Ablation: fan-out sweep, task latency (ms), " << seeds.size() << " seeds x "
             << base.num_tasks << " tasks, utilization " << base.utilization << "\n\n";
+
+  // (fanout spec -> system -> aggregate); specs keep expansion order.
+  std::vector<std::string> spec_order;
+  std::map<std::string, std::map<SystemKind, AggregateResult>> by_spec;
+  for (const brb::cli::ExperimentCase& experiment : cases) {
+    if (by_spec.find(experiment.config.fanout_spec) == by_spec.end()) {
+      spec_order.push_back(experiment.config.fanout_spec);
+    }
+    by_spec[experiment.config.fanout_spec][experiment.config.system] =
+        brb::core::run_seeds(experiment.config, seeds);
+    std::cerr << "[fanout] " << experiment.label << " done\n";
+  }
+
   brb::stats::Table table({"fanout", "C3 p50", "BRB p50", "C3 p99", "BRB p99", "p50 ratio",
                            "p99 ratio"});
-  for (const FanoutCase& fc : cases) {
-    const auto run = [&](SystemKind kind) {
-      ScenarioConfig config = base;
-      config.system = kind;
-      config.fanout_spec = fc.spec;
-      return brb::core::run_seeds(config, seeds);
-    };
-    const AggregateResult c3 = run(SystemKind::kC3);
-    const AggregateResult brb_credits = run(SystemKind::kEqualMaxCredits);
-    table.add_row({fc.label, brb::stats::fmt_double(c3.p50_ms.mean(), 3),
-                   brb::stats::fmt_double(brb_credits.p50_ms.mean(), 3),
-                   brb::stats::fmt_double(c3.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(brb_credits.p99_ms.mean(), 3),
-                   brb::stats::fmt_ratio(c3.p50_ms.mean() / brb_credits.p50_ms.mean()),
-                   brb::stats::fmt_ratio(c3.p99_ms.mean() / brb_credits.p99_ms.mean())});
-    std::cerr << "[fanout] " << fc.label << " done\n";
+  for (const std::string& spec : spec_order) {
+    const auto& by_system = by_spec[spec];
+    const auto c3 = by_system.find(SystemKind::kC3);
+    const auto brb_credits = by_system.find(SystemKind::kEqualMaxCredits);
+    if (c3 == by_system.end() || brb_credits == by_system.end()) {
+      std::cerr << "[fanout] " << spec
+                << " skipped in table (needs c3 + equalmax-credits)\n";
+      continue;
+    }
+    table.add_row({spec, brb::stats::fmt_double(c3->second.p50_ms.mean(), 3),
+                   brb::stats::fmt_double(brb_credits->second.p50_ms.mean(), 3),
+                   brb::stats::fmt_double(c3->second.p99_ms.mean(), 3),
+                   brb::stats::fmt_double(brb_credits->second.p99_ms.mean(), 3),
+                   brb::stats::fmt_ratio(c3->second.p50_ms.mean() /
+                                         brb_credits->second.p50_ms.mean()),
+                   brb::stats::fmt_ratio(c3->second.p99_ms.mean() /
+                                         brb_credits->second.p99_ms.mean())});
   }
   table.print(std::cout);
   std::cout << "\n# expectation: ratios near 1x at fan-out 1, growing with fan-out and skew.\n";

@@ -3,10 +3,18 @@
 // Where does BRB's advantage over C3 grow, and when does the credits
 // realization start to diverge from the ideal model? The paper pins
 // Figure 2 at 70% utilization; this sweep maps the neighbourhood.
-// Flags: --tasks N --seeds N  (BRB_PAPER=1 for scale)
+//
+// The sweep itself lives in the `brbsim` scenario registry
+// ("load-sweep") — this harness only expands that scenario, runs it,
+// and prints the C3/credits/model ratio table the figure wants.
+// Flags: --tasks N --seeds N --loads a,b,c  (BRB_PAPER=1 for scale)
 #include <iostream>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "cli/driver.hpp"
+#include "cli/scenario_registry.hpp"
 #include "core/scenario.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -18,37 +26,48 @@ int main(int argc, char** argv) {
   const brb::util::Flags flags(argc, argv);
   const bool paper = flags.get_bool("paper", false);
 
-  ScenarioConfig base;
-  base.num_tasks = static_cast<std::uint64_t>(flags.get_int("tasks", paper ? 150'000 : 30'000));
-  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds", paper ? 4 : 2));
-  std::vector<std::uint64_t> seeds;
-  for (std::uint64_t s = 0; s < num_seeds; ++s) seeds.push_back(s + 1);
+  ScenarioConfig base = brb::cli::config_from_flags(flags);
+  if (!flags.has("tasks")) base.num_tasks = paper ? 150'000 : 30'000;
+  const std::vector<std::uint64_t> seeds =
+      brb::cli::seeds_from_flags(flags, paper ? 4 : 2);
 
-  const std::vector<double> loads = {0.50, 0.60, 0.70, 0.80, 0.90};
+  const brb::cli::ScenarioSpec* scenario = brb::cli::find_scenario("load-sweep");
+  const std::vector<brb::cli::ExperimentCase> cases = scenario->expand(base, flags);
 
   std::cout << "# Ablation: utilization sweep, task latency p99 (ms), " << seeds.size()
             << " seeds x " << base.num_tasks << " tasks\n\n";
+
+  // (utilization -> system -> aggregate); the table prints in
+  // ascending-utilization order whatever order --loads gave.
+  std::map<double, std::map<SystemKind, AggregateResult>> by_util;
+  for (const brb::cli::ExperimentCase& experiment : cases) {
+    by_util[experiment.config.utilization][experiment.config.system] =
+        brb::core::run_seeds(experiment.config, seeds);
+    std::cerr << "[load] " << experiment.label << " done\n";
+  }
+
   brb::stats::Table table({"util", "C3 p99", "credits p99", "model p99", "C3/credits",
                            "credits/model gap"});
-  for (const double util : loads) {
-    const auto run = [&](SystemKind kind) {
-      ScenarioConfig config = base;
-      config.system = kind;
-      config.utilization = util;
-      return brb::core::run_seeds(config, seeds);
-    };
-    const AggregateResult c3 = run(SystemKind::kC3);
-    const AggregateResult credits = run(SystemKind::kEqualMaxCredits);
-    const AggregateResult model = run(SystemKind::kEqualMaxModel);
+  for (const auto& [util, by_system] : by_util) {
+    const auto c3 = by_system.find(SystemKind::kC3);
+    const auto credits = by_system.find(SystemKind::kEqualMaxCredits);
+    const auto model = by_system.find(SystemKind::kEqualMaxModel);
+    if (c3 == by_system.end() || credits == by_system.end() || model == by_system.end()) {
+      std::cerr << "[load] util=" << util
+                << " skipped in table (needs c3 + equalmax-credits + equalmax-model)\n";
+      continue;
+    }
     table.add_row({brb::stats::fmt_double(util, 2),
-                   brb::stats::fmt_double(c3.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(credits.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(model.p99_ms.mean(), 3),
-                   brb::stats::fmt_ratio(c3.p99_ms.mean() / credits.p99_ms.mean()),
-                   brb::stats::fmt_double(
-                       (credits.p99_ms.mean() / model.p99_ms.mean() - 1.0) * 100.0, 1) +
+                   brb::stats::fmt_double(c3->second.p99_ms.mean(), 3),
+                   brb::stats::fmt_double(credits->second.p99_ms.mean(), 3),
+                   brb::stats::fmt_double(model->second.p99_ms.mean(), 3),
+                   brb::stats::fmt_ratio(c3->second.p99_ms.mean() / credits->second.p99_ms.mean()),
+                   brb::stats::fmt_double((credits->second.p99_ms.mean() /
+                                               model->second.p99_ms.mean() -
+                                           1.0) *
+                                              100.0,
+                                          1) +
                        "%"});
-    std::cerr << "[load] util=" << util << " done\n";
   }
   table.print(std::cout);
   std::cout << "\n# expectation: C3/credits grows with load; credits tracks model until\n"

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff a fresh brbsim paper-scenario JSON against the checked-in
+nightly reference, with tolerances.
+
+Headline claims guarded here (the reproduction's versions of the
+paper's Figure 2 story):
+
+  Claim A  BRB (equalmax-credits) beats C3 on task p99 by a clear
+           factor (reference ~1.9x at the nightly config).
+  Claim B  the credits realization tracks the ideal global-queue model
+           within a bounded p99 gap (reference ~22%).
+
+Per-case percentile means are also diffed against the reference. The
+simulation is bit-deterministic for a fixed seed/binary, so drift here
+means a behavior change (intended or not) — the tolerance only absorbs
+toolchain-level floating-point variation, which should be zero on the
+pinned CI image.
+
+usage: check_claims.py fresh.json reference.json [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def case_p99(doc, label):
+    for case in doc["cases"]:
+        if case["label"] == label:
+            return case["task_latency_ms"]["p99_ms"]["mean"]
+    raise SystemExit(f"case '{label}' missing from report")
+
+
+def claim_metrics(doc):
+    c3 = case_p99(doc, "c3")
+    credits = case_p99(doc, "equalmax-credits")
+    model = case_p99(doc, "equalmax-model")
+    return {
+        "claim_a_c3_over_credits_p99": c3 / credits,
+        "claim_b_credits_over_model_p99": credits / model,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("reference")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative drift per metric (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.reference) as f:
+        reference = json.load(f)
+
+    failures = []
+
+    def check(name, got, want):
+        drift = abs(got - want) / abs(want) if want else abs(got)
+        status = "ok" if drift <= args.tolerance else "FAIL"
+        print(f"{status:4} {name}: got {got:.4f}, reference {want:.4f}, drift {drift:.2%}")
+        if drift > args.tolerance:
+            failures.append(name)
+
+    fresh_claims = claim_metrics(fresh)
+    ref_claims = claim_metrics(reference)
+    for name in fresh_claims:
+        check(name, fresh_claims[name], ref_claims[name])
+
+    ref_cases = {case["label"]: case for case in reference["cases"]}
+    for case in fresh["cases"]:
+        ref = ref_cases.get(case["label"])
+        if ref is None:
+            print(f"note: case '{case['label']}' not in reference, skipping")
+            continue
+        for metric in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+            check(f"{case['label']}/{metric}",
+                  case["task_latency_ms"][metric]["mean"],
+                  ref["task_latency_ms"][metric]["mean"])
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) drifted past tolerance "
+              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nall claim metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "cli/driver.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -37,7 +38,49 @@ std::ofstream open_or_throw(const std::string& path) {
   return os;
 }
 
+/// Every flag the driver or any registered scenario reads. Unknown
+/// `--flags` used to be silently ignored (a typo'd `--task=...` ran
+/// the full default workload); now they fail fast with a hint.
+const std::vector<std::string>& known_flags() {
+  static const std::vector<std::string> flags = {
+      // run control
+      "help", "list", "scenario", "paper", "seeds", "seed-list", "serial", "threads", "quiet",
+      "json", "csv", "record-trace",
+      // cluster / workload
+      "servers", "cores", "rate", "replication", "clients", "tasks", "utilization", "trace",
+      "fanout", "sizes", "keys", "paced",
+      // timing / measurement
+      "net-latency-us", "net-jitter-us", "service-base-us", "service-noise", "cost-noise",
+      "warmup", "keep-raw",
+      // system under test
+      "system", "seed", "selector", "systems",
+      // scenario expanders
+      "loads", "fanouts",
+      // credits controller
+      "credits-adapt-s", "credits-measure-ms", "credits-monitor-ms", "credits-congestion-factor",
+      "credits-backoff", "credits-recovery", "credits-min-capacity", "credits-ewma",
+      "credits-min-share", "credits-carryover",
+      // C3 comparator
+      "c3-ewma", "c3-exponent", "rate-initial", "rate-beta", "rate-scaling", "rate-burst",
+      "rate-window-ms",
+  };
+  return flags;
+}
+
 }  // namespace
+
+void validate_flags(const util::Flags& flags) {
+  const std::vector<std::string>& known = known_flags();
+  for (const std::string& name : flags.cli_names()) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    std::string message = "unknown flag --" + name;
+    if (const auto suggestion = util::closest_name(name, known)) {
+      message += " (did you mean --" + *suggestion + "?)";
+    }
+    message += "; see brbsim --help";
+    throw std::invalid_argument(message);
+  }
+}
 
 ScenarioConfig config_from_flags(const util::Flags& flags) {
   ScenarioConfig config;  // paper defaults
@@ -295,6 +338,8 @@ void print_usage(std::ostream& os) {
         "  --seeds=N             run seeds 1..N (default 3; 6 with --paper)\n"
         "  --seed-list=1,5,9     explicit seed list (wins over --seeds)\n"
         "  --serial              disable the per-seed worker threads\n"
+        "  --threads=N           cap seed workers (0 = one per seed); results are\n"
+        "                        identical for any N (wall_seconds aside)\n"
         "  --paper               full paper scale (500k tasks, 6 seeds)\n"
         "  --json=PATH  --csv=PATH  machine-readable artifacts\n"
         "  --quiet               suppress the console table\n"
@@ -318,6 +363,7 @@ void print_usage(std::ostream& os) {
 int run_brbsim(int argc, const char* const* argv) {
   try {
     const util::Flags flags(argc, argv);
+    validate_flags(flags);
     if (flags.get_bool("help", false)) {
       print_usage(std::cout);
       return 0;
@@ -347,7 +393,16 @@ int run_brbsim(int argc, const char* const* argv) {
 
     const bool paper = flags.get_bool("paper", false);
     const std::vector<std::uint64_t> seeds = seeds_from_flags(flags, paper ? 6 : 3);
-    const bool parallel = !flags.get_bool("serial", false);
+    const bool serial = flags.get_bool("serial", false);
+    if (serial && flags.has("threads")) {
+      throw std::invalid_argument("--serial and --threads conflict; use --threads=1");
+    }
+    // Worker-thread cap: 0 = one thread per seed. Any value produces
+    // identical artifacts (seeds are independent simulations). An
+    // explicit --serial always wins — including over a BRB_THREADS
+    // environment default.
+    core::RunSeedsOptions run_options;
+    run_options.max_threads = serial ? 1 : flags.get_uint("threads", 0);
     const bool quiet = flags.get_bool("quiet", false);
 
     const std::vector<ExperimentCase> cases = scenario->expand(base, flags);
@@ -364,7 +419,7 @@ int run_brbsim(int argc, const char* const* argv) {
     std::vector<CaseResult> results;
     results.reserve(cases.size());
     for (const ExperimentCase& experiment : cases) {
-      AggregateResult aggregate = core::run_seeds(experiment.config, seeds, parallel);
+      AggregateResult aggregate = core::run_seeds(experiment.config, seeds, run_options);
       if (!quiet) std::cerr << "[brbsim] finished " << experiment.label << "\n";
       results.push_back({experiment, std::move(aggregate)});
     }

@@ -28,6 +28,10 @@ struct CaseResult {
   core::AggregateResult aggregate;
 };
 
+/// Rejects command-line flags the driver does not recognize, with a
+/// did-you-mean hint for near-misses. Throws std::invalid_argument.
+void validate_flags(const util::Flags& flags);
+
 /// Builds the driver's base config: paper defaults, then every
 /// `--flag` override (see `print_usage` for the full list).
 core::ScenarioConfig config_from_flags(const util::Flags& flags);

@@ -102,6 +102,20 @@ std::vector<ExperimentCase> expand_fanout_sweep(const ScenarioConfig& base,
   return cases;
 }
 
+std::vector<ExperimentCase> expand_large_cluster(const ScenarioConfig& base,
+                                                 const util::Flags& flags) {
+  // Scale sweep target: two orders of magnitude past the paper's 9x18
+  // cluster. The dense-ID engine keeps per-(client,server) state flat,
+  // so this runs as a routine CI case rather than a hash-map stress
+  // test. Explicit --servers / --clients / --tasks flags still win.
+  ScenarioConfig config = base;
+  if (!flags.has("servers")) config.cluster.num_servers = 100;
+  if (!flags.has("clients")) config.num_clients = 1000;
+  if (!flags.has("tasks")) config.num_tasks = 100'000;
+  return per_system(config, systems_from_flags(flags, {SystemKind::kEqualMaxCredits,
+                                                       SystemKind::kC3}));
+}
+
 std::vector<ExperimentCase> expand_trace_replay(const ScenarioConfig& base,
                                                 const util::Flags& flags) {
   if (base.trace_path.empty()) {
@@ -122,6 +136,8 @@ const std::vector<ScenarioSpec>& scenario_registry() {
        expand_load_sweep},
       {"fanout-sweep", "fan-out distribution sweep (--fanouts=spec,...)", expand_fanout_sweep},
       {"policy-matrix", "all 13 systems: baselines, BRB, ablations", expand_policy_matrix},
+      {"large-cluster", "100 servers x 1000 clients scale case (credits + C3)",
+       expand_large_cluster},
       {"trace-replay", "replay a recorded trace (--trace=PATH) across systems",
        expand_trace_replay},
   };

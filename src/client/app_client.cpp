@@ -1,7 +1,6 @@
 #include "client/app_client.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace brb::client {
@@ -24,6 +23,10 @@ AppClient::AppClient(sim::Simulator& sim, Config config, const store::Partitione
   if (config_.cost_noise_sigma < 0.0) {
     throw std::invalid_argument("AppClient: negative cost noise sigma");
   }
+  // Task ids are global (not per-client dense), so pending tasks stay
+  // in a hash map — but sized for short chains from the start.
+  pending_tasks_.max_load_factor(0.5f);
+  pending_tasks_.reserve(128);
   gate_->set_transmit([this](OutboundRequest& out) { transmit_now(out); });
 }
 
@@ -46,9 +49,11 @@ void AppClient::submit(const workload::TaskSpec& task) {
   ++stats_.tasks_submitted;
 
   // 1. Plan: forecast costs and group requests by replica group.
-  policy::TaskPlan plan;
+  policy::TaskPlan& plan = plan_scratch_;
   plan.task_id = task.id;
   plan.arrival = now();
+  plan.bottleneck_cost = sim::Duration::zero();
+  plan.requests.clear();
   plan.requests.reserve(task.requests.size());
   for (const workload::RequestSpec& spec : task.requests) {
     policy::PlannedRequest planned;
@@ -60,19 +65,30 @@ void AppClient::submit(const workload::TaskSpec& task) {
   }
 
   // 2. Replica selection: jointly per sub-task (BRB) or per request.
-  // Ordered maps keep the selector's observation order deterministic.
-  if (config_.select_per_subtask) {
-    std::map<store::GroupId, std::int64_t> group_cost;
+  // Group aggregation runs over sorted scratch vectors (reused across
+  // submits); selectors still observe groups in ascending id order,
+  // exactly as the std::map formulation did.
+  if (config_.select_per_subtask && plan.requests.size() == 1) {
+    // Median fan-out is 1-2 requests: skip the aggregation machinery.
+    policy::PlannedRequest& planned = plan.requests.front();
+    planned.server =
+        selector_->select(partitioner_->replicas_of(planned.group), planned.expected_cost);
+  } else if (config_.select_per_subtask) {
+    group_cost_scratch_.clear();
     for (const policy::PlannedRequest& planned : plan.requests) {
-      group_cost[planned.group] += planned.expected_cost.count_nanos();
+      group_cost_scratch_.emplace_back(planned.group, planned.expected_cost.count_nanos());
     }
-    std::map<store::GroupId, store::ServerId> chosen;
-    for (const auto& [group, cost] : group_cost) {
-      chosen[group] = selector_->select(partitioner_->replicas_of(group),
-                                        sim::Duration::nanos(cost));
+    policy::collapse_group_costs(group_cost_scratch_);
+    chosen_scratch_.clear();
+    for (const auto& [group, cost] : group_cost_scratch_) {
+      chosen_scratch_.emplace_back(
+          group, selector_->select(partitioner_->replicas_of(group), sim::Duration::nanos(cost)));
     }
     for (policy::PlannedRequest& planned : plan.requests) {
-      planned.server = chosen[planned.group];
+      const auto it = std::lower_bound(
+          chosen_scratch_.begin(), chosen_scratch_.end(), planned.group,
+          [](const auto& entry, store::GroupId group) { return entry.first < group; });
+      planned.server = it->second;
     }
   } else {
     for (policy::PlannedRequest& planned : plan.requests) {
@@ -113,6 +129,43 @@ void AppClient::submit(const workload::TaskSpec& task) {
   }
 }
 
+void AppClient::inflight_grow() {
+  std::size_t capacity = inflight_table_.size() * 2;
+  for (;;) {
+    std::vector<InflightSlot> bigger(capacity);
+    bool collision_free = true;
+    for (InflightSlot& slot : inflight_table_) {
+      if (slot.serial_plus1 == 0) continue;
+      InflightSlot& target = bigger[(slot.serial_plus1 - 1) & (capacity - 1)];
+      if (target.serial_plus1 != 0) {
+        collision_free = false;
+        break;
+      }
+      target = slot;
+    }
+    if (collision_free) {
+      inflight_table_ = std::move(bigger);
+      return;
+    }
+    capacity *= 2;
+  }
+}
+
+void AppClient::inflight_insert(std::uint64_t serial, const InflightRequest& data) {
+  if (inflight_table_.empty()) inflight_table_.resize(64);
+  for (;;) {
+    InflightSlot& slot = inflight_table_[serial & (inflight_table_.size() - 1)];
+    if (slot.serial_plus1 == 0) {
+      slot.serial_plus1 = serial + 1;
+      slot.data = data;
+      ++inflight_count_;
+      return;
+    }
+    // Two live serials collide: the in-flight window outgrew the table.
+    inflight_grow();
+  }
+}
+
 void AppClient::transmit_now(OutboundRequest& out) {
   if (!network_send_) throw std::logic_error("AppClient: network send hook not installed");
   out.request.sent_at = now();
@@ -121,18 +174,22 @@ void AppClient::transmit_now(OutboundRequest& out) {
   inflight.server = out.server;
   inflight.sent_at = now();
   inflight.expected_cost = out.request.expected_cost;
-  inflight_.emplace(out.request.request_id, inflight);
+  inflight_insert(out.request.request_id & ((std::uint64_t{1} << 40) - 1), inflight);
   ++stats_.requests_sent;
   network_send_(out);
 }
 
 void AppClient::on_response(const store::ReadResponse& response) {
-  const auto inflight_it = inflight_.find(response.request_id);
-  if (inflight_it == inflight_.end()) {
+  const std::uint64_t serial = response.request_id & ((std::uint64_t{1} << 40) - 1);
+  InflightSlot* slot = inflight_table_.empty()
+                           ? nullptr
+                           : &inflight_table_[serial & (inflight_table_.size() - 1)];
+  if (slot == nullptr || slot->serial_plus1 != serial + 1) {
     throw std::logic_error("AppClient::on_response: unknown request id");
   }
-  const InflightRequest inflight = inflight_it->second;
-  inflight_.erase(inflight_it);
+  const InflightRequest inflight = slot->data;
+  slot->serial_plus1 = 0;
+  --inflight_count_;
   ++stats_.responses_received;
 
   const sim::Duration rtt = now() - inflight.sent_at;

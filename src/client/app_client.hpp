@@ -76,7 +76,7 @@ class AppClient : public sim::Actor {
   const Config& config() const noexcept { return config_; }
   DispatchGate& gate() noexcept { return *gate_; }
   policy::ReplicaSelector& selector() noexcept { return *selector_; }
-  std::uint64_t in_flight() const noexcept { return inflight_.size(); }
+  std::uint64_t in_flight() const noexcept { return inflight_count_; }
 
  private:
   struct InflightRequest {
@@ -90,10 +90,24 @@ class AppClient : public sim::Actor {
     std::uint32_t remaining = 0;
     sim::Time started;
   };
+  /// One slot of the in-flight window table (serial_plus1 == 0: empty).
+  struct InflightSlot {
+    std::uint64_t serial_plus1 = 0;
+    InflightRequest data;
+  };
 
   sim::Duration forecast_cost(std::uint32_t size_hint);
+  void inflight_insert(std::uint64_t serial, const InflightRequest& data);
+  /// Doubles the window table until every live serial maps to a
+  /// distinct slot again.
+  void inflight_grow();
 
   Config config_;
+  /// Planning scratch reused across submits — the per-task std::maps
+  /// this replaces dominated client-side allocation at paper scale.
+  policy::TaskPlan plan_scratch_;
+  std::vector<std::pair<store::GroupId, std::int64_t>> group_cost_scratch_;
+  std::vector<std::pair<store::GroupId, store::ServerId>> chosen_scratch_;
   const store::Partitioner* partitioner_;
   const server::ServiceTimeModel* cost_model_;
   std::unique_ptr<policy::ReplicaSelector> selector_;
@@ -103,7 +117,13 @@ class AppClient : public sim::Actor {
   NetworkSendFn network_send_;
   Hooks hooks_;
   ClientStats stats_;
-  std::unordered_map<store::RequestId, InflightRequest> inflight_;
+  /// In-flight request state, keyed by the request's per-client serial
+  /// (the low 40 bits of its id — dense and monotonically increasing).
+  /// A power-of-two window table indexed by `serial & mask` replaces
+  /// the hash map: live serials span a bounded window, so the table
+  /// grows to the max in-flight span and then runs collision-free.
+  std::vector<InflightSlot> inflight_table_;
+  std::uint64_t inflight_count_ = 0;
   std::unordered_map<store::TaskId, PendingTask> pending_tasks_;
   std::uint64_t next_request_serial_ = 0;
 };

@@ -8,44 +8,49 @@ RateLimitedGate::RateLimitedGate(sim::Simulator& sim,
                                  policy::CubicRateController::Config config)
     : sim_(&sim), controller_(config) {}
 
+RateLimitedGate::PerServer& RateLimitedGate::slot(store::ServerId server) {
+  if (server >= servers_.size()) servers_.resize(server + 1);
+  return servers_[server];
+}
+
 void RateLimitedGate::offer(OutboundRequest out) {
   const store::ServerId server = out.server;
-  auto& queue = queues_[server];
-  if (queue.empty() && controller_.try_acquire(server, sim_->now())) {
+  PerServer& ps = slot(server);
+  if (ps.queue.empty() && controller_.try_acquire(server, sim_->now())) {
     transmit(out);
     return;
   }
-  queue.push_back(std::move(out));
+  ps.queue.push_back(std::move(out));
   ++held_;
   schedule_drain(server);
 }
 
 void RateLimitedGate::schedule_drain(store::ServerId server) {
-  auto& scheduled = drain_scheduled_[server];
-  if (scheduled) return;
-  scheduled = true;
+  PerServer& ps = slot(server);
+  if (ps.drain_scheduled) return;
+  ps.drain_scheduled = true;
   const sim::Time when = controller_.earliest_send(server, sim_->now());
   sim_->schedule_at(when, [this, server] {
-    drain_scheduled_[server] = false;
+    servers_[server].drain_scheduled = false;
     drain(server);
   });
 }
 
 void RateLimitedGate::drain(store::ServerId server) {
-  auto& queue = queues_[server];
-  while (!queue.empty() && controller_.try_acquire(server, sim_->now())) {
-    OutboundRequest out = std::move(queue.front());
-    queue.pop_front();
+  PerServer& ps = servers_[server];
+  while (!ps.queue.empty() && controller_.try_acquire(server, sim_->now())) {
+    OutboundRequest out = std::move(ps.queue.front());
+    ps.queue.pop_front();
     --held_;
     transmit(out);
   }
-  if (!queue.empty()) schedule_drain(server);
+  if (!ps.queue.empty()) schedule_drain(server);
 }
 
 void RateLimitedGate::on_response(store::ServerId server, const store::ServerFeedback& feedback) {
   controller_.on_response(server, feedback, sim_->now());
   // A rate increase may allow held requests to go out sooner.
-  if (const auto it = queues_.find(server); it != queues_.end() && !it->second.empty()) {
+  if (server < servers_.size() && !servers_[server].queue.empty()) {
     schedule_drain(server);
   }
 }

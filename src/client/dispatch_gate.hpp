@@ -11,7 +11,7 @@
 #include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "policy/c3.hpp"
 #include "sim/simulator.hpp"
@@ -77,13 +77,19 @@ class RateLimitedGate final : public DispatchGate {
   const policy::CubicRateController& controller() const noexcept { return controller_; }
 
  private:
+  /// Per-server hold state, indexed densely by ServerId.
+  struct PerServer {
+    std::deque<OutboundRequest> queue;
+    bool drain_scheduled = false;
+  };
+
+  PerServer& slot(store::ServerId server);
   void drain(store::ServerId server);
   void schedule_drain(store::ServerId server);
 
   sim::Simulator* sim_;
   policy::CubicRateController controller_;
-  std::unordered_map<store::ServerId, std::deque<OutboundRequest>> queues_;
-  std::unordered_map<store::ServerId, bool> drain_scheduled_;
+  std::vector<PerServer> servers_;
   std::size_t held_ = 0;
 };
 

@@ -63,13 +63,13 @@ void CreditGate::start() {
 void CreditGate::measure_tick() {
   if (!running_) return;
   if (report_) {
-    std::vector<double> rates(servers_.size());
+    rates_scratch_.assign(servers_.size(), 0.0);
     const double window_sec = config_.measure_interval.as_seconds();
     for (std::size_t s = 0; s < servers_.size(); ++s) {
-      rates[s] = static_cast<double>(servers_[s].offered_in_window) / window_sec;
+      rates_scratch_[s] = static_cast<double>(servers_[s].offered_in_window) / window_sec;
       servers_[s].offered_in_window = 0;
     }
-    report_(rates);
+    report_(rates_scratch_);
   }
   sim_->schedule_after(config_.measure_interval, [this] { measure_tick(); });
 }
@@ -130,9 +130,13 @@ CreditsController::CreditsController(sim::Simulator& sim, std::uint32_t num_clie
   for (const double c : capacities_) {
     if (c <= 0.0) throw std::invalid_argument("CreditsController: non-positive capacity");
   }
-  demand_.assign(num_clients_, std::vector<double>(capacities_.size(), 0.0));
+  demand_.assign(static_cast<std::size_t>(num_clients_) * capacities_.size(), 0.0);
   capacity_factor_.assign(capacities_.size(), 1.0);
   congested_this_interval_.assign(capacities_.size(), false);
+  server_total_demand_.resize(capacities_.size());
+  server_floor_each_.resize(capacities_.size());
+  server_prop_budget_.resize(capacities_.size());
+  grant_scratch_.resize(capacities_.size());
 }
 
 void CreditsController::start() {
@@ -149,7 +153,8 @@ void CreditsController::on_demand_report(store::ClientId client,
   ++stats_.demand_reports;
   const double a = config_.demand_ewma_alpha;
   for (std::size_t s = 0; s < capacities_.size(); ++s) {
-    demand_[client][s] = a * per_server_rate[s] + (1.0 - a) * demand_[client][s];
+    double& d = demand_at(client, s);
+    d = a * per_server_rate[s] + (1.0 - a) * d;
   }
 }
 
@@ -195,22 +200,34 @@ void CreditsController::adapt_tick() {
 
   // Per server: a small equal floor (so bursty newcomers are not
   // stalled for a whole interval), the rest proportional to demand.
-  std::vector<std::vector<double>> grants(num_clients_,
-                                          std::vector<double>(capacities_.size(), 0.0));
+  // Arithmetic matches allocate_proportional exactly (summation order
+  // included) so grants are bit-identical to the per-server-vector
+  // formulation; the flat layout just avoids materializing a clients x
+  // servers grant matrix every interval.
   const double interval_sec = config_.adapt_interval.as_seconds();
-  std::vector<double> demands(num_clients_);
+  const double num_clients = static_cast<double>(num_clients_);
   for (std::size_t s = 0; s < capacities_.size(); ++s) {
-    for (std::uint32_t c = 0; c < num_clients_; ++c) demands[c] = demand_[c][s];
+    double total = 0.0;
+    for (std::uint32_t c = 0; c < num_clients_; ++c) {
+      total += std::max(0.0, demand_at(c, s));
+    }
     const double budget = capacities_[s] * capacity_factor_[s] * interval_sec;
     const double floor_budget = budget * config_.min_share_fraction;
-    const double floor_each = floor_budget / static_cast<double>(num_clients_);
-    const std::vector<double> share = allocate_proportional(demands, budget - floor_budget);
-    for (std::uint32_t c = 0; c < num_clients_; ++c) grants[c][s] = floor_each + share[c];
+    server_total_demand_[s] = total;
+    server_floor_each_[s] = floor_budget / num_clients;
+    server_prop_budget_[s] = budget - floor_budget;
   }
 
   if (send_grant_) {
     for (std::uint32_t c = 0; c < num_clients_; ++c) {
-      send_grant_(c, grants[c]);
+      for (std::size_t s = 0; s < capacities_.size(); ++s) {
+        const double total = server_total_demand_[s];
+        const double share = total <= 0.0
+                                 ? server_prop_budget_[s] / num_clients
+                                 : std::max(0.0, demand_at(c, s)) / total * server_prop_budget_[s];
+        grant_scratch_[s] = server_floor_each_[s] + share;
+      }
+      send_grant_(c, grant_scratch_);
       ++stats_.grants_sent;
     }
   }
@@ -235,15 +252,14 @@ CreditAwareSelector::CreditAwareSelector(std::unique_ptr<policy::ReplicaSelector
 
 store::ServerId CreditAwareSelector::select(const std::vector<store::ServerId>& replicas,
                                             sim::Duration expected_cost) {
-  std::vector<store::ServerId> funded;
-  funded.reserve(replicas.size());
+  funded_scratch_.clear();
   for (const store::ServerId s : replicas) {
-    if (gate_->balance(s) >= 1.0) funded.push_back(s);
+    if (gate_->balance(s) >= 1.0) funded_scratch_.push_back(s);
   }
-  if (funded.empty() || funded.size() == replicas.size()) {
+  if (funded_scratch_.empty() || funded_scratch_.size() == replicas.size()) {
     return inner_->select(replicas, expected_cost);
   }
-  return inner_->select(funded, expected_cost);
+  return inner_->select(funded_scratch_, expected_cost);
 }
 
 void CreditAwareSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
@@ -265,22 +281,42 @@ CongestionMonitor::CongestionMonitor(sim::Simulator& sim,
     : sim_(&sim), servers_(std::move(servers)), config_(config), signal_(std::move(signal)) {
   if (servers_.empty()) throw std::invalid_argument("CongestionMonitor: no servers");
   if (!signal_) throw std::invalid_argument("CongestionMonitor: null signal fn");
+  thresholds_.reserve(servers_.size());
+  for (const server::BackendServer* server : servers_) {
+    thresholds_.push_back(static_cast<std::uint32_t>(
+        config_.congestion_queue_factor * static_cast<double>(server->config().cores)));
+  }
+  over_.assign(servers_.size(), false);
 }
 
 void CongestionMonitor::start() {
   running_ = true;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->set_queue_watch(thresholds_[i], [this, i](bool over) { update(i, over); });
+  }
   sim_->schedule_after(config_.monitor_interval, [this] { tick(); });
+}
+
+void CongestionMonitor::update(std::size_t index, bool over) {
+  if (over == over_[index]) return;
+  over_[index] = over;
+  if (over) {
+    ++num_over_;
+  } else {
+    --num_over_;
+  }
 }
 
 void CongestionMonitor::tick() {
   if (!running_) return;
-  for (server::BackendServer* server : servers_) {
-    const std::uint32_t threshold = static_cast<std::uint32_t>(
-        config_.congestion_queue_factor * static_cast<double>(server->config().cores));
-    const std::uint32_t queue = server->queue_length();
-    if (queue > threshold) {
+  // The common (uncongested) tick is a single counter check; when
+  // servers are congested, only they are visited, in ascending index
+  // order — the same signal order the old full scan produced.
+  if (num_over_ > 0) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!over_[i]) continue;
       ++signals_;
-      signal_(server->config().id, queue);
+      signal_(servers_[i]->config().id, servers_[i]->queue_length());
     }
   }
   sim_->schedule_after(config_.monitor_interval, [this] { tick(); });

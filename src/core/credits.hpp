@@ -27,7 +27,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "client/dispatch_gate.hpp"
@@ -133,6 +132,7 @@ class CreditGate final : public client::DispatchGate {
   sim::Simulator* sim_;
   CreditsConfig config_;
   std::vector<PerServer> servers_;
+  std::vector<double> rates_scratch_;  // reused per measure tick
   ReportFn report_;
   bool running_ = false;
   std::uint64_t next_seq_ = 0;
@@ -176,16 +176,27 @@ class CreditsController {
  private:
   void adapt_tick();
 
+  double& demand_at(store::ClientId client, std::size_t server) noexcept {
+    return demand_[static_cast<std::size_t>(client) * capacities_.size() + server];
+  }
+
   sim::Simulator* sim_;
   std::uint32_t num_clients_;
   std::vector<double> capacities_;
   CreditsConfig config_;
   GrantFn send_grant_;
   bool running_ = false;
-  /// demand_[c][s] = EWMA demand rate of client c at server s (req/s).
-  std::vector<std::vector<double>> demand_;
+  /// Flat client x server demand EWMAs (req/s): row-major by client,
+  /// so one adaptation pass walks memory linearly instead of chasing
+  /// nested vectors.
+  std::vector<double> demand_;
   std::vector<double> capacity_factor_;
   std::vector<bool> congested_this_interval_;
+  // Reused adapt_tick buffers (allocation-free steady state).
+  std::vector<double> server_total_demand_;
+  std::vector<double> server_floor_each_;
+  std::vector<double> server_prop_budget_;
+  std::vector<double> grant_scratch_;
   ControllerStats stats_;
 };
 
@@ -209,9 +220,16 @@ class CreditAwareSelector final : public policy::ReplicaSelector {
  private:
   std::unique_ptr<policy::ReplicaSelector> inner_;
   const CreditGate* gate_;
+  std::vector<store::ServerId> funded_scratch_;  // reused per select
 };
 
 /// Server-side queue watchdog that emits congestion signals.
+///
+/// Instead of scanning every server's queue each sampling period, the
+/// monitor subscribes to each server's threshold-crossing watch
+/// (BackendServer::set_queue_watch) and maintains the over-threshold
+/// set incrementally; the periodic tick only walks servers already
+/// known to be congested (and is a no-op while none are).
 class CongestionMonitor {
  public:
   using SignalFn = std::function<void(store::ServerId, std::uint32_t queue_length)>;
@@ -225,6 +243,8 @@ class CongestionMonitor {
 
  private:
   void tick();
+  /// O(1) per threshold crossing: flips the server's congestion flag.
+  void update(std::size_t index, bool over);
 
   sim::Simulator* sim_;
   std::vector<server::BackendServer*> servers_;
@@ -232,6 +252,9 @@ class CongestionMonitor {
   SignalFn signal_;
   bool running_ = false;
   std::uint64_t signals_ = 0;
+  std::vector<std::uint32_t> thresholds_;
+  std::vector<bool> over_;
+  std::size_t num_over_ = 0;
 };
 
 }  // namespace brb::core

@@ -137,6 +137,9 @@ RunResult run_scenario(const ScenarioConfig& config) {
   net::Network::Config net_config;
   net_config.one_way_latency = config.net_latency;
   net_config.jitter_max = config.net_jitter;
+  // Topology size is known upfront (servers, clients, controller,
+  // global queue), so the network's dense pair tables never reallocate.
+  net_config.num_nodes = num_servers + num_clients + 2;
   net::Network network(sim, net_config, rng_network);
 
   store::RingPartitioner partitioner(num_servers, config.replication);
@@ -474,22 +477,35 @@ LatencySummary summarize_tasks(const RunResult& result) {
 
 AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
                           bool parallel) {
+  RunSeedsOptions options;
+  options.max_threads = parallel ? 0 : 1;
+  return run_seeds(config, seeds, options);
+}
+
+AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
+                          RunSeedsOptions options) {
   if (seeds.empty()) throw std::invalid_argument("run_seeds: no seeds");
   std::vector<RunResult> runs(seeds.size());
-  if (parallel && seeds.size() > 1) {
-    // One thread per seed: simulations share no mutable state. First
-    // exception (if any) is rethrown after all threads join.
+  const std::size_t num_workers =
+      options.max_threads == 0 ? seeds.size() : std::min(options.max_threads, seeds.size());
+  if (num_workers > 1) {
+    // Strided seed assignment across workers: simulations share no
+    // mutable state and land in their seed-indexed slot, so the result
+    // (and any artifact derived from it) is identical for any worker
+    // count. First exception (if any) is rethrown after all join.
     std::vector<std::thread> workers;
     std::vector<std::exception_ptr> errors(seeds.size());
-    workers.reserve(seeds.size());
-    for (std::size_t i = 0; i < seeds.size(); ++i) {
-      workers.emplace_back([&, i] {
-        try {
-          ScenarioConfig run_config = config;
-          run_config.seed = seeds[i];
-          runs[i] = run_scenario(run_config);
-        } catch (...) {
-          errors[i] = std::current_exception();
+    workers.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&, w] {
+        for (std::size_t i = w; i < seeds.size(); i += num_workers) {
+          try {
+            ScenarioConfig run_config = config;
+            run_config.seed = seeds[i];
+            runs[i] = run_scenario(run_config);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
         }
       });
     }

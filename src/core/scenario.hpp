@@ -137,11 +137,21 @@ struct AggregateResult {
   std::vector<RunResult> runs;
 };
 
+/// Worker-thread policy for run_seeds.
+struct RunSeedsOptions {
+  /// Maximum worker threads; 0 = one thread per seed, 1 = serial.
+  /// Whatever the count, results are bit-identical: every seed is an
+  /// independent simulation and aggregation happens in seed order.
+  std::size_t max_threads = 0;
+};
+
 /// Runs one scenario per seed. Seeds are independent simulations, so
 /// with `parallel` they execute on one thread each (results are
 /// bit-identical to the serial path and aggregated in seed order).
 /// `config.on_task_complete`, if set, must then be thread-safe.
 AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
                           bool parallel = false);
+AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
+                          RunSeedsOptions options);
 
 }  // namespace brb::core

@@ -1,12 +1,14 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace brb::net {
 
 namespace {
 
-constexpr std::uint64_t pair_key(NodeId from, NodeId to) noexcept {
+constexpr std::uint64_t override_key(NodeId from, NodeId to) noexcept {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
@@ -17,18 +19,40 @@ Network::Network(sim::Simulator& sim, Config config, util::Rng rng)
   if (config_.one_way_latency.is_negative() || config_.jitter_max.is_negative()) {
     throw std::invalid_argument("Network: negative latency");
   }
+  if (config_.num_nodes > 0) {
+    stride_ = config_.num_nodes;
+    last_delivery_.assign(stride_ * stride_, sim::Time::zero());
+  }
+}
+
+void Network::ensure_node(NodeId node) {
+  if (node < stride_) return;
+  // Geometric growth keeps amortized cost low when ids appear one by
+  // one (tests); sized-upfront configs never reach this path.
+  std::size_t new_stride = std::max<std::size_t>(stride_ * 2, 16);
+  while (new_stride <= node) new_stride *= 2;
+  std::vector<sim::Time> grown(new_stride * new_stride, sim::Time::zero());
+  for (std::size_t from = 0; from < stride_; ++from) {
+    std::copy_n(last_delivery_.begin() + static_cast<std::ptrdiff_t>(from * stride_), stride_,
+                grown.begin() + static_cast<std::ptrdiff_t>(from * new_stride));
+  }
+  last_delivery_ = std::move(grown);
+  stride_ = new_stride;
 }
 
 sim::Duration Network::latency(NodeId from, NodeId to) const {
-  if (const auto it = pair_latency_.find(pair_key(from, to)); it != pair_latency_.end()) {
-    return it->second;
+  if (!pair_latency_override_.empty()) {
+    if (const auto it = pair_latency_override_.find(override_key(from, to));
+        it != pair_latency_override_.end()) {
+      return it->second;
+    }
   }
   return config_.one_way_latency;
 }
 
 void Network::set_pair_latency(NodeId from, NodeId to, sim::Duration latency) {
   if (latency.is_negative()) throw std::invalid_argument("Network: negative latency");
-  pair_latency_[pair_key(from, to)] = latency;
+  pair_latency_override_[override_key(from, to)] = latency;
 }
 
 sim::Time Network::reserve_delivery_slot(NodeId from, NodeId to) {
@@ -37,18 +61,11 @@ sim::Time Network::reserve_delivery_slot(NodeId from, NodeId to) {
     delay += config_.jitter_max * rng_.uniform();
   }
   sim::Time deliver_at = sim_->now() + delay;
-  auto& last = last_delivery_[pair_key(from, to)];
+  ensure_node(std::max(from, to));
+  sim::Time& last = last_delivery_[pair_index(from, to)];
   if (deliver_at < last) deliver_at = last;  // keep the pair FIFO
   last = deliver_at;
   return deliver_at;
-}
-
-void Network::send(NodeId from, NodeId to, std::uint32_t bytes,
-                   std::function<void()> on_deliver) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += bytes;
-  const sim::Time deliver_at = reserve_delivery_slot(from, to);
-  sim_->schedule_at(deliver_at, std::move(on_deliver));
 }
 
 }  // namespace brb::net

@@ -6,11 +6,18 @@
 // typed closure at the receiver after that delay. Delivery is reliable
 // and per-pair FIFO (jitter can reorder across pairs, matching a
 // datacenter fabric with per-flow ordering).
+//
+// Per-pair state (FIFO delivery horizon) lives in a dense NodeId x
+// NodeId table — ids are small dense integers assigned by the cluster
+// wiring, so a flat array replaces the per-send hash lookup that
+// dominated large-cluster runs. Per-pair latency overrides (used only
+// by tests and heterogeneous-latency ablations) stay in a sparse map
+// that the common path skips entirely.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -34,14 +41,25 @@ class Network {
     sim::Duration one_way_latency = sim::Duration::micros(50);
     /// Uniform jitter added on top: U[0, jitter_max].
     sim::Duration jitter_max = sim::Duration::zero();
+    /// Number of endpoints, when known upfront (servers + clients +
+    /// controller + global queue). Sizes the dense pair table once;
+    /// 0 lets it grow on demand as node ids appear.
+    std::uint32_t num_nodes = 0;
   };
 
   Network(sim::Simulator& sim, Config config, util::Rng rng);
 
   /// Delivers `on_deliver` at the receiver after the one-way delay.
   /// `bytes` is accounted in stats only (the model is latency-bound, as
-  /// in the paper; bandwidth is not a simulated resource).
-  void send(NodeId from, NodeId to, std::uint32_t bytes, std::function<void()> on_deliver);
+  /// in the paper; bandwidth is not a simulated resource). Any
+  /// callable; the closure lands directly in the event queue.
+  template <typename F>
+  void send(NodeId from, NodeId to, std::uint32_t bytes, F&& on_deliver) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+    const sim::Time deliver_at = reserve_delivery_slot(from, to);
+    sim_->schedule_at(deliver_at, std::forward<F>(on_deliver));
+  }
 
   /// Overrides the latency for one ordered pair (used in tests and in
   /// heterogeneous-topology ablations).
@@ -57,12 +75,22 @@ class Network {
   /// precedes the previous one even with jitter.
   sim::Time reserve_delivery_slot(NodeId from, NodeId to);
 
+  /// Grows the dense table so ids up to `node` are addressable.
+  void ensure_node(NodeId node);
+
+  std::size_t pair_index(NodeId from, NodeId to) const noexcept {
+    return static_cast<std::size_t>(from) * stride_ + to;
+  }
+
   sim::Simulator* sim_;
   Config config_;
   util::Rng rng_;
   NetworkStats stats_;
-  std::unordered_map<std::uint64_t, sim::Duration> pair_latency_;
-  std::unordered_map<std::uint64_t, sim::Time> last_delivery_;
+  /// Dense FIFO horizon per ordered pair, `stride_` x `stride_`.
+  std::vector<sim::Time> last_delivery_;
+  std::size_t stride_ = 0;
+  /// Sparse latency overrides; empty in every homogeneous run.
+  std::unordered_map<std::uint64_t, sim::Duration> pair_latency_override_;
 };
 
 }  // namespace brb::net

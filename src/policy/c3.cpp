@@ -18,8 +18,12 @@ C3Selector::C3Selector(C3Config config) : config_(config) {
 
 const C3Selector::ServerState& C3Selector::state_of(store::ServerId server) const {
   static const ServerState kEmpty{};
-  const auto it = servers_.find(server);
-  return it == servers_.end() ? kEmpty : it->second;
+  return server < servers_.size() ? servers_[server] : kEmpty;
+}
+
+C3Selector::ServerState& C3Selector::slot(store::ServerId server) {
+  if (server >= servers_.size()) servers_.resize(server + 1);
+  return servers_[server];
 }
 
 double C3Selector::score(store::ServerId server) const {
@@ -50,12 +54,12 @@ store::ServerId C3Selector::select(const std::vector<store::ServerId>& replicas,
 }
 
 void C3Selector::on_send(store::ServerId server, sim::Duration) {
-  ++servers_[server].outstanding;
+  ++slot(server).outstanding;
 }
 
 void C3Selector::on_response(store::ServerId server, const store::ServerFeedback& feedback,
                              sim::Duration rtt, sim::Duration) {
-  ServerState& s = servers_[server];
+  ServerState& s = slot(server);
   if (s.outstanding > 0) --s.outstanding;
   const double a = config_.ewma_alpha;
   const double rtt_ns = static_cast<double>(rtt.count_nanos());
@@ -101,7 +105,8 @@ CubicRateController::CubicRateController(Config config) : config_(config) {
 
 CubicRateController::ServerRate& CubicRateController::slot(store::ServerId server,
                                                            sim::Time now) {
-  auto& s = rates_[server];
+  if (server >= rates_.size()) rates_.resize(server + 1);
+  ServerRate& s = rates_[server];
   if (!s.initialized) {
     s.rate = config_.initial_rate;
     s.tokens = config_.burst;
@@ -176,8 +181,8 @@ void CubicRateController::on_response(store::ServerId server, const store::Serve
 }
 
 double CubicRateController::rate_of(store::ServerId server) const {
-  const auto it = rates_.find(server);
-  return it == rates_.end() ? config_.initial_rate : it->second.rate;
+  if (server >= rates_.size() || !rates_[server].initialized) return config_.initial_rate;
+  return rates_[server].rate;
 }
 
 }  // namespace brb::policy

@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "policy/replica_selector.hpp"
@@ -70,9 +69,12 @@ class C3Selector final : public ReplicaSelector {
   };
 
   const ServerState& state_of(store::ServerId server) const;
+  ServerState& slot(store::ServerId server);
 
   C3Config config_;
-  std::unordered_map<store::ServerId, ServerState> servers_;
+  /// Dense per-server table indexed by ServerId (ids are small dense
+  /// integers assigned by the cluster wiring); grows on first contact.
+  std::vector<ServerState> servers_;
 };
 
 /// CUBIC-style sending-rate controller for one client (all servers).
@@ -126,10 +128,10 @@ class CubicRateController {
 
  private:
   struct ServerRate {
-    double rate;              // current cap, req/s
-    double tokens;            // token bucket level
+    double rate = 0.0;        // current cap, req/s
+    double tokens = 0.0;      // token bucket level
     sim::Time last_refill;    // bucket bookkeeping
-    double rate_max;          // pre-decrease maximum (CUBIC W_max)
+    double rate_max = 0.0;    // pre-decrease maximum (CUBIC W_max)
     sim::Time epoch_start;    // time of last decrease
     sim::Time window_start;   // current measurement window
     std::uint32_t sent_in_window = 0;
@@ -142,7 +144,9 @@ class CubicRateController {
   void close_window(ServerRate& s, sim::Time now);
 
   Config config_;
-  std::unordered_map<store::ServerId, ServerRate> rates_;
+  /// Dense per-server table indexed by ServerId; entries self-
+  /// initialize on first use (`initialized` flag).
+  std::vector<ServerRate> rates_;
   std::uint64_t decreases_ = 0;
 };
 

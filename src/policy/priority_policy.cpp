@@ -1,17 +1,49 @@
 #include "policy/priority_policy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
+#include <vector>
 
 namespace brb::policy {
 
-void compute_bottleneck(TaskPlan& plan) {
-  std::unordered_map<store::GroupId, std::int64_t> group_cost;
-  for (const PlannedRequest& request : plan.requests) {
-    group_cost[request.group] += request.expected_cost.count_nanos();
+namespace {
+
+/// Per-group accumulation without a per-task hash map: pairs are
+/// gathered into a thread-local scratch vector, sorted by group, and
+/// summed per run. Integer sums make the result order-independent.
+std::vector<std::pair<store::GroupId, std::int64_t>>& group_scratch() {
+  thread_local std::vector<std::pair<store::GroupId, std::int64_t>> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void collapse_group_costs(std::vector<std::pair<store::GroupId, std::int64_t>>& pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < pairs.size();) {
+    const store::GroupId group = pairs[i].first;
+    std::int64_t cost = 0;
+    for (; i < pairs.size() && pairs[i].first == group; ++i) cost += pairs[i].second;
+    pairs[out++] = {group, cost};
   }
+  pairs.resize(out);
+}
+
+void compute_bottleneck(TaskPlan& plan) {
+  if (plan.requests.size() == 1) {
+    plan.bottleneck_cost = plan.requests.front().expected_cost;
+    return;
+  }
+  auto& scratch = group_scratch();
+  scratch.clear();
+  for (const PlannedRequest& request : plan.requests) {
+    scratch.emplace_back(request.group, request.expected_cost.count_nanos());
+  }
+  collapse_group_costs(scratch);
   std::int64_t bottleneck = 0;
-  for (const auto& [group, cost] : group_cost) bottleneck = std::max(bottleneck, cost);
+  for (const auto& [group, cost] : scratch) bottleneck = std::max(bottleneck, cost);
   plan.bottleneck_cost = sim::Duration::nanos(bottleneck);
 }
 
@@ -41,11 +73,24 @@ void RequestSjfPolicy::assign(TaskPlan& plan) const {
 
 void CumSlackPolicy::assign(TaskPlan& plan) const {
   const std::int64_t bottleneck = plan.bottleneck_cost.count_nanos();
-  std::unordered_map<store::GroupId, std::int64_t> running;
+  // Small linear-scan table: tasks touch few distinct groups, and the
+  // running sum must follow request order, so a sort is not an option.
+  auto& running = group_scratch();
+  running.clear();
   for (PlannedRequest& request : plan.requests) {
-    std::int64_t& cumulative = running[request.group];
-    cumulative += request.expected_cost.count_nanos();
-    const std::int64_t slack = bottleneck - cumulative;
+    std::int64_t* cumulative = nullptr;
+    for (auto& entry : running) {
+      if (entry.first == request.group) {
+        cumulative = &entry.second;
+        break;
+      }
+    }
+    if (cumulative == nullptr) {
+      running.emplace_back(request.group, 0);
+      cumulative = &running.back().second;
+    }
+    *cumulative += request.expected_cost.count_nanos();
+    const std::int64_t slack = bottleneck - *cumulative;
     request.priority = static_cast<store::Priority>(slack < 0 ? 0 : slack);
   }
 }

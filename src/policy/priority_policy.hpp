@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -47,6 +48,12 @@ struct TaskPlan {
 /// Sub-task cost = sum of its requests' expected costs (requests for
 /// one replica group serialize at the chosen replica).
 void compute_bottleneck(TaskPlan& plan);
+
+/// Sorts (group, cost) pairs by group id and collapses equal-group
+/// runs into summed costs, in place. Shared by the planner's replica
+/// selection and compute_bottleneck so the aggregation cannot drift
+/// between the two; integer sums keep the result order-independent.
+void collapse_group_costs(std::vector<std::pair<store::GroupId, std::int64_t>>& pairs);
 
 class PriorityPolicy {
  public:

@@ -42,18 +42,17 @@ store::ServerId LeastOutstandingSelector::select(const std::vector<store::Server
 }
 
 std::uint32_t LeastOutstandingSelector::outstanding(store::ServerId server) const {
-  const auto it = outstanding_.find(server);
-  return it == outstanding_.end() ? 0 : it->second;
+  return server < outstanding_.size() ? outstanding_[server] : 0;
 }
 
 void LeastOutstandingSelector::on_send(store::ServerId server, sim::Duration) {
+  if (server >= outstanding_.size()) outstanding_.resize(server + 1, 0);
   ++outstanding_[server];
 }
 
 void LeastOutstandingSelector::on_response(store::ServerId server, const store::ServerFeedback&,
                                            sim::Duration, sim::Duration) {
-  auto it = outstanding_.find(server);
-  if (it != outstanding_.end() && it->second > 0) --it->second;
+  if (server < outstanding_.size() && outstanding_[server] > 0) --outstanding_[server];
 }
 
 store::ServerId LeastPendingCostSelector::select(const std::vector<store::ServerId>& replicas,
@@ -74,20 +73,19 @@ store::ServerId LeastPendingCostSelector::select(const std::vector<store::Server
 }
 
 sim::Duration LeastPendingCostSelector::pending_cost(store::ServerId server) const {
-  const auto it = pending_ns_.find(server);
-  return sim::Duration::nanos(it == pending_ns_.end() ? 0 : it->second);
+  return sim::Duration::nanos(server < pending_ns_.size() ? pending_ns_[server] : 0);
 }
 
 void LeastPendingCostSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
+  if (server >= pending_ns_.size()) pending_ns_.resize(server + 1, 0);
   pending_ns_[server] += expected_cost.count_nanos();
 }
 
 void LeastPendingCostSelector::on_response(store::ServerId server, const store::ServerFeedback&,
                                            sim::Duration, sim::Duration expected_cost) {
-  auto it = pending_ns_.find(server);
-  if (it == pending_ns_.end()) return;
-  it->second -= expected_cost.count_nanos();
-  if (it->second < 0) it->second = 0;
+  if (server >= pending_ns_.size()) return;
+  pending_ns_[server] -= expected_cost.count_nanos();
+  if (pending_ns_[server] < 0) pending_ns_[server] = 0;
 }
 
 store::ServerId FirstReplicaSelector::select(const std::vector<store::ServerId>& replicas,

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -76,7 +75,8 @@ class LeastOutstandingSelector final : public ReplicaSelector {
   std::uint32_t outstanding(store::ServerId server) const;
 
  private:
-  std::unordered_map<store::ServerId, std::uint32_t> outstanding_;
+  /// Dense per-server counters indexed by ServerId; grow on first send.
+  std::vector<std::uint32_t> outstanding_;
   std::uint64_t rotation_ = 0;
 };
 
@@ -95,7 +95,8 @@ class LeastPendingCostSelector final : public ReplicaSelector {
   sim::Duration pending_cost(store::ServerId server) const;
 
  private:
-  std::unordered_map<store::ServerId, std::int64_t> pending_ns_;
+  /// Dense per-server forecast-work-in-flight, indexed by ServerId.
+  std::vector<std::int64_t> pending_ns_;
   std::uint64_t rotation_ = 0;
 };
 

@@ -82,6 +82,19 @@ class BackendServer : public sim::Actor {
   void set_work_source(WorkSource& source) { source_ = &source; }
   void set_response_handler(ResponseHandler handler) { on_response_ = std::move(handler); }
 
+  /// Incremental backlog watch: `fn(over)` fires when the private
+  /// queue's length crosses `threshold` in either direction, letting
+  /// observers like the credits congestion monitor track congestion
+  /// state in O(1) instead of polling every server. The callback cost
+  /// is paid only at crossings; steady state is a cached compare.
+  using QueueWatchFn = std::function<void(bool over)>;
+  void set_queue_watch(std::uint32_t threshold, QueueWatchFn fn) {
+    watch_threshold_ = threshold;
+    queue_watch_ = std::move(fn);
+    watch_over_ = false;
+    check_watch();
+  }
+
   /// Local storage replica (populated by the cluster loader).
   store::StorageEngine& storage() noexcept { return storage_; }
   const store::StorageEngine& storage() const noexcept { return storage_; }
@@ -97,7 +110,12 @@ class BackendServer : public sim::Actor {
   std::uint32_t busy_cores() const noexcept { return busy_cores_; }
 
   /// Queue length advertised in feedback (waiting requests only).
-  std::uint32_t queue_length() const;
+  /// O(1): private-queue mode serves a cached counter (no virtual
+  /// dispatch on the service hot path).
+  std::uint32_t queue_length() const {
+    if (private_source_ != nullptr) return private_queue_len_;
+    return source_ == nullptr ? 0 : static_cast<std::uint32_t>(source_->backlog(config_.id));
+  }
 
   /// Advertised service rate (requests/s, whole server). Before any
   /// completion this is cores / expected(mean) — a neutral prior.
@@ -108,7 +126,19 @@ class BackendServer : public sim::Actor {
 
  private:
   void start_service(QueuedRead read);
-  void complete(const QueuedRead& read, sim::Duration service_time);
+  /// Completion takes only the response-relevant request fields — the
+  /// scheduled closure stays small enough for the event queue's inline
+  /// callback storage instead of copying the whole QueuedRead.
+  void complete(store::RequestId request_id, store::TaskId task_id, store::KeyId key,
+                store::ClientId client, sim::Duration service_time);
+  void check_watch() {
+    if (!queue_watch_) return;
+    const bool over = queue_length() > watch_threshold_;
+    if (over != watch_over_) {
+      watch_over_ = over;
+      queue_watch_(over);
+    }
+  }
 
   Config config_;
   const ServiceTimeModel* service_model_;
@@ -116,6 +146,10 @@ class BackendServer : public sim::Actor {
   WorkSource* source_ = nullptr;
   PrivateQueueSource* private_source_ = nullptr;  // set iff source is private
   ResponseHandler on_response_;
+  QueueWatchFn queue_watch_;
+  std::uint32_t watch_threshold_ = 0;
+  bool watch_over_ = false;
+  std::uint32_t private_queue_len_ = 0;
   store::StorageEngine storage_;
   std::uint32_t busy_cores_ = 0;
   double ewma_rate_ = 0.0;

@@ -1,5 +1,6 @@
 #include "server/queue_discipline.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -20,45 +21,62 @@ std::optional<QueueHead> FifoDiscipline::peek() const {
 }
 
 void PriorityDiscipline::push(QueuedRead read) {
-  heap_.push_back(Node{read.request.priority, next_seq_++, std::move(read)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(read);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(read));
+  }
+  heap_.push_back(HeapItem{slots_[slot].request.priority, next_seq_++, slot});
   sift_up(heap_.size() - 1);
 }
 
 std::optional<QueueHead> PriorityDiscipline::peek() const {
   if (heap_.empty()) return std::nullopt;
-  return QueueHead{heap_.front().priority, heap_.front().read.submit_seq};
+  return QueueHead{heap_.front().priority, slots_[heap_.front().slot].submit_seq};
 }
 
 std::optional<QueuedRead> PriorityDiscipline::pop() {
   if (heap_.empty()) return std::nullopt;
-  QueuedRead out = std::move(heap_.front().read);
-  heap_.front() = std::move(heap_.back());
+  const std::uint32_t slot = heap_.front().slot;
+  QueuedRead out = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
   return out;
 }
 
 void PriorityDiscipline::sift_up(std::size_t i) {
+  const HeapItem item = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    const std::size_t parent = (i - 1) / kArity;
+    if (!later(heap_[parent], item)) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = item;
 }
 
 void PriorityDiscipline::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  const HeapItem item = heap_[i];
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = 2 * i + 2;
-    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
-    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+    const std::size_t first_child = kArity * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(item, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
   }
+  heap_[i] = item;
 }
 
 void SjfDiscipline::push(QueuedRead read) {

@@ -62,6 +62,11 @@ class FifoDiscipline final : public QueueDiscipline {
 };
 
 /// Minimum priority value first; FIFO among equals.
+///
+/// Same layout trick as the event queue: the heap orders 24-byte POD
+/// keys while the 88-byte `QueuedRead` payloads sit still in a slot
+/// table, so sifts never move a request. (priority, seq) is a total
+/// order, making pop order independent of heap arity/layout.
 class PriorityDiscipline final : public QueueDiscipline {
  public:
   void push(QueuedRead read) override;
@@ -71,19 +76,23 @@ class PriorityDiscipline final : public QueueDiscipline {
   std::string name() const override { return "priority"; }
 
  private:
-  struct Node {
+  static constexpr std::size_t kArity = 4;
+
+  struct HeapItem {
     store::Priority priority;
     std::uint64_t seq;
-    QueuedRead read;
+    std::uint32_t slot;
   };
-  static bool later(const Node& a, const Node& b) noexcept {
+  static bool later(const HeapItem& a, const HeapItem& b) noexcept {
     if (a.priority != b.priority) return a.priority > b.priority;
     return a.seq > b.seq;
   }
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
-  std::vector<Node> heap_;
+  std::vector<HeapItem> heap_;
+  std::vector<QueuedRead> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,85 +1,104 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace brb::sim {
 
-EventId EventQueue::push(Time when, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Node{when, next_seq_++, id, std::move(fn)});
-  sift_up(heap_.size() - 1);
-  ++live_;
-  return id;
+// Slot generations: even = free, odd = occupied. acquire/release each
+// bump the counter, so any id captured before a release fails the
+// generation check afterwards — stale cancels are always rejected.
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.generation;  // odd -> even: free
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Only mark ids that are actually still in the heap: scan is avoided
-  // by trusting the tombstone set; double-cancel and cancel-after-run
-  // are detected by the insert result and the pop-side erase.
-  for (const Node& node : heap_) {
-    if (node.id == id) {
-      const bool inserted = cancelled_.insert(id).second;
-      if (inserted) --live_;
-      return inserted;
-    }
-  }
-  return false;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffff'ffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if ((generation & 1u) == 0 || slot >= slots_.size()) return false;
+  if (slots_[slot].generation != generation) return false;
+  remove_at(slots_[slot].heap_pos);
+  release_slot(slot);
+  return true;
 }
 
-std::optional<Time> EventQueue::peek_time() {
-  skim();
+std::optional<Time> EventQueue::peek_time() const {
   if (heap_.empty()) return std::nullopt;
   return heap_.front().when;
 }
 
 std::optional<EventQueue::Entry> EventQueue::pop() {
-  skim();
   if (heap_.empty()) return std::nullopt;
-  Entry out{heap_.front().when, heap_.front().id, std::move(heap_.front().fn)};
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  --live_;
+  const HeapItem top = heap_.front();
+  Slot& s = slots_[top.slot];
+  Entry out{top.when, make_id(top.slot, s.generation), std::move(s.fn)};
+  release_slot(top.slot);
+  remove_at(0);
   return out;
 }
 
 void EventQueue::clear() {
+  for (const HeapItem& item : heap_) release_slot(item.slot);
   heap_.clear();
-  cancelled_.clear();
-  live_ = 0;
 }
 
-void EventQueue::skim() {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
-    cancelled_.erase(heap_.front().id);
-    heap_.front() = std::move(heap_.back());
+void EventQueue::remove_at(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    place(pos, heap_[last]);
     heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+    // The displaced item may violate the heap property in either
+    // direction relative to its new neighbourhood.
+    sift_up(pos);
+    sift_down(pos);
+  } else {
+    heap_.pop_back();
   }
 }
+
+void EventQueue::place(std::size_t pos, HeapItem item) noexcept {
+  heap_[pos] = item;
+  slots_[item.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+// 4-ary hole-based sifts: the displaced item is held aside while
+// children / parents shift into the hole, halving the writes of
+// swap-based sifts; the wider fan-out halves tree depth and keeps each
+// sibling scan inside one or two cache lines of 24-byte items. Pop
+// order is layout-independent ((when, seq) is a total order), so the
+// arity is purely a performance choice.
 
 void EventQueue::sift_up(std::size_t i) {
+  const HeapItem item = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    const std::size_t parent = (i - 1) / kArity;
+    if (!later(heap_[parent], item)) break;
+    place(i, heap_[parent]);
     i = parent;
   }
+  place(i, item);
 }
 
 void EventQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  const HeapItem item = heap_[i];
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = 2 * i + 2;
-    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
-    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+    const std::size_t first_child = kArity * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(item, heap_[best])) break;
+    place(i, heap_[best]);
+    i = best;
   }
+  place(i, item);
 }
 
 }  // namespace brb::sim

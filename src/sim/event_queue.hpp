@@ -3,27 +3,33 @@
 // A binary min-heap ordered by (time, sequence number) so that events
 // scheduled for the same instant run in scheduling order — this
 // stability is what makes whole simulations bit-reproducible across
-// runs and platforms. Cancellation is lazy (tombstones), keeping both
-// schedule and pop O(log n).
+// runs and platforms.
+//
+// The heap itself stores only 24-byte POD items; callbacks live in a
+// stable slot table (`SmallFn`, allocation-free for hot-path capture
+// sizes) so sift operations never move a closure. Each slot remembers
+// its heap position, giving true O(log n) cancellation: the node is
+// unlinked immediately instead of tombstoned and scanned for.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace brb::sim {
 
-/// Identifies a scheduled event for cancellation. Ids are never reused
-/// within one queue.
+/// Identifies a scheduled event for cancellation. Encodes a slot index
+/// plus a per-slot generation, so ids are never observably reused: a
+/// stale id (event already executed or cancelled) fails generation
+/// validation. 0 is never a valid id.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   struct Entry {
     Time when;
@@ -33,51 +39,89 @@ class EventQueue {
 
   EventQueue() = default;
 
-  /// Adds an event; returns its id. O(log n).
-  EventId push(Time when, Callback fn);
+  /// Adds an event; returns its id. O(log n), allocation-free once the
+  /// slot table has grown to the steady-state pending count. Accepts
+  /// any callable and constructs the callback directly in its slot
+  /// (no intermediate SmallFn move on the hot path).
+  template <typename F>
+  EventId push(Time when, F&& fn) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn.assign(std::forward<F>(fn));
+    ++s.generation;  // even -> odd: occupied
+    const EventId id = make_id(slot, s.generation);
+    heap_.push_back(HeapItem{when, next_seq_++, slot});
+    s.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+    return id;
+  }
 
   /// Cancels a pending event. Returns false if the id is unknown,
-  /// already executed, or already cancelled. Costs a linear scan of the
-  /// pending set (cancellation is rare in this codebase — watchdogs and
-  /// tests); the tombstone is reclaimed when the entry reaches the top.
+  /// already executed, or already cancelled. O(log n): the slot's heap
+  /// position is known, so the node is removed by a single swap + sift.
   bool cancel(EventId id);
 
   /// Time of the earliest live event, if any.
-  std::optional<Time> peek_time();
+  std::optional<Time> peek_time() const;
 
   /// Removes and returns the earliest live event; empty when drained.
   std::optional<Entry> pop();
 
-  /// Number of live (non-cancelled) events.
-  std::size_t size() const noexcept { return live_; }
-  bool empty() const noexcept { return live_ == 0; }
+  /// Number of live events.
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
 
   /// Drops every pending event.
   void clear();
 
  private:
-  struct Node {
+  /// What the heap actually orders: trivially-copyable, so sifts are
+  /// cheap word moves plus one slot position update.
+  struct HeapItem {
     Time when;
     std::uint64_t seq = 0;
-    EventId id = 0;
-    Callback fn;
+    std::uint32_t slot = 0;
   };
 
-  static bool later(const Node& a, const Node& b) noexcept {
+  /// Stable home of a pending event's callback.
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 0;  // odd while occupied (see acquire)
+    std::uint32_t heap_pos = 0;
+  };
+
+  /// Heap branching factor: shallower than binary, siblings share
+  /// cache lines.
+  static constexpr std::size_t kArity = 4;
+
+  static bool later(const HeapItem& a, const HeapItem& b) noexcept {
     if (a.when != b.when) return a.when > b.when;
     return a.seq > b.seq;
   }
 
+  static constexpr EventId make_id(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  void release_slot(std::uint32_t slot) noexcept;
+  /// Removes the heap item at `pos` (swap with back, then restore the
+  /// heap property in whichever direction the swapped item violates).
+  void remove_at(std::size_t pos);
+  void place(std::size_t pos, HeapItem item) noexcept;
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
-  /// Pops tombstoned nodes off the top until a live node (or empty).
-  void skim();
 
-  std::vector<Node> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::size_t live_ = 0;
+  std::vector<HeapItem> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
 };
 
 }  // namespace brb::sim

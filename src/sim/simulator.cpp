@@ -4,23 +4,13 @@
 
 namespace brb::sim {
 
-EventId Simulator::schedule_at(Time t, Callback fn) {
-  if (t < now_) throw ScheduleInPastError(now_, t);
-  return queue_.push(t, std::move(fn));
-}
-
-EventId Simulator::schedule_after(Duration delay, Callback fn) {
-  if (delay.is_negative()) throw ScheduleInPastError(now_, now_ + delay);
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
 std::uint64_t Simulator::run() {
   stopped_ = false;
   std::uint64_t executed = 0;
   while (!stopped_) {
     auto entry = queue_.pop();
     if (!entry) break;
-    advance_and_execute(std::move(*entry));
+    advance_and_execute(*entry);
     ++executed;
   }
   return executed;
@@ -33,7 +23,7 @@ std::uint64_t Simulator::run_until(Time until) {
     const auto next = queue_.peek_time();
     if (!next || *next > until) break;
     auto entry = queue_.pop();
-    advance_and_execute(std::move(*entry));
+    advance_and_execute(*entry);
     ++executed;
   }
   if (!stopped_ && until > now_) now_ = until;
@@ -43,11 +33,11 @@ std::uint64_t Simulator::run_until(Time until) {
 bool Simulator::step() {
   auto entry = queue_.pop();
   if (!entry) return false;
-  advance_and_execute(std::move(*entry));
+  advance_and_execute(*entry);
   return true;
 }
 
-void Simulator::advance_and_execute(EventQueue::Entry entry) {
+void Simulator::advance_and_execute(EventQueue::Entry& entry) {
   now_ = entry.when;
   ++processed_;
   entry.fn();

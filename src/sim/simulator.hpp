@@ -36,11 +36,20 @@ class Simulator {
   /// Current simulated instant.
   Time now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now, else throws).
-  EventId schedule_at(Time t, Callback fn);
+  /// Schedules `fn` at absolute time `t` (>= now, else throws). Any
+  /// callable; constructed in place in the event queue.
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
+    if (t < now_) throw ScheduleInPastError(now_, t);
+    return queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after a non-negative delay.
-  EventId schedule_after(Duration delay, Callback fn);
+  template <typename F>
+  EventId schedule_after(Duration delay, F&& fn) {
+    if (delay.is_negative()) throw ScheduleInPastError(now_, now_ + delay);
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event; returns false if it already ran or was
   /// already cancelled.
@@ -68,7 +77,9 @@ class Simulator {
   std::uint64_t events_processed() const noexcept { return processed_; }
 
  private:
-  void advance_and_execute(EventQueue::Entry entry);
+  /// By reference: the popped entry's callback is invoked in place
+  /// rather than moved a second time.
+  void advance_and_execute(EventQueue::Entry& entry);
 
   EventQueue queue_;
   Time now_ = Time::zero();

@@ -4,12 +4,21 @@
 // partitions. The simulator needs value *sizes* (they drive service
 // time); real payload bytes are optional so examples can exercise a
 // genuine get/put path without inflating experiment memory.
+//
+// Size lookups happen twice per served request, which made the old
+// all-hash-map layout the single hottest function at paper scale.
+// Workload keys are small dense integers (datasets number keys
+// 0..N-1), so sizes for keys below `kDenseLimit` live in a flat
+// array; the hash map only holds payload-bearing entries and keys
+// outside the dense range (e.g. raw 64-bit trace keys).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "store/types.hpp"
 
@@ -23,6 +32,9 @@ struct ValueMeta {
 
 class StorageEngine {
  public:
+  /// Keys below this bound use the dense size table.
+  static constexpr KeyId kDenseLimit = KeyId{1} << 22;
+
   /// `store_payloads` controls whether put() keeps the actual bytes.
   explicit StorageEngine(bool store_payloads = false) : store_payloads_(store_payloads) {}
 
@@ -32,21 +44,41 @@ class StorageEngine {
   /// Inserts or replaces a value with payload (size derived).
   void put(KeyId key, std::string payload);
 
-  /// Size lookup; nullopt when the key is absent.
-  std::optional<std::uint32_t> size_of(KeyId key) const;
+  /// Size lookup; nullopt when the key is absent. O(1) array read for
+  /// dense keys — the service hot path.
+  std::optional<std::uint32_t> size_of(KeyId key) const {
+    if (key < dense_size_plus1_.size()) {
+      const std::uint32_t plus1 = dense_size_plus1_[key];
+      if (plus1 != 0) return plus1 - 1;
+    }
+    return sparse_size_of(key);
+  }
 
   /// Full lookup (payload empty in metadata-only mode).
   std::optional<ValueMeta> get(KeyId key) const;
 
   bool erase(KeyId key);
-  bool contains(KeyId key) const { return values_.count(key) > 0; }
+  bool contains(KeyId key) const { return size_of(key).has_value(); }
 
-  std::size_t num_keys() const noexcept { return values_.size(); }
+  std::size_t num_keys() const noexcept { return num_keys_; }
   std::uint64_t stored_bytes() const noexcept { return stored_bytes_; }
 
  private:
+  std::optional<std::uint32_t> sparse_size_of(KeyId key) const;
+  /// Removes any existing entry for `key` from both structures,
+  /// returning its size for the bytes accounting.
+  std::optional<std::uint32_t> remove_entry(KeyId key);
+  bool dense_eligible(KeyId key, std::uint32_t size_bytes) const noexcept {
+    // size+1 must fit (UINT32_MAX-sized values take the sparse path).
+    return key < kDenseLimit && size_bytes != std::numeric_limits<std::uint32_t>::max();
+  }
+
   bool store_payloads_;
+  /// dense_size_plus1_[key] = size + 1; 0 means absent.
+  std::vector<std::uint32_t> dense_size_plus1_;
+  /// Payload-bearing entries and keys outside the dense range only.
   std::unordered_map<KeyId, ValueMeta> values_;
+  std::size_t num_keys_ = 0;
   std::uint64_t stored_bytes_ = 0;
 };
 

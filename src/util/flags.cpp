@@ -105,4 +105,42 @@ bool Flags::get_bool(std::string_view name, bool fallback) const {
 
 bool Flags::has(std::string_view name) const { return values_.find(name) != values_.end(); }
 
+std::vector<std::string> Flags::cli_names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::optional<std::string> closest_name(std::string_view name,
+                                        const std::vector<std::string>& candidates) {
+  // Budget scales with length so short flags do not match everything.
+  const std::size_t budget = name.size() <= 4 ? 1 : name.size() <= 8 ? 2 : 3;
+  std::optional<std::string> best;
+  std::size_t best_distance = budget + 1;
+  for (const std::string& candidate : candidates) {
+    const std::size_t distance = edit_distance(name, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 }  // namespace brb::util

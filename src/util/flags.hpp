@@ -44,9 +44,23 @@ class Flags {
   /// True if the flag was passed explicitly on the command line.
   bool has(std::string_view name) const;
 
+  /// Names of every flag passed explicitly on the command line (sorted;
+  /// environment defaults are not included). Lets tools validate
+  /// against their recognized-flag list.
+  std::vector<std::string> cli_names() const;
+
  private:
   std::map<std::string, std::string, std::less<>> values_;
   std::vector<std::string> positional_;
 };
+
+/// Damerau-ish edit distance for did-you-mean hints (insert, delete,
+/// substitute; no transposition). Exposed for tests.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The closest candidate within a small edit budget; nullopt when
+/// nothing is plausibly a typo of `name`.
+std::optional<std::string> closest_name(std::string_view name,
+                                        const std::vector<std::string>& candidates);
 
 }  // namespace brb::util

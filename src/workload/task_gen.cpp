@@ -58,7 +58,8 @@ TaskSpec TaskGenerator::next() {
   }
   task.requests.reserve(fanout);
   if (config_.distinct_keys) {
-    std::unordered_set<store::KeyId> chosen;
+    std::unordered_set<store::KeyId>& chosen = chosen_scratch_;
+    chosen.clear();
     chosen.reserve(fanout * 2);
     // The popularity distribution may not reach every key (scrambled
     // Zipf can collide), so bound the rejection loop and fill any

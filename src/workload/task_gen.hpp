@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -73,6 +74,9 @@ class TaskGenerator {
   sim::Time clock_ = sim::Time::zero();
   std::uint64_t next_task_id_ = 0;
   std::uint32_t next_client_ = 0;
+  /// Distinct-key dedup scratch reused across tasks (cleared, never
+  /// reallocated — the per-task set was a measurable allocation cost).
+  std::unordered_set<store::KeyId> chosen_scratch_;
 };
 
 }  // namespace brb::workload

@@ -1,0 +1,267 @@
+// Regression tests for the dense-ID engine refactor: thread-count
+// determinism of artifacts, handle-based O(log n) event cancellation,
+// and the pooled-callback fallback path of the allocation-free event
+// loop.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "core/scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/small_fn.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace brb {
+namespace {
+
+using sim::EventId;
+using sim::EventQueue;
+using sim::SmallFn;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// EventQueue cancellation (heap-position handles)
+
+TEST(EventQueueCancel, HeavyChurnKeepsOrderAndSize) {
+  util::Rng rng(7);
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20'000; ++i) {
+    ids.push_back(q.push(Time::nanos(rng.uniform_int(0, 1'000'000)), [] {}));
+  }
+  // Cancel every other event, in a scrambled order.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < ids.size(); i += 2) order.push_back(i);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng.uniform_int(
+                                0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  for (const std::size_t i : order) ASSERT_TRUE(q.cancel(ids[i]));
+  EXPECT_EQ(q.size(), ids.size() / 2);
+
+  Time last = Time::zero();
+  std::size_t popped = 0;
+  while (auto e = q.pop()) {
+    ASSERT_GE(e->when, last);
+    last = e->when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, ids.size() / 2);
+}
+
+TEST(EventQueueCancel, SizeDropsImmediatelyNoTombstones) {
+  // The seed-era queue kept cancelled events as tombstones until they
+  // reached the top; the handle-based queue unlinks them eagerly, so
+  // size() and pop order agree at every step.
+  EventQueue q;
+  const EventId a = q.push(Time::micros(1), [] {});
+  const EventId b = q.push(Time::micros(2), [] {});
+  const EventId c = q.push(Time::micros(3), [] {});
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  ASSERT_TRUE(q.peek_time().has_value());
+  EXPECT_EQ(*q.peek_time(), Time::micros(3));
+  EXPECT_TRUE(q.cancel(c));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueueCancel, StaleIdsRejectedAfterSlotReuse) {
+  // Generation validation: an executed event's id must not cancel a
+  // later event that happens to recycle the same slot.
+  EventQueue q;
+  const EventId first = q.push(Time::micros(1), [] {});
+  ASSERT_TRUE(q.pop().has_value());  // slot returns to the freelist
+  int fired = 0;
+  q.push(Time::micros(2), [&] { ++fired; });  // likely reuses the slot
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  e->fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueCancel, CancelledIdCannotCancelTwiceAcrossReuse) {
+  EventQueue q;
+  const EventId id = q.push(Time::micros(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  q.push(Time::micros(2), [] {});  // reuses the slot
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueCancel, InterleavedWithSimulatorRun) {
+  sim::Simulator simulator;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(simulator.schedule_at(Time::micros(10 + i), [&fired, i] { fired.push_back(i); }));
+  }
+  simulator.schedule_at(Time::micros(5), [&] {
+    for (int i = 0; i < 100; i += 2) EXPECT_TRUE(simulator.cancel(ids[static_cast<std::size_t>(i)]));
+  });
+  simulator.run();
+  ASSERT_EQ(fired.size(), 50u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SmallFn storage tiers
+
+TEST(SmallFnStorage, SmallCapturesStayInline) {
+  int hits = 0;
+  std::array<char, 32> small{};
+  small[0] = 42;
+  SmallFn fn([&hits, small] { hits += small[0]; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hits, 42);
+}
+
+TEST(SmallFnStorage, LargeCapturesUsePooledFallbackAndReuseBlocks) {
+  struct Big {
+    std::array<char, SmallFn::kInlineCapacity + 8> payload;
+  };
+  Big big{};
+  big.payload[0] = 1;
+
+  SmallFn::trim_pool();
+  const auto before = SmallFn::pool_stats();
+
+  int runs = 0;
+  {
+    SmallFn fn([&runs, big] { runs += big.payload[0]; });
+    EXPECT_FALSE(fn.is_inline());
+    fn();
+  }
+  const auto after_first = SmallFn::pool_stats();
+  EXPECT_EQ(after_first.pooled_constructs, before.pooled_constructs + 1);
+  EXPECT_EQ(after_first.pool_misses, before.pool_misses + 1);
+
+  // The block returned to the freelist: the next oversize capture must
+  // reuse it instead of allocating (the steady-state guarantee).
+  {
+    SmallFn fn([&runs, big] { runs += big.payload[0]; });
+    fn();
+  }
+  const auto after_second = SmallFn::pool_stats();
+  EXPECT_EQ(after_second.pooled_constructs, before.pooled_constructs + 2);
+  EXPECT_EQ(after_second.pool_misses, after_first.pool_misses);
+  EXPECT_EQ(after_second.pool_hits, after_first.pool_hits + 1);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SmallFnStorage, PooledCallbacksRunThroughTheEventQueue) {
+  EventQueue q;
+  std::array<char, SmallFn::kPooledBlockSize / 2> blob{};
+  blob[7] = 9;
+  int seen = 0;
+  q.push(Time::micros(1), [blob, &seen] { seen = blob[7]; });
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_FALSE(e->fn.is_inline());
+  e->fn();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(SmallFnStorage, OversizeCapturesStillWork) {
+  // Beyond the pooled block size: plain heap allocation, same behavior.
+  std::array<char, SmallFn::kPooledBlockSize + 64> huge{};
+  huge[1] = 5;
+  int seen = 0;
+  SmallFn fn([huge, &seen] { seen = huge[1]; });
+  EXPECT_FALSE(fn.is_inline());
+  SmallFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism of driver artifacts
+
+TEST(ThreadDeterminism, ReportJsonByteIdenticalAcrossWorkerCounts) {
+  core::ScenarioConfig config;
+  config.system = core::SystemKind::kEqualMaxCredits;
+  config.num_tasks = 4000;
+  config.cluster.num_servers = 5;
+  config.num_clients = 6;
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+
+  core::RunSeedsOptions serial;
+  serial.max_threads = 1;
+  core::RunSeedsOptions threaded;
+  threaded.max_threads = 0;  // one worker per seed
+  core::RunSeedsOptions capped;
+  capped.max_threads = 3;  // strided assignment exercises the cap path
+
+  std::vector<core::AggregateResult> results;
+  results.push_back(core::run_seeds(config, seeds, serial));
+  results.push_back(core::run_seeds(config, seeds, threaded));
+  results.push_back(core::run_seeds(config, seeds, capped));
+
+  // Wall-clock time is the one legitimately nondeterministic field;
+  // zero it, then demand byte-identical serialized artifacts.
+  std::vector<std::string> dumps;
+  for (core::AggregateResult& result : results) {
+    for (core::RunResult& run : result.runs) run.wall_seconds = 0.0;
+    cli::CaseResult case_result;
+    case_result.spec = {"determinism", config};
+    case_result.aggregate = std::move(result);
+    std::vector<cli::CaseResult> cases;
+    cases.push_back(std::move(case_result));
+    dumps.push_back(cli::report_json("determinism", config, seeds, cases).dump_string());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Driver flag validation
+
+TEST(FlagValidation, UnknownFlagRejectedWithSuggestion) {
+  const char* argv[] = {"brbsim", "--taks=100"};
+  const util::Flags flags(2, argv);
+  try {
+    cli::validate_flags(flags);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--taks"), std::string::npos) << message;
+    EXPECT_NE(message.find("did you mean --tasks"), std::string::npos) << message;
+  }
+}
+
+TEST(FlagValidation, UnknownFlagWithoutNeighborStillRejected) {
+  const char* argv[] = {"brbsim", "--complete-gibberish-xyz=1"};
+  const util::Flags flags(2, argv);
+  EXPECT_THROW(cli::validate_flags(flags), std::invalid_argument);
+}
+
+TEST(FlagValidation, KnownFlagsPass) {
+  const char* argv[] = {"brbsim", "--tasks=10", "--scenario=paper", "--threads=2"};
+  const util::Flags flags(4, argv);
+  EXPECT_NO_THROW(cli::validate_flags(flags));
+}
+
+TEST(FlagValidation, EditDistanceBasics) {
+  EXPECT_EQ(util::edit_distance("tasks", "tasks"), 0u);
+  EXPECT_EQ(util::edit_distance("taks", "tasks"), 1u);
+  EXPECT_EQ(util::edit_distance("", "abc"), 3u);
+  const auto hit = util::closest_name("serers", {"servers", "seeds", "series-x"});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "servers");
+  EXPECT_FALSE(util::closest_name("zzzz", {"servers", "seeds"}).has_value());
+}
+
+}  // namespace
+}  // namespace brb
