@@ -4,10 +4,16 @@
 // measurement. This sweep varies both; the interesting question is how
 // slow the control loop can get before the credits realization falls
 // away from the ideal model.
-// Flags: --tasks N --seeds N  (BRB_PAPER=1 for scale)
+//
+// The sweep itself lives in the `brbsim` scenario registry
+// ("credits-interval") — this harness only expands that scenario, runs
+// it, and prints the gap-vs-model table the figure wants.
+// Flags: --tasks N --seeds N --intervals-ms a,b,c  (BRB_PAPER=1 for scale)
 #include <iostream>
 #include <vector>
 
+#include "cli/driver.hpp"
+#include "cli/scenario_registry.hpp"
 #include "core/scenario.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -19,44 +25,42 @@ int main(int argc, char** argv) {
   const brb::util::Flags flags(argc, argv);
   const bool paper = flags.get_bool("paper", false);
 
-  ScenarioConfig base;
-  base.num_tasks = static_cast<std::uint64_t>(flags.get_int("tasks", paper ? 150'000 : 30'000));
-  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds", paper ? 4 : 2));
-  std::vector<std::uint64_t> seeds;
-  for (std::uint64_t s = 0; s < num_seeds; ++s) seeds.push_back(s + 1);
+  ScenarioConfig base = brb::cli::config_from_flags(flags);
+  if (!flags.has("tasks")) base.num_tasks = paper ? 150'000 : 30'000;
+  const std::vector<std::uint64_t> seeds =
+      brb::cli::seeds_from_flags(flags, paper ? 4 : 2);
 
-  // Reference: the ideal model (no control loop at all).
-  ScenarioConfig model_config = base;
-  model_config.system = SystemKind::kEqualMaxModel;
-  const AggregateResult model = brb::core::run_seeds(model_config, seeds);
-
-  const std::vector<double> adapt_ms = {100, 250, 500, 1000, 2000, 4000};
+  const brb::cli::ScenarioSpec* scenario = brb::cli::find_scenario("credits-interval");
+  const std::vector<brb::cli::ExperimentCase> cases = scenario->expand(base, flags);
 
   std::cout << "# Ablation: credits adaptation interval, task latency (ms), " << seeds.size()
             << " seeds x " << base.num_tasks << " tasks\n";
-  std::cout << "# model reference p99 = " << brb::stats::fmt_double(model.p99_ms.mean(), 3)
-            << " ms\n\n";
-  brb::stats::Table table({"adapt interval", "median", "95th", "99th", "gap vs model p99",
-                           "holds/run"});
-  for (const double interval : adapt_ms) {
-    ScenarioConfig config = base;
-    config.system = SystemKind::kEqualMaxCredits;
-    config.credits.adapt_interval = brb::sim::Duration::millis(interval);
-    config.credits.measure_interval =
-        brb::sim::Duration::millis(std::min(100.0, interval / 2.0));
-    const AggregateResult agg = brb::core::run_seeds(config, seeds);
+
+  // The expander emits the model reference first, then one credits
+  // case per interval (in --intervals-ms order).
+  double model_p99 = 0.0;
+  brb::stats::Table table({"case", "median", "95th", "99th", "gap vs model p99", "holds/run"});
+  for (const brb::cli::ExperimentCase& experiment : cases) {
+    const AggregateResult agg = brb::core::run_seeds(experiment.config, seeds);
+    if (experiment.config.system == SystemKind::kEqualMaxModel) {
+      model_p99 = agg.p99_ms.mean();
+      std::cout << "# model reference p99 = " << brb::stats::fmt_double(model_p99, 3)
+                << " ms\n\n";
+      std::cerr << "[credits-interval] model reference done\n";
+      continue;
+    }
     double holds = 0.0;
     for (const auto& run : agg.runs) holds += static_cast<double>(run.credit_hold_events);
     holds /= static_cast<double>(agg.runs.size());
-    table.add_row({brb::stats::fmt_double(interval, 0) + "ms",
-                   brb::stats::fmt_double(agg.p50_ms.mean(), 3),
+    table.add_row({experiment.label, brb::stats::fmt_double(agg.p50_ms.mean(), 3),
                    brb::stats::fmt_double(agg.p95_ms.mean(), 3),
                    brb::stats::fmt_double(agg.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(
-                       (agg.p99_ms.mean() / model.p99_ms.mean() - 1.0) * 100.0, 1) +
-                       "%",
+                   model_p99 > 0.0
+                       ? brb::stats::fmt_double((agg.p99_ms.mean() / model_p99 - 1.0) * 100.0, 1) +
+                             "%"
+                       : "n/a",
                    brb::stats::fmt_double(holds, 1)});
-    std::cerr << "[credits-interval] " << interval << "ms done\n";
+    std::cerr << "[credits-interval] " << experiment.label << " done\n";
   }
   table.print(std::cout);
   std::cout << "\n# paper operating point: 1000ms adaptation; gap should stay within ~38%.\n";

@@ -6,10 +6,16 @@
 // how good must the size hints be for task-aware scheduling to retain
 // its advantage? sigma=0 is the paper's implicit assumption (exact
 // sizes); sigma -> large degrades toward cost-oblivious behaviour.
-// Flags: --tasks N --seeds N  (BRB_PAPER=1 for scale)
+//
+// The sweep itself lives in the `brbsim` scenario registry
+// ("forecast-noise") — this harness only expands that scenario, runs
+// it, and prints the beats-oblivious table the figure wants.
+// Flags: --tasks N --seeds N --noise-sigmas a,b,c  (BRB_PAPER=1 for scale)
 #include <iostream>
 #include <vector>
 
+#include "cli/driver.hpp"
+#include "cli/scenario_registry.hpp"
 #include "core/scenario.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -21,37 +27,38 @@ int main(int argc, char** argv) {
   const brb::util::Flags flags(argc, argv);
   const bool paper = flags.get_bool("paper", false);
 
-  ScenarioConfig base;
-  base.num_tasks = static_cast<std::uint64_t>(flags.get_int("tasks", paper ? 150'000 : 30'000));
-  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds", paper ? 4 : 2));
-  std::vector<std::uint64_t> seeds;
-  for (std::uint64_t s = 0; s < num_seeds; ++s) seeds.push_back(s + 1);
+  ScenarioConfig base = brb::cli::config_from_flags(flags);
+  if (!flags.has("tasks")) base.num_tasks = paper ? 150'000 : 30'000;
+  const std::vector<std::uint64_t> seeds =
+      brb::cli::seeds_from_flags(flags, paper ? 4 : 2);
 
-  // Reference: the task-oblivious baseline is forecast-independent.
-  ScenarioConfig fifo_config = base;
-  fifo_config.system = SystemKind::kFifoDirect;
-  const AggregateResult fifo = brb::core::run_seeds(fifo_config, seeds);
-
-  const std::vector<double> sigmas = {0.0, 0.25, 0.5, 1.0, 2.0};
+  const brb::cli::ScenarioSpec* scenario = brb::cli::find_scenario("forecast-noise");
+  const std::vector<brb::cli::ExperimentCase> cases = scenario->expand(base, flags);
 
   std::cout << "# Ablation: forecast-noise sweep (EqualMax-Credits), task latency (ms), "
             << seeds.size() << " seeds x " << base.num_tasks << " tasks\n";
-  std::cout << "# task-oblivious reference: median "
-            << brb::stats::fmt_double(fifo.p50_ms.mean(), 3) << "  p99 "
-            << brb::stats::fmt_double(fifo.p99_ms.mean(), 3) << "\n\n";
-  brb::stats::Table table({"noise sigma", "median", "95th", "99th", "still beats oblivious?"});
-  for (const double sigma : sigmas) {
-    ScenarioConfig config = base;
-    config.system = SystemKind::kEqualMaxCredits;
-    config.cost_noise_sigma = sigma;
-    const AggregateResult agg = brb::core::run_seeds(config, seeds);
-    const bool wins = agg.p99_ms.mean() < fifo.p99_ms.mean() &&
-                      agg.p50_ms.mean() < fifo.p50_ms.mean();
-    table.add_row({brb::stats::fmt_double(sigma, 2),
-                   brb::stats::fmt_double(agg.p50_ms.mean(), 3),
+
+  // The expander emits the task-oblivious FIFO reference first, then
+  // one credits case per sigma (in --noise-sigmas order).
+  double fifo_p50 = 0.0;
+  double fifo_p99 = 0.0;
+  brb::stats::Table table({"case", "median", "95th", "99th", "still beats oblivious?"});
+  for (const brb::cli::ExperimentCase& experiment : cases) {
+    const AggregateResult agg = brb::core::run_seeds(experiment.config, seeds);
+    if (experiment.config.system == SystemKind::kFifoDirect) {
+      fifo_p50 = agg.p50_ms.mean();
+      fifo_p99 = agg.p99_ms.mean();
+      std::cout << "# task-oblivious reference: median "
+                << brb::stats::fmt_double(fifo_p50, 3) << "  p99 "
+                << brb::stats::fmt_double(fifo_p99, 3) << "\n\n";
+      std::cerr << "[noise] fifo reference done\n";
+      continue;
+    }
+    const bool wins = agg.p99_ms.mean() < fifo_p99 && agg.p50_ms.mean() < fifo_p50;
+    table.add_row({experiment.label, brb::stats::fmt_double(agg.p50_ms.mean(), 3),
                    brb::stats::fmt_double(agg.p95_ms.mean(), 3),
                    brb::stats::fmt_double(agg.p99_ms.mean(), 3), wins ? "yes" : "no"});
-    std::cerr << "[noise] sigma=" << sigma << " done\n";
+    std::cerr << "[noise] " << experiment.label << " done\n";
   }
   table.print(std::cout);
   std::cout << "\n# expectation: graceful degradation — even rough size hints beat\n"

@@ -1,22 +1,38 @@
 #!/usr/bin/env python3
-"""Diff a fresh brbsim paper-scenario JSON against the checked-in
-nightly reference, with tolerances.
+"""CI gate for brbsim JSON artifacts. Three modes:
 
-Headline claims guarded here (the reproduction's versions of the
-paper's Figure 2 story):
+Reference diff (default):
+    check_claims.py fresh.json reference.json [--tolerance 0.10]
 
-  Claim A  BRB (equalmax-credits) beats C3 on task p99 by a clear
-           factor (reference ~1.9x at the nightly config).
-  Claim B  the credits realization tracks the ideal global-queue model
-           within a bounded p99 gap (reference ~22%).
+  Diffs a fresh paper-scenario report against the checked-in nightly
+  reference. Headline claims guarded (the reproduction's versions of
+  the paper's Figure 2 story):
 
-Per-case percentile means are also diffed against the reference. The
-simulation is bit-deterministic for a fixed seed/binary, so drift here
-means a behavior change (intended or not) — the tolerance only absorbs
-toolchain-level floating-point variation, which should be zero on the
-pinned CI image.
+    Claim A  BRB (equalmax-credits) beats C3 on task p99 by a clear
+             factor (reference ~1.9x at the nightly config).
+    Claim B  the credits realization tracks the ideal global-queue
+             model within a bounded p99 gap (reference ~22%).
 
-usage: check_claims.py fresh.json reference.json [--tolerance 0.10]
+  Per-case percentile means are also diffed. The simulation is
+  bit-deterministic for a fixed seed/binary, so drift here means a
+  behavior change (intended or not) — the tolerance only absorbs
+  toolchain-level floating-point variation, which should be zero on
+  the pinned CI image.
+
+Invariant check (scenario-diversity nightly matrix):
+    check_claims.py --invariants report.json [--max-tenant-p99-ratio R]
+
+  Scenario-independent health checks on every run of every case:
+  all submitted tasks completed, nothing left held at a dispatch gate,
+  write replica copies all acknowledged, and (for multi-tenant cases)
+  the per-tenant p99 spread within a bound.
+
+Determinism check:
+    check_claims.py --identical a.json b.json
+
+  Asserts two reports are identical except wall-clock fields — the
+  --threads invariance gate (fixed seed + any worker count must give
+  byte-identical artifacts).
 """
 
 import argparse
@@ -41,26 +57,19 @@ def claim_metrics(doc):
     }
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("fresh")
-    parser.add_argument("reference")
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="max relative drift per metric (default 0.10)")
-    args = parser.parse_args()
-
-    with open(args.fresh) as f:
+def run_reference_diff(fresh_path, reference_path, tolerance):
+    with open(fresh_path) as f:
         fresh = json.load(f)
-    with open(args.reference) as f:
+    with open(reference_path) as f:
         reference = json.load(f)
 
     failures = []
 
     def check(name, got, want):
         drift = abs(got - want) / abs(want) if want else abs(got)
-        status = "ok" if drift <= args.tolerance else "FAIL"
+        status = "ok" if drift <= tolerance else "FAIL"
         print(f"{status:4} {name}: got {got:.4f}, reference {want:.4f}, drift {drift:.2%}")
-        if drift > args.tolerance:
+        if drift > tolerance:
             failures.append(name)
 
     fresh_claims = claim_metrics(fresh)
@@ -81,10 +90,114 @@ def main():
 
     if failures:
         print(f"\n{len(failures)} metric(s) drifted past tolerance "
-              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+              f"{tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
         return 1
     print("\nall claim metrics within tolerance")
     return 0
+
+
+def run_invariants(report_path, max_tenant_p99_ratio):
+    with open(report_path) as f:
+        doc = json.load(f)
+
+    failures = []
+    checked = 0
+
+    def check(name, ok, detail):
+        nonlocal checked
+        checked += 1
+        print(f"{'ok' if ok else 'FAIL':4} {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    for case in doc.get("cases", []):
+        label = case["label"]
+        # Expanders may override the task count per case; the case
+        # block carries its own copy, the base config is the fallback.
+        expected_tasks = case.get("tasks", doc["config"]["tasks"])
+        if not case.get("runs"):
+            check(f"{label}/runs", False, "case has no runs")
+            continue
+        for run in case["runs"]:
+            tag = f"{label}/seed={run['seed']}"
+            check(f"{tag}/tasks_completed",
+                  run["tasks_completed"] == expected_tasks,
+                  f"{run['tasks_completed']} of {expected_tasks}")
+            check(f"{tag}/gate_held_requests",
+                  run["gate_held_requests"] == 0,
+                  f"{run['gate_held_requests']} held at teardown")
+            if case.get("write_fraction", 0) > 0:
+                check(f"{tag}/write_requests",
+                      run.get("write_requests", 0) > 0,
+                      f"{run.get('write_requests', 0)} write copies acked")
+            tenants = run.get("tenants")
+            if tenants:
+                total = sum(t["tasks_completed"] for t in tenants)
+                check(f"{tag}/tenant_task_sum",
+                      total == run["tasks_completed"],
+                      f"tenant tasks sum {total} vs {run['tasks_completed']}")
+                ratio = run.get("tenant_p99_ratio", 0.0)
+                check(f"{tag}/tenant_p99_ratio",
+                      0.0 < ratio <= max_tenant_p99_ratio,
+                      f"{ratio:.2f} (bound {max_tenant_p99_ratio})")
+
+    if failures:
+        print(f"\n{len(failures)} of {checked} invariant(s) violated: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} invariants hold")
+    return 0
+
+
+def strip_wall_clock(node):
+    """Recursively drops wall-clock fields (the one legitimately
+    nondeterministic part of a report)."""
+    if isinstance(node, dict):
+        return {k: strip_wall_clock(v) for k, v in node.items() if k != "wall_seconds"}
+    if isinstance(node, list):
+        return [strip_wall_clock(v) for v in node]
+    return node
+
+
+def run_identical(a_path, b_path):
+    with open(a_path) as f:
+        a = strip_wall_clock(json.load(f))
+    with open(b_path) as f:
+        b = strip_wall_clock(json.load(f))
+    if a != b:
+        print(f"FAIL: {a_path} and {b_path} differ beyond wall_seconds "
+              "(thread-count determinism broken)", file=sys.stderr)
+        return 1
+    print(f"ok: {a_path} == {b_path} (modulo wall_seconds)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("files", nargs="+",
+                        help="fresh.json reference.json | --invariants report.json | "
+                             "--identical a.json b.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative drift per metric (default 0.10)")
+    parser.add_argument("--invariants", action="store_true",
+                        help="scenario-independent health checks on one report")
+    parser.add_argument("--identical", action="store_true",
+                        help="two reports must match modulo wall_seconds")
+    parser.add_argument("--max-tenant-p99-ratio", type=float, default=100.0,
+                        help="bound on per-tenant p99 spread (invariants mode)")
+    args = parser.parse_args()
+
+    if args.invariants:
+        if len(args.files) != 1:
+            parser.error("--invariants takes exactly one report")
+        return run_invariants(args.files[0], args.max_tenant_p99_ratio)
+    if args.identical:
+        if len(args.files) != 2:
+            parser.error("--identical takes exactly two reports")
+        return run_identical(args.files[0], args.files[1])
+    if len(args.files) != 2:
+        parser.error("reference diff takes fresh.json reference.json")
+    return run_reference_diff(args.files[0], args.files[1], args.tolerance)
 
 
 if __name__ == "__main__":

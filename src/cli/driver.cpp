@@ -47,15 +47,15 @@ const std::vector<std::string>& known_flags() {
       "help", "list", "scenario", "paper", "seeds", "seed-list", "serial", "threads", "quiet",
       "json", "csv", "record-trace",
       // cluster / workload
-      "servers", "cores", "rate", "replication", "clients", "tasks", "utilization", "trace",
-      "fanout", "sizes", "keys", "paced",
+      "servers", "cores", "rate", "cluster", "replication", "clients", "tasks", "utilization",
+      "trace", "fanout", "sizes", "keys", "paced", "arrivals", "write-fraction", "tenants",
       // timing / measurement
       "net-latency-us", "net-jitter-us", "service-base-us", "service-noise", "cost-noise",
       "warmup", "keep-raw",
       // system under test
       "system", "seed", "selector", "systems",
       // scenario expanders
-      "loads", "fanouts",
+      "loads", "fanouts", "writes", "skews", "replications", "intervals-ms", "noise-sigmas",
       // credits controller
       "credits-adapt-s", "credits-measure-ms", "credits-monitor-ms", "credits-congestion-factor",
       "credits-backoff", "credits-recovery", "credits-min-capacity", "credits-ewma",
@@ -87,12 +87,20 @@ ScenarioConfig config_from_flags(const util::Flags& flags) {
   const bool paper = flags.get_bool("paper", false);
 
   // --- cluster ---
-  config.cluster.num_servers =
-      static_cast<std::uint32_t>(flags.get_uint("servers", config.cluster.num_servers));
-  config.cluster.cores_per_server =
-      static_cast<std::uint32_t>(flags.get_uint("cores", config.cluster.cores_per_server));
-  config.cluster.service_rate_per_core =
-      flags.get_double("rate", config.cluster.service_rate_per_core);
+  if (const auto cluster = flags.get("cluster")) {
+    if (flags.has("servers") || flags.has("cores") || flags.has("rate")) {
+      throw std::invalid_argument(
+          "--cluster conflicts with --servers/--cores/--rate; the profile fixes all three");
+    }
+    config.cluster = workload::ClusterSpec::parse(*cluster);
+  } else {
+    config.cluster.num_servers =
+        static_cast<std::uint32_t>(flags.get_uint("servers", config.cluster.num_servers));
+    config.cluster.cores_per_server =
+        static_cast<std::uint32_t>(flags.get_uint("cores", config.cluster.cores_per_server));
+    config.cluster.service_rate_per_core =
+        flags.get_double("rate", config.cluster.service_rate_per_core);
+  }
   config.replication = static_cast<std::uint32_t>(flags.get_uint("replication", config.replication));
   config.num_clients = static_cast<std::uint32_t>(flags.get_uint("clients", config.num_clients));
 
@@ -104,6 +112,24 @@ ScenarioConfig config_from_flags(const util::Flags& flags) {
   config.size_spec = flags.get_string("sizes", config.size_spec);
   config.key_spec = flags.get_string("keys", config.key_spec);
   config.paced_arrivals = flags.get_bool("paced", config.paced_arrivals);
+  config.arrival_spec = flags.get_string("arrivals", config.arrival_spec);
+  config.write_fraction = flags.get_double("write-fraction", config.write_fraction);
+  config.tenant_spec = flags.get_string("tenants", config.tenant_spec);
+  if (config.paced_arrivals && !config.arrival_spec.empty()) {
+    throw std::invalid_argument("--paced conflicts with --arrivals; pick one arrival shape");
+  }
+  if (!config.trace_path.empty()) {
+    // Replay fixes arrival times, request mix and issuing clients.
+    if (!config.arrival_spec.empty()) {
+      throw std::invalid_argument("--trace conflicts with --arrivals (times come from the trace)");
+    }
+    if (config.write_fraction > 0.0) {
+      throw std::invalid_argument("--trace conflicts with --write-fraction (traces are read-only)");
+    }
+    if (!config.tenant_spec.empty()) {
+      throw std::invalid_argument("--trace conflicts with --tenants (traces are single-tenant)");
+    }
+  }
 
   // --- timing ---
   config.net_latency = micros_flag(flags, "net-latency-us", config.net_latency);
@@ -184,6 +210,13 @@ std::vector<std::uint64_t> seeds_from_flags(const util::Flags& flags,
 }
 
 void record_trace(const ScenarioConfig& base, const std::string& path) {
+  // The v1 trace format carries arrival/fan-out/size only, so write
+  // and tenant structure cannot round-trip through a recording.
+  if (base.write_fraction > 0.0 || !base.tenant_spec.empty()) {
+    throw std::invalid_argument(
+        "--record-trace conflicts with --write-fraction/--tenants (traces are read-only, "
+        "single-tenant)");
+  }
   util::Rng rng(base.seed);
   const auto sizes = workload::make_size_distribution(base.size_spec);
   const auto keys = workload::make_key_distribution(base.key_spec);
@@ -194,7 +227,11 @@ void record_trace(const ScenarioConfig& base, const std::string& path) {
   const workload::CapacityPlanner planner(base.cluster);
   const double task_rate = planner.task_rate_for_utilization(base.utilization, fanout->mean());
   std::unique_ptr<workload::ArrivalProcess> arrivals;
-  if (base.paced_arrivals) {
+  if (!base.arrival_spec.empty()) {
+    // Arrival times are baked into the trace, so a diurnal recording
+    // replays with its envelope intact.
+    arrivals = workload::make_arrival_process(base.arrival_spec, task_rate);
+  } else if (base.paced_arrivals) {
     arrivals = std::make_unique<workload::PacedArrivals>(task_rate);
   } else {
     arrivals = std::make_unique<workload::PoissonArrivals>(task_rate);
@@ -212,6 +249,7 @@ stats::Json config_json(const ScenarioConfig& config) {
   j["servers"] = config.cluster.num_servers;
   j["cores_per_server"] = config.cluster.cores_per_server;
   j["service_rate_per_core"] = config.cluster.service_rate_per_core;
+  j["cluster"] = config.cluster.describe();
   j["replication"] = config.replication;
   j["clients"] = config.num_clients;
   j["tasks"] = config.num_tasks;
@@ -221,6 +259,9 @@ stats::Json config_json(const ScenarioConfig& config) {
   j["sizes"] = config.size_spec;
   j["keys"] = config.key_spec;
   j["paced_arrivals"] = config.paced_arrivals;
+  j["arrivals"] = config.arrival_spec;
+  j["write_fraction"] = config.write_fraction;
+  j["tenants"] = config.tenant_spec;
   j["net_latency_us"] = config.net_latency.as_micros();
   j["net_jitter_us"] = config.net_jitter.as_micros();
   j["service_base_us"] = config.service_base.as_micros();
@@ -251,6 +292,25 @@ stats::Json run_json(const RunResult& run) {
   j["tasks_completed"] = run.tasks_completed;
   j["tasks_measured"] = run.tasks_measured;
   j["requests_completed"] = run.requests_completed;
+  j["write_requests"] = run.write_requests_acked;
+  if (!run.tenants.empty()) {
+    stats::Json tenants = stats::Json::array();
+    for (const core::TenantResult& tenant : run.tenants) {
+      stats::Json t = stats::Json::object();
+      t["name"] = tenant.name;
+      t["tasks_completed"] = tenant.tasks_completed;
+      t["tasks_measured"] = tenant.tasks_measured;
+      if (tenant.tasks_measured > 0) {
+        t["p50_ms"] = tenant.task_latency.percentile(50).as_millis();
+        t["p95_ms"] = tenant.task_latency.percentile(95).as_millis();
+        t["p99_ms"] = tenant.task_latency.percentile(99).as_millis();
+        t["mean_ms"] = tenant.task_latency.mean().as_millis();
+      }
+      tenants.push_back(std::move(t));
+    }
+    j["tenants"] = std::move(tenants);
+    j["tenant_p99_ratio"] = run.tenant_p99_ratio;
+  }
   j["mean_utilization"] = run.mean_utilization;
   j["network_messages"] = run.network_messages;
   j["network_bytes"] = run.network_bytes;
@@ -285,6 +345,16 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
     c["system"] = to_string(result.spec.config.system);
     c["utilization"] = result.spec.config.utilization;
     c["fanout"] = result.spec.config.fanout_spec;
+    // Per-case copies of every dimension a scenario expander may sweep,
+    // so each case stays self-describing even when it diverges from
+    // the base config block above.
+    c["tasks"] = result.spec.config.num_tasks;
+    c["cluster"] = result.spec.config.cluster.describe();
+    c["keys"] = result.spec.config.key_spec;
+    c["replication"] = result.spec.config.replication;
+    c["arrivals"] = result.spec.config.arrival_spec;
+    c["write_fraction"] = result.spec.config.write_fraction;
+    c["tenants"] = result.spec.config.tenant_spec;
     stats::Json latency = stats::Json::object();
     latency["p50_ms"] = summary_json(result.aggregate.p50_ms);
     latency["p95_ms"] = summary_json(result.aggregate.p95_ms);
@@ -303,8 +373,8 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
 void report_csv(std::ostream& os, const std::string& scenario,
                 const std::vector<CaseResult>& results) {
   os << "scenario,label,system,seed,p50_ms,p95_ms,p99_ms,mean_ms,tasks_completed,"
-        "requests_completed,mean_utilization,congestion_signals,credit_hold_events,"
-        "wall_seconds\n";
+        "requests_completed,write_requests,mean_utilization,congestion_signals,"
+        "credit_hold_events,tenant_p99_ratio,wall_seconds\n";
   for (const CaseResult& result : results) {
     const std::string prefix = stats::csv_field(scenario) + "," +
                                stats::csv_field(result.spec.label) + "," +
@@ -313,14 +383,15 @@ void report_csv(std::ostream& os, const std::string& scenario,
       const core::LatencySummary latency = core::summarize_tasks(run);
       os << prefix << "," << run.seed << "," << latency.p50_ms << "," << latency.p95_ms << ","
          << latency.p99_ms << "," << latency.mean_ms << "," << run.tasks_completed << ","
-         << run.requests_completed << "," << run.mean_utilization << ","
-         << run.congestion_signals << "," << run.credit_hold_events << "," << run.wall_seconds
+         << run.requests_completed << "," << run.write_requests_acked << ","
+         << run.mean_utilization << "," << run.congestion_signals << ","
+         << run.credit_hold_events << "," << run.tenant_p99_ratio << "," << run.wall_seconds
          << "\n";
     }
     // The cross-seed aggregate row (seed column = "all").
     const AggregateResult& agg = result.aggregate;
     os << prefix << ",all," << agg.p50_ms.mean() << "," << agg.p95_ms.mean() << ","
-       << agg.p99_ms.mean() << "," << agg.mean_ms.mean() << ",,,,,,\n";
+       << agg.p99_ms.mean() << "," << agg.mean_ms.mean() << ",,,,,,,,\n";
   }
 }
 
@@ -345,7 +416,11 @@ void print_usage(std::ostream& os) {
         "  --quiet               suppress the console table\n"
         "\ncluster / workload overrides (paper defaults otherwise):\n"
         "  --servers --cores --rate --replication --clients --tasks\n"
+        "  --cluster=hetero:6x4x3500,3x8x7000 (heterogeneous fleet profile)\n"
         "  --utilization --fanout=SPEC --sizes=SPEC --keys=SPEC --paced\n"
+        "  --arrivals=diurnal:LOW:HIGH:PERIOD_S | steps:M1,M2,..:PERIOD_S\n"
+        "  --write-fraction=F (task-level writes; fan out to all replicas)\n"
+        "  --tenants=\"NAME[,share=W][,fanout=SPEC][,keys=SPEC][,write=F];...\"\n"
         "  --trace=PATH (trace-replay input)\n"
         "\ntiming / measurement:\n"
         "  --net-latency-us --net-jitter-us --service-base-us\n"
@@ -353,6 +428,9 @@ void print_usage(std::ostream& os) {
         "\npolicy knobs:\n"
         "  --system --selector --systems=a,b,c (scenario system set)\n"
         "  --loads=0.5,0.7 (load-sweep)  --fanouts=spec,... (fanout-sweep)\n"
+        "  --writes=0.05,0.2 (write-heavy)  --skews=0,0.9,1.2 (replication-skew)\n"
+        "  --replications=1,2,3 (replication-sweep)\n"
+        "  --intervals-ms=100,1000 (credits-interval)  --noise-sigmas=0,0.5 (forecast-noise)\n"
         "  --credits-{adapt-s,measure-ms,monitor-ms,congestion-factor,backoff,\n"
         "             recovery,min-capacity,ewma,min-share,carryover}\n"
         "  --c3-{ewma,exponent}  --rate-{initial,beta,scaling,burst,window-ms}\n"

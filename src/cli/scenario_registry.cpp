@@ -1,5 +1,7 @@
 #include "cli/scenario_registry.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -107,9 +109,11 @@ std::vector<ExperimentCase> expand_large_cluster(const ScenarioConfig& base,
   // Scale sweep target: two orders of magnitude past the paper's 9x18
   // cluster. The dense-ID engine keeps per-(client,server) state flat,
   // so this runs as a routine CI case rather than a hash-map stress
-  // test. Explicit --servers / --clients / --tasks flags still win.
+  // test. Explicit --servers / --cluster / --clients / --tasks flags
+  // still win (a --cluster profile fixes the whole fleet shape, so it
+  // must not be partially overwritten here).
   ScenarioConfig config = base;
-  if (!flags.has("servers")) config.cluster.num_servers = 100;
+  if (!flags.has("servers") && !flags.has("cluster")) config.cluster.num_servers = 100;
   if (!flags.has("clients")) config.num_clients = 1000;
   if (!flags.has("tasks")) config.num_tasks = 100'000;
   return per_system(config, systems_from_flags(flags, {SystemKind::kEqualMaxCredits,
@@ -127,6 +131,178 @@ std::vector<ExperimentCase> expand_trace_replay(const ScenarioConfig& base,
                     systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits}));
 }
 
+// --------------------------------------------------------------------------
+// Scenario-diversity suite: the workload realism the paper's fixed setup
+// leaves out (heterogeneous fleets, diurnal load, writes, tenancy, skew).
+
+std::vector<ExperimentCase> expand_hetero_servers(const ScenarioConfig& base,
+                                                  const util::Flags& flags) {
+  // Mixed fleet at the paper's 9-server count: six small 4-core boxes
+  // plus three big 8-core boxes at twice the per-core rate. Capacity
+  // planning spreads the same 70% utilization over the mixed fleet.
+  ScenarioConfig config = base;
+  if (!flags.has("cluster")) {
+    // The scalar fleet flags would be silently discarded by the
+    // profile below — reject them the same way --cluster itself does.
+    if (flags.has("servers") || flags.has("cores") || flags.has("rate")) {
+      throw std::invalid_argument(
+          "scenario hetero-servers fixes the fleet via its --cluster profile; "
+          "--servers/--cores/--rate conflict (pass --cluster=... to change the mix)");
+    }
+    config.cluster = workload::ClusterSpec::parse("hetero:6x4x3500,3x8x7000");
+  }
+  return per_system(config,
+                    systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits,
+                                               SystemKind::kEqualMaxModel}));
+}
+
+std::vector<ExperimentCase> expand_diurnal(const ScenarioConfig& base,
+                                           const util::Flags& flags) {
+  // Sinusoidal rate envelope swinging 0.5x..1.5x around the mean with
+  // a 1 s period — short enough that even small CI runs cover several
+  // peaks and troughs.
+  ScenarioConfig config = base;
+  if (!flags.has("arrivals")) config.arrival_spec = "diurnal:0.5:1.5:1";
+  return per_system(config,
+                    systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits,
+                                               SystemKind::kEqualMaxModel}));
+}
+
+std::vector<ExperimentCase> expand_write_heavy(const ScenarioConfig& base,
+                                               const util::Flags& flags) {
+  const std::vector<double> fractions = doubles_from_flag(flags, "writes", {0.05, 0.20});
+  const auto systems =
+      systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits});
+  std::vector<ExperimentCase> cases;
+  for (const double fraction : fractions) {
+    for (const SystemKind kind : systems) {
+      ScenarioConfig config = base;
+      config.system = kind;
+      config.write_fraction = fraction;
+      std::ostringstream label;
+      label << to_string(kind) << "@writes=" << fraction;
+      cases.push_back({label.str(), std::move(config)});
+    }
+  }
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_multi_tenant(const ScenarioConfig& base,
+                                                const util::Flags& flags) {
+  // Two-tenant default: a latency-sensitive foreground mixing with a
+  // heavy batch tenant that also writes. Fairness (per-tenant p99
+  // spread) is the scenario's headline metric.
+  ScenarioConfig config = base;
+  if (!flags.has("tenants")) {
+    config.tenant_spec =
+        "interactive,share=0.7,fanout=lognormal:2.5:1.0:64;"
+        "batch,share=0.3,fanout=lognormal:24:1.5:512,write=0.1";
+  }
+  return per_system(config,
+                    systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits}));
+}
+
+std::vector<ExperimentCase> expand_replication_skew(const ScenarioConfig& base,
+                                                    const util::Flags& flags) {
+  // Reuses the key-distribution layer to skew load across replica
+  // groups: Zipf exponent 0 (uniform control) up past 1, at a reduced
+  // replication factor so hot groups have little selection freedom.
+  const std::vector<double> skews = doubles_from_flag(flags, "skews", {0.0, 0.9, 1.2});
+  const auto systems =
+      systems_from_flags(flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits});
+  std::vector<ExperimentCase> cases;
+  for (const double skew : skews) {
+    for (const SystemKind kind : systems) {
+      ScenarioConfig config = base;
+      config.system = kind;
+      if (!flags.has("replication")) config.replication = 2;
+      if (!flags.has("keys")) {
+        std::ostringstream spec;
+        if (skew == 0.0) {
+          spec << "uniform:100000";
+        } else {
+          spec << "zipf:100000:" << skew;
+        }
+        config.key_spec = spec.str();
+      }
+      std::ostringstream label;
+      label << to_string(kind) << "@skew=" << skew;
+      cases.push_back({label.str(), std::move(config)});
+    }
+  }
+  return cases;
+}
+
+// --------------------------------------------------------------------------
+// Ablation sweeps ported off the bespoke bench mains (bench/ dedup).
+
+std::vector<ExperimentCase> expand_credits_interval(const ScenarioConfig& base,
+                                                    const util::Flags& flags) {
+  // Control-loop cadence sweep, with the no-control-loop ideal model
+  // as the reference case.
+  const std::vector<double> intervals_ms =
+      doubles_from_flag(flags, "intervals-ms", {100, 250, 500, 1000, 2000, 4000});
+  std::vector<ExperimentCase> cases;
+  ScenarioConfig model = base;
+  model.system = SystemKind::kEqualMaxModel;
+  cases.push_back({"equalmax-model", std::move(model)});
+  for (const double interval : intervals_ms) {
+    ScenarioConfig config = base;
+    config.system = SystemKind::kEqualMaxCredits;
+    config.credits.adapt_interval = sim::Duration::millis(interval);
+    config.credits.measure_interval = sim::Duration::millis(std::min(100.0, interval / 2.0));
+    std::ostringstream label;
+    label << "equalmax-credits@adapt-ms=" << interval;
+    cases.push_back({label.str(), std::move(config)});
+  }
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_forecast_noise(const ScenarioConfig& base,
+                                                  const util::Flags& flags) {
+  // Forecast-quality sweep, with the forecast-independent FIFO
+  // baseline as the reference case.
+  const std::vector<double> sigmas =
+      doubles_from_flag(flags, "noise-sigmas", {0.0, 0.25, 0.5, 1.0, 2.0});
+  std::vector<ExperimentCase> cases;
+  ScenarioConfig fifo = base;
+  fifo.system = SystemKind::kFifoDirect;
+  cases.push_back({"fifo-direct", std::move(fifo)});
+  for (const double sigma : sigmas) {
+    ScenarioConfig config = base;
+    config.system = SystemKind::kEqualMaxCredits;
+    config.cost_noise_sigma = sigma;
+    std::ostringstream label;
+    label << "equalmax-credits@noise=" << sigma;
+    cases.push_back({label.str(), std::move(config)});
+  }
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_replication_sweep(const ScenarioConfig& base,
+                                                     const util::Flags& flags) {
+  const std::vector<double> factors =
+      doubles_from_flag(flags, "replications", {1, 2, 3, 5, 9});
+  const auto systems = systems_from_flags(
+      flags, {SystemKind::kC3, SystemKind::kEqualMaxCredits, SystemKind::kEqualMaxModel});
+  std::vector<ExperimentCase> cases;
+  for (const double factor : factors) {
+    if (factor < 1.0) throw std::invalid_argument("--replications: factor < 1");
+    if (factor != std::floor(factor)) {
+      throw std::invalid_argument("--replications: not an integer: " + std::to_string(factor));
+    }
+    for (const SystemKind kind : systems) {
+      ScenarioConfig config = base;
+      config.system = kind;
+      config.replication = static_cast<std::uint32_t>(factor);
+      std::ostringstream label;
+      label << to_string(kind) << "@R=" << static_cast<std::uint32_t>(factor);
+      cases.push_back({label.str(), std::move(config)});
+    }
+  }
+  return cases;
+}
+
 }  // namespace
 
 const std::vector<ScenarioSpec>& scenario_registry() {
@@ -140,6 +316,23 @@ const std::vector<ScenarioSpec>& scenario_registry() {
        expand_large_cluster},
       {"trace-replay", "replay a recorded trace (--trace=PATH) across systems",
        expand_trace_replay},
+      {"hetero-servers", "mixed fleet (6x4-core + 3x8-core at 2x rate) via --cluster",
+       expand_hetero_servers},
+      {"diurnal", "sinusoidal 0.5x..1.5x arrival envelope (--arrivals=...)", expand_diurnal},
+      {"write-heavy", "task-level write mix; writes fan out to all replicas (--writes=...)",
+       expand_write_heavy},
+      {"multi-tenant", "interactive + batch tenant mix, per-tenant p99 fairness (--tenants=...)",
+       expand_multi_tenant},
+      {"replication-skew", "key-popularity skew over R=2 placement (--skews=...)",
+       expand_replication_skew},
+      {"credits-interval", "credits adaptation-cadence sweep vs the ideal model "
+       "(--intervals-ms=...)",
+       expand_credits_interval},
+      {"forecast-noise", "cost-forecast noise sweep vs task-oblivious FIFO (--noise-sigmas=...)",
+       expand_forecast_noise},
+      {"replication-sweep", "replication-factor sweep across C3/credits/model "
+       "(--replications=...)",
+       expand_replication_sweep},
   };
   return registry;
 }

@@ -59,6 +59,7 @@ void AppClient::submit(const workload::TaskSpec& task) {
     policy::PlannedRequest planned;
     planned.key = spec.key;
     planned.size_hint = spec.size_hint;
+    planned.is_write = spec.is_write;
     planned.group = partitioner_->group_of(spec.key);
     planned.expected_cost = forecast_cost(spec.size_hint);
     plan.requests.push_back(planned);
@@ -67,8 +68,17 @@ void AppClient::submit(const workload::TaskSpec& task) {
   // 2. Replica selection: jointly per sub-task (BRB) or per request.
   // Group aggregation runs over sorted scratch vectors (reused across
   // submits); selectors still observe groups in ascending id order,
-  // exactly as the std::map formulation did.
-  if (config_.select_per_subtask && plan.requests.size() == 1) {
+  // exactly as the std::map formulation did. Writes have no replica
+  // freedom (every replica executes a copy), so a pure-write task
+  // skips selection entirely; a mixed task (possible via
+  // tasks_override) still selects for every group — its reads use the
+  // choice, its writes ignore it.
+  const bool all_writes =
+      std::all_of(plan.requests.begin(), plan.requests.end(),
+                  [](const policy::PlannedRequest& planned) { return planned.is_write; });
+  if (all_writes) {
+    // Generated write tasks are all-or-nothing per task.
+  } else if (config_.select_per_subtask && plan.requests.size() == 1) {
     // Median fan-out is 1-2 requests: skip the aggregation machinery.
     policy::PlannedRequest& planned = plan.requests.front();
     planned.server =
@@ -102,15 +112,27 @@ void AppClient::submit(const workload::TaskSpec& task) {
   priority_policy_->assign(plan);
 
   // 4. Track the task and dispatch every request through the gate.
+  // Writes fan out: one wire copy per replica of the group, all with
+  // the planned priority; the task completes when the last replica
+  // acknowledges. Each copy spends gate credits against its own
+  // server, which is exactly the asymmetric pressure write traffic
+  // puts on the credit and congestion paths.
+  std::uint32_t wire_requests = 0;
+  for (const policy::PlannedRequest& planned : plan.requests) {
+    wire_requests += planned.is_write
+                         ? static_cast<std::uint32_t>(
+                               partitioner_->replicas_of(planned.group).size())
+                         : 1;
+  }
   PendingTask pending;
   pending.spec = task;
-  pending.remaining = static_cast<std::uint32_t>(plan.requests.size());
+  pending.remaining = wire_requests;
   pending.started = now();
   pending_tasks_.emplace(task.id, std::move(pending));
 
-  for (const policy::PlannedRequest& planned : plan.requests) {
+  const auto dispatch = [&](const policy::PlannedRequest& planned, store::ServerId server) {
     OutboundRequest out;
-    out.server = planned.server;
+    out.server = server;
     out.group = planned.group;
     out.request.request_id =
         (static_cast<std::uint64_t>(config_.id) << 40) | next_request_serial_++;
@@ -120,12 +142,23 @@ void AppClient::submit(const workload::TaskSpec& task) {
     out.request.priority = planned.priority;
     out.request.expected_cost = planned.expected_cost;
     out.request.sent_at = now();  // refined at actual transmit time
+    out.request.is_write = planned.is_write;
+    out.request.write_size = planned.is_write ? planned.size_hint : 0;
     // The selector sees load at *offer* time so that requests held by a
     // gate (credits exhausted, rate limited) still count against the
     // server they are bound for — otherwise the client keeps piling
     // work onto a throttled replica it believes is idle.
     selector_->on_send(out.server, out.request.expected_cost);
     gate_->offer(std::move(out));
+  };
+  for (const policy::PlannedRequest& planned : plan.requests) {
+    if (planned.is_write) {
+      for (const store::ServerId replica : partitioner_->replicas_of(planned.group)) {
+        dispatch(planned, replica);
+      }
+    } else {
+      dispatch(planned, planned.server);
+    }
   }
 }
 
@@ -176,6 +209,7 @@ void AppClient::transmit_now(OutboundRequest& out) {
   inflight.expected_cost = out.request.expected_cost;
   inflight_insert(out.request.request_id & ((std::uint64_t{1} << 40) - 1), inflight);
   ++stats_.requests_sent;
+  if (out.request.is_write) ++stats_.writes_sent;
   network_send_(out);
 }
 
@@ -191,6 +225,7 @@ void AppClient::on_response(const store::ReadResponse& response) {
   slot->serial_plus1 = 0;
   --inflight_count_;
   ++stats_.responses_received;
+  if (response.is_write) ++stats_.writes_acked;
 
   const sim::Duration rtt = now() - inflight.sent_at;
   selector_->on_response(inflight.server, response.feedback, rtt, inflight.expected_cost);

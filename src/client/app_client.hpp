@@ -30,6 +30,9 @@ struct ClientStats {
   std::uint64_t tasks_completed = 0;
   std::uint64_t requests_sent = 0;
   std::uint64_t responses_received = 0;
+  /// Write replica copies sent / acknowledged (subset of the above).
+  std::uint64_t writes_sent = 0;
+  std::uint64_t writes_acked = 0;
 };
 
 class AppClient : public sim::Actor {

@@ -7,7 +7,7 @@ namespace brb::core {
 GlobalQueueModel::GlobalQueueModel(
     const store::Partitioner& partitioner,
     const std::function<std::unique_ptr<server::QueueDiscipline>()>& discipline_factory)
-    : partitioner_(&partitioner) {
+    : partitioner_(&partitioner), discipline_factory_(discipline_factory) {
   const std::uint32_t num_groups = partitioner_->num_groups();
   group_queues_.reserve(num_groups);
   for (std::uint32_t g = 0; g < num_groups; ++g) group_queues_.push_back(discipline_factory());
@@ -49,25 +49,41 @@ void GlobalQueueModel::submit(server::QueuedRead read, store::GroupId group) {
   }
 }
 
+void GlobalQueueModel::submit_pinned(server::QueuedRead read, store::ServerId server) {
+  if (server >= groups_of_.size()) {
+    throw std::out_of_range("GlobalQueueModel::submit_pinned: bad server");
+  }
+  if (pinned_queues_.empty()) pinned_queues_.resize(groups_of_.size());
+  if (!pinned_queues_[server]) pinned_queues_[server] = discipline_factory_();
+  read.submit_seq = next_submit_seq_++;
+  pinned_queues_[server]->push(std::move(read));
+  ++total_queued_;
+  if (server < servers_.size() && servers_[server]->idle_cores() > 0) {
+    servers_[server]->pump();
+  }
+}
+
 std::optional<server::QueuedRead> GlobalQueueModel::next_for(store::ServerId server) {
   if (server >= groups_of_.size()) return std::nullopt;
-  const server::QueueDiscipline* best_queue = nullptr;
-  store::GroupId best_group = 0;
+  server::QueueDiscipline* best_queue = nullptr;
   server::QueueHead best_head{};
-  for (const store::GroupId g : groups_of_[server]) {
-    const auto head = group_queues_[g]->peek();
-    if (!head) continue;
+  const auto consider = [&](server::QueueDiscipline* queue) {
+    const auto head = queue->peek();
+    if (!head) return;
     const bool wins = best_queue == nullptr || head->priority < best_head.priority ||
                       (head->priority == best_head.priority &&
                        head->submit_seq < best_head.submit_seq);
     if (wins) {
-      best_queue = group_queues_[g].get();
-      best_group = g;
+      best_queue = queue;
       best_head = *head;
     }
+  };
+  for (const store::GroupId g : groups_of_[server]) consider(group_queues_[g].get());
+  if (server < pinned_queues_.size() && pinned_queues_[server]) {
+    consider(pinned_queues_[server].get());
   }
   if (best_queue == nullptr) return std::nullopt;
-  auto read = group_queues_[best_group]->pop();
+  auto read = best_queue->pop();
   if (read) --total_queued_;
   return read;
 }
@@ -76,6 +92,9 @@ std::size_t GlobalQueueModel::backlog(store::ServerId server) const {
   if (server >= groups_of_.size()) return 0;
   std::size_t total = 0;
   for (const store::GroupId g : groups_of_[server]) total += group_queues_[g]->size();
+  if (server < pinned_queues_.size() && pinned_queues_[server]) {
+    total += pinned_queues_[server]->size();
+  }
   return total;
 }
 

@@ -45,6 +45,12 @@ class GlobalQueueModel final : public server::WorkSource {
   /// replica if one exists.
   void submit(server::QueuedRead read, store::GroupId group);
 
+  /// A request bound to one specific server (a write: every replica
+  /// must execute its own copy, so the work cannot float freely within
+  /// the group). Pinned requests compete with group-queue work by the
+  /// same (priority, submission order) total order.
+  void submit_pinned(server::QueuedRead read, store::ServerId server);
+
   // WorkSource interface (invoked by idle servers work-pulling).
   std::optional<server::QueuedRead> next_for(store::ServerId server) override;
   std::size_t backlog(store::ServerId server) const override;
@@ -54,7 +60,11 @@ class GlobalQueueModel final : public server::WorkSource {
 
  private:
   const store::Partitioner* partitioner_;
+  const std::function<std::unique_ptr<server::QueueDiscipline>()> discipline_factory_;
   std::vector<std::unique_ptr<server::QueueDiscipline>> group_queues_;
+  /// pinned_queues_[s] = server-bound requests (writes); created
+  /// lazily so read-only runs pay nothing.
+  std::vector<std::unique_ptr<server::QueueDiscipline>> pinned_queues_;
   /// groups_of_[s] = replica groups server s participates in.
   std::vector<std::vector<store::GroupId>> groups_of_;
   std::vector<server::BackendServer*> servers_;

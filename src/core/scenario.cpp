@@ -99,6 +99,26 @@ RunResult run_scenario(const ScenarioConfig& config) {
   if (config.warmup_fraction < 0.0 || config.warmup_fraction >= 1.0) {
     throw std::invalid_argument("run_scenario: warmup fraction out of [0,1)");
   }
+  if (config.write_fraction < 0.0 || config.write_fraction > 1.0) {
+    throw std::invalid_argument("run_scenario: write fraction outside [0, 1]");
+  }
+  if (config.paced_arrivals && !config.arrival_spec.empty()) {
+    throw std::invalid_argument(
+        "run_scenario: paced arrivals conflict with an arrival spec; pick one");
+  }
+  // Trace replay fixes arrival times, request mix and issuing clients,
+  // so the generator-side knobs below contradict it.
+  const bool replaying = config.tasks_override != nullptr || !config.trace_path.empty();
+  if (replaying && !config.arrival_spec.empty()) {
+    throw std::invalid_argument(
+        "run_scenario: trace replay conflicts with an arrival spec (times come from the trace)");
+  }
+  if (replaying && config.write_fraction > 0.0) {
+    throw std::invalid_argument("run_scenario: trace replay conflicts with write traffic");
+  }
+  if (replaying && !config.tenant_spec.empty()) {
+    throw std::invalid_argument("run_scenario: trace replay conflicts with a tenant mix");
+  }
 
   const SystemProfile profile = profile_for(config.system);
   const std::uint32_t num_servers = config.cluster.num_servers;
@@ -164,16 +184,72 @@ RunResult run_scenario(const ScenarioConfig& config) {
     if (count == 0) throw std::invalid_argument("run_scenario: trace has no requests");
     mean_size = std::max(1.0, acc / static_cast<double>(count));
   }
-  const server::SizeLinearServiceModel service_model = server::SizeLinearServiceModel::calibrate(
-      config.cluster.service_rate_per_core, mean_size, config.service_base,
-      config.service_noise_sigma);
+
+  // --- tenants (parsed before capacity planning: their fan-out and
+  // write overrides change the offered load per task). ---
+  std::vector<workload::TenantMix> tenant_mixes;
+  if (!config.tenant_spec.empty()) {
+    tenant_mixes = workload::parse_tenant_mixes(config.tenant_spec);
+  }
 
   // --- arrival rate from capacity planning (never hard-coded). ---
+  // A task's expected server work is its mean fan-out times the write
+  // amplification: each write request executes on every replica, so a
+  // write-bearing workload at the same task rate offers
+  // (1 + wf * (R - 1)) times the requests. Folding both into the rate
+  // keeps `utilization` meaning actual offered load / capacity for
+  // every scenario (the read-only single-tenant path reduces to the
+  // paper's original arithmetic).
   workload::CapacityPlanner planner(config.cluster);
+  const double write_copies = static_cast<double>(config.replication - 1);
+  double requests_per_task;
+  if (!tenant_mixes.empty()) {
+    // Per-tenant expectation, then share-weighted: fan-out and write
+    // fraction are correlated across tenants (the heavy tenant is
+    // often also the writing one), so the amplification must be
+    // applied inside each tenant's term, not to the pooled means.
+    double total_share = 0.0;
+    for (const workload::TenantMix& mix : tenant_mixes) total_share += mix.share;
+    requests_per_task = 0.0;
+    for (const workload::TenantMix& mix : tenant_mixes) {
+      const double fanout = mix.fanout ? mix.fanout->mean() : fanout_dist->mean();
+      const double write_fraction =
+          mix.write_fraction >= 0.0 ? mix.write_fraction : config.write_fraction;
+      requests_per_task +=
+          mix.share / total_share * fanout * (1.0 + write_fraction * write_copies);
+    }
+  } else if (config.write_fraction > 0.0) {
+    requests_per_task = fanout_dist->mean() * (1.0 + config.write_fraction * write_copies);
+  } else {
+    requests_per_task = fanout_dist->mean();
+  }
   const double task_rate =
       replay ? static_cast<double>(replay->size()) /
                    std::max(1e-3, replay->back().arrival.as_seconds())
-             : planner.task_rate_for_utilization(config.utilization, fanout_dist->mean());
+             : planner.task_rate_for_utilization(config.utilization, requests_per_task);
+
+  // The clients' forecast model runs at the fleet-mean per-core rate;
+  // in a heterogeneous fleet each server additionally gets its own
+  // model at its class rate. The homogeneous branch keeps the original
+  // single-rate arithmetic so legacy runs stay bit-identical.
+  const double forecast_rate =
+      config.cluster.heterogeneous()
+          ? planner.system_capacity_rps() / static_cast<double>(config.cluster.total_cores())
+          : config.cluster.service_rate_per_core;
+  const server::SizeLinearServiceModel service_model = server::SizeLinearServiceModel::calibrate(
+      forecast_rate, mean_size, config.service_base, config.service_noise_sigma);
+  std::vector<server::SizeLinearServiceModel> per_server_models;
+  if (config.cluster.heterogeneous()) {
+    per_server_models.reserve(num_servers);
+    for (std::uint32_t s = 0; s < num_servers; ++s) {
+      per_server_models.push_back(server::SizeLinearServiceModel::calibrate(
+          config.cluster.rate_of(s), mean_size, config.service_base,
+          config.service_noise_sigma));
+    }
+  }
+  const auto server_model = [&](std::uint32_t s) -> const server::ServiceTimeModel& {
+    return per_server_models.empty() ? service_model : per_server_models[s];
+  };
 
   // --- node ids: servers, then clients, then controller, then queue. ---
   const net::NodeId controller_node = num_servers + num_clients;
@@ -185,8 +261,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
   for (std::uint32_t s = 0; s < num_servers; ++s) {
     server::BackendServer::Config server_config;
     server_config.id = s;
-    server_config.cores = config.cluster.cores_per_server;
-    servers.push_back(std::make_unique<server::BackendServer>(sim, server_config, service_model,
+    server_config.cores = config.cluster.cores_of(s);
+    servers.push_back(std::make_unique<server::BackendServer>(sim, server_config, server_model(s),
                                                               rng_servers[s]));
   }
   // Populate every replica with the dataset (value sizes drive work).
@@ -241,8 +317,14 @@ RunResult run_scenario(const ScenarioConfig& config) {
   std::unique_ptr<CongestionMonitor> monitor;
   std::vector<CreditGate*> credit_gates(num_clients, nullptr);
 
+  // Mean per-server capacity seeds the C3 rate limiter; the credits
+  // machinery below uses true per-server capacities (they differ in a
+  // heterogeneous fleet). The homogeneous expression is unchanged.
   const double per_server_capacity =
-      static_cast<double>(config.cluster.cores_per_server) * config.cluster.service_rate_per_core;
+      config.cluster.heterogeneous()
+          ? planner.system_capacity_rps() / static_cast<double>(num_servers)
+          : static_cast<double>(config.cluster.cores_per_server) *
+                config.cluster.service_rate_per_core;
 
   std::vector<std::unique_ptr<client::AppClient>> clients;
   clients.reserve(num_clients);
@@ -255,9 +337,12 @@ RunResult run_scenario(const ScenarioConfig& config) {
     std::unique_ptr<client::DispatchGate> gate;
     if (uses_credits(config.system)) {
       // Bootstrap: equal share of each server's capacity per interval.
-      std::vector<double> initial(num_servers,
-                                  per_server_capacity * config.credits.adapt_interval.as_seconds() /
-                                      static_cast<double>(num_clients));
+      std::vector<double> initial(num_servers);
+      for (std::uint32_t s = 0; s < num_servers; ++s) {
+        initial[s] = config.cluster.capacity_of(s) *
+                     config.credits.adapt_interval.as_seconds() /
+                     static_cast<double>(num_clients);
+      }
       auto credit_gate =
           std::make_unique<CreditGate>(sim, num_servers, config.credits, std::move(initial));
       credit_gates[c] = credit_gate.get();
@@ -292,18 +377,25 @@ RunResult run_scenario(const ScenarioConfig& config) {
     client::AppClient* client = clients[c].get();
     const net::NodeId client_node = num_servers + c;
     if (uses_global_queue(config.system)) {
+      // Writes are pinned to their replica: each copy must execute on
+      // its own server, so it may not float freely within the group.
       client->set_network_send([&network, &sim, client_node, global_queue_node,
                                 queue = global_queue.get()](const client::OutboundRequest& out) {
-        network.send(client_node, global_queue_node, store::kRequestWireBytes,
-                     [queue, request = out.request, group = out.group, &sim] {
-                       queue->submit(server::QueuedRead{request, sim.now()}, group);
+        network.send(client_node, global_queue_node, store::request_wire_bytes(out.request),
+                     [queue, request = out.request, group = out.group, server = out.server,
+                      &sim] {
+                       if (request.is_write) {
+                         queue->submit_pinned(server::QueuedRead{request, sim.now()}, server);
+                       } else {
+                         queue->submit(server::QueuedRead{request, sim.now()}, group);
+                       }
                      });
       });
     } else {
       client->set_network_send(
           [&network, &sim, client_node, &servers](const client::OutboundRequest& out) {
             server::BackendServer* target = servers[out.server].get();
-            network.send(client_node, out.server, store::kRequestWireBytes,
+            network.send(client_node, out.server, store::request_wire_bytes(out.request),
                          [target, request = out.request] { target->receive(request); });
           });
     }
@@ -320,7 +412,10 @@ RunResult run_scenario(const ScenarioConfig& config) {
 
   // --- credits wiring ---
   if (uses_credits(config.system)) {
-    std::vector<double> capacities(num_servers, per_server_capacity);
+    std::vector<double> capacities(num_servers);
+    for (std::uint32_t s = 0; s < num_servers; ++s) {
+      capacities[s] = config.cluster.capacity_of(s);
+    }
     controller =
         std::make_unique<CreditsController>(sim, num_clients, std::move(capacities),
                                             config.credits);
@@ -357,6 +452,12 @@ RunResult run_scenario(const ScenarioConfig& config) {
     monitor->start();
   }
 
+  // --- per-tenant result slots (mixes parsed above, pre-planning) ---
+  result.tenants.resize(tenant_mixes.size());
+  for (std::size_t t = 0; t < tenant_mixes.size(); ++t) {
+    result.tenants[t].name = tenant_mixes[t].name;
+  }
+
   // --- completion accounting ---
   std::uint64_t completed = 0;
   for (const auto& client : clients) {
@@ -365,9 +466,18 @@ RunResult run_scenario(const ScenarioConfig& config) {
                                  const workload::TaskSpec& task, sim::Duration latency) {
       ++completed;
       ++result.tasks_completed;
-      if (task.id >= warmup_tasks) {
+      const bool measured = task.id >= warmup_tasks;
+      if (measured) {
         result.task_latency.record(latency);
         ++result.tasks_measured;
+      }
+      if (!result.tenants.empty()) {
+        TenantResult& tenant = result.tenants[task.tenant];
+        ++tenant.tasks_completed;
+        if (measured) {
+          tenant.task_latency.record(latency);
+          ++tenant.tasks_measured;
+        }
       }
       if (config.on_task_complete) config.on_task_complete(task, latency);
       if (completed == total_tasks) sim.stop();
@@ -383,13 +493,17 @@ RunResult run_scenario(const ScenarioConfig& config) {
   workload::TaskGenerator::Config gen_config;
   gen_config.num_clients = num_clients;
   std::unique_ptr<workload::ArrivalProcess> arrivals;
-  if (config.paced_arrivals) {
+  if (!config.arrival_spec.empty()) {
+    arrivals = workload::make_arrival_process(config.arrival_spec, task_rate);
+  } else if (config.paced_arrivals) {
     arrivals = std::make_unique<workload::PacedArrivals>(task_rate);
   } else {
     arrivals = std::make_unique<workload::PoissonArrivals>(task_rate);
   }
   workload::TaskGenerator generator(gen_config, dataset, *key_dist, *fanout_dist,
                                     std::move(arrivals), rng_workload);
+  generator.set_write_traffic(config.write_fraction, size_dist.get());
+  if (!tenant_mixes.empty()) generator.set_tenants(std::move(tenant_mixes));
 
   // Arrival pump. Trace replay schedules everything upfront (arrival
   // order is arbitrary but times are fixed); generated workloads pump
@@ -458,8 +572,31 @@ RunResult run_scenario(const ScenarioConfig& config) {
   std::uint64_t held = 0;
   for (const auto& client : clients) {
     held = std::max<std::uint64_t>(held, client->gate().held());
+    result.write_requests_sent += client->stats().writes_sent;
+    result.write_requests_acked += client->stats().writes_acked;
   }
   result.gate_held_requests = held;
+  if (result.write_requests_acked != result.write_requests_sent) {
+    throw std::runtime_error("run_scenario: write replica copies lost: acked " +
+                             std::to_string(result.write_requests_acked) + " of " +
+                             std::to_string(result.write_requests_sent));
+  }
+
+  // Fairness headline for multi-tenant runs: spread of task p99 across
+  // tenants (max/min; 1.0 = perfectly even).
+  if (result.tenants.size() >= 2) {
+    double min_p99 = 0.0;
+    double max_p99 = 0.0;
+    bool any = false;
+    for (const TenantResult& tenant : result.tenants) {
+      if (tenant.tasks_measured == 0) continue;
+      const double p99 = tenant.task_latency.percentile(99).as_millis();
+      if (!any || p99 < min_p99) min_p99 = p99;
+      if (!any || p99 > max_p99) max_p99 = p99;
+      any = true;
+    }
+    if (any && min_p99 > 0.0) result.tenant_p99_ratio = max_p99 / min_p99;
+  }
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();

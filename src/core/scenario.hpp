@@ -27,7 +27,9 @@ namespace brb::core {
 
 struct ScenarioConfig {
   // --- cluster (paper defaults) ---
-  workload::ClusterSpec cluster{};  // 9 servers x 4 cores x 3500 req/s
+  /// 9 servers x 4 cores x 3500 req/s by default; heterogeneous fleets
+  /// via ClusterSpec::parse("hetero:6x4x3500,3x8x7000").
+  workload::ClusterSpec cluster{};
   std::uint32_t replication = 3;
   std::uint32_t num_clients = 18;
 
@@ -48,6 +50,20 @@ struct ScenarioConfig {
   std::string size_spec = "gpareto";
   std::string key_spec = "zipf:100000:0.9";
   bool paced_arrivals = false;  // Poisson by default
+  /// Time-varying arrival envelope ("" = stationary Poisson/paced):
+  /// "diurnal:LOW:HIGH:PERIOD_S" or "steps:M1,M2,...:PERIOD_S"
+  /// (workload::make_arrival_process). Mutually exclusive with
+  /// paced_arrivals and trace replay.
+  std::string arrival_spec;
+  /// Task-level write probability: a write task fans each request out
+  /// to every replica of its key and resizes the stored value there.
+  /// Mutually exclusive with trace replay.
+  double write_fraction = 0.0;
+  /// Multi-tenant mix ("" = single tenant): tenants separated by ';',
+  /// each NAME[,share=W][,fanout=SPEC][,keys=SPEC][,write=F]
+  /// (workload::parse_tenant_mixes). Clients are partitioned into
+  /// per-tenant blocks; RunResult then carries per-tenant latency.
+  std::string tenant_spec;
 
   // --- timing ---
   sim::Duration net_latency = sim::Duration::micros(50);
@@ -83,6 +99,14 @@ struct ScenarioConfig {
   std::function<void(const workload::TaskSpec&, sim::Duration)> on_task_complete;
 };
 
+/// Per-tenant slice of one run (multi-tenant scenarios only).
+struct TenantResult {
+  std::string name;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_measured = 0;
+  stats::LatencyRecorder task_latency{false};  // measured tasks only
+};
+
 struct RunResult {
   SystemKind system{};
   std::uint64_t seed = 0;
@@ -90,10 +114,18 @@ struct RunResult {
   stats::LatencyRecorder task_latency;     // measured tasks only
   stats::LatencyRecorder request_latency;  // measured tasks only
 
+  /// One entry per tenant when the scenario declares a tenant mix;
+  /// empty otherwise. `tenant_p99_ratio` is max/min task p99 across
+  /// tenants with measured tasks (1.0 = perfectly fair, 0 = n/a).
+  std::vector<TenantResult> tenants;
+  double tenant_p99_ratio = 0.0;
+
   std::uint64_t tasks_submitted = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_measured = 0;
   std::uint64_t requests_completed = 0;
+  std::uint64_t write_requests_sent = 0;   // replica copies of writes
+  std::uint64_t write_requests_acked = 0;  // must equal sent at teardown
 
   std::vector<double> server_utilization;  // busy fraction per server
   double mean_utilization = 0.0;

@@ -24,12 +24,16 @@
 
 namespace brb::policy {
 
-/// One planned request inside a task, after replica selection.
+/// One planned request inside a task, after replica selection. A
+/// write stays a single plan entry (its cost lands once in each
+/// replica's sub-task serialization); the dispatch step fans it out to
+/// every replica of the group with the same priority.
 struct PlannedRequest {
   store::KeyId key = 0;
   std::uint32_t size_hint = 0;
   store::GroupId group = 0;
   store::ServerId server = 0;
+  bool is_write = false;
   sim::Duration expected_cost = sim::Duration::zero();
   store::Priority priority = 0.0;  // output of the policy
 };

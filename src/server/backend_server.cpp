@@ -83,20 +83,25 @@ void BackendServer::pump() {
 void BackendServer::start_service(QueuedRead read) {
   ++busy_cores_;
   // Actual work is driven by the replica's stored value size; absent
-  // keys (possible in unit tests) serve as 1-byte values.
-  const std::uint32_t size = storage_.size_of(read.request.key).value_or(1);
+  // keys (possible in unit tests) serve as 1-byte values. Writes do
+  // work proportional to the payload being installed instead.
+  const std::uint32_t size = read.request.is_write
+                                 ? std::max(1u, read.request.write_size)
+                                 : storage_.size_of(read.request.key).value_or(1);
   const sim::Duration service_time = service_model_->sample(size, rng_);
   const sim::Time done_at = now() + service_time;
+  const std::uint32_t write_size_plus1 =
+      read.request.is_write ? std::max(1u, read.request.write_size) + 1 : 0;
   sim().schedule_at(done_at, [this, request_id = read.request.request_id,
                               task_id = read.request.task_id, key = read.request.key,
-                              client = read.request.client, service_time] {
-    complete(request_id, task_id, key, client, service_time);
+                              client = read.request.client, service_time, write_size_plus1] {
+    complete(request_id, task_id, key, client, service_time, write_size_plus1);
   });
 }
 
 void BackendServer::complete(store::RequestId request_id, store::TaskId task_id,
                              store::KeyId key, store::ClientId client,
-                             sim::Duration service_time) {
+                             sim::Duration service_time, std::uint32_t write_size_plus1) {
   --busy_cores_;
   ++stats_.served;
   stats_.busy_time += service_time;
@@ -113,10 +118,18 @@ void BackendServer::complete(store::RequestId request_id, store::TaskId task_id,
   response.key = key;
   response.client = client;
   response.server = config_.id;
-  // Looked up at completion time (not captured at service start) so a
-  // write landing mid-service is reflected, as before the refactor;
-  // the dense size table makes the second lookup an O(1) array read.
-  response.value_size = storage_.size_of(key).value_or(1);
+  if (write_size_plus1 != 0) {
+    // The replica resizes its stored value at completion and sends a
+    // bare acknowledgement (no payload travels back).
+    storage_.put_meta(key, write_size_plus1 - 1);
+    response.is_write = true;
+    response.value_size = 0;
+  } else {
+    // Looked up at completion time (not captured at service start) so a
+    // write landing mid-service is reflected, as before the refactor;
+    // the dense size table makes the second lookup an O(1) array read.
+    response.value_size = storage_.size_of(key).value_or(1);
+  }
   response.feedback.queue_length = queue_length();
   response.feedback.service_rate = ewma_rate_;
   response.feedback.service_time = service_time;

@@ -129,8 +129,11 @@ class BackendServer : public sim::Actor {
   /// Completion takes only the response-relevant request fields — the
   /// scheduled closure stays small enough for the event queue's inline
   /// callback storage instead of copying the whole QueuedRead.
+  /// `write_size_plus1` is 0 for reads; size+1 for writes (the replica
+  /// installs the new size and acknowledges).
   void complete(store::RequestId request_id, store::TaskId task_id, store::KeyId key,
-                store::ClientId client, sim::Duration service_time);
+                store::ClientId client, sim::Duration service_time,
+                std::uint32_t write_size_plus1);
   void check_watch() {
     if (!queue_watch_) return;
     const bool over = queue_length() > watch_threshold_;

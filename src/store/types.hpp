@@ -43,7 +43,11 @@ struct ServerFeedback {
   sim::Duration service_time = sim::Duration::zero();
 };
 
-/// A read for one key, stamped with scheduling metadata.
+/// A read (or write) for one key, stamped with scheduling metadata.
+/// Writes fan out to every replica of the key's group and carry the
+/// new value size; the serving replica resizes its stored value at
+/// completion. The struct keeps its historical name — the scheduling
+/// path (priorities, queues, credits) treats both kinds identically.
 struct ReadRequest {
   RequestId request_id = 0;
   TaskId task_id = 0;
@@ -54,6 +58,9 @@ struct ReadRequest {
   sim::Duration expected_cost = sim::Duration::zero();
   /// Time the client handed the request to the transport.
   sim::Time sent_at;
+  bool is_write = false;
+  /// New stored size installed by a write (ignored for reads).
+  std::uint32_t write_size = 0;
 };
 
 /// Completion record delivered back to the client.
@@ -63,13 +70,23 @@ struct ReadResponse {
   KeyId key = 0;
   ClientId client = 0;
   ServerId server = 0;
+  /// Payload bytes returned; 0 for a write acknowledgement.
   std::uint32_t value_size = 0;
+  bool is_write = false;
   ServerFeedback feedback;
 };
 
 /// Approximate wire sizes for traffic accounting (header + key for a
-/// request; header + value payload for a response).
+/// request; header + value payload for a response). Writes invert the
+/// payload direction: the request carries the new value, the response
+/// is a bare acknowledgement.
 constexpr std::uint32_t kRequestWireBytes = 64;
 constexpr std::uint32_t kResponseHeaderBytes = 64;
+
+/// Wire bytes for one outbound request (reads: header only; writes:
+/// header + payload being written).
+inline std::uint32_t request_wire_bytes(const ReadRequest& request) noexcept {
+  return kRequestWireBytes + (request.is_write ? request.write_size : 0);
+}
 
 }  // namespace brb::store

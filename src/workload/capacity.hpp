@@ -3,25 +3,69 @@
 // The paper pins the offered load at 70% of system capacity where
 // capacity = servers x cores x per-core service rate. This helper keeps
 // that arithmetic in one audited place instead of scattered constants.
+//
+// Clusters may be heterogeneous: a profile string like
+// "hetero:6x4x3500,3x8x7000" declares classes of COUNTxCORESxRATE
+// servers (here 6 four-core servers at 3500 req/s/core followed by 3
+// eight-core servers at 7000). Server ids are assigned class by class
+// in declaration order. An empty class list means the homogeneous
+// cluster described by the three scalar fields.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace brb::workload {
+
+/// One homogeneous slice of a heterogeneous fleet.
+struct ServerClass {
+  std::uint32_t count = 0;
+  std::uint32_t cores = 0;
+  /// Average per-core service rate in requests/second.
+  double rate_per_core = 0.0;
+};
 
 struct ClusterSpec {
   std::uint32_t num_servers = 9;
   std::uint32_t cores_per_server = 4;
   /// Average per-core service rate in requests/second.
   double service_rate_per_core = 3500.0;
+  /// Non-empty = heterogeneous fleet; num_servers is then the class
+  /// counts' sum and the scalar fields above are ignored.
+  std::vector<ServerClass> classes;
+
+  bool heterogeneous() const noexcept { return !classes.empty(); }
+
+  /// Per-server shape. Homogeneous clusters answer from the scalar
+  /// fields (bit-identical to the pre-hetero arithmetic).
+  std::uint32_t cores_of(std::uint32_t server) const;
+  double rate_of(std::uint32_t server) const;
+  /// cores_of * rate_of, requests/second.
+  double capacity_of(std::uint32_t server) const;
+  std::uint64_t total_cores() const noexcept;
+
+  /// Parses "hetero:COUNTxCORESxRATE[,...]" or the homogeneous
+  /// shorthand "uniform:SERVERSxCORESxRATE". Throws invalid_argument.
+  static ClusterSpec parse(const std::string& spec);
+
+  /// Canonical profile string for artifacts ("9x4x3500" or
+  /// "hetero:6x4x3500,3x8x7000").
+  std::string describe() const;
+
+ private:
+  /// The class a heterogeneous server id falls in (classes assign ids
+  /// in declaration order). Throws out_of_range past the fleet.
+  const ServerClass& class_of(std::uint32_t server) const;
 };
 
 class CapacityPlanner {
  public:
   explicit CapacityPlanner(ClusterSpec spec);
 
-  /// Aggregate request service capacity, requests/second.
+  /// Aggregate request service capacity, requests/second. Sum of
+  /// per-server capacities for heterogeneous fleets.
   double system_capacity_rps() const noexcept;
 
   /// Request arrival rate achieving `utilization` in [0, 1).
@@ -37,6 +81,7 @@ class CapacityPlanner {
 
  private:
   ClusterSpec spec_;
+  double capacity_rps_ = 0.0;  // computed once at construction
 };
 
 }  // namespace brb::workload

@@ -12,22 +12,31 @@ namespace brb::workload {
 /// One key access within a task. `size_hint` is the stored value size,
 /// which the client uses to forecast service cost (the paper's clients
 /// forecast "based on the size of the value they are requesting").
+/// Writes replace the stored value: `size_hint` then holds the size
+/// being written, and the client fans the write out to every replica.
 struct RequestSpec {
   store::KeyId key = 0;
   std::uint32_t size_hint = 0;
+  bool is_write = false;
 };
 
-/// One end-user task: a batch of logically-related reads that is
-/// complete only when every read completes.
+/// One end-user task: a batch of logically-related reads (or, for
+/// write tasks, replicated writes) that is complete only when every
+/// request completes.
 struct TaskSpec {
   store::TaskId id = 0;
   /// Which application server (client) receives the task.
   store::ClientId client = 0;
+  /// Tenant the issuing client belongs to (0 in single-tenant runs).
+  std::uint32_t tenant = 0;
   sim::Time arrival;
   std::vector<RequestSpec> requests;
 
   std::uint32_t fanout() const noexcept {
     return static_cast<std::uint32_t>(requests.size());
+  }
+  bool is_write_task() const noexcept {
+    return !requests.empty() && requests.front().is_write;
   }
 };
 

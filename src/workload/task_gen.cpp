@@ -1,5 +1,8 @@
 #include "workload/task_gen.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -22,6 +25,74 @@ std::uint32_t Dataset::size_of(store::KeyId key) const {
   return sizes_[static_cast<std::size_t>(key)];
 }
 
+std::vector<TenantMix> parse_tenant_mixes(const std::string& spec) {
+  std::vector<TenantMix> tenants;
+  std::stringstream tenant_stream(spec);
+  for (std::string def; std::getline(tenant_stream, def, ';');) {
+    if (def.empty()) continue;
+    TenantMix mix;
+    std::stringstream field_stream(def);
+    bool first = true;
+    for (std::string field; std::getline(field_stream, field, ',');) {
+      if (field.empty()) continue;
+      if (first) {
+        if (field.find('=') != std::string::npos) {
+          throw std::invalid_argument("parse_tenant_mixes: tenant def must start with a name: '" +
+                                      def + "'");
+        }
+        mix.name = field;
+        first = false;
+        continue;
+      }
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("parse_tenant_mixes: expected key=value, got '" + field + "'");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      // stod failures get field context here; the nested distribution
+      // factories already throw self-describing invalid_arguments.
+      const auto number = [&] {
+        try {
+          return std::stod(value);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("parse_tenant_mixes: bad value in '" + field + "'");
+        }
+      };
+      if (key == "share") {
+        mix.share = number();
+      } else if (key == "fanout") {
+        mix.fanout = make_fanout_distribution(value);
+      } else if (key == "keys") {
+        mix.keys = make_key_distribution(value);
+      } else if (key == "write") {
+        mix.write_fraction = number();
+      } else {
+        throw std::invalid_argument("parse_tenant_mixes: unknown field '" + key + "'");
+      }
+    }
+    if (mix.name.empty()) {
+      throw std::invalid_argument("parse_tenant_mixes: tenant with empty name in '" + spec + "'");
+    }
+    if (mix.share <= 0.0) {
+      throw std::invalid_argument("parse_tenant_mixes: tenant '" + mix.name +
+                                  "' has non-positive share");
+    }
+    if (mix.write_fraction > 1.0) {
+      throw std::invalid_argument("parse_tenant_mixes: tenant '" + mix.name +
+                                  "' write fraction > 1");
+    }
+    for (const TenantMix& existing : tenants) {
+      if (existing.name == mix.name) {
+        throw std::invalid_argument("parse_tenant_mixes: duplicate tenant '" + mix.name + "'");
+      }
+    }
+    tenants.push_back(std::move(mix));
+  }
+  if (tenants.empty()) throw std::invalid_argument("parse_tenant_mixes: no tenants in spec");
+  return tenants;
+}
+
 TaskGenerator::TaskGenerator(Config config, const Dataset& dataset, const KeyDistribution& keys,
                              const FanoutDistribution& fanout,
                              std::unique_ptr<ArrivalProcess> arrivals, util::Rng rng)
@@ -38,25 +109,105 @@ TaskGenerator::TaskGenerator(Config config, const Dataset& dataset, const KeyDis
   if (!arrivals_) throw std::invalid_argument("TaskGenerator: null arrival process");
 }
 
-TaskSpec TaskGenerator::next() {
-  clock_ += arrivals_->next_gap(rng_);
-  TaskSpec task;
-  task.id = next_task_id_++;
-  task.arrival = clock_;
-  if (config_.round_robin_clients) {
-    task.client = next_client_;
-    next_client_ = (next_client_ + 1) % config_.num_clients;
-  } else {
-    task.client = static_cast<store::ClientId>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_clients) - 1));
+void TaskGenerator::set_write_traffic(double fraction, const SizeDistribution* sizes) {
+  if (next_task_id_ != 0) {
+    throw std::logic_error("TaskGenerator: write traffic must be set before generation");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("TaskGenerator: write fraction outside [0, 1]");
+  }
+  if (fraction > 0.0 && sizes == nullptr) {
+    throw std::invalid_argument("TaskGenerator: write traffic needs a size distribution");
+  }
+  write_fraction_ = fraction;
+  write_sizes_ = sizes;
+}
+
+void TaskGenerator::set_tenants(std::vector<TenantMix> tenants) {
+  if (next_task_id_ != 0) {
+    throw std::logic_error("TaskGenerator: tenants must be set before generation");
+  }
+  if (tenants.empty()) throw std::invalid_argument("TaskGenerator: empty tenant list");
+  if (config_.num_clients < tenants.size()) {
+    throw std::invalid_argument("TaskGenerator: fewer clients than tenants");
+  }
+  double total_share = 0.0;
+  for (const TenantMix& mix : tenants) {
+    if (mix.share <= 0.0) throw std::invalid_argument("TaskGenerator: non-positive tenant share");
+    if (mix.keys && mix.keys->num_keys() > dataset_->num_keys()) {
+      throw std::invalid_argument("TaskGenerator: tenant '" + mix.name +
+                                  "' key distribution exceeds dataset keyspace");
+    }
+    if (mix.write_fraction > 0.0 && write_sizes_ == nullptr) {
+      throw std::invalid_argument("TaskGenerator: tenant '" + mix.name +
+                                  "' writes need set_write_traffic sizes");
+    }
+    total_share += mix.share;
   }
 
-  std::uint32_t fanout = fanout_->sample(rng_);
+  // Arrival shares: cumulative distribution for the per-task draw.
+  tenant_cdf_.clear();
+  double acc = 0.0;
+  for (const TenantMix& mix : tenants) {
+    acc += mix.share / total_share;
+    tenant_cdf_.push_back(acc);
+  }
+  tenant_cdf_.back() = 1.0;  // absorb rounding
+
+  // Client blocks: one guaranteed client per tenant, the rest split
+  // proportionally by largest remainder (deterministic, order-stable).
+  const std::size_t n = tenants.size();
+  std::vector<std::uint32_t> counts(n, 1);
+  const std::uint32_t spare = config_.num_clients - static_cast<std::uint32_t>(n);
+  std::vector<double> fractional(n, 0.0);
+  std::uint32_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = static_cast<double>(spare) * tenants[i].share / total_share;
+    const auto whole = static_cast<std::uint32_t>(std::floor(ideal));
+    counts[i] += whole;
+    assigned += whole;
+    fractional[i] = ideal - std::floor(ideal);
+  }
+  for (std::uint32_t left = spare - assigned; left > 0; --left) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (fractional[i] > fractional[best]) best = i;
+    }
+    ++counts[best];
+    fractional[best] = -1.0;
+  }
+
+  tenant_client_begin_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tenant_client_begin_[i + 1] = tenant_client_begin_[i] + counts[i];
+  }
+  tenant_next_client_.assign(n, 0);
+  tenants_ = std::move(tenants);
+}
+
+std::pair<std::uint32_t, std::uint32_t> TaskGenerator::tenant_clients(std::size_t i) const {
+  if (i >= tenants_.size()) throw std::out_of_range("TaskGenerator::tenant_clients");
+  return {tenant_client_begin_[i], tenant_client_begin_[i + 1]};
+}
+
+void TaskGenerator::fill_requests(TaskSpec& task, const KeyDistribution& keys, bool is_write) {
+  std::uint32_t fanout =
+      (!tenants_.empty() && tenants_[task.tenant].fanout) ? tenants_[task.tenant].fanout->sample(rng_)
+                                                          : fanout_->sample(rng_);
   // A task cannot request more distinct keys than the keyspace holds.
-  if (config_.distinct_keys && fanout > keys_->num_keys()) {
-    fanout = static_cast<std::uint32_t>(keys_->num_keys());
+  if (config_.distinct_keys && fanout > keys.num_keys()) {
+    fanout = static_cast<std::uint32_t>(keys.num_keys());
   }
   task.requests.reserve(fanout);
+  const auto push = [&](store::KeyId key) {
+    RequestSpec spec;
+    spec.key = key;
+    spec.is_write = is_write;
+    // A write's size hint is the size being written (drawn fresh);
+    // a read's is the current stored size.
+    spec.size_hint = is_write ? std::max(1u, write_sizes_->sample(rng_)) : dataset_->size_of(key);
+    task.requests.push_back(spec);
+  };
   if (config_.distinct_keys) {
     std::unordered_set<store::KeyId>& chosen = chosen_scratch_;
     chosen.clear();
@@ -68,22 +219,58 @@ TaskSpec TaskGenerator::next() {
     std::uint64_t attempts = 0;
     const std::uint64_t max_attempts = 64ULL * fanout + 256;
     while (chosen.size() < fanout && attempts++ < max_attempts) {
-      const store::KeyId key = keys_->sample(rng_);
-      if (chosen.insert(key).second) {
-        task.requests.push_back(RequestSpec{key, dataset_->size_of(key)});
-      }
+      const store::KeyId key = keys.sample(rng_);
+      if (chosen.insert(key).second) push(key);
     }
-    for (store::KeyId key = 0; chosen.size() < fanout && key < keys_->num_keys(); ++key) {
-      if (chosen.insert(key).second) {
-        task.requests.push_back(RequestSpec{key, dataset_->size_of(key)});
-      }
+    for (store::KeyId key = 0; chosen.size() < fanout && key < keys.num_keys(); ++key) {
+      if (chosen.insert(key).second) push(key);
     }
   } else {
-    for (std::uint32_t i = 0; i < fanout; ++i) {
-      const store::KeyId key = keys_->sample(rng_);
-      task.requests.push_back(RequestSpec{key, dataset_->size_of(key)});
-    }
+    for (std::uint32_t i = 0; i < fanout; ++i) push(keys.sample(rng_));
   }
+}
+
+TaskSpec TaskGenerator::next() {
+  clock_ += arrivals_->next_gap(rng_);
+  TaskSpec task;
+  task.id = next_task_id_++;
+  task.arrival = clock_;
+
+  if (!tenants_.empty()) {
+    const double u = rng_.uniform();
+    std::size_t t = 0;
+    while (t + 1 < tenant_cdf_.size() && u > tenant_cdf_[t]) ++t;
+    task.tenant = static_cast<std::uint32_t>(t);
+    const std::uint32_t begin = tenant_client_begin_[t];
+    const std::uint32_t width = tenant_client_begin_[t + 1] - begin;
+    if (config_.round_robin_clients) {
+      task.client = begin + tenant_next_client_[t];
+      tenant_next_client_[t] = (tenant_next_client_[t] + 1) % width;
+    } else {
+      task.client = begin + static_cast<store::ClientId>(
+                                rng_.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+    }
+  } else if (config_.round_robin_clients) {
+    task.client = next_client_;
+    next_client_ = (next_client_ + 1) % config_.num_clients;
+  } else {
+    task.client = static_cast<store::ClientId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_clients) - 1));
+  }
+
+  // Task-level write decision: write tasks fan every request out to
+  // all replicas, so mixing kinds within a task would blur the
+  // asymmetry this knob exists to study. No RNG is consumed in the
+  // read-only default, keeping legacy streams bit-identical.
+  double write_fraction = write_fraction_;
+  if (!tenants_.empty() && tenants_[task.tenant].write_fraction >= 0.0) {
+    write_fraction = tenants_[task.tenant].write_fraction;
+  }
+  const bool is_write = write_fraction > 0.0 && rng_.uniform() < write_fraction;
+
+  const KeyDistribution& keys =
+      (!tenants_.empty() && tenants_[task.tenant].keys) ? *tenants_[task.tenant].keys : *keys_;
+  fill_requests(task, keys, is_write);
   return task;
 }
 

@@ -39,6 +39,27 @@ class Dataset {
   double mean_size_ = 0.0;
 };
 
+/// One tenant's traffic mix in a multi-tenant workload. Tenants split
+/// the client fleet into contiguous blocks (proportional to share) and
+/// each generated task draws its tenant by share weight, then uses
+/// that tenant's distributions. Null distributions fall back to the
+/// generator's base workload.
+struct TenantMix {
+  std::string name;
+  /// Relative share of task arrivals (> 0; weights, not normalized).
+  double share = 1.0;
+  std::unique_ptr<FanoutDistribution> fanout;  // null = base fan-out
+  std::unique_ptr<KeyDistribution> keys;       // null = base popularity
+  /// Task-level write probability; < 0 inherits the generator's.
+  double write_fraction = -1.0;
+};
+
+/// Parses a tenant mix spec: tenants separated by ';', each
+///   NAME[,share=W][,fanout=SPEC][,keys=SPEC][,write=F]
+/// e.g. "fg,share=0.7,fanout=fixed:2;bg,share=0.3,fanout=fixed:32,write=0.2".
+/// Throws std::invalid_argument on malformed or duplicate entries.
+std::vector<TenantMix> parse_tenant_mixes(const std::string& spec);
+
 class TaskGenerator {
  public:
   struct Config {
@@ -55,6 +76,17 @@ class TaskGenerator {
                 const FanoutDistribution& fanout, std::unique_ptr<ArrivalProcess> arrivals,
                 util::Rng rng);
 
+  /// Enables write traffic: each task is a write task with probability
+  /// `fraction`; write sizes are drawn from `sizes` (the new stored
+  /// value). Must be called before the first next().
+  void set_write_traffic(double fraction, const SizeDistribution* sizes);
+
+  /// Enables multi-tenant generation. Clients are partitioned into
+  /// contiguous blocks proportional to tenant shares (each tenant gets
+  /// at least one client); tasks draw their tenant by share. Must be
+  /// called before the first next().
+  void set_tenants(std::vector<TenantMix> tenants);
+
   /// Produces the next task; arrival times are strictly increasing.
   TaskSpec next();
 
@@ -63,8 +95,14 @@ class TaskGenerator {
 
   std::uint64_t tasks_generated() const noexcept { return next_task_id_; }
   const ArrivalProcess& arrivals() const noexcept { return *arrivals_; }
+  std::size_t num_tenants() const noexcept { return tenants_.size(); }
+  const TenantMix& tenant(std::size_t i) const { return tenants_.at(i); }
+  /// Client-id block [begin, end) owned by tenant i.
+  std::pair<std::uint32_t, std::uint32_t> tenant_clients(std::size_t i) const;
 
  private:
+  void fill_requests(TaskSpec& task, const KeyDistribution& keys, bool is_write);
+
   Config config_;
   const Dataset* dataset_;
   const KeyDistribution* keys_;
@@ -74,6 +112,14 @@ class TaskGenerator {
   sim::Time clock_ = sim::Time::zero();
   std::uint64_t next_task_id_ = 0;
   std::uint32_t next_client_ = 0;
+  /// Write traffic (0 = read-only, the paper's workload).
+  double write_fraction_ = 0.0;
+  const SizeDistribution* write_sizes_ = nullptr;
+  /// Multi-tenant state (empty = single-tenant).
+  std::vector<TenantMix> tenants_;
+  std::vector<double> tenant_cdf_;
+  std::vector<std::uint32_t> tenant_client_begin_;  // size tenants+1
+  std::vector<std::uint32_t> tenant_next_client_;
   /// Distinct-key dedup scratch reused across tasks (cleared, never
   /// reallocated — the per-task set was a measurable allocation cost).
   std::unordered_set<store::KeyId> chosen_scratch_;
