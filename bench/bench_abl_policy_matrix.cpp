@@ -3,81 +3,62 @@
 // Separates BRB's mechanisms: replica selection (random / LOR / C3),
 // server scheduling (FIFO / priority / SJF), task-awareness (EqualMax,
 // UnifIncr vs per-request SJF), dispatch (direct / credits / ideal
-// global queue). Each row is one SystemKind from core/system_kind.hpp.
+// global queue). The case set — all 13 SystemKinds plus the
+// selector-override ablation on equalmax-direct — lives in the
+// registry's "policy-matrix" scenario; this harness only expands that
+// scenario through the plan layer, runs it, and prints the table with
+// its mean-utilization column.
 // Flags: --tasks N --seeds N --utilization F  (BRB_PAPER=1 for scale)
 #include <iostream>
 #include <vector>
 
-#include "core/scenario.hpp"
+#include "cli/driver.hpp"
 #include "stats/table.hpp"
-#include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  using brb::core::ScenarioConfig;
-  using brb::core::SystemKind;
-  const brb::util::Flags flags(argc, argv);
-  const bool paper = flags.get_bool("paper", false);
+  try {
+    const brb::util::Flags flags(argc, argv);
+    const bool paper = flags.get_bool("paper", false);
 
-  ScenarioConfig base;
-  base.num_tasks =
-      static_cast<std::uint64_t>(flags.get_int("tasks", paper ? 200'000 : 40'000));
-  base.utilization = flags.get_double("utilization", 0.70);
-  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds", paper ? 4 : 2));
-  std::vector<std::uint64_t> seeds;
-  for (std::uint64_t s = 0; s < num_seeds; ++s) seeds.push_back(s + 1);
+    brb::core::ScenarioConfig base = brb::cli::config_from_flags(flags);
+    // get() (not has()) so a BRB_TASKS environment default survives.
+    if (!flags.get("tasks")) base.num_tasks = paper ? 200'000 : 40'000;
+    const std::vector<std::uint64_t> seeds = brb::cli::seeds_from_flags(flags, paper ? 4 : 2);
+    const brb::cli::SweepPlan plan =
+        brb::cli::build_sweep_plan("policy-matrix", base, seeds, flags);
 
-  const std::vector<SystemKind> systems = {
-      SystemKind::kRandomFifo,      SystemKind::kFifoDirect,
-      SystemKind::kC3,              SystemKind::kRequestSjfDirect,
-      SystemKind::kEqualMaxDirect,  SystemKind::kUnifIncrDirect,
-      SystemKind::kEqualMaxCredits, SystemKind::kUnifIncrCredits,
-      SystemKind::kCumSlackCredits, SystemKind::kFifoModel,
-      SystemKind::kEqualMaxModel,   SystemKind::kUnifIncrModel,
-      SystemKind::kCumSlackModel,
-  };
+    std::cout << "# Ablation: mechanism matrix, task latency (ms) over " << seeds.size()
+              << " seeds, " << base.num_tasks << " tasks, utilization " << base.utilization
+              << "\n\n";
 
-  std::cout << "# Ablation: mechanism matrix, task latency (ms) over " << seeds.size()
-            << " seeds, " << base.num_tasks << " tasks, utilization " << base.utilization
-            << "\n\n";
-  brb::stats::Table table({"system", "median", "95th", "99th", "mean", "util"});
-  for (const SystemKind kind : systems) {
-    ScenarioConfig config = base;
-    config.system = kind;
-    const brb::core::AggregateResult agg = brb::core::run_seeds(config, seeds);
-    double util = 0.0;
-    for (const auto& run : agg.runs) util += run.mean_utilization;
-    util /= static_cast<double>(agg.runs.size());
-    table.add_row({to_string(kind), brb::stats::fmt_double(agg.p50_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p95_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.mean_ms.mean(), 3),
-                   brb::stats::fmt_double(util, 3)});
-    std::cerr << "[matrix] finished " << to_string(kind) << "\n";
+    brb::core::RunSeedsOptions options;
+    options.max_threads = flags.get_bool("serial", false) ? 1 : flags.get_uint("threads", 0);
+    const std::vector<brb::cli::CaseResult> results = brb::cli::execute_shard(
+        plan, brb::cli::ShardSpec{}, options,
+        [](const brb::cli::ExperimentCase& experiment, std::size_t) {
+          std::cerr << "[matrix] finished " << experiment.label << "\n";
+        });
+
+    brb::stats::Table table({"system", "median", "95th", "99th", "mean", "util"});
+    for (const brb::cli::CaseResult& result : results) {
+      const brb::core::AggregateResult& agg = result.aggregate;
+      double util = 0.0;
+      for (const auto& run : agg.runs) util += run.mean_utilization;
+      util /= static_cast<double>(agg.runs.empty() ? 1 : agg.runs.size());
+      table.add_row({result.spec.label, brb::stats::fmt_double(agg.p50_ms.mean(), 3),
+                     brb::stats::fmt_double(agg.p95_ms.mean(), 3),
+                     brb::stats::fmt_double(agg.p99_ms.mean(), 3),
+                     brb::stats::fmt_double(agg.mean_ms.mean(), 3),
+                     brb::stats::fmt_double(util, 3)});
+    }
+    if (flags.get_bool("csv", false)) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "matrix: " << e.what() << "\n";
+    return 1;
   }
-  // Selector ablation on the direct BRB system: how much of the tail
-  // is replica-selection quality?
-  const std::vector<std::string> selectors = {"c3", "least-pending-cost", "least-outstanding",
-                                              "random"};
-  for (const std::string& selector : selectors) {
-    ScenarioConfig config = base;
-    config.system = SystemKind::kEqualMaxDirect;
-    config.selector_override = selector;
-    const brb::core::AggregateResult agg = brb::core::run_seeds(config, seeds);
-    double util = 0.0;
-    for (const auto& run : agg.runs) util += run.mean_utilization;
-    util /= static_cast<double>(agg.runs.size());
-    table.add_row({"equalmax-direct/" + selector, brb::stats::fmt_double(agg.p50_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p95_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.mean_ms.mean(), 3),
-                   brb::stats::fmt_double(util, 3)});
-    std::cerr << "[matrix] finished selector " << selector << "\n";
-  }
-
-  if (flags.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
 }

@@ -1,40 +1,13 @@
 // Figure 1 reproduction: the didactic two-task schedule.
 //
-// Prints the observed per-server schedule and task completion times for
-// the task-oblivious policy versus the two task-aware BRB policies.
 // Expected (paper): task-oblivious lets T2 finish only at ~2 time
 // units; task-aware finishes T2 at ~1 unit without delaying T1.
-#include <cstdio>
+// Thin wrapper: the presentation lives in core::print_fig1_report.
 #include <iostream>
 
 #include "core/fig1.hpp"
-#include "stats/table.hpp"
 
 int main() {
-  std::cout << "# Figure 1: task-oblivious vs task-aware scheduling\n";
-  std::cout << "# T1=[A,B,C], T2=[D,E]; S1={A,E}, S2={B,C}, S3={D}; unit-cost requests\n";
-  std::cout << "# (0.1-unit warm-up on S1 so both A and E are queued at decision time)\n\n";
-
-  for (const char* policy : {"fifo", "equalmax", "unifincr"}) {
-    const brb::core::Fig1Result result = brb::core::run_fig1(policy);
-    std::cout << "policy: " << policy << "\n";
-    brb::stats::Table table({"request", "server", "start", "end"});
-    for (const auto& entry : result.schedule) {
-      table.add_row({entry.key, entry.server, brb::stats::fmt_double(entry.start_units, 2),
-                     brb::stats::fmt_double(entry.end_units, 2)});
-    }
-    table.print(std::cout);
-    std::cout << "T1 completes at " << brb::stats::fmt_double(result.t1_completion_units, 2)
-              << " units, T2 completes at "
-              << brb::stats::fmt_double(result.t2_completion_units, 2) << " units\n\n";
-  }
-
-  const auto fifo = brb::core::run_fig1("fifo");
-  const auto equalmax = brb::core::run_fig1("equalmax");
-  const auto unifincr = brb::core::run_fig1("unifincr");
-  std::cout << "summary: T2 completion  fifo=" << brb::stats::fmt_double(fifo.t2_completion_units, 2)
-            << "  equalmax=" << brb::stats::fmt_double(equalmax.t2_completion_units, 2)
-            << "  unifincr=" << brb::stats::fmt_double(unifincr.t2_completion_units, 2) << "\n";
-  std::cout << "paper:   T2 ends at 2 units (oblivious) vs 1 unit (optimal); T1 unaffected\n";
+  brb::core::print_fig1_report(std::cout);
   return 0;
 }

@@ -1,110 +1,51 @@
 // Figure 2 reproduction: task read latency at {median, 95th, 99th}
-// percentile for C3, EqualMax-{Credits,Model}, UnifIncr-{Credits,Model}.
+// percentile for C3, EqualMax-{Credits,Model}, UnifIncr-{Credits,Model},
+// plus the paper's two headline claims (Claim A/B).
 //
-// Also prints the paper's two headline claims:
-//   Claim A: credits within 38% of the ideal model at p99.
-//   Claim B: BRB improves on C3 by up to 3x (median/p95), up to 2x (p99).
-//
-// Defaults are a quick calibration-scale run; BRB_PAPER=1 (or --paper)
-// switches to the paper's full 500k-task, 6-seed configuration.
-// Flags: --tasks N --seeds N --utilization F --csv
-#include <cstdio>
+// Thin wrapper over the driver's plan layer: the five systems come
+// from the registry's "paper" scenario, execution and the artifact
+// table/claims are the driver's own. Defaults are a quick
+// calibration-scale run; BRB_PAPER=1 (or --paper) switches to the
+// paper's full 500k-task, 6-seed configuration.
+// Flags: --tasks N --seeds N --utilization F --threads N --csv
 #include <iostream>
-#include <string>
 #include <vector>
 
-#include "core/scenario.hpp"
-#include "stats/table.hpp"
-#include "util/flags.hpp"
-
-namespace {
-
-using brb::core::AggregateResult;
-using brb::core::ScenarioConfig;
-using brb::core::SystemKind;
-
-struct SystemRow {
-  SystemKind kind;
-  std::string label;
-};
-
-}  // namespace
+#include "cli/driver.hpp"
+#include "stats/artifact.hpp"
 
 int main(int argc, char** argv) {
-  const brb::util::Flags flags(argc, argv);
-  const bool paper = flags.get_bool("paper", false);
+  try {
+    const brb::util::Flags flags(argc, argv);
+    const bool paper = flags.get_bool("paper", false);
 
-  ScenarioConfig base;
-  base.num_tasks = static_cast<std::uint64_t>(
-      flags.get_int("tasks", paper ? 500'000 : 60'000));
-  base.utilization = flags.get_double("utilization", 0.70);
-  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds", paper ? 6 : 3));
-  std::vector<std::uint64_t> seeds;
-  for (std::uint64_t s = 0; s < num_seeds; ++s) seeds.push_back(s + 1);
+    const brb::core::ScenarioConfig base = brb::cli::config_from_flags(flags);
+    const std::vector<std::uint64_t> seeds = brb::cli::seeds_from_flags(flags, paper ? 6 : 3);
+    const brb::cli::SweepPlan plan = brb::cli::build_sweep_plan("paper", base, seeds, flags);
 
-  std::cout << "# Figure 2: task latency percentiles (ms), averaged over " << seeds.size()
-            << " seeds\n";
-  std::cout << "# config: " << base.cluster.num_servers << " servers x "
-            << base.cluster.cores_per_server << " cores @ " << base.cluster.service_rate_per_core
-            << " req/s, " << base.num_clients << " clients, " << base.num_tasks
-            << " tasks, utilization " << base.utilization << ", fanout " << base.fanout_spec
-            << ", sizes " << base.size_spec << "\n\n";
+    std::cout << "# Figure 2: task latency percentiles (ms), averaged over " << seeds.size()
+              << " seeds\n";
+    std::cout << "# config: " << base.cluster.describe() << ", " << base.num_clients
+              << " clients, " << base.num_tasks << " tasks, utilization " << base.utilization
+              << ", fanout " << base.fanout_spec << ", sizes " << base.size_spec << "\n\n";
 
-  const std::vector<SystemRow> systems = {
-      {SystemKind::kC3, "C3"},
-      {SystemKind::kEqualMaxCredits, "EqualMax - Credits"},
-      {SystemKind::kEqualMaxModel, "EqualMax - Model"},
-      {SystemKind::kUnifIncrCredits, "UnifIncr - Credits"},
-      {SystemKind::kUnifIncrModel, "UnifIncr - Model"},
-  };
+    brb::core::RunSeedsOptions options;
+    options.max_threads = flags.get_bool("serial", false) ? 1 : flags.get_uint("threads", 0);
+    const std::vector<brb::cli::CaseResult> results = brb::cli::execute_shard(
+        plan, brb::cli::ShardSpec{}, options,
+        [](const brb::cli::ExperimentCase& experiment, std::size_t) {
+          std::cerr << "[fig2] finished " << experiment.label << "\n";
+        });
 
-  brb::stats::Table table({"system", "median", "95th", "99th", "mean", "sd(p99)"});
-  std::vector<AggregateResult> results;
-  results.reserve(systems.size());
-  for (const SystemRow& row : systems) {
-    ScenarioConfig config = base;
-    config.system = row.kind;
-    AggregateResult agg = brb::core::run_seeds(config, seeds, /*parallel=*/true);
-    table.add_row({row.label, brb::stats::fmt_double(agg.p50_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p95_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p99_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.mean_ms.mean(), 3),
-                   brb::stats::fmt_double(agg.p99_ms.stddev(), 3)});
-    results.push_back(std::move(agg));
-    std::cerr << "[fig2] finished " << row.label << "\n";
+    const brb::stats::Json doc = brb::cli::report_json("paper", base, seeds, results);
+    if (flags.get_bool("csv", false)) {
+      brb::stats::artifact_csv(std::cout, doc);
+    } else {
+      brb::cli::print_case_table(std::cout, doc);
+    }
+    return brb::cli::print_paper_claims(std::cout, doc) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fig2: " << e.what() << "\n";
+    return 1;
   }
-
-  if (flags.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-
-  // --- headline claims ---
-  const AggregateResult& c3 = results[0];
-  const AggregateResult& em_credits = results[1];
-  const AggregateResult& em_model = results[2];
-  const AggregateResult& ui_credits = results[3];
-  const AggregateResult& ui_model = results[4];
-
-  const double gap_em = em_credits.p99_ms.mean() / em_model.p99_ms.mean() - 1.0;
-  const double gap_ui = ui_credits.p99_ms.mean() / ui_model.p99_ms.mean() - 1.0;
-  std::cout << "\nClaim A (paper: credits within 38% of model at p99)\n";
-  std::cout << "  EqualMax: credits/model p99 gap = " << brb::stats::fmt_double(gap_em * 100, 1)
-            << "%\n";
-  std::cout << "  UnifIncr: credits/model p99 gap = " << brb::stats::fmt_double(gap_ui * 100, 1)
-            << "%\n";
-
-  std::cout << "\nClaim B (paper: BRB vs C3 up to 3x at median/p95, up to 2x at p99)\n";
-  const auto speedup = [&](const AggregateResult& brb_result, const char* name) {
-    std::cout << "  C3 / " << name << ":  median "
-              << brb::stats::fmt_ratio(c3.p50_ms.mean() / brb_result.p50_ms.mean()) << "  p95 "
-              << brb::stats::fmt_ratio(c3.p95_ms.mean() / brb_result.p95_ms.mean()) << "  p99 "
-              << brb::stats::fmt_ratio(c3.p99_ms.mean() / brb_result.p99_ms.mean()) << "\n";
-  };
-  speedup(em_credits, "EqualMax-Credits");
-  speedup(ui_credits, "UnifIncr-Credits");
-  speedup(em_model, "EqualMax-Model  ");
-  speedup(ui_model, "UnifIncr-Model  ");
-  return 0;
 }

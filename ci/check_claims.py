@@ -30,9 +30,12 @@ Invariant check (scenario-diversity nightly matrix):
 Determinism check:
     check_claims.py --identical a.json b.json
 
-  Asserts two reports are identical except wall-clock fields — the
-  --threads invariance gate (fixed seed + any worker count must give
-  byte-identical artifacts).
+  Asserts two reports are identical except wall-clock time — the
+  --threads invariance and shard-merge gates (fixed seed + any worker
+  count, thread or process, must give byte-identical artifacts).
+  Format-2 artifacts quarantine wall-clock time in one top-level
+  "timing" object, so this drops exactly that subtree (plus legacy
+  per-run "wall_seconds" fields from format-1 reports).
 """
 
 import argparse
@@ -149,13 +152,15 @@ def run_invariants(report_path, max_tenant_p99_ratio):
     return 0
 
 
-def strip_wall_clock(node):
-    """Recursively drops wall-clock fields (the one legitimately
-    nondeterministic part of a report)."""
+def strip_wall_clock(node, top=True):
+    """Drops wall-clock time (the one legitimately nondeterministic
+    part of a report): the top-level "timing" object in format-2
+    artifacts, plus per-run "wall_seconds" fields in format-1 ones."""
     if isinstance(node, dict):
-        return {k: strip_wall_clock(v) for k, v in node.items() if k != "wall_seconds"}
+        return {k: strip_wall_clock(v, top=False) for k, v in node.items()
+                if k != "wall_seconds" and not (top and k == "timing")}
     if isinstance(node, list):
-        return [strip_wall_clock(v) for v in node]
+        return [strip_wall_clock(v, top=False) for v in node]
     return node
 
 
@@ -165,10 +170,10 @@ def run_identical(a_path, b_path):
     with open(b_path) as f:
         b = strip_wall_clock(json.load(f))
     if a != b:
-        print(f"FAIL: {a_path} and {b_path} differ beyond wall_seconds "
-              "(thread-count determinism broken)", file=sys.stderr)
+        print(f"FAIL: {a_path} and {b_path} differ beyond wall-clock timing "
+              "(thread/shard determinism broken)", file=sys.stderr)
         return 1
-    print(f"ok: {a_path} == {b_path} (modulo wall_seconds)")
+    print(f"ok: {a_path} == {b_path} (modulo wall-clock timing)")
     return 0
 
 

@@ -1,15 +1,23 @@
 #include "cli/driver.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "stats/artifact.hpp"
 #include "stats/table.hpp"
 #include "workload/arrival.hpp"
 #include "workload/capacity.hpp"
@@ -38,6 +46,13 @@ std::ofstream open_or_throw(const std::string& path) {
   return os;
 }
 
+void write_artifact(const std::string& path, const stats::Json& doc) {
+  auto os = open_or_throw(path);
+  doc.dump(os);
+  os << "\n";
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
 /// Every flag the driver or any registered scenario reads. Unknown
 /// `--flags` used to be silently ignored (a typo'd `--task=...` ran
 /// the full default workload); now they fail fast with a hint.
@@ -46,6 +61,8 @@ const std::vector<std::string>& known_flags() {
       // run control
       "help", "list", "scenario", "paper", "seeds", "seed-list", "serial", "threads", "quiet",
       "json", "csv", "record-trace",
+      // sharded sweeps (plan / execute / merge)
+      "plan", "shard", "spawn",
       // cluster / workload
       "servers", "cores", "rate", "cluster", "replication", "clients", "tasks", "utilization",
       "trace", "fanout", "sizes", "keys", "paced", "arrivals", "write-fraction", "tenants",
@@ -200,6 +217,16 @@ std::vector<std::uint64_t> seeds_from_flags(const util::Flags& flags,
       }
     }
     if (seeds.empty()) throw std::invalid_argument("--seed-list: empty list");
+    // A repeated seed is the same simulation twice: pointless in an
+    // aggregate and ambiguous for the sharded (case, seed) unit grid.
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+        if (seeds[i] == seeds[j]) {
+          throw std::invalid_argument("--seed-list: duplicate seed " +
+                                      std::to_string(seeds[i]));
+        }
+      }
+    }
     return seeds;
   }
   const std::uint64_t count = flags.get_uint("seeds", default_count);
@@ -242,6 +269,29 @@ void record_trace(const ScenarioConfig& base, const std::string& path) {
   workload::TraceWriter::write_file(path, tasks);
 }
 
+std::vector<CaseResult> execute_shard(
+    const SweepPlan& plan, const ShardSpec& shard, core::RunSeedsOptions options,
+    const std::function<void(const ExperimentCase&, std::size_t runs)>& progress) {
+  // Group this shard's units back into per-case seed lists (plan order
+  // on both axes), so the thread-pool `run_seeds` path is unchanged.
+  std::vector<std::vector<std::uint64_t>> seeds_by_case(plan.cases.size());
+  for (const SweepUnit* unit : plan.shard_units(shard)) {
+    seeds_by_case[unit->case_index].push_back(unit->seed);
+  }
+  std::vector<CaseResult> results;
+  results.reserve(plan.cases.size());
+  for (std::size_t i = 0; i < plan.cases.size(); ++i) {
+    const ExperimentCase& experiment = plan.cases[i];
+    AggregateResult aggregate =
+        seeds_by_case[i].empty()
+            ? core::aggregate_runs(experiment.config.system, {})
+            : core::run_seeds(experiment.config, seeds_by_case[i], options);
+    if (progress) progress(experiment, seeds_by_case[i].size());
+    results.push_back({experiment, std::move(aggregate)});
+  }
+  return results;
+}
+
 namespace {
 
 stats::Json config_json(const ScenarioConfig& config) {
@@ -272,15 +322,10 @@ stats::Json config_json(const ScenarioConfig& config) {
   return j;
 }
 
-stats::Json summary_json(const stats::Summary& s) {
-  stats::Json j = stats::Json::object();
-  j["mean"] = s.mean();
-  j["stddev"] = s.stddev();
-  j["min"] = s.min();
-  j["max"] = s.max();
-  return j;
-}
-
+/// One per-seed row. Deterministic fields only: wall-clock time lives
+/// in the artifact's trailing "timing" object, so rows (and the whole
+/// document above "timing") are byte-identical across thread counts,
+/// shard counts, and machines.
 stats::Json run_json(const RunResult& run) {
   const core::LatencySummary latency = core::summarize_tasks(run);
   stats::Json j = stats::Json::object();
@@ -321,7 +366,6 @@ stats::Json run_json(const RunResult& run) {
   j["gate_held_requests"] = run.gate_held_requests;
   j["sim_seconds"] = run.sim_duration.as_seconds();
   j["events_processed"] = run.events_processed;
-  j["wall_seconds"] = run.wall_seconds;
   return j;
 }
 
@@ -329,15 +373,19 @@ stats::Json run_json(const RunResult& run) {
 
 stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
                         const std::vector<std::uint64_t>& seeds,
-                        const std::vector<CaseResult>& results) {
+                        const std::vector<CaseResult>& results, const ShardSpec* shard) {
   stats::Json root = stats::Json::object();
   root["tool"] = "brbsim";
+  root["format"] = stats::kArtifactFormat;
   root["scenario"] = scenario;
+  if (shard != nullptr) root["shard"] = shard->describe();
   root["config"] = config_json(base);
   stats::Json seed_array = stats::Json::array();
   for (const std::uint64_t s : seeds) seed_array.push_back(s);
   root["seeds"] = std::move(seed_array);
 
+  double total_wall_seconds = 0.0;
+  stats::Json timing_cases = stats::Json::array();
   stats::Json cases = stats::Json::array();
   for (const CaseResult& result : results) {
     stats::Json c = stats::Json::object();
@@ -356,48 +404,103 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
     c["write_fraction"] = result.spec.config.write_fraction;
     c["tenants"] = result.spec.config.tenant_spec;
     stats::Json latency = stats::Json::object();
-    latency["p50_ms"] = summary_json(result.aggregate.p50_ms);
-    latency["p95_ms"] = summary_json(result.aggregate.p95_ms);
-    latency["p99_ms"] = summary_json(result.aggregate.p99_ms);
-    latency["mean_ms"] = summary_json(result.aggregate.mean_ms);
+    latency["p50_ms"] = stats::summary_json(result.aggregate.p50_ms);
+    latency["p95_ms"] = stats::summary_json(result.aggregate.p95_ms);
+    latency["p99_ms"] = stats::summary_json(result.aggregate.p99_ms);
+    latency["mean_ms"] = stats::summary_json(result.aggregate.mean_ms);
     c["task_latency_ms"] = std::move(latency);
     stats::Json runs = stats::Json::array();
-    for (const RunResult& run : result.aggregate.runs) runs.push_back(run_json(run));
+    stats::Json walls = stats::Json::array();
+    for (const RunResult& run : result.aggregate.runs) {
+      runs.push_back(run_json(run));
+      walls.push_back(run.wall_seconds);
+      total_wall_seconds += run.wall_seconds;
+    }
     c["runs"] = std::move(runs);
     cases.push_back(std::move(c));
+    stats::Json timing_case = stats::Json::object();
+    timing_case["label"] = result.spec.label;
+    timing_case["wall_seconds"] = std::move(walls);
+    timing_cases.push_back(std::move(timing_case));
   }
   root["cases"] = std::move(cases);
+
+  // Wall-clock time is the one legitimately nondeterministic
+  // measurement; it is quarantined as the LAST top-level key so
+  // artifact diffs and shard-merge identity checks drop exactly one
+  // subtree instead of excluding fields all over the document.
+  stats::Json timing = stats::Json::object();
+  timing["total_wall_seconds"] = total_wall_seconds;
+  timing["cases"] = std::move(timing_cases);
+  root["timing"] = std::move(timing);
   return root;
 }
 
-void report_csv(std::ostream& os, const std::string& scenario,
-                const std::vector<CaseResult>& results) {
-  os << "scenario,label,system,seed,p50_ms,p95_ms,p99_ms,mean_ms,tasks_completed,"
-        "requests_completed,write_requests,mean_utilization,congestion_signals,"
-        "credit_hold_events,tenant_p99_ratio,wall_seconds\n";
-  for (const CaseResult& result : results) {
-    const std::string prefix = stats::csv_field(scenario) + "," +
-                               stats::csv_field(result.spec.label) + "," +
-                               to_string(result.spec.config.system);
-    for (const RunResult& run : result.aggregate.runs) {
-      const core::LatencySummary latency = core::summarize_tasks(run);
-      os << prefix << "," << run.seed << "," << latency.p50_ms << "," << latency.p95_ms << ","
-         << latency.p99_ms << "," << latency.mean_ms << "," << run.tasks_completed << ","
-         << run.requests_completed << "," << run.write_requests_acked << ","
-         << run.mean_utilization << "," << run.congestion_signals << ","
-         << run.credit_hold_events << "," << run.tenant_p99_ratio << "," << run.wall_seconds
-         << "\n";
-    }
-    // The cross-seed aggregate row (seed column = "all").
-    const AggregateResult& agg = result.aggregate;
-    os << prefix << ",all," << agg.p50_ms.mean() << "," << agg.p95_ms.mean() << ","
-       << agg.p99_ms.mean() << "," << agg.mean_ms.mean() << ",,,,,,,,\n";
+void print_case_table(std::ostream& os, const stats::Json& artifact) {
+  stats::Table table({"case", "p50 ms", "p95 ms", "p99 ms", "mean ms", "sd(p99)"});
+  for (const stats::Json& item : artifact.at("cases").items()) {
+    if (item.at("runs").size() == 0) continue;  // not executed by this shard
+    const stats::Json& latency = item.at("task_latency_ms");
+    table.add_row({item.at("label").as_string(),
+                   stats::fmt_double(latency.at("p50_ms").at("mean").as_double(), 3),
+                   stats::fmt_double(latency.at("p95_ms").at("mean").as_double(), 3),
+                   stats::fmt_double(latency.at("p99_ms").at("mean").as_double(), 3),
+                   stats::fmt_double(latency.at("mean_ms").at("mean").as_double(), 3),
+                   stats::fmt_double(latency.at("p99_ms").at("stddev").as_double(), 3)});
   }
+  table.print(os);
+}
+
+bool print_paper_claims(std::ostream& os, const stats::Json& artifact) {
+  const auto percentiles = [&](const char* label) -> const stats::Json* {
+    for (const stats::Json& item : artifact.at("cases").items()) {
+      if (item.at("label").as_string() == label && item.at("runs").size() > 0) {
+        return &item.at("task_latency_ms");
+      }
+    }
+    return nullptr;
+  };
+  const stats::Json* c3 = percentiles("c3");
+  const stats::Json* em_credits = percentiles("equalmax-credits");
+  const stats::Json* em_model = percentiles("equalmax-model");
+  const stats::Json* ui_credits = percentiles("unifincr-credits");
+  const stats::Json* ui_model = percentiles("unifincr-model");
+  if (!c3 || !em_credits || !em_model || !ui_credits || !ui_model) {
+    os << "note: paper claims need the c3 / equalmax-{credits,model} / "
+          "unifincr-{credits,model} cases\n";
+    return false;
+  }
+  const auto mean = [](const stats::Json& latency, const char* key) {
+    return latency.at(key).at("mean").as_double();
+  };
+
+  const double gap_em = mean(*em_credits, "p99_ms") / mean(*em_model, "p99_ms") - 1.0;
+  const double gap_ui = mean(*ui_credits, "p99_ms") / mean(*ui_model, "p99_ms") - 1.0;
+  os << "\nClaim A (paper: credits within 38% of model at p99)\n";
+  os << "  EqualMax: credits/model p99 gap = " << stats::fmt_double(gap_em * 100, 1) << "%\n";
+  os << "  UnifIncr: credits/model p99 gap = " << stats::fmt_double(gap_ui * 100, 1) << "%\n";
+
+  os << "\nClaim B (paper: BRB vs C3 up to 3x at median/p95, up to 2x at p99)\n";
+  const auto speedup = [&](const stats::Json& brb_latency, const char* name) {
+    os << "  C3 / " << name << ":  median "
+       << stats::fmt_ratio(mean(*c3, "p50_ms") / mean(brb_latency, "p50_ms")) << "  p95 "
+       << stats::fmt_ratio(mean(*c3, "p95_ms") / mean(brb_latency, "p95_ms")) << "  p99 "
+       << stats::fmt_ratio(mean(*c3, "p99_ms") / mean(brb_latency, "p99_ms")) << "\n";
+  };
+  speedup(*em_credits, "EqualMax-Credits");
+  speedup(*ui_credits, "UnifIncr-Credits");
+  speedup(*em_model, "EqualMax-Model  ");
+  speedup(*ui_model, "UnifIncr-Model  ");
+  return true;
 }
 
 void print_usage(std::ostream& os) {
   os << "brbsim — unified BRB experiment driver\n\n"
         "usage: brbsim [--scenario=NAME] [overrides...] [--json=PATH] [--csv=PATH]\n"
+        "       brbsim --scenario=NAME --plan [--shard=i/N | --spawn=K]\n"
+        "       brbsim --scenario=NAME --shard=i/N --json=shard_i.json\n"
+        "       brbsim --scenario=NAME --spawn=K --json=PATH\n"
+        "       brbsim merge OUT.json SHARD.json... [--csv=PATH]\n"
         "       brbsim --record-trace=PATH [workload overrides...]\n"
         "       brbsim --list\n\n"
         "scenarios:\n";
@@ -410,10 +513,18 @@ void print_usage(std::ostream& os) {
         "  --seed-list=1,5,9     explicit seed list (wins over --seeds)\n"
         "  --serial              disable the per-seed worker threads\n"
         "  --threads=N           cap seed workers (0 = one per seed); results are\n"
-        "                        identical for any N (wall_seconds aside)\n"
+        "                        identical for any N (timing aside)\n"
         "  --paper               full paper scale (500k tasks, 6 seeds)\n"
         "  --json=PATH  --csv=PATH  machine-readable artifacts\n"
         "  --quiet               suppress the console table\n"
+        "\nsharded sweeps (plan / execute / merge):\n"
+        "  --plan                list every (case, seed) unit and exit\n"
+        "  --shard=i/N           run only shard i of N (deterministic hash partition);\n"
+        "                        merge the N artifacts with `brbsim merge`\n"
+        "  --spawn=K             fork K worker processes over the plan and merge\n"
+        "                        their artifacts in-process (single machine)\n"
+        "  brbsim merge OUT IN...  reassemble shard artifacts; the merged JSON/CSV\n"
+        "                        is byte-identical to an unsharded run (timing aside)\n"
         "\ncluster / workload overrides (paper defaults otherwise):\n"
         "  --servers --cores --rate --replication --clients --tasks\n"
         "  --cluster=hetero:6x4x3500,3x8x7000 (heterogeneous fleet profile)\n"
@@ -438,9 +549,145 @@ void print_usage(std::ostream& os) {
         "(e.g. BRB_PAPER=1, BRB_TASKS=10000).\n";
 }
 
+namespace {
+
+/// Emits the finished artifact: console table, JSON, CSV. Shared by
+/// the in-process, sharded, and spawn-merge paths so all three produce
+/// the same bytes for the same document.
+void emit_outputs(const stats::Json& doc, const util::Flags& flags, bool quiet) {
+  if (!quiet) print_case_table(std::cout, doc);
+  if (const auto json_path = flags.get("json")) {
+    write_artifact(*json_path, doc);
+    if (!quiet) std::cout << "wrote " << *json_path << "\n";
+  }
+  if (const auto csv_path = flags.get("csv")) {
+    auto os = open_or_throw(*csv_path);
+    stats::artifact_csv(os, doc);
+    if (!quiet) std::cout << "wrote " << *csv_path << "\n";
+  }
+}
+
+/// `brbsim merge OUT.json SHARD.json...` — layer 3.
+int run_merge(const util::Flags& flags) {
+  for (const std::string& name : flags.cli_names()) {
+    if (name != "csv" && name != "quiet") {
+      throw std::invalid_argument("brbsim merge accepts only --csv/--quiet, not --" + name);
+    }
+  }
+  const std::vector<std::string>& args = flags.positional();
+  if (args.size() < 3) {
+    std::cerr << "usage: brbsim merge OUT.json SHARD.json... [--csv=PATH] [--quiet]\n";
+    return 2;
+  }
+  const std::string& out_path = args[1];
+  std::vector<stats::Json> shards;
+  shards.reserve(args.size() - 2);
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    shards.push_back(stats::read_artifact_file(args[i]));
+  }
+  const stats::Json merged = stats::merge_artifacts(shards);
+  const bool quiet = flags.get_bool("quiet", false);
+  if (!quiet) {
+    std::size_t units = 0;
+    for (const stats::Json& item : merged.at("cases").items()) units += item.at("runs").size();
+    std::cout << "# brbsim merge: " << shards.size() << " shards, " << units << " units -> "
+              << out_path << "\n";
+    print_case_table(std::cout, merged);
+  }
+  write_artifact(out_path, merged);
+  if (const auto csv_path = flags.get("csv")) {
+    auto os = open_or_throw(*csv_path);
+    stats::artifact_csv(os, merged);
+    if (!quiet) std::cout << "wrote " << *csv_path << "\n";
+  }
+  return 0;
+}
+
+/// `--spawn=K`: fork K shard workers over the plan, collect their
+/// artifacts, and merge in-process. The cross-machine equivalent is
+/// running `--shard=i/N` on each machine and `brbsim merge` once.
+int run_spawn(const SweepPlan& plan, std::uint32_t spawn_count, core::RunSeedsOptions options,
+              const util::Flags& flags, bool quiet) {
+#ifndef __unix__
+  (void)plan;
+  (void)spawn_count;
+  (void)options;
+  (void)flags;
+  (void)quiet;
+  throw std::runtime_error("--spawn needs a POSIX host; use --shard=i/N plus brbsim merge");
+#else
+  const std::string stem = flags.get_string("json", "brbsim-" + plan.scenario + ".json");
+  const auto shard_path = [&](std::uint32_t index) {
+    return stem + ".shard" + std::to_string(index) + "of" + std::to_string(spawn_count);
+  };
+  std::vector<pid_t> workers;
+  workers.reserve(spawn_count);
+  for (std::uint32_t index = 1; index <= spawn_count; ++index) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "brbsim: fork failed for shard " << index << "/" << spawn_count << "\n";
+      for (const pid_t child : workers) waitpid(child, nullptr, 0);
+      return 1;
+    }
+    if (pid == 0) {
+      // Worker: execute one shard, write its artifact, and exit
+      // without running parent-owned static destructors.
+      int code = 0;
+      try {
+        ShardSpec shard;
+        shard.index = index;
+        shard.count = spawn_count;
+        const std::vector<CaseResult> results = execute_shard(plan, shard, options);
+        write_artifact(shard_path(index),
+                       report_json(plan.scenario, plan.base, plan.seeds, results, &shard));
+      } catch (const std::exception& e) {
+        std::cerr << "brbsim[shard " << index << "/" << spawn_count << "]: " << e.what() << "\n";
+        code = 1;
+      }
+      std::_Exit(code);
+    }
+    workers.push_back(pid);
+  }
+
+  bool failed = false;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    int status = 0;
+    if (waitpid(workers[i], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::cerr << "brbsim: shard worker " << (i + 1) << "/" << spawn_count << " failed\n";
+      failed = true;
+    }
+  }
+  if (failed) return 1;  // shard artifacts are left behind for inspection
+
+  std::vector<stats::Json> shards;
+  shards.reserve(spawn_count);
+  for (std::uint32_t index = 1; index <= spawn_count; ++index) {
+    shards.push_back(stats::read_artifact_file(shard_path(index)));
+  }
+  const stats::Json merged = stats::merge_artifacts(shards);
+  for (std::uint32_t index = 1; index <= spawn_count; ++index) {
+    std::remove(shard_path(index).c_str());
+  }
+  emit_outputs(merged, flags, quiet);
+  return 0;
+#endif
+}
+
+}  // namespace
+
 int run_brbsim(int argc, const char* const* argv) {
   try {
     const util::Flags flags(argc, argv);
+    if (!flags.positional().empty() && flags.positional().front() == "merge") {
+      return run_merge(flags);
+    }
+    if (!flags.positional().empty()) {
+      // Fail fast like unknown flags do: a typo'd `brbsim mergee ...`
+      // must not silently run the full default sweep instead.
+      throw std::invalid_argument("unexpected argument '" + flags.positional().front() +
+                                  "' (the only subcommand is `brbsim merge OUT IN...`)");
+    }
     validate_flags(flags);
     if (flags.get_bool("help", false)) {
       print_usage(std::cout);
@@ -462,8 +709,7 @@ int run_brbsim(int argc, const char* const* argv) {
     }
 
     const std::string scenario_name = flags.get_string("scenario", "paper");
-    const ScenarioSpec* scenario = find_scenario(scenario_name);
-    if (scenario == nullptr) {
+    if (find_scenario(scenario_name) == nullptr) {
       std::cerr << "brbsim: unknown scenario '" << scenario_name
                 << "' (see brbsim --list)\n";
       return 2;
@@ -483,49 +729,68 @@ int run_brbsim(int argc, const char* const* argv) {
     run_options.max_threads = serial ? 1 : flags.get_uint("threads", 0);
     const bool quiet = flags.get_bool("quiet", false);
 
-    const std::vector<ExperimentCase> cases = scenario->expand(base, flags);
-    if (cases.empty()) {
+    // --- layer 1: plan ---
+    const SweepPlan plan = build_sweep_plan(scenario_name, base, seeds, flags);
+    if (plan.cases.empty()) {
       std::cerr << "brbsim: scenario '" << scenario_name << "' expanded to no cases\n";
       return 2;
     }
 
-    if (!quiet) {
-      std::cout << "# brbsim scenario=" << scenario_name << ": " << cases.size() << " cases x "
-                << seeds.size() << " seeds, " << base.num_tasks << " tasks each\n";
-    }
-
-    std::vector<CaseResult> results;
-    results.reserve(cases.size());
-    for (const ExperimentCase& experiment : cases) {
-      AggregateResult aggregate = core::run_seeds(experiment.config, seeds, run_options);
-      if (!quiet) std::cerr << "[brbsim] finished " << experiment.label << "\n";
-      results.push_back({experiment, std::move(aggregate)});
-    }
-
-    if (!quiet) {
-      stats::Table table({"case", "p50 ms", "p95 ms", "p99 ms", "mean ms", "sd(p99)"});
-      for (const CaseResult& result : results) {
-        const AggregateResult& agg = result.aggregate;
-        table.add_row({result.spec.label, stats::fmt_double(agg.p50_ms.mean(), 3),
-                       stats::fmt_double(agg.p95_ms.mean(), 3),
-                       stats::fmt_double(agg.p99_ms.mean(), 3),
-                       stats::fmt_double(agg.mean_ms.mean(), 3),
-                       stats::fmt_double(agg.p99_ms.stddev(), 3)});
+    std::optional<ShardSpec> shard;
+    if (const auto spec = flags.get("shard")) shard = ShardSpec::parse(*spec);
+    // get() (not has()) so the BRB_SPAWN environment default works
+    // like every other flag's.
+    const bool spawn_requested = flags.get("spawn").has_value();
+    const std::uint64_t spawn = spawn_requested ? flags.get_uint("spawn", 0) : 0;
+    if (spawn_requested) {
+      if (shard) throw std::invalid_argument("--spawn and --shard conflict; pick one");
+      if (spawn == 0 || spawn > 4096) {
+        throw std::invalid_argument("--spawn: need 1 <= K <= 4096");
       }
-      table.print(std::cout);
     }
 
-    if (const auto json_path = flags.get("json")) {
-      auto os = open_or_throw(*json_path);
-      report_json(scenario_name, base, seeds, results).dump(os);
-      os << "\n";
-      if (!quiet) std::cout << "wrote " << *json_path << "\n";
+    if (flags.get_bool("plan", false)) {
+      const auto shard_count =
+          shard ? shard->count : static_cast<std::uint32_t>(spawn > 1 ? spawn : 1);
+      if (const auto json_path = flags.get("json")) {
+        write_artifact(*json_path, plan_json(plan, shard_count));
+        if (!quiet) std::cout << "wrote " << *json_path << "\n";
+      }
+      print_plan(std::cout, plan, shard_count,
+                 shard ? std::optional<std::uint32_t>(shard->index) : std::nullopt);
+      return 0;
     }
-    if (const auto csv_path = flags.get("csv")) {
-      auto os = open_or_throw(*csv_path);
-      report_csv(os, scenario_name, results);
-      if (!quiet) std::cout << "wrote " << *csv_path << "\n";
+
+    if (spawn_requested) {
+      if (!quiet) {
+        std::cout << "# brbsim scenario=" << scenario_name << ": " << plan.cases.size()
+                  << " cases x " << seeds.size() << " seeds, " << base.num_tasks
+                  << " tasks each, " << spawn << " worker processes\n";
+      }
+      return run_spawn(plan, static_cast<std::uint32_t>(spawn), run_options, flags, quiet);
     }
+
+    // --- layer 2: execute (this process's shard; 1/1 = everything) ---
+    const ShardSpec effective = shard.value_or(ShardSpec{});
+    if (!quiet) {
+      std::cout << "# brbsim scenario=" << scenario_name << ": " << plan.cases.size()
+                << " cases x " << seeds.size() << " seeds, " << base.num_tasks
+                << " tasks each";
+      if (shard) {
+        std::cout << ", shard " << shard->describe() << " (" << plan.shard_units(*shard).size()
+                  << " of " << plan.units.size() << " units)";
+      }
+      std::cout << "\n";
+    }
+    const auto progress = [&](const ExperimentCase& experiment, std::size_t runs) {
+      if (!quiet && runs > 0) std::cerr << "[brbsim] finished " << experiment.label << "\n";
+    };
+    const std::vector<CaseResult> results =
+        execute_shard(plan, effective, run_options, progress);
+
+    const stats::Json doc = report_json(scenario_name, base, seeds, results,
+                                        shard ? &effective : nullptr);
+    emit_outputs(doc, flags, quiet);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "brbsim: " << e.what() << "\n";

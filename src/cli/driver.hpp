@@ -1,28 +1,39 @@
-// The `brbsim` unified experiment driver.
+// The `brbsim` unified experiment driver, layered as plan / execute /
+// merge.
 //
 // One binary replaces the copy-pasted bench mains: pick a scenario from
 // the registry, override any `ScenarioConfig` field with a flag, run
-// every case across seeds (in parallel by default), and get an aligned
-// console table plus machine-readable JSON / CSV artifacts.
+// every (case, seed) unit across worker threads — or only one shard of
+// them across worker *processes / machines* — and get an aligned
+// console table plus machine-readable JSON / CSV artifacts that merge
+// byte-identically.
 //
 //   brbsim --scenario=paper --seeds=3 --json=out.json
 //   brbsim --scenario=load-sweep --loads=0.6,0.8 --tasks=30000 --csv=sweep.csv
+//   brbsim --scenario=paper --plan                      # list the unit grid
+//   brbsim --scenario=paper --shard=2/3 --json=s2.json  # one machine's slice
+//   brbsim --scenario=paper --spawn=3 --json=out.json   # 3 worker processes
+//   brbsim merge out.json s1.json s2.json s3.json       # reassemble shards
 //   brbsim --record-trace=trace.csv --tasks=20000
 //   brbsim --scenario=trace-replay --trace=trace.csv
 //   brbsim --list
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
 #include "cli/scenario_registry.hpp"
+#include "cli/sweep_plan.hpp"
 #include "core/scenario.hpp"
 #include "stats/report.hpp"
 #include "util/flags.hpp"
 
 namespace brb::cli {
 
-/// One executed case with its cross-seed aggregate.
+/// One executed case with its cross-seed aggregate (over the seeds
+/// this process actually ran — a shard may cover only a subset, or
+/// none, of a case's seeds).
 struct CaseResult {
   ExperimentCase spec;
   core::AggregateResult aggregate;
@@ -43,18 +54,36 @@ std::vector<std::uint64_t> seeds_from_flags(const util::Flags& flags,
 /// Generates the base config's workload and writes it as a trace file.
 void record_trace(const core::ScenarioConfig& base, const std::string& path);
 
-/// The JSON artifact for one finished driver invocation.
+/// Layer 2 (execute): runs the plan's units owned by `shard`, one
+/// `run_seeds` call per case over that case's owned seeds (cases with
+/// no owned seeds yield an empty aggregate). `progress`, if set, is
+/// called after each case with the number of runs executed for it.
+std::vector<CaseResult> execute_shard(
+    const SweepPlan& plan, const ShardSpec& shard, core::RunSeedsOptions options,
+    const std::function<void(const ExperimentCase&, std::size_t runs)>& progress = {});
+
+/// The JSON artifact (stats/artifact.hpp format 2) for one executed
+/// shard; pass `shard` = nullptr for an unsharded run. Wall-clock time
+/// lands in the trailing "timing" object, everything else is
+/// deterministic.
 stats::Json report_json(const std::string& scenario, const core::ScenarioConfig& base,
                         const std::vector<std::uint64_t>& seeds,
-                        const std::vector<CaseResult>& results);
+                        const std::vector<CaseResult>& results,
+                        const ShardSpec* shard = nullptr);
 
-/// Per-run CSV (one row per case x seed, plus one aggregate row).
-void report_csv(std::ostream& os, const std::string& scenario,
-                const std::vector<CaseResult>& results);
+/// Console summary table of an artifact document (cases with at least
+/// one executed run).
+void print_case_table(std::ostream& os, const stats::Json& artifact);
+
+/// The paper's Figure 2 headline claims (Claim A/B), computed from an
+/// artifact of the "paper" scenario. Prints a note and returns false
+/// when the needed cases are missing.
+bool print_paper_claims(std::ostream& os, const stats::Json& artifact);
 
 void print_usage(std::ostream& os);
 
 /// Full driver entry point (what tools/brbsim_main.cpp calls).
+/// `brbsim merge OUT IN...` is handled here too.
 /// Returns a process exit code; never throws.
 int run_brbsim(int argc, const char* const* argv);
 

@@ -58,7 +58,19 @@ std::vector<ExperimentCase> expand_paper(const ScenarioConfig& base, const util:
 
 std::vector<ExperimentCase> expand_policy_matrix(const ScenarioConfig& base,
                                                  const util::Flags& flags) {
-  return per_system(base, systems_from_flags(flags, kMatrixSystems));
+  std::vector<ExperimentCase> cases = per_system(base, systems_from_flags(flags, kMatrixSystems));
+  // Selector ablation on the direct BRB system: how much of the tail is
+  // replica-selection quality? Skipped when --systems narrows the
+  // matrix to an explicit set.
+  if (!flags.has("systems")) {
+    for (const char* selector : {"c3", "least-pending-cost", "least-outstanding", "random"}) {
+      ScenarioConfig config = base;
+      config.system = SystemKind::kEqualMaxDirect;
+      config.selector_override = selector;
+      cases.push_back({std::string("equalmax-direct/") + selector, std::move(config)});
+    }
+  }
+  return cases;
 }
 
 std::vector<ExperimentCase> expand_load_sweep(const ScenarioConfig& base,

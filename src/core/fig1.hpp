@@ -12,6 +12,7 @@
 // queued, so the queue discipline (not arrival order) decides.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -36,5 +37,9 @@ struct Fig1Result {
 /// Runs the example under the given priority policy ("fifo",
 /// "equalmax" or "unifincr").
 Fig1Result run_fig1(const std::string& policy_name);
+
+/// The full Figure 1 presentation (per-policy schedules plus the
+/// summary line); bench_fig1_schedule is a thin wrapper around this.
+void print_fig1_report(std::ostream& os);
 
 }  // namespace brb::core

@@ -612,6 +612,23 @@ LatencySummary summarize_tasks(const RunResult& result) {
   return summary;
 }
 
+void accumulate_summary(AggregateResult& aggregate, const LatencySummary& summary) {
+  aggregate.p50_ms.add(summary.p50_ms);
+  aggregate.p95_ms.add(summary.p95_ms);
+  aggregate.p99_ms.add(summary.p99_ms);
+  aggregate.mean_ms.add(summary.mean_ms);
+}
+
+AggregateResult aggregate_runs(SystemKind system, std::vector<RunResult> runs) {
+  AggregateResult aggregate;
+  aggregate.system = system;
+  for (RunResult& run : runs) {
+    accumulate_summary(aggregate, summarize_tasks(run));
+    aggregate.runs.push_back(std::move(run));
+  }
+  return aggregate;
+}
+
 AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
                           bool parallel) {
   RunSeedsOptions options;
@@ -658,17 +675,7 @@ AggregateResult run_seeds(const ScenarioConfig& config, const std::vector<std::u
     }
   }
 
-  AggregateResult aggregate;
-  aggregate.system = config.system;
-  for (RunResult& run : runs) {
-    const LatencySummary summary = summarize_tasks(run);
-    aggregate.p50_ms.add(summary.p50_ms);
-    aggregate.p95_ms.add(summary.p95_ms);
-    aggregate.p99_ms.add(summary.p99_ms);
-    aggregate.mean_ms.add(summary.mean_ms);
-    aggregate.runs.push_back(std::move(run));
-  }
-  return aggregate;
+  return aggregate_runs(config.system, std::move(runs));
 }
 
 }  // namespace brb::core

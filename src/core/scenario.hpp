@@ -169,6 +169,17 @@ struct AggregateResult {
   std::vector<RunResult> runs;
 };
 
+/// Accumulates one per-seed latency summary into the aggregate's
+/// cross-seed statistics. Order matters for bit-identical artifacts:
+/// callers must accumulate in planned seed order (run_seeds and the
+/// sharded-sweep merge both do).
+void accumulate_summary(AggregateResult& aggregate, const LatencySummary& summary);
+
+/// Re-aggregates already-executed runs into the cross-seed aggregate —
+/// the primitive run_seeds and the sharded driver share. `runs` may be
+/// empty (a shard that owns no seeds of this case).
+AggregateResult aggregate_runs(SystemKind system, std::vector<RunResult> runs);
+
 /// Worker-thread policy for run_seeds.
 struct RunSeedsOptions {
   /// Maximum worker threads; 0 = one thread per seed, 1 = serial.

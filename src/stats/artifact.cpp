@@ -1,0 +1,205 @@
+#include "stats/artifact.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace brb::stats {
+
+Json summary_json(const Summary& summary) {
+  Json j = Json::object();
+  j["mean"] = summary.mean();
+  j["stddev"] = summary.stddev();
+  j["min"] = summary.min();
+  j["max"] = summary.max();
+  return j;
+}
+
+namespace {
+
+[[noreturn]] void merge_fail(const std::string& what) {
+  throw std::runtime_error("merge_artifacts: " + what);
+}
+
+void validate_envelope(const Json& doc, const std::string& context) {
+  const auto need = [&](const char* key) -> const Json& {
+    const Json* value = doc.find(key);
+    if (value == nullptr) {
+      throw std::runtime_error(context + ": not a brbsim artifact (missing '" +
+                               std::string(key) + "')");
+    }
+    return *value;
+  };
+  if (!doc.is_object() || need("tool").as_string() != "brbsim") {
+    throw std::runtime_error(context + ": not a brbsim artifact");
+  }
+  const std::int64_t format = need("format").as_int();
+  if (format != kArtifactFormat) {
+    throw std::runtime_error(context + ": artifact format " + std::to_string(format) +
+                             " (this build reads format " + std::to_string(kArtifactFormat) +
+                             ")");
+  }
+  need("scenario");
+  need("config");
+  need("seeds");
+  need("cases");
+  need("timing");
+}
+
+/// The shard-invariant part of an artifact: everything except which
+/// units ran here (runs, aggregates, timing) and the shard tag itself.
+/// Every shard of one sweep must serialize this identically.
+std::string plan_fingerprint(const Json& doc) {
+  Json stripped = doc;
+  stripped.erase("shard");
+  stripped.erase("timing");
+  Json& cases = stripped["cases"];
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    cases.at(i).erase("task_latency_ms");
+    cases.at(i).erase("runs");
+  }
+  return stripped.dump_string(-1);
+}
+
+}  // namespace
+
+Json read_artifact_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open artifact: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  Json doc;
+  try {
+    doc = Json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+  validate_envelope(doc, path);
+  return doc;
+}
+
+Json merge_artifacts(const std::vector<Json>& shards) {
+  if (shards.empty()) merge_fail("no artifacts to merge");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    validate_envelope(shards[i], "artifact #" + std::to_string(i + 1));
+  }
+  const std::string fingerprint = plan_fingerprint(shards[0]);
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    if (plan_fingerprint(shards[i]) != fingerprint) {
+      merge_fail("artifact #" + std::to_string(i + 1) +
+                 " describes a different sweep (scenario/config/seeds/cases mismatch)");
+    }
+  }
+
+  std::vector<std::int64_t> seed_order;
+  for (const Json& seed : shards[0].at("seeds").items()) seed_order.push_back(seed.as_int());
+
+  Json merged = shards[0];
+  merged.erase("shard");
+  Json& cases = merged["cases"];
+  double total_wall_seconds = 0.0;
+  Json timing_cases = Json::array();
+
+  for (std::size_t case_index = 0; case_index < cases.size(); ++case_index) {
+    // By value: inserting task_latency_ms/runs below may reallocate the
+    // case object's member storage.
+    const std::string label = cases.at(case_index).at("label").as_string();
+    // (seed -> (run row, wall seconds)), unioned across shards.
+    std::map<std::int64_t, std::pair<Json, double>> by_seed;
+    for (const Json& shard : shards) {
+      const Json& shard_case = shard.at("cases").at(case_index);
+      const Json& runs = shard_case.at("runs");
+      const Json& walls = shard.at("timing").at("cases").at(case_index).at("wall_seconds");
+      if (walls.size() != runs.size()) {
+        merge_fail("case '" + label + "': timing rows do not match runs");
+      }
+      for (std::size_t j = 0; j < runs.size(); ++j) {
+        const std::int64_t seed = runs.at(j).at("seed").as_int();
+        if (!by_seed.emplace(seed, std::make_pair(runs.at(j), walls.at(j).as_double()))
+                 .second) {
+          merge_fail("case '" + label + "' seed " + std::to_string(seed) +
+                     " executed by more than one shard");
+        }
+      }
+    }
+
+    // Reassemble in planned seed order and re-aggregate the cross-seed
+    // summaries from the per-seed percentiles (exact: doubles
+    // round-trip through the artifact bit for bit).
+    Json runs = Json::array();
+    Json walls = Json::array();
+    Summary p50, p95, p99, mean;
+    for (const std::int64_t seed : seed_order) {
+      const auto it = by_seed.find(seed);
+      if (it == by_seed.end()) {
+        merge_fail("case '" + label + "' seed " + std::to_string(seed) +
+                   " missing from every shard");
+      }
+      const Json& run = it->second.first;
+      p50.add(run.at("p50_ms").as_double());
+      p95.add(run.at("p95_ms").as_double());
+      p99.add(run.at("p99_ms").as_double());
+      mean.add(run.at("mean_ms").as_double());
+      total_wall_seconds += it->second.second;
+      walls.push_back(it->second.second);
+      runs.push_back(std::move(it->second.first));
+    }
+    if (by_seed.size() != seed_order.size()) {
+      merge_fail("case '" + label + "' has runs for unplanned seeds");
+    }
+
+    Json latency = Json::object();
+    latency["p50_ms"] = summary_json(p50);
+    latency["p95_ms"] = summary_json(p95);
+    latency["p99_ms"] = summary_json(p99);
+    latency["mean_ms"] = summary_json(mean);
+    Json& merged_case = cases.at(case_index);
+    merged_case["task_latency_ms"] = std::move(latency);
+    merged_case["runs"] = std::move(runs);
+
+    Json timing_case = Json::object();
+    timing_case["label"] = label;
+    timing_case["wall_seconds"] = std::move(walls);
+    timing_cases.push_back(std::move(timing_case));
+  }
+
+  Json timing = Json::object();
+  timing["total_wall_seconds"] = total_wall_seconds;
+  timing["cases"] = std::move(timing_cases);
+  merged["timing"] = std::move(timing);
+  return merged;
+}
+
+void artifact_csv(std::ostream& os, const Json& artifact) {
+  os << "scenario,label,system,seed,p50_ms,p95_ms,p99_ms,mean_ms,tasks_completed,"
+        "requests_completed,write_requests,mean_utilization,congestion_signals,"
+        "credit_hold_events,tenant_p99_ratio\n";
+  const std::string& scenario = artifact.at("scenario").as_string();
+  for (const Json& item : artifact.at("cases").items()) {
+    const std::string prefix = csv_field(scenario) + "," +
+                               csv_field(item.at("label").as_string()) + "," +
+                               item.at("system").as_string();
+    for (const Json& run : item.at("runs").items()) {
+      const Json* ratio = run.find("tenant_p99_ratio");
+      os << prefix << "," << run.at("seed").as_int() << "," << run.at("p50_ms").as_double()
+         << "," << run.at("p95_ms").as_double() << "," << run.at("p99_ms").as_double() << ","
+         << run.at("mean_ms").as_double() << "," << run.at("tasks_completed").as_int() << ","
+         << run.at("requests_completed").as_int() << "," << run.at("write_requests").as_int()
+         << "," << run.at("mean_utilization").as_double() << ","
+         << run.at("congestion_signals").as_int() << ","
+         << run.at("credit_hold_events").as_int() << ","
+         << (ratio != nullptr ? ratio->as_double() : 0.0) << "\n";
+    }
+    // The cross-seed aggregate row (seed column = "all").
+    const Json& latency = item.at("task_latency_ms");
+    os << prefix << ",all," << latency.at("p50_ms").at("mean").as_double() << ","
+       << latency.at("p95_ms").at("mean").as_double() << ","
+       << latency.at("p99_ms").at("mean").as_double() << ","
+       << latency.at("mean_ms").at("mean").as_double() << ",,,,,,,\n";
+  }
+}
+
+}  // namespace brb::stats

@@ -1,0 +1,63 @@
+// brbsim artifact schema: reading, merging, and the CSV projection.
+//
+// A brbsim JSON artifact (format 2) is the wire format of the sharded
+// sweep subsystem. Top-level keys, in order:
+//
+//   tool      "brbsim"
+//   format    2
+//   scenario  registry scenario name
+//   shard     "i/N"            (only present in a --shard partial run)
+//   config    the flag-resolved base ScenarioConfig
+//   seeds     the full planned seed list
+//   cases     one entry per ExperimentCase: spec fields, cross-seed
+//             task_latency_ms summaries, and per-seed "runs" rows
+//             (deterministic fields only)
+//   timing    wall-clock seconds, quarantined as the LAST key so
+//             artifact diffs and byte-identity checks drop exactly one
+//             top-level subtree instead of excluding fields everywhere
+//
+// `merge_artifacts` reassembles N shard artifacts into the document the
+// single-process run would have written: per-seed rows are unioned by
+// (case, seed), re-ordered by the planned seed order, and the
+// cross-seed summaries re-aggregated from the parsed per-seed
+// percentiles. Because doubles serialize with shortest-round-trip
+// precision, the merged document is byte-identical to the unsharded
+// one for any shard count (timing aside).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/report.hpp"
+#include "stats/summary.hpp"
+
+namespace brb::stats {
+
+/// Artifact schema version emitted by this build.
+inline constexpr int kArtifactFormat = 2;
+
+/// The {mean, stddev, min, max} block used for every cross-seed
+/// statistic in an artifact (shared by the driver and the merger so
+/// both serialize aggregates identically).
+Json summary_json(const Summary& summary);
+
+/// Parses one artifact file and validates the envelope (tool, format,
+/// scenario/config/seeds/cases present). Throws std::runtime_error
+/// with the path on any problem.
+Json read_artifact_file(const std::string& path);
+
+/// Merges shard artifacts of one sweep into the single-process
+/// document. Validates that every shard describes the same plan
+/// (scenario, config, seeds, case specs), that each planned
+/// (case, seed) unit was executed exactly once across the shards, and
+/// re-aggregates the cross-seed summaries. Throws std::runtime_error
+/// on any inconsistency.
+Json merge_artifacts(const std::vector<Json>& shards);
+
+/// The CSV projection of an artifact (one row per case x seed plus an
+/// aggregate row per case). The driver and `brbsim merge` both emit
+/// CSV through this, so sharded and unsharded CSV match byte for byte.
+void artifact_csv(std::ostream& os, const Json& artifact);
+
+}  // namespace brb::stats

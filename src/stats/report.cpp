@@ -1,13 +1,75 @@
 #include "stats/report.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 namespace brb::stats {
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::logic_error("Json::as_bool: not a bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ != Kind::kInt) throw std::logic_error("Json::as_int: not an integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) throw std::logic_error("Json::as_double: not a number");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) throw std::logic_error("Json::as_string: not a string");
+  return string_;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* value = find(key)) return *value;
+  throw std::out_of_range("Json::at: no member '" + std::string(key) + "'");
+}
+
+Json& Json::at(std::size_t index) {
+  if (kind_ != Kind::kArray || index >= array_.size()) {
+    throw std::out_of_range("Json::at: array index out of range");
+  }
+  return array_[index];
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ != Kind::kArray || index >= array_.size()) {
+    throw std::out_of_range("Json::at: array index out of range");
+  }
+  return array_[index];
+}
+
+bool Json::erase(std::string_view key) {
+  if (kind_ != Kind::kObject) return false;
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
 
 Json& Json::operator[](const std::string& key) {
   if (kind_ == Kind::kNull) kind_ = Kind::kObject;
@@ -77,8 +139,15 @@ void dump_double(std::ostream& os, double v) {
     os << "null";
     return;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
+  // Shortest representation that parses back to the same double, so
+  // parse(dump(x)) == x exactly. Sharded artifact merging relies on
+  // this: re-aggregating cross-seed statistics from parsed per-seed
+  // rows must reproduce the single-process numbers bit for bit.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   os << buf;
   // Keep a numeric-looking token numeric ("1e+06" fine, "5" fine).
 }
@@ -149,6 +218,244 @@ std::string Json::dump_string(int indent) const {
   dump(os, indent);
   return os.str();
 }
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view. Errors carry the
+/// byte offset so a malformed artifact points at the problem.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_whitespace();
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("Json::parse: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::invalid_argument("Json::parse: unexpected end of input at offset " +
+                                  std::to_string(pos_));
+    }
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("invalid literal (expected '" + std::string(literal) + "')");
+    }
+    pos_ += literal.size();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case 'n':
+        expect_literal("null");
+        return Json{};
+      case 't':
+        expect_literal("true");
+        return Json(true);
+      case 'f':
+        expect_literal("false");
+        return Json(false);
+      case '"':
+        return Json(parse_string());
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json object = Json::object();
+    skip_whitespace();
+    if (consume('}')) return object;
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      object[key] = parse_value(depth + 1);
+      skip_whitespace();
+      if (consume('}')) return object;
+      expect(',');
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json array = Json::array();
+    skip_whitespace();
+    if (consume(']')) return array;
+    while (true) {
+      skip_whitespace();
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (consume(']')) return array;
+      expect(',');
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (!is_double && token != "-0") {  // "-0" stays a double so it re-emits as "-0"
+      errno = 0;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno != ERANGE) {
+        return Json(static_cast<std::int64_t>(parsed));
+      }
+      // Out of int64 range: degrade to double, mirroring the emitter.
+    }
+    errno = 0;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    return Json(parsed);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char escape = peek();
+      ++pos_;
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out); break;
+        default:
+          pos_ -= 1;
+          fail("invalid escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  void append_codepoint(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: the low half must follow as another \uXXXX.
+      if (!consume('\\') || !consume('u')) fail("unpaired surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return JsonParser(text).parse_document(); }
 
 std::string csv_field(const std::string& s) {
   if (s.find_first_of(",\"\n\r") == std::string::npos) return s;

@@ -4,6 +4,11 @@
 // numbers, booleans, null — sufficient for the `BENCH_*.json` artifacts
 // the experiment driver emits, without an external dependency. Keys
 // keep insertion order so artifacts diff cleanly across runs.
+//
+// Documents round-trip: `Json::parse` reads anything `dump` emits back
+// into an identical document (doubles are serialized with the shortest
+// representation that re-parses to the same bits), which is what lets
+// `brbsim merge` reassemble sharded sweep artifacts byte-identically.
 // `csv_field` quotes a value for the companion CSV emitter.
 #pragma once
 
@@ -11,6 +16,7 @@
 #include <iosfwd>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -49,14 +55,50 @@ class Json {
     return j;
   }
 
+  /// Parses a complete JSON document (the inverse of `dump`). Throws
+  /// std::invalid_argument with a character offset on malformed input.
+  /// Numbers without '.', 'e' or 'E' that fit in int64 parse as kInt;
+  /// everything else numeric parses as kDouble.
+  static Json parse(std::string_view text);
+
   Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Scalar reads; each throws std::logic_error on a kind mismatch
+  /// (as_double additionally accepts kInt).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
 
   /// Object access; inserts a null member on first use. The document
   /// must be an object (or null, which is promoted).
   Json& operator[](const std::string& key);
 
+  /// Object member lookup: nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const noexcept;
+  /// Object member lookup; throws std::out_of_range when absent.
+  const Json& at(std::string_view key) const;
+  /// Array element access; throws std::out_of_range when out of bounds.
+  Json& at(std::size_t index);
+  const Json& at(std::size_t index) const;
+
+  /// Removes an object member; returns false when absent. Keeps the
+  /// order of the remaining members.
+  bool erase(std::string_view key);
+
   /// Array append. The document must be an array (or null, promoted).
   void push_back(Json value);
+
+  /// Array elements / object members, in document order (empty for
+  /// scalars).
+  const std::vector<Json>& items() const noexcept { return array_; }
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept { return object_; }
 
   std::size_t size() const noexcept;
 

@@ -1,0 +1,324 @@
+// The sharded sweep subsystem: Json parse/emit round-trips, the
+// deterministic plan partition, and the headline property — merging
+// the artifacts of any N-way sharded run reproduces the unsharded
+// artifact byte for byte (modulo the trailing "timing" subtree).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "cli/sweep_plan.hpp"
+#include "core/scenario.hpp"
+#include "stats/artifact.hpp"
+#include "stats/report.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace brb {
+namespace {
+
+using stats::Json;
+
+// ---------------------------------------------------------------------------
+// Json::parse — round trips and error handling
+
+std::string reparse_compact(const std::string& text) {
+  return Json::parse(text).dump_string(-1);
+}
+
+TEST(JsonParse, ScalarsRoundTrip) {
+  for (const char* text : {"null", "true", "false", "0", "42", "-17", "\"hi\"", "2.5",
+                           "-0.125", "1e+300", "9223372036854775807", "-9223372036854775808"}) {
+    EXPECT_EQ(reparse_compact(text), text) << text;
+  }
+}
+
+TEST(JsonParse, KindsAreClassified) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("42").kind(), Json::Kind::kInt);
+  EXPECT_EQ(Json::parse("42.0").kind(), Json::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-3").as_double(), 0.0025);
+  EXPECT_EQ(Json::parse("\"a b\"").as_string(), "a b");
+  // as_double accepts integers too (artifact readers do arithmetic).
+  EXPECT_DOUBLE_EQ(Json::parse("7").as_double(), 7.0);
+}
+
+TEST(JsonParse, NestedDocumentsRoundTrip) {
+  const std::string text =
+      R"({"tool":"brbsim","cases":[{"label":"a","runs":[1,2.5,null]},{"label":"b","runs":[]}],"empty":{}})";
+  EXPECT_EQ(reparse_compact(text), text);
+  // Indented emission parses back to the same document.
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(Json::parse(doc.dump_string(2)).dump_string(-1), text);
+}
+
+TEST(JsonParse, StringEscapesRoundTrip) {
+  const std::string text = R"json({"s":"a\"b\\c\nd\te","u":"\u0001x"})json";
+  EXPECT_EQ(reparse_compact(text), text);
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(Json::parse(R"("\u20ac")").as_string(), "\xe2\x82\xac");      // €
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");  // emoji
+}
+
+TEST(JsonParse, DoublesRoundTripExactly) {
+  // Shortest-round-trip emission: parse(dump(x)) must recover the bits.
+  util::Rng rng(20260728);
+  for (int i = 0; i < 2000; ++i) {
+    double value = rng.uniform(-1e6, 1e6);
+    if (i % 3 == 0) value = rng.uniform() * 1e-9;
+    if (i % 7 == 0) value = rng.uniform() * 1e18;
+    const Json emitted(value);
+    const Json parsed = Json::parse(emitted.dump_string(-1));
+    // A short value like "5" legitimately reparses as an integer; the
+    // numeric value must still match exactly.
+    ASSERT_EQ(parsed.as_double(), value) << emitted.dump_string(-1);
+    ASSERT_EQ(parsed.dump_string(-1), emitted.dump_string(-1));
+  }
+  EXPECT_EQ(Json(-0.0).dump_string(-1), "-0");
+  EXPECT_EQ(reparse_compact("-0"), "-0");
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  for (const char* text : {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+                           "{\"a\" 1}", "[1] trailing", "\"\\u12g4\"", "\"\\ud800\"",
+                           "nan", "01a"}) {
+    EXPECT_THROW(Json::parse(text), std::invalid_argument) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardSpec + plan partition
+
+TEST(ShardSpec, ParsesAndRejects) {
+  const cli::ShardSpec spec = cli::ShardSpec::parse("2/3");
+  EXPECT_EQ(spec.index, 2u);
+  EXPECT_EQ(spec.count, 3u);
+  EXPECT_EQ(spec.describe(), "2/3");
+  EXPECT_TRUE(cli::ShardSpec::parse("1/1").is_full());
+  for (const char* text : {"", "3", "0/3", "4/3", "1/0", "-1/3", "a/b", "1/2/3x"}) {
+    EXPECT_THROW(cli::ShardSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(SweepPlan, DeterministicAndExactPartition) {
+  const char* argv[] = {"brbsim", "--loads=0.5,0.7,0.9", "--tasks=1000"};
+  const util::Flags flags(3, argv);
+  const core::ScenarioConfig base = cli::config_from_flags(flags);
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  const cli::SweepPlan plan = cli::build_sweep_plan("load-sweep", base, seeds, flags);
+  const cli::SweepPlan again = cli::build_sweep_plan("load-sweep", base, seeds, flags);
+
+  ASSERT_EQ(plan.units.size(), plan.cases.size() * seeds.size());
+  ASSERT_EQ(plan.units.size(), again.units.size());
+  for (std::size_t i = 0; i < plan.units.size(); ++i) {
+    EXPECT_EQ(plan.units[i].id, again.units[i].id);
+    EXPECT_EQ(plan.units[i].hash, again.units[i].hash);
+  }
+
+  // Every N-way partition covers each unit exactly once.
+  for (const std::uint32_t n : {1u, 2u, 3u, 7u, 16u}) {
+    std::size_t covered = 0;
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      cli::ShardSpec shard;
+      shard.index = i;
+      shard.count = n;
+      covered += plan.shard_units(shard).size();
+      for (const cli::SweepUnit* unit : plan.shard_units(shard)) {
+        EXPECT_EQ(cli::ShardSpec::bucket_of(unit->hash, n), i - 1);
+      }
+    }
+    EXPECT_EQ(covered, plan.units.size()) << "N=" << n;
+  }
+}
+
+TEST(SweepPlan, UnknownScenarioThrows) {
+  const util::Flags flags(0, nullptr);
+  EXPECT_THROW(cli::build_sweep_plan("nope", core::ScenarioConfig{}, {1}, flags),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The merge property: shard artifacts reassemble byte-identically
+
+struct SweepCase {
+  const char* scenario;
+  std::vector<const char*> argv;
+};
+
+std::string deterministic_dump(Json doc) {
+  doc.erase("timing");
+  return doc.dump_string();
+}
+
+std::string csv_of(const Json& doc) {
+  std::ostringstream os;
+  stats::artifact_csv(os, doc);
+  return os.str();
+}
+
+TEST(ShardMerge, MergedArtifactByteIdenticalToUnsharded) {
+  // Scenario/override combos chosen to cover sweeps, writes, tenants
+  // (optional JSON fields) and replication; utilization is drawn per
+  // combo from a seeded rng so the property is exercised at varying
+  // operating points rather than one hand-picked one.
+  const std::vector<SweepCase> combos = {
+      {"load-sweep",
+       {"brbsim", "--loads=0.55,0.8", "--systems=c3,equalmax-credits", "--tasks=700",
+        "--servers=5", "--clients=6"}},
+      {"write-heavy",
+       {"brbsim", "--writes=0.15", "--systems=equalmax-credits", "--tasks=700", "--servers=5",
+        "--clients=6"}},
+      {"multi-tenant",
+       {"brbsim", "--systems=equalmax-credits", "--tasks=900", "--servers=5", "--clients=8"}},
+      {"replication-sweep",
+       {"brbsim", "--replications=1,3", "--systems=equalmax-model", "--tasks=600",
+        "--servers=5", "--clients=6"}},
+  };
+  util::Rng rng(42);
+  core::RunSeedsOptions options;
+  options.max_threads = 2;
+
+  for (const SweepCase& combo : combos) {
+    SCOPED_TRACE(combo.scenario);
+    std::vector<const char*> argv = combo.argv;
+    const std::string utilization =
+        "--utilization=" + std::to_string(0.5 + 0.1 * static_cast<double>(rng.uniform_int(0, 3)));
+    argv.push_back(utilization.c_str());
+    const util::Flags flags(static_cast<int>(argv.size()), argv.data());
+    const core::ScenarioConfig base = cli::config_from_flags(flags);
+    const std::vector<std::uint64_t> seeds = {1, 2, 3};
+    const cli::SweepPlan plan = cli::build_sweep_plan(combo.scenario, base, seeds, flags);
+
+    const Json full_doc = cli::report_json(
+        combo.scenario, base, seeds, cli::execute_shard(plan, cli::ShardSpec{}, options));
+    const std::string full_dump = deterministic_dump(full_doc);
+    const std::string full_csv = csv_of(full_doc);
+
+    for (const std::uint32_t n : {1u, 2u, 3u, 7u}) {
+      SCOPED_TRACE("N=" + std::to_string(n));
+      std::vector<Json> shards;
+      for (std::uint32_t i = 1; i <= n; ++i) {
+        cli::ShardSpec shard;
+        shard.index = i;
+        shard.count = n;
+        const Json doc = cli::report_json(combo.scenario, base, seeds,
+                                          cli::execute_shard(plan, shard, options), &shard);
+        // Artifacts travel between machines as text; round-trip each
+        // shard through serialization exactly as `brbsim merge` does —
+        // which also asserts parse(dump(doc)) is byte-faithful.
+        const std::string wire = doc.dump_string();
+        Json reread = Json::parse(wire);
+        ASSERT_EQ(reread.dump_string(), wire);
+        shards.push_back(std::move(reread));
+      }
+      const Json merged = stats::merge_artifacts(shards);
+      EXPECT_EQ(deterministic_dump(merged), full_dump);
+      EXPECT_EQ(csv_of(merged), full_csv);
+    }
+  }
+}
+
+TEST(ShardMerge, ArtifactQuarantinesTimingLast) {
+  const char* argv[] = {"brbsim", "--systems=equalmax-credits", "--tasks=500", "--servers=4",
+                        "--clients=4"};
+  const util::Flags flags(5, argv);
+  const core::ScenarioConfig base = cli::config_from_flags(flags);
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const cli::SweepPlan plan = cli::build_sweep_plan("paper", base, seeds, flags);
+  core::RunSeedsOptions options;
+  options.max_threads = 2;
+  const Json doc =
+      cli::report_json("paper", base, seeds, cli::execute_shard(plan, cli::ShardSpec{}, options));
+
+  ASSERT_FALSE(doc.members().empty());
+  EXPECT_EQ(doc.members().back().first, "timing");
+  EXPECT_EQ(doc.at("format").as_int(), stats::kArtifactFormat);
+  const Json& timing = doc.at("timing");
+  EXPECT_EQ(timing.at("cases").size(), doc.at("cases").size());
+  // No nondeterministic field outside the timing subtree.
+  EXPECT_EQ(deterministic_dump(doc).find("wall_seconds"), std::string::npos);
+  for (const Json& item : doc.at("cases").items()) {
+    for (const Json& run : item.at("runs").items()) {
+      EXPECT_EQ(run.find("wall_seconds"), nullptr);
+    }
+  }
+  // The CSV projection is fully deterministic too.
+  EXPECT_EQ(csv_of(doc).find("wall_seconds"), std::string::npos);
+}
+
+TEST(ShardMerge, RejectsInconsistentShards) {
+  const char* argv[] = {"brbsim", "--systems=equalmax-credits,c3", "--tasks=400",
+                        "--servers=4", "--clients=4"};
+  const util::Flags flags(5, argv);
+  const core::ScenarioConfig base = cli::config_from_flags(flags);
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const cli::SweepPlan plan = cli::build_sweep_plan("paper", base, seeds, flags);
+  core::RunSeedsOptions options;
+  options.max_threads = 1;
+
+  cli::ShardSpec one_of_two;
+  one_of_two.index = 1;
+  one_of_two.count = 2;
+  cli::ShardSpec two_of_two;
+  two_of_two.index = 2;
+  two_of_two.count = 2;
+  const Json shard1 = cli::report_json("paper", base, seeds,
+                                       cli::execute_shard(plan, one_of_two, options), &one_of_two);
+  const Json shard2 = cli::report_json("paper", base, seeds,
+                                       cli::execute_shard(plan, two_of_two, options), &two_of_two);
+
+  // Happy path: both halves merge.
+  EXPECT_NO_THROW(stats::merge_artifacts({shard1, shard2}));
+  // A unit executed twice, a unit missing, and an empty input all fail.
+  EXPECT_THROW(stats::merge_artifacts({shard1, shard1, shard2}), std::runtime_error);
+  EXPECT_THROW(stats::merge_artifacts({shard1}), std::runtime_error);
+  EXPECT_THROW(stats::merge_artifacts({}), std::runtime_error);
+
+  // A shard of a different sweep (different seed plan) is rejected.
+  const std::vector<std::uint64_t> other_seeds = {7, 8};
+  const cli::SweepPlan other_plan = cli::build_sweep_plan("paper", base, other_seeds, flags);
+  const Json other = cli::report_json(
+      "paper", base, other_seeds, cli::execute_shard(other_plan, one_of_two, options),
+      &one_of_two);
+  EXPECT_THROW(stats::merge_artifacts({shard1, other}), std::runtime_error);
+
+  // Garbage documents are rejected up front.
+  EXPECT_THROW(stats::merge_artifacts({Json::parse("{\"tool\":\"other\"}")}),
+               std::runtime_error);
+}
+
+TEST(ShardMerge, EmptyShardContributesNothing) {
+  // More shards than units: some shards own nothing, and the merge of
+  // all of them still reassembles the whole sweep.
+  const char* argv[] = {"brbsim", "--systems=equalmax-credits", "--tasks=400", "--servers=4",
+                        "--clients=4"};
+  const util::Flags flags(5, argv);
+  const core::ScenarioConfig base = cli::config_from_flags(flags);
+  const std::vector<std::uint64_t> seeds = {1};
+  const cli::SweepPlan plan = cli::build_sweep_plan("paper", base, seeds, flags);
+  ASSERT_EQ(plan.units.size(), 1u);
+  core::RunSeedsOptions options;
+  options.max_threads = 1;
+
+  const Json full = cli::report_json("paper", base, seeds,
+                                     cli::execute_shard(plan, cli::ShardSpec{}, options));
+  std::vector<Json> shards;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    cli::ShardSpec shard;
+    shard.index = i;
+    shard.count = 3;
+    shards.push_back(cli::report_json("paper", base, seeds,
+                                      cli::execute_shard(plan, shard, options), &shard));
+  }
+  const Json merged = stats::merge_artifacts(shards);
+  EXPECT_EQ(deterministic_dump(merged), deterministic_dump(full));
+}
+
+}  // namespace
+}  // namespace brb
