@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "ctrl/signal_table.hpp"
 #include "policy/c3.hpp"
 #include "server/queue_discipline.hpp"
 #include "sim/event_queue.hpp"
@@ -145,6 +146,30 @@ MicroResult bench_c3_scoring(std::uint64_t ops) {
   return result;
 }
 
+MicroResult bench_signal_table_update(std::uint64_t ops) {
+  // One on_send + on_response round trip per op, cycling a paper-sized
+  // 9-server table — the full per-request bookkeeping the unified
+  // control-plane feedback path performs (in-flight counts, pending
+  // cost, three EWMAs). The engine hot path pays exactly this per
+  // request, so a regression here shows up before the headline number.
+  brb::ctrl::SignalTable table;
+  brb::store::ServerFeedback feedback;
+  feedback.queue_length = 3;
+  feedback.service_rate = 14'000.0;
+  feedback.service_time = brb::sim::Duration::micros(280);
+  const brb::sim::Duration cost = brb::sim::Duration::micros(280);
+  const brb::sim::Duration rtt = brb::sim::Duration::micros(500);
+  MicroResult result = run_micro("signal_table_update", ops, [&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const auto server = static_cast<brb::store::ServerId>(i % 9);
+      table.on_send(server, cost);
+      table.on_response(server, feedback, rtt, cost);
+    }
+  });
+  if (table.responses_recorded() != ops) std::abort();  // keep the loop live
+  return result;
+}
+
 MicroResult bench_ring_partitioner(std::uint64_t ops) {
   brb::store::RingPartitioner partitioner(9, 3);
   brb::util::Rng rng(6);
@@ -204,6 +229,7 @@ int main(int argc, char** argv) {
   micro.push_back(bench_simulator_self_scheduling(quick ? 20 : 200));
   micro.push_back(bench_priority_discipline(rounds));
   micro.push_back(bench_c3_scoring(ops));
+  micro.push_back(bench_signal_table_update(ops));
   micro.push_back(bench_ring_partitioner(ops));
 
   std::cerr << "[bench] micro done; engine run (" << tasks << " tasks)...\n";

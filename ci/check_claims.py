@@ -27,6 +27,15 @@ Invariant check (scenario-diversity nightly matrix):
   write replica copies all acknowledged, and (for multi-tenant cases)
   the per-tenant p99 spread within a bound.
 
+Policy sanity (policy-shootout nightly):
+    check_claims.py --policy-sanity shootout.json [--margin 1.0]
+
+  Asserts the control plane's literature baselines are ordered sanely
+  at the swept (high-load) config: C3's replica ranking (the
+  "c3-noderate" case — the ranking without its rate gate, which needs
+  a longer horizon than nightly runs to amortize) must beat uniform
+  random selection on task p99:  p99(c3-noderate) < margin * p99(random).
+
 Determinism check:
     check_claims.py --identical a.json b.json
 
@@ -152,6 +161,21 @@ def run_invariants(report_path, max_tenant_p99_ratio):
     return 0
 
 
+def run_policy_sanity(report_path, margin):
+    with open(report_path) as f:
+        doc = json.load(f)
+    c3 = case_p99(doc, "c3-noderate")
+    random_p99 = case_p99(doc, "random")
+    ok = c3 < margin * random_p99
+    print(f"{'ok' if ok else 'FAIL':4} policy sanity: p99(c3-noderate)={c3:.3f} ms "
+          f"vs p99(random)={random_p99:.3f} ms (margin {margin:.2f})")
+    if not ok:
+        print("policy sanity violated: C3's replica ranking should beat random "
+              "selection on p99 at high load", file=sys.stderr)
+        return 1
+    return 0
+
+
 def strip_wall_clock(node, top=True):
     """Drops wall-clock time (the one legitimately nondeterministic
     part of a report): the top-level "timing" object in format-2
@@ -188,10 +212,18 @@ def main():
                         help="scenario-independent health checks on one report")
     parser.add_argument("--identical", action="store_true",
                         help="two reports must match modulo wall_seconds")
+    parser.add_argument("--policy-sanity", action="store_true",
+                        help="policy-shootout report: c3-noderate must beat random on p99")
+    parser.add_argument("--margin", type=float, default=1.0,
+                        help="p99(c3-noderate) < margin * p99(random) (policy-sanity mode)")
     parser.add_argument("--max-tenant-p99-ratio", type=float, default=100.0,
                         help="bound on per-tenant p99 spread (invariants mode)")
     args = parser.parse_args()
 
+    if args.policy_sanity:
+        if len(args.files) != 1:
+            parser.error("--policy-sanity takes exactly one report")
+        return run_policy_sanity(args.files[0], args.margin)
     if args.invariants:
         if len(args.files) != 1:
             parser.error("--invariants takes exactly one report")

@@ -17,6 +17,7 @@
 #include <unistd.h>
 #endif
 
+#include "ctrl/replica_policy.hpp"
 #include "stats/artifact.hpp"
 #include "stats/table.hpp"
 #include "workload/arrival.hpp"
@@ -59,8 +60,8 @@ void write_artifact(const std::string& path, const stats::Json& doc) {
 const std::vector<std::string>& known_flags() {
   static const std::vector<std::string> flags = {
       // run control
-      "help", "list", "scenario", "paper", "seeds", "seed-list", "serial", "threads", "quiet",
-      "json", "csv", "record-trace",
+      "help", "list", "list-scenarios", "scenario", "paper", "seeds", "seed-list", "serial",
+      "threads", "quiet", "json", "csv", "record-trace",
       // sharded sweeps (plan / execute / merge)
       "plan", "shard", "spawn",
       // cluster / workload
@@ -69,10 +70,11 @@ const std::vector<std::string>& known_flags() {
       // timing / measurement
       "net-latency-us", "net-jitter-us", "service-base-us", "service-noise", "cost-noise",
       "warmup", "keep-raw",
-      // system under test
-      "system", "seed", "selector", "systems",
+      // system under test / control plane
+      "system", "seed", "selector", "systems", "policy", "policy-switch", "admission",
       // scenario expanders
       "loads", "fanouts", "writes", "skews", "replications", "intervals-ms", "noise-sigmas",
+      "policies",
       // credits controller
       "credits-adapt-s", "credits-measure-ms", "credits-monitor-ms", "credits-congestion-factor",
       "credits-backoff", "credits-recovery", "credits-min-capacity", "credits-ewma",
@@ -164,6 +166,15 @@ ScenarioConfig config_from_flags(const util::Flags& flags) {
       flags.get_string("system", to_string(config.system)));
   config.seed = flags.get_uint("seed", config.seed);
   config.selector_override = flags.get_string("selector", config.selector_override);
+
+  // --- control plane ---
+  config.policy_spec = flags.get_string("policy", config.policy_spec);
+  config.policy_switch_spec = flags.get_string("policy-switch", config.policy_switch_spec);
+  config.admission_override = flags.get_string("admission", config.admission_override);
+  if (!config.selector_override.empty() && !config.policy_spec.empty()) {
+    throw std::invalid_argument(
+        "--selector and --policy conflict (--policy is the superset: use --policy=NAME)");
+  }
 
   // --- credits controller ---
   config.credits.adapt_interval = sim::Duration::seconds(
@@ -319,6 +330,11 @@ stats::Json config_json(const ScenarioConfig& config) {
   j["cost_noise_sigma"] = config.cost_noise_sigma;
   j["warmup_fraction"] = config.warmup_fraction;
   j["selector_override"] = config.selector_override;
+  // Control-plane bindings appear only when set: legacy artifacts stay
+  // byte-identical to their pre-control-plane form.
+  if (!config.policy_spec.empty()) j["policy"] = config.policy_spec;
+  if (!config.policy_switch_spec.empty()) j["policy_switch"] = config.policy_switch_spec;
+  if (!config.admission_override.empty()) j["admission"] = config.admission_override;
   return j;
 }
 
@@ -361,6 +377,9 @@ stats::Json run_json(const RunResult& run) {
   j["network_bytes"] = run.network_bytes;
   j["congestion_signals"] = run.congestion_signals;
   j["controller_adaptations"] = run.controller_adaptations;
+  // Mid-run policy switching only (absent = static binding), so
+  // legacy rows keep their exact key set.
+  if (run.policy_switches > 0) j["policy_switches"] = run.policy_switches;
   j["credit_hold_events"] = run.credit_hold_events;
   j["credit_hold_time_s"] = run.credit_hold_time.as_seconds();
   j["gate_held_requests"] = run.gate_held_requests;
@@ -403,6 +422,17 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
     c["arrivals"] = result.spec.config.arrival_spec;
     c["write_fraction"] = result.spec.config.write_fraction;
     c["tenants"] = result.spec.config.tenant_spec;
+    // Control-plane dimensions (policy-shootout / policy-switch sweep
+    // them per case); conditional so legacy cases keep their key set.
+    if (!result.spec.config.policy_spec.empty()) {
+      c["policy"] = result.spec.config.policy_spec;
+    }
+    if (!result.spec.config.policy_switch_spec.empty()) {
+      c["policy_switch"] = result.spec.config.policy_switch_spec;
+    }
+    if (!result.spec.config.admission_override.empty()) {
+      c["admission"] = result.spec.config.admission_override;
+    }
     stats::Json latency = stats::Json::object();
     latency["p50_ms"] = stats::summary_json(result.aggregate.p50_ms);
     latency["p95_ms"] = stats::summary_json(result.aggregate.p95_ms);
@@ -494,6 +524,27 @@ bool print_paper_claims(std::ostream& os, const stats::Json& artifact) {
   return true;
 }
 
+/// Registry entries sorted by name (the registry itself keeps
+/// expansion-group order; every user-facing listing sorts).
+std::vector<const ScenarioSpec*> sorted_scenarios() {
+  std::vector<const ScenarioSpec*> specs;
+  for (const ScenarioSpec& spec : scenario_registry()) specs.push_back(&spec);
+  std::sort(specs.begin(), specs.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) { return a->name < b->name; });
+  return specs;
+}
+
+void print_scenario_list(std::ostream& os) {
+  std::size_t width = 0;
+  for (const ScenarioSpec* spec : sorted_scenarios()) {
+    width = std::max(width, spec->name.size());
+  }
+  for (const ScenarioSpec* spec : sorted_scenarios()) {
+    os << "  " << spec->name << std::string(width - spec->name.size() + 2, ' ')
+       << spec->summary << "\n";
+  }
+}
+
 void print_usage(std::ostream& os) {
   os << "brbsim — unified BRB experiment driver\n\n"
         "usage: brbsim [--scenario=NAME] [overrides...] [--json=PATH] [--csv=PATH]\n"
@@ -502,12 +553,9 @@ void print_usage(std::ostream& os) {
         "       brbsim --scenario=NAME --spawn=K --json=PATH\n"
         "       brbsim merge OUT.json SHARD.json... [--csv=PATH]\n"
         "       brbsim --record-trace=PATH [workload overrides...]\n"
-        "       brbsim --list\n\n"
+        "       brbsim --list-scenarios\n\n"
         "scenarios:\n";
-  for (const ScenarioSpec& spec : scenario_registry()) {
-    os << "  " << spec.name << std::string(spec.name.size() < 14 ? 14 - spec.name.size() : 1, ' ')
-       << spec.summary << "\n";
-  }
+  print_scenario_list(os);
   os << "\nrun control:\n"
         "  --seeds=N             run seeds 1..N (default 3; 6 with --paper)\n"
         "  --seed-list=1,5,9     explicit seed list (wins over --seeds)\n"
@@ -536,12 +584,36 @@ void print_usage(std::ostream& os) {
         "\ntiming / measurement:\n"
         "  --net-latency-us --net-jitter-us --service-base-us\n"
         "  --service-noise --cost-noise --warmup --keep-raw\n"
-        "\npolicy knobs:\n"
-        "  --system --selector --systems=a,b,c (scenario system set)\n"
+        "\ncontrol plane (replica + admission policies):\n"
+        "  --policy=NAME                 bind one replica policy for every tenant\n"
+        "  --policy=tenantA:c3,tenantB:lor   per-tenant bindings (later entries win)\n"
+        "  --policy-switch=t0:random,30s:c3  epoch-scheduled mid-run switching\n"
+        "                                (times: t0 | <n>s | <n>ms | <n>us;\n"
+        "                                per-tenant epochs via 30s:tenantA:c3)\n"
+        "  --admission=direct|cubic-rate|credits   override the admission policy\n"
+        "  --selector=NAME               legacy alias for --policy=NAME\n"
+        "  replica policies:\n";
+  const auto policy_title = [](const ctrl::ReplicaPolicyInfo& info) {
+    std::string title = info.name;
+    for (const std::string& alias : info.aliases) title += " | " + alias;
+    return title;
+  };
+  std::size_t policy_width = 0;
+  for (const ctrl::ReplicaPolicyInfo& info : ctrl::replica_policy_catalog()) {
+    policy_width = std::max(policy_width, policy_title(info).size());
+  }
+  for (const ctrl::ReplicaPolicyInfo& info : ctrl::replica_policy_catalog()) {
+    const std::string title = policy_title(info);
+    os << "    " << title << std::string(policy_width - title.size() + 2, ' ') << info.summary
+       << "\n";
+  }
+  os << "\npolicy knobs:\n"
+        "  --system --systems=a,b,c (scenario system set)\n"
         "  --loads=0.5,0.7 (load-sweep)  --fanouts=spec,... (fanout-sweep)\n"
         "  --writes=0.05,0.2 (write-heavy)  --skews=0,0.9,1.2 (replication-skew)\n"
         "  --replications=1,2,3 (replication-sweep)\n"
         "  --intervals-ms=100,1000 (credits-interval)  --noise-sigmas=0,0.5 (forecast-noise)\n"
+        "  --policies=random,c3-noderate (policy-shootout case list)\n"
         "  --credits-{adapt-s,measure-ms,monitor-ms,congestion-factor,backoff,\n"
         "             recovery,min-capacity,ewma,min-share,carryover}\n"
         "  --c3-{ewma,exponent}  --rate-{initial,beta,scaling,burst,window-ms}\n"
@@ -693,10 +765,8 @@ int run_brbsim(int argc, const char* const* argv) {
       print_usage(std::cout);
       return 0;
     }
-    if (flags.get_bool("list", false)) {
-      for (const ScenarioSpec& spec : scenario_registry()) {
-        std::cout << spec.name << "\t" << spec.summary << "\n";
-      }
+    if (flags.get_bool("list", false) || flags.get_bool("list-scenarios", false)) {
+      print_scenario_list(std::cout);
       return 0;
     }
 
@@ -710,8 +780,15 @@ int run_brbsim(int argc, const char* const* argv) {
 
     const std::string scenario_name = flags.get_string("scenario", "paper");
     if (find_scenario(scenario_name) == nullptr) {
-      std::cerr << "brbsim: unknown scenario '" << scenario_name
-                << "' (see brbsim --list)\n";
+      // Same did-you-mean treatment unknown flags get: a typo'd
+      // scenario name should point at the nearest real one.
+      std::vector<std::string> names;
+      for (const ScenarioSpec& spec : scenario_registry()) names.push_back(spec.name);
+      std::cerr << "brbsim: unknown scenario '" << scenario_name << "'";
+      if (const auto suggestion = util::closest_name(scenario_name, names)) {
+        std::cerr << " (did you mean '" << *suggestion << "'?)";
+      }
+      std::cerr << "; see brbsim --list-scenarios\n";
       return 2;
     }
 

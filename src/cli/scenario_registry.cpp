@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ctrl/policy_runtime.hpp"
+#include "ctrl/replica_policy.hpp"
+
 namespace brb::cli {
 
 namespace {
@@ -246,6 +249,109 @@ std::vector<ExperimentCase> expand_replication_skew(const ScenarioConfig& base,
 }
 
 // --------------------------------------------------------------------------
+// Control-plane scenarios: the policy runtime's bake-off and mid-run
+// switching cases.
+
+std::vector<ExperimentCase> expand_policy_shootout(const ScenarioConfig& base,
+                                                   const util::Flags& flags) {
+  // Selection-policy bake-off: every baseline runs on one fixed,
+  // task-oblivious substrate (FIFO server queues, direct dispatch,
+  // per-request selection) so replica selection is the only varying
+  // mechanism. The full C3 system (ranking + cubic rate gate) rides
+  // along as the literature reference.
+  // The per-case policy IS the swept dimension, so a base-level
+  // binding would be silently discarded — reject it like the other
+  // fixed-dimension scenarios reject their conflicting flags.
+  if (!base.policy_spec.empty() || !base.selector_override.empty()) {
+    throw std::invalid_argument(
+        "scenario policy-shootout fixes the replica policy per case; --policy/--selector "
+        "conflict (use --policies=a,b,c to change the case list)");
+  }
+  std::vector<std::string> names = {"random",      "round-robin",        "least-outstanding",
+                                    "two-choices", "least-pending-cost", "c3-noderate"};
+  if (const auto custom = flags.get("policies")) names = split_csv(*custom);
+  if (names.empty()) throw std::invalid_argument("--policies: empty list");
+  std::vector<ExperimentCase> cases;
+  for (const std::string& name : names) {
+    ScenarioConfig config = base;
+    config.system = SystemKind::kFifoDirect;
+    config.policy_spec = ctrl::canonical_policy_name(name);
+    cases.push_back({config.policy_spec, std::move(config)});
+  }
+  if (!flags.has("policies")) {
+    ScenarioConfig config = base;
+    config.system = SystemKind::kC3;
+    cases.push_back({"c3", std::move(config)});
+  }
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_policy_switch(const ScenarioConfig& base,
+                                                 const util::Flags& flags) {
+  // Mid-run switching on the shootout substrate: one switched run
+  // bracketed by its static endpoints. The default epoch (1s) sits
+  // inside the default workload's span; --policy-switch=... studies
+  // other schedules.
+  (void)flags;
+  if (!base.policy_spec.empty() || !base.selector_override.empty()) {
+    throw std::invalid_argument(
+        "scenario policy-switch fixes the replica-policy bindings per case; "
+        "--policy/--selector conflict (the schedule comes from --policy-switch)");
+  }
+  const std::string schedule = base.policy_switch_spec.empty() ? "t0:random,1s:c3-noderate"
+                                                               : base.policy_switch_spec;
+  // Endpoint resolution mirrors the runtime exactly: t0 entries fold
+  // into the initial binding (on top of the kFifoDirect profile
+  // default), positive epochs apply in time order, later entries win.
+  // Tenant-qualified entries rebind only a slice of the fleet, so no
+  // single static endpoint exists for them.
+  std::vector<ctrl::PolicySwitch> epochs = ctrl::parse_policy_switch_spec(schedule);
+  if (epochs.empty()) throw std::invalid_argument("policy-switch: empty schedule");
+  for (const ctrl::PolicySwitch& epoch : epochs) {
+    if (!epoch.tenant.empty()) {
+      throw std::invalid_argument(
+          "scenario policy-switch compares fleet-wide static endpoints; tenant-qualified "
+          "schedule entries have no single endpoint (run the schedule on --scenario=" +
+          std::string("multi-tenant instead)"));
+    }
+  }
+  std::stable_sort(epochs.begin(), epochs.end(),
+                   [](const ctrl::PolicySwitch& a, const ctrl::PolicySwitch& b) {
+                     return a.at < b.at;
+                   });
+  std::string start = "least-outstanding";  // kFifoDirect profile default
+  std::string end;
+  for (const ctrl::PolicySwitch& epoch : epochs) {
+    if (epoch.at == sim::Time::zero()) {
+      start = epoch.policy;
+    } else {
+      end = epoch.policy;
+    }
+  }
+  if (end.empty()) end = start;  // schedule never leaves the t0 binding
+
+  std::vector<ExperimentCase> cases;
+  const auto add_static = [&](const std::string& policy) {
+    for (const ExperimentCase& existing : cases) {
+      if (existing.label == "static/" + policy) return;  // endpoints may coincide
+    }
+    ScenarioConfig config = base;
+    config.system = SystemKind::kFifoDirect;
+    config.policy_spec = policy;
+    config.policy_switch_spec.clear();
+    cases.push_back({"static/" + policy, std::move(config)});
+  };
+  add_static(start);
+  add_static(end);
+
+  ScenarioConfig switched = base;
+  switched.system = SystemKind::kFifoDirect;
+  switched.policy_switch_spec = schedule;
+  cases.push_back({"switch/" + schedule, std::move(switched)});
+  return cases;
+}
+
+// --------------------------------------------------------------------------
 // Ablation sweeps ported off the bespoke bench mains (bench/ dedup).
 
 std::vector<ExperimentCase> expand_credits_interval(const ScenarioConfig& base,
@@ -324,6 +430,11 @@ const std::vector<ScenarioSpec>& scenario_registry() {
        expand_load_sweep},
       {"fanout-sweep", "fan-out distribution sweep (--fanouts=spec,...)", expand_fanout_sweep},
       {"policy-matrix", "all 13 systems: baselines, BRB, ablations", expand_policy_matrix},
+      {"policy-shootout",
+       "replica-policy bake-off on a fixed FIFO/direct substrate + full C3 (--policies=...)",
+       expand_policy_shootout},
+      {"policy-switch", "mid-run policy switching vs its static endpoints (--policy-switch=...)",
+       expand_policy_switch},
       {"large-cluster", "100 servers x 1000 clients scale case (credits + C3)",
        expand_large_cluster},
       {"trace-replay", "replay a recorded trace (--trace=PATH) across systems",

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/ewma.hpp"
+
 namespace brb::core {
 
 // ---------------------------------------------------------------------------
@@ -18,6 +20,14 @@ CreditGate::CreditGate(sim::Simulator& sim, std::uint32_t num_servers, CreditsCo
   }
   servers_.resize(num_servers);
   for (std::uint32_t s = 0; s < num_servers; ++s) servers_[s].balance = initial_credits[s];
+}
+
+void CreditGate::attach_signals(ctrl::SignalTable* signals) {
+  signals_ = signals;
+  if (signals_ == nullptr) return;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    sync_balance(static_cast<store::ServerId>(s));
+  }
 }
 
 bool CreditGate::later(const Held& a, const Held& b) noexcept {
@@ -81,6 +91,7 @@ void CreditGate::offer(client::OutboundRequest out) {
   ++ps.offered_in_window;
   if (ps.heap.empty() && ps.balance >= 1.0) {
     ps.balance -= 1.0;
+    sync_balance(server);
     transmit(out);
     return;
   }
@@ -112,6 +123,7 @@ void CreditGate::drain(store::ServerId server) {
     total_hold_time_ += sim_->now() - held.held_at;
     transmit(held.out);
   }
+  sync_balance(server);
 }
 
 double CreditGate::balance(store::ServerId server) const {
@@ -154,7 +166,7 @@ void CreditsController::on_demand_report(store::ClientId client,
   const double a = config_.demand_ewma_alpha;
   for (std::size_t s = 0; s < capacities_.size(); ++s) {
     double& d = demand_at(client, s);
-    d = a * per_server_rate[s] + (1.0 - a) * d;
+    d = util::ewma_update(d, a, per_server_rate[s]);
   }
 }
 
@@ -239,37 +251,6 @@ double CreditsController::capacity_factor(store::ServerId server) const {
     throw std::out_of_range("CreditsController: bad server id");
   }
   return capacity_factor_[server];
-}
-
-// ---------------------------------------------------------------------------
-// CreditAwareSelector
-
-CreditAwareSelector::CreditAwareSelector(std::unique_ptr<policy::ReplicaSelector> inner,
-                                         const CreditGate& gate)
-    : inner_(std::move(inner)), gate_(&gate) {
-  if (!inner_) throw std::invalid_argument("CreditAwareSelector: null inner selector");
-}
-
-store::ServerId CreditAwareSelector::select(const std::vector<store::ServerId>& replicas,
-                                            sim::Duration expected_cost) {
-  funded_scratch_.clear();
-  for (const store::ServerId s : replicas) {
-    if (gate_->balance(s) >= 1.0) funded_scratch_.push_back(s);
-  }
-  if (funded_scratch_.empty() || funded_scratch_.size() == replicas.size()) {
-    return inner_->select(replicas, expected_cost);
-  }
-  return inner_->select(funded_scratch_, expected_cost);
-}
-
-void CreditAwareSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
-  inner_->on_send(server, expected_cost);
-}
-
-void CreditAwareSelector::on_response(store::ServerId server,
-                                      const store::ServerFeedback& feedback, sim::Duration rtt,
-                                      sim::Duration expected_cost) {
-  inner_->on_response(server, feedback, rtt, expected_cost);
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "client/dispatch_gate.hpp"
+#include "ctrl/signal_table.hpp"
 #include "server/backend_server.hpp"
 #include "sim/simulator.hpp"
 #include "store/types.hpp"
@@ -90,6 +91,11 @@ class CreditGate final : public client::DispatchGate {
 
   void set_report(ReportFn fn) { report_ = std::move(fn); }
 
+  /// Mirrors this gate's per-server balances into the client's
+  /// SignalTable (immediately, then on every change), so selection
+  /// policies read balances from the unified table instead of the gate.
+  void attach_signals(ctrl::SignalTable* signals);
+
   /// Starts the periodic demand measurement loop.
   void start();
   /// Stops scheduling further measurements (lets the simulation drain).
@@ -128,10 +134,14 @@ class CreditGate final : public client::DispatchGate {
   static bool later(const Held& a, const Held& b) noexcept;
   void heap_push(PerServer& ps, Held held);
   Held heap_pop(PerServer& ps);
+  void sync_balance(store::ServerId server) {
+    if (signals_ != nullptr) signals_->set_credit_balance(server, servers_[server].balance);
+  }
 
   sim::Simulator* sim_;
   CreditsConfig config_;
   std::vector<PerServer> servers_;
+  ctrl::SignalTable* signals_ = nullptr;
   std::vector<double> rates_scratch_;  // reused per measure tick
   ReportFn report_;
   bool running_ = false;
@@ -198,29 +208,6 @@ class CreditsController {
   std::vector<double> server_prop_budget_;
   std::vector<double> grant_scratch_;
   ControllerStats stats_;
-};
-
-/// Replica-selection decorator that prefers replicas the client can
-/// actually pay for. The client owns both its selector state and its
-/// credit balances, so consulting them jointly is purely local: among
-/// replicas with at least one credit, defer to the inner selector;
-/// only when every replica of the group is broke does the request get
-/// queued at the inner selector's unconstrained choice.
-class CreditAwareSelector final : public policy::ReplicaSelector {
- public:
-  CreditAwareSelector(std::unique_ptr<policy::ReplicaSelector> inner, const CreditGate& gate);
-
-  store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override;
-  void on_send(store::ServerId server, sim::Duration expected_cost) override;
-  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                   sim::Duration rtt, sim::Duration expected_cost) override;
-  std::string name() const override { return "credit-aware(" + inner_->name() + ")"; }
-
- private:
-  std::unique_ptr<policy::ReplicaSelector> inner_;
-  const CreditGate* gate_;
-  std::vector<store::ServerId> funded_scratch_;  // reused per select
 };
 
 /// Server-side queue watchdog that emits congestion signals.

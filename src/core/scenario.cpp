@@ -8,6 +8,8 @@
 
 #include "client/app_client.hpp"
 #include "core/global_queue.hpp"
+#include "ctrl/admission.hpp"
+#include "ctrl/policy_runtime.hpp"
 #include "net/network.hpp"
 #include "policy/priority_policy.hpp"
 #include "policy/replica_selector.hpp"
@@ -24,44 +26,33 @@ namespace brb::core {
 
 namespace {
 
-std::unique_ptr<policy::ReplicaSelector> make_selector(const std::string& name,
-                                                       const ScenarioConfig& config,
-                                                       util::Rng rng) {
-  if (name == "random") return std::make_unique<policy::RandomSelector>(rng);
-  if (name == "round-robin") return std::make_unique<policy::RoundRobinSelector>();
-  if (name == "least-outstanding") return std::make_unique<policy::LeastOutstandingSelector>();
-  if (name == "least-pending-cost") return std::make_unique<policy::LeastPendingCostSelector>();
-  if (name == "c3") {
-    policy::C3Config c3 = config.c3;
-    c3.num_clients = config.num_clients;
-    return std::make_unique<policy::C3Selector>(c3);
-  }
-  if (name == "first") return std::make_unique<policy::FirstReplicaSelector>();
-  throw std::invalid_argument("make_selector: unknown selector: " + name);
-}
-
-/// Per-system defaults: selector, priority policy, queue discipline.
+/// Per-system defaults: replica policy, priority policy, queue
+/// discipline, admission policy. Every field is a control-plane
+/// registry name, overridable from the command line.
 struct SystemProfile {
   std::string selector;
   std::string priority_policy;
   std::string server_discipline;
   bool select_per_subtask = true;
+  std::string admission = "direct";
 };
 
 SystemProfile profile_for(SystemKind kind) {
   switch (kind) {
     case SystemKind::kC3:
-      return {"c3", "fifo", "fifo", /*select_per_subtask=*/false};
+      return {"c3", "fifo", "fifo", /*select_per_subtask=*/false, "cubic-rate"};
     case SystemKind::kEqualMaxCredits:
+      return {"least-pending-cost", "equalmax", "priority", true, "credits"};
     case SystemKind::kEqualMaxDirect:
       // BRB selects replicas load-aware per sub-task ("intelligent
       // replica selection", §2). Least-pending-cost tracks the
       // forecast work a client has bound to each server — the
       // strongest decentralized signal available to it (measured in
-      // bench_abl_policy_matrix; beats C3-style ranking for sub-task
-      // granularity).
+      // the policy-matrix scenario; beats C3-style ranking for
+      // sub-task granularity).
       return {"least-pending-cost", "equalmax", "priority", true};
     case SystemKind::kUnifIncrCredits:
+      return {"least-pending-cost", "unifincr", "priority", true, "credits"};
     case SystemKind::kUnifIncrDirect:
       return {"least-pending-cost", "unifincr", "priority", true};
     case SystemKind::kEqualMaxModel:
@@ -77,7 +68,7 @@ SystemProfile profile_for(SystemKind kind) {
     case SystemKind::kRequestSjfDirect:
       return {"least-pending-cost", "request-sjf", "priority", false};
     case SystemKind::kCumSlackCredits:
-      return {"least-pending-cost", "cumslack", "priority", true};
+      return {"least-pending-cost", "cumslack", "priority", true, "credits"};
     case SystemKind::kCumSlackModel:
       return {"first", "cumslack", "priority", true};
   }
@@ -307,12 +298,48 @@ RunResult run_scenario(const ScenarioConfig& config) {
   const std::uint64_t warmup_tasks =
       static_cast<std::uint64_t>(config.warmup_fraction * static_cast<double>(total_tasks));
 
-  // --- clients ---
+  // --- control plane: policy runtime + admission registry ---
   const std::string selector_name =
       config.selector_override.empty() ? profile.selector : config.selector_override;
   const auto priority_policy = policy::make_priority_policy(profile.priority_policy);
+  const std::string admission_name = ctrl::canonical_admission_name(
+      config.admission_override.empty() ? profile.admission : config.admission_override);
+  // The credits controller/monitor machinery follows the *effective*
+  // admission policy: `--admission=direct` on a credits system runs
+  // its priorities ungated, `--admission=credits` on a direct system
+  // adds the full credit loop.
+  const bool credits_admission = admission_name == "credits";
 
-  // Credits machinery (only wired for credits systems).
+  // Tenant-indexed policy binding: client blocks are the same
+  // share-proportional partition the task generator uses.
+  std::vector<std::string> tenant_names;
+  std::vector<std::uint32_t> tenant_blocks;
+  if (!tenant_mixes.empty()) {
+    tenant_names.reserve(tenant_mixes.size());
+    for (const workload::TenantMix& mix : tenant_mixes) tenant_names.push_back(mix.name);
+    tenant_blocks = workload::tenant_client_blocks(tenant_mixes, num_clients);
+  }
+  const auto tenant_of_client = [&](std::uint32_t c) -> std::uint32_t {
+    if (tenant_blocks.empty()) return 0;
+    std::uint32_t t = 0;
+    while (t + 1 < tenant_blocks.size() - 1 && c >= tenant_blocks[t + 1]) ++t;
+    return t;
+  };
+
+  ctrl::PolicyRuntime::Config runtime_config;
+  runtime_config.default_policy = selector_name;
+  runtime_config.policy_spec = config.policy_spec;
+  runtime_config.switch_spec = config.policy_switch_spec;
+  runtime_config.signals.ewma_alpha = config.c3.ewma_alpha;
+  runtime_config.c3.queue_exponent = config.c3.queue_exponent;
+  runtime_config.c3.num_clients = num_clients;
+  runtime_config.c3.prior_service_time = config.c3.prior_service_time;
+  runtime_config.credit_aware = credits_admission;
+  runtime_config.tenants = tenant_names;
+  ctrl::PolicyRuntime runtime(sim, std::move(runtime_config));
+
+  // Credits machinery (wired iff the credits admission policy is in
+  // effect).
   std::unique_ptr<CreditsController> controller;
   std::unique_ptr<CongestionMonitor> monitor;
   std::vector<CreditGate*> credit_gates(num_clients, nullptr);
@@ -334,39 +361,38 @@ RunResult run_scenario(const ScenarioConfig& config) {
     client_config.cost_noise_sigma = config.cost_noise_sigma;
     client_config.select_per_subtask = profile.select_per_subtask;
 
-    std::unique_ptr<client::DispatchGate> gate;
-    if (uses_credits(config.system)) {
-      // Bootstrap: equal share of each server's capacity per interval.
-      std::vector<double> initial(num_servers);
-      for (std::uint32_t s = 0; s < num_servers; ++s) {
-        initial[s] = config.cluster.capacity_of(s) *
-                     config.credits.adapt_interval.as_seconds() /
-                     static_cast<double>(num_clients);
-      }
-      auto credit_gate =
-          std::make_unique<CreditGate>(sim, num_servers, config.credits, std::move(initial));
-      credit_gates[c] = credit_gate.get();
-      gate = std::move(credit_gate);
-    } else if (config.system == SystemKind::kC3) {
-      policy::CubicRateController::Config rate = config.rate;
-      if (rate.initial_rate <= 0.0) {
-        rate.initial_rate = per_server_capacity / static_cast<double>(num_clients);
-      }
-      gate = std::make_unique<client::RateLimitedGate>(sim, rate);
-    } else {
-      gate = std::make_unique<client::DirectGate>();
-    }
-
     // Sequence the split explicitly: argument evaluation order is
-    // unspecified and both expressions touch rng_clients[c].
+    // unspecified and both expressions touch rng_clients[c]. One split
+    // per client for the policy stream, exactly as before the runtime.
     util::Rng selector_rng = rng_clients[c].split();
     std::unique_ptr<policy::ReplicaSelector> selector =
-        make_selector(selector_name, config, selector_rng);
-    if (credit_gates[c] != nullptr) {
-      // Credits systems select jointly over replica load *and* local
-      // credit balances (both are client-local state).
-      selector = std::make_unique<CreditAwareSelector>(std::move(selector), *credit_gates[c]);
+        runtime.bind_client(c, tenant_of_client(c), selector_rng);
+
+    // Admission policy by name; stateful gates mirror balances / rate
+    // caps into this client's SignalTable.
+    ctrl::AdmissionContext admission;
+    admission.sim = &sim;
+    admission.num_servers = num_servers;
+    admission.signals = &runtime.signals_of(c);
+    if (credits_admission) {
+      admission.credits = config.credits;
+      // Bootstrap: equal share of each server's capacity per interval.
+      admission.initial_credits.resize(num_servers);
+      for (std::uint32_t s = 0; s < num_servers; ++s) {
+        admission.initial_credits[s] = config.cluster.capacity_of(s) *
+                                       config.credits.adapt_interval.as_seconds() /
+                                       static_cast<double>(num_clients);
+      }
+    } else if (admission_name == "cubic-rate") {
+      admission.rate = config.rate;
+      if (admission.rate.initial_rate <= 0.0) {
+        admission.rate.initial_rate = per_server_capacity / static_cast<double>(num_clients);
+      }
     }
+    std::unique_ptr<client::DispatchGate> gate =
+        ctrl::make_admission_policy(admission_name, admission);
+    if (credits_admission) credit_gates[c] = static_cast<CreditGate*>(gate.get());
+
     clients.push_back(std::make_unique<client::AppClient>(
         sim, client_config, partitioner, service_model, std::move(selector), *priority_policy,
         std::move(gate), rng_clients[c]));
@@ -411,7 +437,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   }
 
   // --- credits wiring ---
-  if (uses_credits(config.system)) {
+  if (credits_admission) {
     std::vector<double> capacities(num_servers);
     for (std::uint32_t s = 0; s < num_servers; ++s) {
       capacities[s] = config.cluster.capacity_of(s);
@@ -534,6 +560,9 @@ RunResult run_scenario(const ScenarioConfig& config) {
   const sim::Time deadline = sim::Time::seconds(expected_span_sec * 3.0 + 120.0);
   sim.schedule_at(deadline, [&sim] { sim.stop(); });
 
+  // Arm the policy-switch epochs (no-op for static bindings).
+  runtime.start();
+
   sim.run();
 
   // --- teardown checks & result assembly ---
@@ -548,6 +577,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.events_processed = sim.events_processed();
   result.network_messages = network.stats().messages_sent;
   result.network_bytes = network.stats().bytes_sent;
+  result.policy_switches = runtime.switches_applied();
 
   result.server_utilization.reserve(num_servers);
   double util_acc = 0.0;

@@ -88,10 +88,24 @@ struct ScenarioConfig {
   CreditsConfig credits{};
   policy::C3Config c3{};  // num_clients is filled in by the runner
   policy::CubicRateController::Config rate{};
-  /// Override the replica selector ("" = system default; otherwise
-  /// "random" | "round-robin" | "least-outstanding" |
-  /// "least-pending-cost" | "c3").
+  /// Override the replica selector ("" = system default). Accepts any
+  /// registered replica policy name or alias (ctrl/replica_policy.hpp);
+  /// equivalent to a tenant-less --policy binding.
   std::string selector_override;
+  /// Replica-policy bindings for the control-plane runtime ("" = the
+  /// system default / selector_override): "NAME" binds every tenant,
+  /// "tenantA:c3,tenantB:lor" binds per tenant (later entries win).
+  std::string policy_spec;
+  /// Epoch-scheduled mid-run policy switching:
+  /// "t0:random,30s:c3[,45s:tenantA:lor]". Signals (EWMAs, outstanding
+  /// counts, balances) live in the per-client SignalTable and survive
+  /// each switch.
+  std::string policy_switch_spec;
+  /// Override the admission policy ("" = system default: "credits" for
+  /// credits systems, "cubic-rate" for C3, "direct" otherwise). The
+  /// credits controller/monitor machinery follows the effective
+  /// admission policy, not the system kind.
+  std::string admission_override;
 
   /// Optional observer invoked on every task completion (including
   /// warmup tasks), after the built-in recording. Useful for custom
@@ -136,6 +150,9 @@ struct RunResult {
   std::uint64_t gate_held_requests = 0;  // held at end of run (should be 0)
   std::uint64_t credit_hold_events = 0;  // requests ever held for credits
   sim::Duration credit_hold_time = sim::Duration::zero();  // cumulative
+  /// Per-client policy rebinds applied by the runtime (mid-run
+  /// switching only; 0 for static bindings).
+  std::uint64_t policy_switches = 0;
 
   sim::Duration sim_duration = sim::Duration::zero();
   std::uint64_t events_processed = 0;

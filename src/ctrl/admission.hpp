@@ -1,0 +1,69 @@
+// Admission policies by name — the other half of the control plane's
+// policy interface pair.
+//
+// An admission policy decides *when* a planned request leaves the
+// client: immediately ("direct"), when a token bucket with a cubic
+// rate cap allows it ("cubic-rate", C3's controller), or when the
+// client holds a credit for the target server ("credits", the paper's
+// scheme). The uniform interface is client::DispatchGate — offer() a
+// planned request, feed on_response() feedback, report held() backlog
+// — and this registry makes the implementations constructible by name,
+// replacing the hard-coded per-system switch the scenario runner
+// carried.
+//
+// The stateful admission gates mirror their observable state (credit
+// balances, rate caps) into the client's SignalTable so selection
+// policies can read it without reaching into gate internals.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/dispatch_gate.hpp"
+#include "core/credits.hpp"
+#include "ctrl/signal_table.hpp"
+#include "sim/simulator.hpp"
+
+namespace brb::ctrl {
+
+/// The uniform admission interface: a dispatch gate (offer /
+/// on_response / held / name). Kept as an alias — the gate contract
+/// predates the registry and every implementation already speaks it.
+using AdmissionPolicy = client::DispatchGate;
+
+/// Everything a registered admission policy may need at construction.
+struct AdmissionContext {
+  sim::Simulator* sim = nullptr;
+  std::uint32_t num_servers = 0;
+  /// Credits admission: controller parameters + bootstrap balances
+  /// (one per server).
+  core::CreditsConfig credits{};
+  std::vector<double> initial_credits;
+  /// Cubic-rate admission: controller config with initial_rate already
+  /// resolved (> 0).
+  policy::CubicRateController::Config rate{};
+  /// When set, the constructed gate mirrors its per-server state
+  /// (credit balances, rate caps) into this table.
+  SignalTable* signals = nullptr;
+};
+
+struct AdmissionPolicyInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// All registered admission policies, in presentation order.
+const std::vector<AdmissionPolicyInfo>& admission_policy_catalog();
+
+/// Resolves an admission policy name; throws std::invalid_argument
+/// with a did-you-mean hint on unknown names.
+std::string canonical_admission_name(const std::string& name);
+
+/// Constructs an admission policy by name ("direct" | "cubic-rate" |
+/// "credits"). Throws on unknown names or a context missing what the
+/// named policy needs.
+std::unique_ptr<AdmissionPolicy> make_admission_policy(const std::string& name,
+                                                       const AdmissionContext& context);
+
+}  // namespace brb::ctrl

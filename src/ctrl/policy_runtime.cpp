@@ -1,0 +1,242 @@
+#include "ctrl/policy_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace brb::ctrl {
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string part = spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                                           : comma - start);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+PolicyBinding parse_binding(const std::string& entry, const char* flag) {
+  const std::size_t colon = entry.find(':');
+  if (colon == std::string::npos) return {"", canonical_policy_name(entry)};
+  const std::string tenant = entry.substr(0, colon);
+  const std::string name = entry.substr(colon + 1);
+  if (tenant.empty() || name.empty()) {
+    throw std::invalid_argument(std::string(flag) + ": malformed entry '" + entry +
+                                "' (want [tenant:]policy)");
+  }
+  return {tenant, canonical_policy_name(name)};
+}
+
+sim::Time parse_switch_time(const std::string& text) {
+  if (text == "t0") return sim::Time::zero();
+  double scale_to_seconds = 0.0;
+  std::string number;
+  if (text.size() > 2 && text.substr(text.size() - 2) == "ms") {
+    scale_to_seconds = 1e-3;
+    number = text.substr(0, text.size() - 2);
+  } else if (text.size() > 2 && text.substr(text.size() - 2) == "us") {
+    scale_to_seconds = 1e-6;
+    number = text.substr(0, text.size() - 2);
+  } else if (text.size() > 1 && text.back() == 's') {
+    scale_to_seconds = 1.0;
+    number = text.substr(0, text.size() - 1);
+  } else {
+    throw std::invalid_argument("--policy-switch: bad time '" + text +
+                                "' (want t0 or a duration like 30s / 500ms / 250us)");
+  }
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;  // force the error below
+  }
+  if (consumed != number.size() || value < 0.0) {
+    throw std::invalid_argument("--policy-switch: bad time '" + text + "'");
+  }
+  return sim::Time::zero() + sim::Duration::seconds(value * scale_to_seconds);
+}
+
+}  // namespace
+
+std::vector<PolicyBinding> parse_policy_spec(const std::string& spec) {
+  std::vector<PolicyBinding> bindings;
+  for (const std::string& entry : split_list(spec)) {
+    bindings.push_back(parse_binding(entry, "--policy"));
+  }
+  if (!spec.empty() && bindings.empty()) {
+    throw std::invalid_argument("--policy: empty spec");
+  }
+  return bindings;
+}
+
+std::vector<PolicySwitch> parse_policy_switch_spec(const std::string& spec) {
+  std::vector<PolicySwitch> switches;
+  for (const std::string& entry : split_list(spec)) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
+      throw std::invalid_argument("--policy-switch: malformed entry '" + entry +
+                                  "' (want TIME:[tenant:]policy)");
+    }
+    const sim::Time at = parse_switch_time(entry.substr(0, colon));
+    const PolicyBinding binding = parse_binding(entry.substr(colon + 1), "--policy-switch");
+    switches.push_back({at, binding.tenant, binding.policy});
+  }
+  if (!spec.empty() && switches.empty()) {
+    throw std::invalid_argument("--policy-switch: empty spec");
+  }
+  return switches;
+}
+
+// ---------------------------------------------------------------------------
+// BoundSelector: one client's control-plane endpoint.
+
+class PolicyRuntime::BoundSelector final : public policy::ReplicaSelector {
+ public:
+  BoundSelector(SignalTableConfig signals, std::unique_ptr<ReplicaPolicy> active, util::Rng rng,
+                std::uint32_t tenant)
+      : signals_(signals), active_(std::move(active)), rng_(rng), tenant_(tenant) {}
+
+  store::ServerId select(const std::vector<store::ServerId>& replicas,
+                         sim::Duration expected_cost) override {
+    return active_->select(signals_, replicas, expected_cost);
+  }
+  void on_send(store::ServerId server, sim::Duration expected_cost) override {
+    signals_.on_send(server, expected_cost);
+  }
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) override {
+    signals_.on_response(server, feedback, rtt, expected_cost);
+  }
+  std::string name() const override { return active_->name(); }
+
+ private:
+  friend class PolicyRuntime;
+
+  SignalTable signals_;
+  std::unique_ptr<ReplicaPolicy> active_;
+  /// Stream for policies constructed at switch epochs (split per
+  /// rebind; the t=0 policy uses the client's original stream copy).
+  util::Rng rng_;
+  std::uint32_t tenant_;
+};
+
+// ---------------------------------------------------------------------------
+// PolicyRuntime
+
+PolicyRuntime::PolicyRuntime(sim::Simulator& sim, Config config)
+    : sim_(&sim), config_(std::move(config)) {
+  const std::size_t num_tenants = std::max<std::size_t>(1, config_.tenants.size());
+  initial_.assign(num_tenants, canonical_policy_name(config_.default_policy));
+
+  const auto apply_binding = [&](const std::string& tenant, const std::string& policy) {
+    if (tenant.empty()) {
+      std::fill(initial_.begin(), initial_.end(), policy);
+    } else {
+      initial_[tenant_index(tenant)] = policy;
+    }
+  };
+  for (const PolicyBinding& binding : parse_policy_spec(config_.policy_spec)) {
+    apply_binding(binding.tenant, binding.policy);
+  }
+  for (const PolicySwitch& entry : parse_policy_switch_spec(config_.switch_spec)) {
+    if (entry.at == sim::Time::zero()) {
+      apply_binding(entry.tenant, entry.policy);
+    } else {
+      if (!entry.tenant.empty()) tenant_index(entry.tenant);  // validate eagerly
+      epochs_.push_back(entry);
+    }
+  }
+  std::stable_sort(epochs_.begin(), epochs_.end(),
+                   [](const PolicySwitch& a, const PolicySwitch& b) { return a.at < b.at; });
+}
+
+std::uint32_t PolicyRuntime::tenant_index(const std::string& name) const {
+  if (config_.tenants.empty()) {
+    throw std::invalid_argument("policy spec names tenant '" + name +
+                                "' but the scenario has no tenant mix (--tenants)");
+  }
+  for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
+    if (config_.tenants[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  std::string known;
+  for (const std::string& tenant : config_.tenants) {
+    if (!known.empty()) known += ", ";
+    known += tenant;
+  }
+  throw std::invalid_argument("policy spec names unknown tenant '" + name + "' (tenants: " +
+                              known + ")");
+}
+
+const std::string& PolicyRuntime::initial_policy(std::uint32_t tenant) const {
+  if (tenant >= initial_.size()) {
+    throw std::out_of_range("PolicyRuntime::initial_policy: bad tenant index");
+  }
+  return initial_[tenant];
+}
+
+std::unique_ptr<ReplicaPolicy> PolicyRuntime::make_bound_policy(const std::string& name,
+                                                                util::Rng rng) const {
+  std::unique_ptr<ReplicaPolicy> policy = make_replica_policy(name, config_.c3, rng);
+  if (config_.credit_aware) {
+    // Credits systems select jointly over replica load *and* credit
+    // balances (the gate mirrors balances into the SignalTable).
+    policy = std::make_unique<CreditAwarePolicy>(std::move(policy));
+  }
+  return policy;
+}
+
+std::unique_ptr<policy::ReplicaSelector> PolicyRuntime::bind_client(store::ClientId id,
+                                                                    std::uint32_t tenant,
+                                                                    util::Rng rng) {
+  if (tenant >= initial_.size()) {
+    throw std::invalid_argument("PolicyRuntime::bind_client: tenant index out of range");
+  }
+  auto bound = std::make_unique<BoundSelector>(config_.signals,
+                                               make_bound_policy(initial_[tenant], rng), rng,
+                                               tenant);
+  if (id >= clients_.size()) clients_.resize(id + 1, nullptr);
+  if (clients_[id] != nullptr) {
+    throw std::logic_error("PolicyRuntime::bind_client: client bound twice");
+  }
+  clients_[id] = bound.get();
+  return bound;
+}
+
+SignalTable& PolicyRuntime::signals_of(store::ClientId id) {
+  if (id >= clients_.size() || clients_[id] == nullptr) {
+    throw std::out_of_range("PolicyRuntime::signals_of: unbound client");
+  }
+  return clients_[id]->signals_;
+}
+
+void PolicyRuntime::apply_epoch(std::size_t epoch_index) {
+  const PolicySwitch& epoch = epochs_[epoch_index];
+  for (BoundSelector* client : clients_) {
+    if (client == nullptr) continue;
+    if (!epoch.tenant.empty() &&
+        config_.tenants[client->tenant_] != epoch.tenant) {
+      continue;
+    }
+    // The replacement policy reads the same SignalTable the old one
+    // fed from — it starts with warm estimates, not a cold cache.
+    client->active_ = make_bound_policy(epoch.policy, client->rng_.split());
+    ++switches_applied_;
+  }
+}
+
+void PolicyRuntime::start() {
+  if (started_) throw std::logic_error("PolicyRuntime::start: called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    sim_->schedule_at(epochs_[i].at, [this, i] { apply_epoch(i); });
+  }
+}
+
+}  // namespace brb::ctrl

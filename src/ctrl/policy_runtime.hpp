@@ -1,0 +1,118 @@
+// The policy runtime — layer 3 of the control plane.
+//
+// Binds a ReplicaPolicy per tenant onto each client's SignalTable and
+// supports epoch-scheduled mid-run switching:
+//
+//   --policy=c3                        one policy for every tenant
+//   --policy=tenantA:c3,tenantB:lor    per-tenant bindings
+//   --policy-switch=t0:random,30s:c3   epoch schedule (applies to all
+//                                      tenants; per-tenant epochs via
+//                                      "30s:tenantA:c3")
+//
+// A switch replaces only the decision procedure; the accumulated
+// signals (EWMAs, outstanding counts, balances) live in the
+// SignalTable and survive the swap — the new policy starts warm.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
+#include "policy/replica_selector.hpp"
+#include "sim/simulator.hpp"
+#include "store/types.hpp"
+#include "util/rng.hpp"
+
+namespace brb::ctrl {
+
+/// One "[tenant:]policy" entry of a --policy spec. An empty tenant
+/// applies to every tenant.
+struct PolicyBinding {
+  std::string tenant;
+  std::string policy;  // canonical name
+};
+
+/// One "TIME:[tenant:]policy" entry of a --policy-switch spec.
+struct PolicySwitch {
+  sim::Time at;
+  std::string tenant;  // empty = all tenants
+  std::string policy;  // canonical name
+};
+
+/// Parses "--policy" ("name" | "tenant:name,..." | a mix; later entries
+/// win). Policy names are canonicalized (aliases resolve); unknown
+/// names throw with a did-you-mean hint.
+std::vector<PolicyBinding> parse_policy_spec(const std::string& spec);
+
+/// Parses "--policy-switch" ("t0:random,30s:c3,45s:tenantA:lor").
+/// Times are "t0" or a positive duration with an s/ms/us suffix.
+/// Entries keep spec order; callers sort by time where needed.
+std::vector<PolicySwitch> parse_policy_switch_spec(const std::string& spec);
+
+class PolicyRuntime {
+ public:
+  struct Config {
+    /// The system profile's selector (or --selector override): the
+    /// binding every tenant starts from when --policy says nothing.
+    std::string default_policy = "least-outstanding";
+    /// --policy / --policy-switch specs ("" = none).
+    std::string policy_spec;
+    std::string switch_spec;
+    /// Table smoothing + C3 scoring parameters shared by all clients.
+    SignalTableConfig signals{};
+    C3ScoreConfig c3{};
+    /// Wrap every bound policy credit-aware (credits admission).
+    bool credit_aware = false;
+    /// Tenant names in tenant-index order; empty = one anonymous
+    /// tenant. Tenant-qualified spec entries must name one of these.
+    std::vector<std::string> tenants;
+  };
+
+  PolicyRuntime(sim::Simulator& sim, Config config);
+
+  /// Resolved t=0 policy name for tenant `tenant`.
+  const std::string& initial_policy(std::uint32_t tenant) const;
+
+  /// Creates client `id`'s control-plane endpoint: a SignalTable plus
+  /// the tenant's bound policy, packaged as the ReplicaSelector the
+  /// client owns. `rng` seeds randomized policies exactly as the
+  /// pre-runtime wiring did (by value; the runtime keeps its own copy
+  /// for constructing replacement policies at switch epochs).
+  std::unique_ptr<policy::ReplicaSelector> bind_client(store::ClientId id, std::uint32_t tenant,
+                                                       util::Rng rng);
+
+  /// The client's SignalTable (valid for the bound selector's
+  /// lifetime) — admission gates attach their mirrors here.
+  SignalTable& signals_of(store::ClientId id);
+
+  /// Schedules the switch epochs on the simulator. Call once, after
+  /// every client is bound. No-op without a switch spec.
+  void start();
+
+  /// Per-client rebinds actually applied (epochs past the end of the
+  /// run never fire).
+  std::uint64_t switches_applied() const noexcept { return switches_applied_; }
+  /// Scheduled future epochs (post-t0 entries in the switch spec).
+  std::size_t num_epochs() const noexcept { return epochs_.size(); }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  class BoundSelector;
+
+  std::unique_ptr<ReplicaPolicy> make_bound_policy(const std::string& name, util::Rng rng) const;
+  std::uint32_t tenant_index(const std::string& name) const;
+  void apply_epoch(std::size_t epoch_index);
+
+  sim::Simulator* sim_;
+  Config config_;
+  std::vector<std::string> initial_;  // per tenant
+  std::vector<PolicySwitch> epochs_;  // time-ordered, t > 0 only
+  std::vector<BoundSelector*> clients_;  // non-owning; clients own them
+  std::uint64_t switches_applied_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace brb::ctrl

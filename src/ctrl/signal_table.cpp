@@ -1,0 +1,66 @@
+#include "ctrl/signal_table.hpp"
+
+namespace brb::ctrl {
+
+SignalTable::SignalTable(SignalTableConfig config) : config_(config) {
+  util::validate_ewma_alpha(config_.ewma_alpha, "SignalTable");
+}
+
+const SignalTable::Signals& SignalTable::of(store::ServerId server) const {
+  static const Signals kEmpty{};
+  return server < servers_.size() ? servers_[server] : kEmpty;
+}
+
+SignalTable::Signals& SignalTable::slot(store::ServerId server) {
+  if (server >= servers_.size()) servers_.resize(server + 1);
+  return servers_[server];
+}
+
+void SignalTable::on_send(store::ServerId server, sim::Duration expected_cost) {
+  Signals& s = slot(server);
+  ++s.outstanding;
+  s.pending_cost_ns += expected_cost.count_nanos();
+  ++sends_;
+}
+
+void SignalTable::on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                              sim::Duration rtt, sim::Duration expected_cost) {
+  Signals& s = slot(server);
+  ++responses_;
+
+  // In-flight release. Guards match the old per-selector counters: a
+  // duplicate response must not underflow either account.
+  if (s.outstanding > 0) --s.outstanding;
+  s.pending_cost_ns -= expected_cost.count_nanos();
+  if (s.pending_cost_ns < 0) s.pending_cost_ns = 0;
+
+  s.last_queue_length = feedback.queue_length;
+  s.last_service_rate = feedback.service_rate;
+
+  // Server-wide rate mu (req/s) -> expected per-request service time.
+  const double a = config_.ewma_alpha;
+  const double rtt_ns = static_cast<double>(rtt.count_nanos());
+  const double service_ns =
+      feedback.service_rate > 0 ? 1e9 / feedback.service_rate
+                                : static_cast<double>(feedback.service_time.count_nanos());
+  if (!s.seen) {
+    s.ewma_response_ns = rtt_ns;
+    s.ewma_queue = feedback.queue_length;
+    s.ewma_service_time_ns = service_ns;
+    s.seen = true;
+    return;
+  }
+  s.ewma_response_ns = util::ewma_update(s.ewma_response_ns, a, rtt_ns);
+  s.ewma_queue = util::ewma_update(s.ewma_queue, a, static_cast<double>(feedback.queue_length));
+  s.ewma_service_time_ns = util::ewma_update(s.ewma_service_time_ns, a, service_ns);
+}
+
+void SignalTable::set_credit_balance(store::ServerId server, double balance) {
+  slot(server).credit_balance = balance;
+}
+
+void SignalTable::set_rate_cap(store::ServerId server, double rate) {
+  slot(server).rate_cap = rate;
+}
+
+}  // namespace brb::ctrl

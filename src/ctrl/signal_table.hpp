@@ -1,0 +1,113 @@
+// The unified per-(client,server) signal table — layer 1 of the
+// control plane.
+//
+// The paper's feedback loop (per-replica signals driving replica
+// selection and admission) used to be smeared across four components,
+// each scraping its own copy of the observables: the C3 selector kept
+// EWMAs, the least-outstanding/least-pending selectors kept counters,
+// the credit gate kept balances, and the rate controller kept caps.
+// The SignalTable centralizes all of them in one flat dense-ID store
+// per client, updated from a single feedback path (the client's
+// on-send / on-response hooks plus the admission gate's mirrors).
+// Policies (ctrl/replica_policy.hpp) become pure readers — which is
+// what makes them swappable mid-run: a policy switch binds a new
+// decision procedure to the *same* accumulated signals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "store/types.hpp"
+#include "util/ewma.hpp"
+
+namespace brb::ctrl {
+
+struct SignalTableConfig {
+  /// Weight of the newest sample in the response-path EWMAs (0..1].
+  /// This is C3's `ewma_alpha`; the table smooths identically for
+  /// every policy so estimates survive a mid-run policy switch.
+  double ewma_alpha = 0.5;
+};
+
+/// One client's view of every server, indexed densely by ServerId.
+/// Grows on first contact; unseen servers read as the neutral zero
+/// state (exactly the behavior the per-selector tables had).
+class SignalTable {
+ public:
+  struct Signals {
+    // --- response-path estimates (seeded by the first response) ---
+    /// EWMA of measured response time (request RTT), nanoseconds.
+    double ewma_response_ns = 0.0;
+    /// EWMA of the server-reported queue length.
+    double ewma_queue = 0.0;
+    /// EWMA of the server-reported per-request service time, ns.
+    double ewma_service_time_ns = 0.0;
+    /// At least one response has been observed from this server.
+    bool seen = false;
+
+    // --- in-flight accounting (updated at offer / response) ---
+    /// Requests bound for this server that have not yet responded.
+    std::uint32_t outstanding = 0;
+    /// Forecast work in flight (summed expected costs), nanoseconds.
+    std::int64_t pending_cost_ns = 0;
+
+    // --- admission-side state (mirrored by the dispatch gates) ---
+    /// Current credit balance (credits systems; 0 otherwise).
+    double credit_balance = 0.0;
+    /// Current sending-rate cap, req/s (cubic-rate systems; 0 otherwise).
+    double rate_cap = 0.0;
+
+    // --- raw last feedback (un-smoothed) ---
+    std::uint32_t last_queue_length = 0;
+    double last_service_rate = 0.0;
+  };
+
+  explicit SignalTable(SignalTableConfig config = {});
+
+  /// A request was bound to `server` (counted at *offer* time, before
+  /// any gate hold, so throttled replicas keep accumulating believed
+  /// load — the invariant the old selector-side accounting relied on).
+  void on_send(store::ServerId server, sim::Duration expected_cost);
+
+  /// A response arrived: releases in-flight accounting and folds the
+  /// piggybacked feedback into the EWMAs. The smoothing is exactly the
+  /// C3 selector's original arithmetic (seed-first-sample, then
+  /// `util::ewma_update`), so C3 scores over this table are
+  /// bit-identical to the pre-refactor implementation.
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost);
+
+  /// Admission mirrors (called by the credit gate / rate gate whenever
+  /// their state changes, so selection policies can read balances and
+  /// caps without reaching into gate internals).
+  void set_credit_balance(store::ServerId server, double balance);
+  void set_rate_cap(store::ServerId server, double rate);
+
+  /// Read access; servers beyond the table read as the zero state.
+  const Signals& of(store::ServerId server) const;
+
+  std::uint32_t outstanding(store::ServerId server) const { return of(server).outstanding; }
+  sim::Duration pending_cost(store::ServerId server) const {
+    return sim::Duration::nanos(of(server).pending_cost_ns);
+  }
+  double credit_balance(store::ServerId server) const { return of(server).credit_balance; }
+
+  /// Servers contacted so far (table growth high-water mark).
+  std::size_t size() const noexcept { return servers_.size(); }
+  const SignalTableConfig& config() const noexcept { return config_; }
+
+  /// Cumulative update counts (observability + bench).
+  std::uint64_t sends_recorded() const noexcept { return sends_; }
+  std::uint64_t responses_recorded() const noexcept { return responses_; }
+
+ private:
+  Signals& slot(store::ServerId server);
+
+  SignalTableConfig config_;
+  std::vector<Signals> servers_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t responses_ = 0;
+};
+
+}  // namespace brb::ctrl

@@ -6,81 +6,38 @@
 
 namespace brb::policy {
 
-C3Selector::C3Selector(C3Config config) : config_(config) {
-  if (config_.ewma_alpha <= 0.0 || config_.ewma_alpha > 1.0) {
-    throw std::invalid_argument("C3Selector: ewma_alpha must be in (0,1]");
-  }
-  if (config_.queue_exponent < 1.0) {
-    throw std::invalid_argument("C3Selector: queue_exponent must be >= 1");
-  }
-  if (config_.num_clients == 0) throw std::invalid_argument("C3Selector: num_clients == 0");
+ctrl::C3ScoreConfig c3_score_config(const C3Config& config) {
+  ctrl::C3ScoreConfig score;
+  score.queue_exponent = config.queue_exponent;
+  score.num_clients = config.num_clients;
+  score.prior_service_time = config.prior_service_time;
+  return score;
 }
 
-const C3Selector::ServerState& C3Selector::state_of(store::ServerId server) const {
-  static const ServerState kEmpty{};
-  return server < servers_.size() ? servers_[server] : kEmpty;
-}
-
-C3Selector::ServerState& C3Selector::slot(store::ServerId server) {
-  if (server >= servers_.size()) servers_.resize(server + 1);
-  return servers_[server];
-}
+C3Selector::C3Selector(C3Config config)
+    : signals_(ctrl::SignalTableConfig{config.ewma_alpha}),
+      policy_(c3_score_config(config)) {}
 
 double C3Selector::score(store::ServerId server) const {
-  const ServerState& s = state_of(server);
-  const double prior_ns = static_cast<double>(config_.prior_service_time.count_nanos());
-  const double service_ns = s.seen && s.ewma_service_time_ns > 0 ? s.ewma_service_time_ns
-                                                                 : prior_ns;
-  const double response_ns = s.seen ? s.ewma_response_ns : 0.0;
-  const double q_hat =
-      1.0 + static_cast<double>(s.outstanding) * static_cast<double>(config_.num_clients) +
-      s.ewma_queue;
-  // Psi = R - 1/mu + q^b / mu, all in nanoseconds.
-  return response_ns - service_ns + std::pow(q_hat, config_.queue_exponent) * service_ns;
+  return policy_.score(signals_, server);
 }
 
-store::ServerId C3Selector::select(const std::vector<store::ServerId>& replicas, sim::Duration) {
-  if (replicas.empty()) throw std::invalid_argument("C3Selector: empty replica set");
-  store::ServerId best = replicas.front();
-  double best_score = score(best);
-  for (std::size_t i = 1; i < replicas.size(); ++i) {
-    const double candidate = score(replicas[i]);
-    if (candidate < best_score || (candidate == best_score && replicas[i] < best)) {
-      best = replicas[i];
-      best_score = candidate;
-    }
-  }
-  return best;
+store::ServerId C3Selector::select(const std::vector<store::ServerId>& replicas,
+                                   sim::Duration expected_cost) {
+  return policy_.select(signals_, replicas, expected_cost);
 }
 
-void C3Selector::on_send(store::ServerId server, sim::Duration) {
-  ++slot(server).outstanding;
+void C3Selector::on_send(store::ServerId server, sim::Duration expected_cost) {
+  signals_.on_send(server, expected_cost);
 }
 
 void C3Selector::on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                             sim::Duration rtt, sim::Duration) {
-  ServerState& s = slot(server);
-  if (s.outstanding > 0) --s.outstanding;
-  const double a = config_.ewma_alpha;
-  const double rtt_ns = static_cast<double>(rtt.count_nanos());
-  // Server-wide rate mu (req/s) -> expected per-request service time.
-  const double service_ns =
-      feedback.service_rate > 0 ? 1e9 / feedback.service_rate
-                                : static_cast<double>(feedback.service_time.count_nanos());
-  if (!s.seen) {
-    s.ewma_response_ns = rtt_ns;
-    s.ewma_queue = feedback.queue_length;
-    s.ewma_service_time_ns = service_ns;
-    s.seen = true;
-    return;
-  }
-  s.ewma_response_ns = a * rtt_ns + (1 - a) * s.ewma_response_ns;
-  s.ewma_queue = a * static_cast<double>(feedback.queue_length) + (1 - a) * s.ewma_queue;
-  s.ewma_service_time_ns = a * service_ns + (1 - a) * s.ewma_service_time_ns;
+                             sim::Duration rtt, sim::Duration expected_cost) {
+  signals_.on_response(server, feedback, rtt, expected_cost);
 }
 
 std::uint32_t C3Selector::outstanding(store::ServerId server) const {
-  return state_of(server).outstanding;
+  return signals_.outstanding(server);
 }
 
 CubicRateController::CubicRateController(Config config) : config_(config) {

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
 #include "policy/replica_selector.hpp"
 #include "sim/time.hpp"
 #include "store/types.hpp"
@@ -43,7 +45,16 @@ struct C3Config {
   sim::Duration prior_service_time = sim::Duration::micros(285);
 };
 
-/// Client-local replica ranking state (one instance per client).
+/// Translates the historical C3Config into the control plane's split:
+/// smoothing parameters belong to the SignalTable, scoring parameters
+/// to the policy.
+ctrl::C3ScoreConfig c3_score_config(const C3Config& config);
+
+/// Client-local replica ranking (one instance per client): a private
+/// SignalTable fed by the observation hooks plus the shared
+/// ctrl::C3ScorePolicy ranking over it. The production path wires the
+/// same policy through ctrl::PolicyRuntime; this class keeps the
+/// historical single-object API.
 class C3Selector final : public ReplicaSelector {
  public:
   explicit C3Selector(C3Config config);
@@ -58,23 +69,11 @@ class C3Selector final : public ReplicaSelector {
   /// The scoring function, exposed for tests.
   double score(store::ServerId server) const;
   std::uint32_t outstanding(store::ServerId server) const;
+  const ctrl::SignalTable& signals() const noexcept { return signals_; }
 
  private:
-  struct ServerState {
-    double ewma_response_ns = 0.0;
-    double ewma_queue = 0.0;
-    double ewma_service_time_ns = 0.0;
-    std::uint32_t outstanding = 0;
-    bool seen = false;
-  };
-
-  const ServerState& state_of(store::ServerId server) const;
-  ServerState& slot(store::ServerId server);
-
-  C3Config config_;
-  /// Dense per-server table indexed by ServerId (ids are small dense
-  /// integers assigned by the cluster wiring); grows on first contact.
-  std::vector<ServerState> servers_;
+  ctrl::SignalTable signals_;
+  ctrl::C3ScorePolicy policy_;
 };
 
 /// CUBIC-style sending-rate controller for one client (all servers).

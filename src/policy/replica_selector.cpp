@@ -8,90 +8,43 @@ void ReplicaSelector::on_send(store::ServerId, sim::Duration) {}
 void ReplicaSelector::on_response(store::ServerId, const store::ServerFeedback&, sim::Duration,
                                   sim::Duration) {}
 
-store::ServerId RandomSelector::select(const std::vector<store::ServerId>& replicas,
-                                       sim::Duration) {
-  if (replicas.empty()) throw std::invalid_argument("RandomSelector: empty replica set");
-  const auto idx = static_cast<std::size_t>(
-      rng_.uniform_int(0, static_cast<std::int64_t>(replicas.size()) - 1));
-  return replicas[idx];
+SignalBackedSelector::SignalBackedSelector(ctrl::SignalTableConfig config,
+                                           std::unique_ptr<ctrl::ReplicaPolicy> policy)
+    : signals_(config), policy_(std::move(policy)) {
+  if (!policy_) throw std::invalid_argument("SignalBackedSelector: null policy");
 }
 
-store::ServerId RoundRobinSelector::select(const std::vector<store::ServerId>& replicas,
-                                           sim::Duration) {
-  if (replicas.empty()) throw std::invalid_argument("RoundRobinSelector: empty replica set");
-  return replicas[static_cast<std::size_t>(counter_++ % replicas.size())];
+store::ServerId SignalBackedSelector::select(const std::vector<store::ServerId>& replicas,
+                                             sim::Duration expected_cost) {
+  return policy_->select(signals_, replicas, expected_cost);
 }
 
-store::ServerId LeastOutstandingSelector::select(const std::vector<store::ServerId>& replicas,
-                                                 sim::Duration) {
-  if (replicas.empty()) throw std::invalid_argument("LeastOutstandingSelector: empty replicas");
-  // Rotate the scan start so ties do not herd every client onto the
-  // lowest server id (a classic cause of load concentration).
-  const std::size_t start = static_cast<std::size_t>(rotation_++) % replicas.size();
-  store::ServerId best = replicas[start];
-  std::uint32_t best_count = outstanding(best);
-  for (std::size_t step = 1; step < replicas.size(); ++step) {
-    const store::ServerId candidate = replicas[(start + step) % replicas.size()];
-    const std::uint32_t count = outstanding(candidate);
-    if (count < best_count) {
-      best = candidate;
-      best_count = count;
-    }
-  }
-  return best;
+void SignalBackedSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
+  signals_.on_send(server, expected_cost);
 }
 
-std::uint32_t LeastOutstandingSelector::outstanding(store::ServerId server) const {
-  return server < outstanding_.size() ? outstanding_[server] : 0;
+void SignalBackedSelector::on_response(store::ServerId server,
+                                       const store::ServerFeedback& feedback, sim::Duration rtt,
+                                       sim::Duration expected_cost) {
+  signals_.on_response(server, feedback, rtt, expected_cost);
 }
 
-void LeastOutstandingSelector::on_send(store::ServerId server, sim::Duration) {
-  if (server >= outstanding_.size()) outstanding_.resize(server + 1, 0);
-  ++outstanding_[server];
-}
+RandomSelector::RandomSelector(util::Rng rng)
+    : SignalBackedSelector({}, std::make_unique<ctrl::RandomPolicy>(rng)) {}
 
-void LeastOutstandingSelector::on_response(store::ServerId server, const store::ServerFeedback&,
-                                           sim::Duration, sim::Duration) {
-  if (server < outstanding_.size() && outstanding_[server] > 0) --outstanding_[server];
-}
+RoundRobinSelector::RoundRobinSelector()
+    : SignalBackedSelector({}, std::make_unique<ctrl::RoundRobinPolicy>()) {}
 
-store::ServerId LeastPendingCostSelector::select(const std::vector<store::ServerId>& replicas,
-                                                 sim::Duration) {
-  if (replicas.empty()) throw std::invalid_argument("LeastPendingCostSelector: empty replicas");
-  const std::size_t start = static_cast<std::size_t>(rotation_++) % replicas.size();
-  store::ServerId best = replicas[start];
-  sim::Duration best_cost = pending_cost(best);
-  for (std::size_t step = 1; step < replicas.size(); ++step) {
-    const store::ServerId candidate = replicas[(start + step) % replicas.size()];
-    const sim::Duration cost = pending_cost(candidate);
-    if (cost < best_cost) {
-      best = candidate;
-      best_cost = cost;
-    }
-  }
-  return best;
-}
+LeastOutstandingSelector::LeastOutstandingSelector()
+    : SignalBackedSelector({}, std::make_unique<ctrl::LeastOutstandingPolicy>()) {}
 
-sim::Duration LeastPendingCostSelector::pending_cost(store::ServerId server) const {
-  return sim::Duration::nanos(server < pending_ns_.size() ? pending_ns_[server] : 0);
-}
+TwoChoicesSelector::TwoChoicesSelector(util::Rng rng)
+    : SignalBackedSelector({}, std::make_unique<ctrl::TwoChoicesPolicy>(rng)) {}
 
-void LeastPendingCostSelector::on_send(store::ServerId server, sim::Duration expected_cost) {
-  if (server >= pending_ns_.size()) pending_ns_.resize(server + 1, 0);
-  pending_ns_[server] += expected_cost.count_nanos();
-}
+LeastPendingCostSelector::LeastPendingCostSelector()
+    : SignalBackedSelector({}, std::make_unique<ctrl::LeastPendingCostPolicy>()) {}
 
-void LeastPendingCostSelector::on_response(store::ServerId server, const store::ServerFeedback&,
-                                           sim::Duration, sim::Duration expected_cost) {
-  if (server >= pending_ns_.size()) return;
-  pending_ns_[server] -= expected_cost.count_nanos();
-  if (pending_ns_[server] < 0) pending_ns_[server] = 0;
-}
-
-store::ServerId FirstReplicaSelector::select(const std::vector<store::ServerId>& replicas,
-                                             sim::Duration) {
-  if (replicas.empty()) throw std::invalid_argument("FirstReplicaSelector: empty replica set");
-  return replicas.front();
-}
+FirstReplicaSelector::FirstReplicaSelector()
+    : SignalBackedSelector({}, std::make_unique<ctrl::FirstReplicaPolicy>()) {}
 
 }  // namespace brb::policy

@@ -5,6 +5,14 @@
 // prior C3 work for this. The selector interface is client-local:
 // each client owns one selector instance and feeds it observations
 // (sends, responses with piggybacked feedback).
+//
+// Since the control-plane refactor the actual decision logic lives in
+// ctrl/replica_policy.hpp, reading a ctrl::SignalTable that the
+// feedback path maintains. The experiment runner wires those pieces
+// per client through ctrl::PolicyRuntime (which can rebind policies
+// per tenant and mid-run); the concrete classes below bundle one
+// private table with one policy behind the historical single-object
+// API for tests, examples, and direct library use.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
 #include "sim/time.hpp"
 #include "store/types.hpp"
 #include "util/rng.hpp"
@@ -37,76 +47,76 @@ class ReplicaSelector {
   virtual std::string name() const = 0;
 };
 
-/// Uniform random choice (the memcached-era baseline).
-class RandomSelector final : public ReplicaSelector {
+/// Shim base: one private SignalTable fed by the observation hooks,
+/// one ctrl policy reading it.
+class SignalBackedSelector : public ReplicaSelector {
  public:
-  explicit RandomSelector(util::Rng rng) : rng_(rng) {}
-
   store::ServerId select(const std::vector<store::ServerId>& replicas,
                          sim::Duration expected_cost) override;
-  std::string name() const override { return "random"; }
+  void on_send(store::ServerId server, sim::Duration expected_cost) override;
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) override;
+  std::string name() const override { return policy_->name(); }
 
- private:
-  util::Rng rng_;
+  const ctrl::SignalTable& signals() const noexcept { return signals_; }
+
+ protected:
+  SignalBackedSelector(ctrl::SignalTableConfig config,
+                       std::unique_ptr<ctrl::ReplicaPolicy> policy);
+
+  ctrl::SignalTable signals_;
+  std::unique_ptr<ctrl::ReplicaPolicy> policy_;
+};
+
+/// Uniform random choice (the memcached-era baseline).
+class RandomSelector final : public SignalBackedSelector {
+ public:
+  explicit RandomSelector(util::Rng rng);
 };
 
 /// Cycles deterministically through the replica list.
-class RoundRobinSelector final : public ReplicaSelector {
+class RoundRobinSelector final : public SignalBackedSelector {
  public:
-  store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override;
-  std::string name() const override { return "round-robin"; }
-
- private:
-  std::uint64_t counter_ = 0;
+  RoundRobinSelector();
 };
 
 /// Fewest outstanding requests from this client (classic least-
-/// outstanding-requests load balancing). Ties break on server id.
-class LeastOutstandingSelector final : public ReplicaSelector {
+/// outstanding-requests load balancing).
+class LeastOutstandingSelector final : public SignalBackedSelector {
  public:
-  store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override;
-  void on_send(store::ServerId server, sim::Duration expected_cost) override;
-  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                   sim::Duration rtt, sim::Duration expected_cost) override;
-  std::string name() const override { return "least-outstanding"; }
+  LeastOutstandingSelector();
 
-  std::uint32_t outstanding(store::ServerId server) const;
+  std::uint32_t outstanding(store::ServerId server) const {
+    return signals_.outstanding(server);
+  }
+};
 
- private:
-  /// Dense per-server counters indexed by ServerId; grow on first send.
-  std::vector<std::uint32_t> outstanding_;
-  std::uint64_t rotation_ = 0;
+/// Power of two random choices over outstanding counts.
+class TwoChoicesSelector final : public SignalBackedSelector {
+ public:
+  explicit TwoChoicesSelector(util::Rng rng);
+
+  std::uint32_t outstanding(store::ServerId server) const {
+    return signals_.outstanding(server);
+  }
 };
 
 /// Least forecast work in flight (outstanding expected cost) — BRB's
-/// default: cheap, cost-aware, and sub-task friendly. Ties break on
-/// server id.
-class LeastPendingCostSelector final : public ReplicaSelector {
+/// default: cheap, cost-aware, and sub-task friendly.
+class LeastPendingCostSelector final : public SignalBackedSelector {
  public:
-  store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override;
-  void on_send(store::ServerId server, sim::Duration expected_cost) override;
-  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                   sim::Duration rtt, sim::Duration expected_cost) override;
-  std::string name() const override { return "least-pending-cost"; }
+  LeastPendingCostSelector();
 
-  sim::Duration pending_cost(store::ServerId server) const;
-
- private:
-  /// Dense per-server forecast-work-in-flight, indexed by ServerId.
-  std::vector<std::int64_t> pending_ns_;
-  std::uint64_t rotation_ = 0;
+  sim::Duration pending_cost(store::ServerId server) const {
+    return signals_.pending_cost(server);
+  }
 };
 
 /// Always the first replica — used by the ideal model (placement is
 /// irrelevant when servers work-pull from the global queue).
-class FirstReplicaSelector final : public ReplicaSelector {
+class FirstReplicaSelector final : public SignalBackedSelector {
  public:
-  store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override;
-  std::string name() const override { return "first"; }
+  FirstReplicaSelector();
 };
 
 }  // namespace brb::policy

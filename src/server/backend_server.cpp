@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/ewma.hpp"
 #include "util/logger.hpp"
 
 namespace brb::server {
@@ -110,7 +111,7 @@ void BackendServer::complete(store::RequestId request_id, store::TaskId task_id,
   // time (cores working in parallel).
   const double rate_sample =
       1e9 / static_cast<double>(service_time.count_nanos()) * config_.cores;
-  ewma_rate_ = config_.rate_ewma_alpha * rate_sample + (1.0 - config_.rate_ewma_alpha) * ewma_rate_;
+  ewma_rate_ = util::ewma_update(ewma_rate_, config_.rate_ewma_alpha, rate_sample);
 
   store::ReadResponse response;
   response.request_id = request_id;

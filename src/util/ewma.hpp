@@ -1,0 +1,60 @@
+// Exponentially-weighted moving averages, shared by every smoothing
+// site in the tree (C3's response/queue/service estimates in the
+// control plane's SignalTable, the backend server's advertised service
+// rate, the credits controller's demand matrix).
+//
+// Before this header each component carried its own copy of the same
+// two lines; keeping them here guarantees the update stays the exact
+// expression `alpha * sample + (1 - alpha) * previous` everywhere —
+// artifact byte-identity across refactors depends on it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace brb::util {
+
+/// One smoothing step. This exact expression (including evaluation
+/// order) is what every pre-dedupe call site computed; do not "simplify"
+/// to `previous + alpha * (sample - previous)` — that is a different
+/// floating-point result.
+inline double ewma_update(double previous, double alpha, double sample) noexcept {
+  return alpha * sample + (1.0 - alpha) * previous;
+}
+
+inline void validate_ewma_alpha(double alpha, const char* who) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument(std::string(who) + ": ewma alpha must be in (0,1]");
+  }
+}
+
+/// A scalar EWMA with the two seeding behaviors used in the tree:
+///   Ewma(alpha)          — unseeded; the first observation becomes the
+///                          value verbatim (C3's estimates).
+///   Ewma(alpha, initial) — seeded with a prior; every observation
+///                          blends (the server's advertised rate).
+/// Flat arrays of smoothed values (the credits demand matrix) use
+/// `ewma_update` directly instead of storing an object per cell.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) { validate_ewma_alpha(alpha, "Ewma"); }
+  Ewma(double alpha, double initial) : alpha_(alpha), value_(initial), seen_(true) {
+    validate_ewma_alpha(alpha, "Ewma");
+  }
+
+  void observe(double sample) noexcept {
+    value_ = seen_ ? ewma_update(value_, alpha_, sample) : sample;
+    seen_ = true;
+  }
+
+  double value() const noexcept { return value_; }
+  bool seen() const noexcept { return seen_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seen_ = false;
+};
+
+}  // namespace brb::util

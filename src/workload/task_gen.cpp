@@ -154,11 +154,30 @@ void TaskGenerator::set_tenants(std::vector<TenantMix> tenants) {
   }
   tenant_cdf_.back() = 1.0;  // absorb rounding
 
-  // Client blocks: one guaranteed client per tenant, the rest split
-  // proportionally by largest remainder (deterministic, order-stable).
+  tenant_client_begin_ = tenant_client_blocks(tenants, config_.num_clients);
+  tenant_next_client_.assign(tenants.size(), 0);
+  tenants_ = std::move(tenants);
+}
+
+std::vector<std::uint32_t> tenant_client_blocks(const std::vector<TenantMix>& tenants,
+                                                std::uint32_t num_clients) {
+  if (tenants.empty()) throw std::invalid_argument("tenant_client_blocks: empty tenant list");
+  if (num_clients < tenants.size()) {
+    throw std::invalid_argument("tenant_client_blocks: fewer clients than tenants");
+  }
+  double total_share = 0.0;
+  for (const TenantMix& mix : tenants) {
+    if (mix.share <= 0.0) {
+      throw std::invalid_argument("tenant_client_blocks: non-positive tenant share");
+    }
+    total_share += mix.share;
+  }
+
+  // One guaranteed client per tenant, the rest split proportionally by
+  // largest remainder (deterministic, order-stable).
   const std::size_t n = tenants.size();
   std::vector<std::uint32_t> counts(n, 1);
-  const std::uint32_t spare = config_.num_clients - static_cast<std::uint32_t>(n);
+  const std::uint32_t spare = num_clients - static_cast<std::uint32_t>(n);
   std::vector<double> fractional(n, 0.0);
   std::uint32_t assigned = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -177,12 +196,9 @@ void TaskGenerator::set_tenants(std::vector<TenantMix> tenants) {
     fractional[best] = -1.0;
   }
 
-  tenant_client_begin_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    tenant_client_begin_[i + 1] = tenant_client_begin_[i] + counts[i];
-  }
-  tenant_next_client_.assign(n, 0);
-  tenants_ = std::move(tenants);
+  std::vector<std::uint32_t> begin(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) begin[i + 1] = begin[i] + counts[i];
+  return begin;
 }
 
 std::pair<std::uint32_t, std::uint32_t> TaskGenerator::tenant_clients(std::size_t i) const {

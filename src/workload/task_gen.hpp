@@ -60,6 +60,15 @@ struct TenantMix {
 /// Throws std::invalid_argument on malformed or duplicate entries.
 std::vector<TenantMix> parse_tenant_mixes(const std::string& spec);
 
+/// Partitions `num_clients` clients into contiguous per-tenant blocks
+/// proportional to shares: one guaranteed client per tenant, the rest
+/// split by largest remainder (deterministic, order-stable). Returns
+/// the n+1 block boundaries. Shared by TaskGenerator::set_tenants and
+/// the scenario runner's per-tenant policy binding, so the two can
+/// never disagree about which client serves which tenant.
+std::vector<std::uint32_t> tenant_client_blocks(const std::vector<TenantMix>& tenants,
+                                                std::uint32_t num_clients);
+
 class TaskGenerator {
  public:
   struct Config {

@@ -1,0 +1,480 @@
+// Control-plane tests: the unified SignalTable, the replica/admission
+// policy registries, the PolicyRuntime (per-tenant binding + mid-run
+// switching), and the golden-artifact equivalence suite asserting that
+// the runtime path reproduces the legacy wiring byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "cli/sweep_plan.hpp"
+#include "core/scenario.hpp"
+#include "ctrl/admission.hpp"
+#include "ctrl/policy_runtime.hpp"
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
+#include "sim/simulator.hpp"
+#include "stats/artifact.hpp"
+#include "util/ewma.hpp"
+#include "util/rng.hpp"
+
+namespace brb {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+store::ServerFeedback feedback(std::uint32_t queue, double rate) {
+  store::ServerFeedback f;
+  f.queue_length = queue;
+  f.service_rate = rate;
+  f.service_time = Duration::micros(300);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// SignalTable
+
+TEST(SignalTable, TracksOutstandingAndPendingCost) {
+  ctrl::SignalTable table;
+  table.on_send(3, Duration::micros(500));
+  table.on_send(3, Duration::micros(200));
+  table.on_send(5, Duration::micros(100));
+  EXPECT_EQ(table.outstanding(3), 2u);
+  EXPECT_EQ(table.pending_cost(3), Duration::micros(700));
+  EXPECT_EQ(table.outstanding(5), 1u);
+
+  table.on_response(3, feedback(2, 14'000), Duration::micros(400), Duration::micros(500));
+  EXPECT_EQ(table.outstanding(3), 1u);
+  EXPECT_EQ(table.pending_cost(3), Duration::micros(200));
+
+  // Duplicate releases clamp instead of underflowing.
+  table.on_response(3, feedback(2, 14'000), Duration::micros(400), Duration::micros(500));
+  table.on_response(3, feedback(2, 14'000), Duration::micros(400), Duration::micros(500));
+  EXPECT_EQ(table.outstanding(3), 0u);
+  EXPECT_EQ(table.pending_cost(3), Duration::zero());
+}
+
+TEST(SignalTable, EwmaSeedsThenBlends) {
+  ctrl::SignalTable table(ctrl::SignalTableConfig{0.5});
+  table.on_response(1, feedback(4, 10'000), Duration::micros(1000), Duration::zero());
+  const ctrl::SignalTable::Signals& seeded = table.of(1);
+  EXPECT_TRUE(seeded.seen);
+  EXPECT_DOUBLE_EQ(seeded.ewma_response_ns, 1'000'000.0);
+  EXPECT_DOUBLE_EQ(seeded.ewma_queue, 4.0);
+  EXPECT_DOUBLE_EQ(seeded.ewma_service_time_ns, 1e9 / 10'000.0);
+
+  table.on_response(1, feedback(8, 10'000), Duration::micros(2000), Duration::zero());
+  const ctrl::SignalTable::Signals& blended = table.of(1);
+  EXPECT_DOUBLE_EQ(blended.ewma_response_ns,
+                   util::ewma_update(1'000'000.0, 0.5, 2'000'000.0));
+  EXPECT_DOUBLE_EQ(blended.ewma_queue, util::ewma_update(4.0, 0.5, 8.0));
+  EXPECT_EQ(blended.last_queue_length, 8u);
+}
+
+TEST(SignalTable, UnseenServersReadAsZero) {
+  ctrl::SignalTable table;
+  EXPECT_EQ(table.outstanding(42), 0u);
+  EXPECT_EQ(table.pending_cost(42), Duration::zero());
+  EXPECT_FALSE(table.of(42).seen);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SignalTable, AdmissionMirrors) {
+  ctrl::SignalTable table;
+  table.set_credit_balance(2, 7.5);
+  table.set_rate_cap(2, 1234.0);
+  EXPECT_DOUBLE_EQ(table.credit_balance(2), 7.5);
+  EXPECT_DOUBLE_EQ(table.of(2).rate_cap, 1234.0);
+}
+
+TEST(SignalTable, RejectsBadAlpha) {
+  EXPECT_THROW(ctrl::SignalTable(ctrl::SignalTableConfig{0.0}), std::invalid_argument);
+  EXPECT_THROW(ctrl::SignalTable(ctrl::SignalTableConfig{1.5}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Replica-policy registry
+
+TEST(ReplicaPolicyRegistry, CanonicalNamesAndAliases) {
+  EXPECT_EQ(ctrl::canonical_policy_name("lor"), "least-outstanding");
+  EXPECT_EQ(ctrl::canonical_policy_name("rr"), "round-robin");
+  EXPECT_EQ(ctrl::canonical_policy_name("2c"), "two-choices");
+  EXPECT_EQ(ctrl::canonical_policy_name("p2c"), "two-choices");
+  EXPECT_EQ(ctrl::canonical_policy_name("lpc"), "least-pending-cost");
+  EXPECT_EQ(ctrl::canonical_policy_name("c3"), "c3");
+  EXPECT_EQ(ctrl::canonical_policy_name("c3-noderate"), "c3-noderate");
+}
+
+TEST(ReplicaPolicyRegistry, UnknownNameSuggests) {
+  try {
+    ctrl::canonical_policy_name("two-choice");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("two-choices"), std::string::npos);
+  }
+}
+
+TEST(ReplicaPolicyRegistry, EveryCatalogNameConstructs) {
+  for (const ctrl::ReplicaPolicyInfo& info : ctrl::replica_policy_catalog()) {
+    const auto policy = ctrl::make_replica_policy(info.name, {}, util::Rng(1));
+    ASSERT_NE(policy, nullptr) << info.name;
+    EXPECT_EQ(policy->name(), info.name);
+    for (const std::string& alias : info.aliases) {
+      EXPECT_EQ(ctrl::make_replica_policy(alias, {}, util::Rng(1))->name(), info.name) << alias;
+    }
+  }
+}
+
+TEST(TwoChoicesPolicy, PrefersLessLoadedOfItsPair) {
+  ctrl::SignalTable table;
+  ctrl::TwoChoicesPolicy policy{util::Rng(7)};
+  // Server 0 is heavily loaded; with two replicas both are always
+  // sampled, so the choice must always be server 1.
+  for (int i = 0; i < 5; ++i) table.on_send(0, Duration::micros(100));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.select(table, {0, 1}, Duration::zero()), 1u);
+  }
+  // Singleton replica sets short-circuit.
+  EXPECT_EQ(policy.select(table, {0}, Duration::zero()), 0u);
+}
+
+TEST(TwoChoicesPolicy, SamplesBothReplicasOverTime) {
+  ctrl::SignalTable table;  // all-equal loads: tie-break = lower id of the pair
+  ctrl::TwoChoicesPolicy policy{util::Rng(11)};
+  int picked[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) ++picked[policy.select(table, {0, 1, 2}, Duration::zero())];
+  // Lower ids win ties, but every server must appear as a pair minimum
+  // sometimes; server 2 only wins when the pair is {2} alone — never —
+  // so expect a strong but not total skew.
+  EXPECT_GT(picked[0], picked[1]);
+  EXPECT_EQ(picked[2], 0);
+  EXPECT_GT(picked[1], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission registry
+
+TEST(AdmissionRegistry, NamesAndErrors) {
+  EXPECT_EQ(ctrl::canonical_admission_name("direct"), "direct");
+  EXPECT_EQ(ctrl::canonical_admission_name("credits"), "credits");
+  try {
+    ctrl::canonical_admission_name("cubicrate");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cubic-rate"), std::string::npos);
+  }
+  // Credits admission needs per-server bootstrap balances.
+  ctrl::AdmissionContext bare;
+  EXPECT_THROW(ctrl::make_admission_policy("credits", bare), std::invalid_argument);
+  EXPECT_EQ(ctrl::make_admission_policy("direct", bare)->name(), "direct");
+}
+
+TEST(AdmissionRegistry, CubicRateSeedsRateCapMirror) {
+  sim::Simulator sim;
+  ctrl::SignalTable signals;
+  ctrl::AdmissionContext context;
+  context.sim = &sim;
+  context.num_servers = 3;
+  context.rate.initial_rate = 1000.0;
+  context.signals = &signals;
+  const auto gate = ctrl::make_admission_policy("cubic-rate", context);
+  EXPECT_EQ(gate->name(), "cubic-rate");
+  // Caps are seeded at attach, not first-response: cold servers read
+  // the controller's initial rate, not a misleading zero.
+  for (store::ServerId s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(signals.of(s).rate_cap, 1000.0) << s;
+  }
+}
+
+TEST(PolicySwitchScenario, EndpointsFollowRuntimeResolution) {
+  // Time-unsorted schedule with no t0 entry: the start endpoint is the
+  // substrate's profile default and the end endpoint is the
+  // time-sorted last epoch — exactly what the runtime executes.
+  const util::Flags flags;
+  core::ScenarioConfig base;
+  base.policy_switch_spec = "2s:c3-noderate,1s:lor";
+  const cli::SweepPlan plan = cli::build_sweep_plan("policy-switch", base, {1}, flags);
+  ASSERT_EQ(plan.cases.size(), 3u);
+  EXPECT_EQ(plan.cases[0].label, "static/least-outstanding");
+  EXPECT_EQ(plan.cases[1].label, "static/c3-noderate");
+  EXPECT_EQ(plan.cases[2].label, "switch/2s:c3-noderate,1s:lor");
+}
+
+TEST(PolicyScenarios, RejectConflictingPolicyFlags) {
+  const util::Flags flags;
+  core::ScenarioConfig bound;
+  bound.policy_spec = "random";
+  EXPECT_THROW(cli::build_sweep_plan("policy-shootout", bound, {1}, flags),
+               std::invalid_argument);
+  EXPECT_THROW(cli::build_sweep_plan("policy-switch", bound, {1}, flags),
+               std::invalid_argument);
+  core::ScenarioConfig tenant_epoch;
+  tenant_epoch.policy_switch_spec = "1s:ghost:c3";
+  EXPECT_THROW(cli::build_sweep_plan("policy-switch", tenant_epoch, {1}, flags),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+
+TEST(PolicySpecParsing, SingleAndPerTenant) {
+  const auto single = ctrl::parse_policy_spec("c3");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].tenant, "");
+  EXPECT_EQ(single[0].policy, "c3");
+
+  const auto mixed = ctrl::parse_policy_spec("lpc,tenantA:c3,tenantB:lor");
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed[0].policy, "least-pending-cost");
+  EXPECT_EQ(mixed[1].tenant, "tenantA");
+  EXPECT_EQ(mixed[1].policy, "c3");
+  EXPECT_EQ(mixed[2].tenant, "tenantB");
+  EXPECT_EQ(mixed[2].policy, "least-outstanding");
+
+  EXPECT_TRUE(ctrl::parse_policy_spec("").empty());
+  EXPECT_THROW(ctrl::parse_policy_spec("tenantA:"), std::invalid_argument);
+  EXPECT_THROW(ctrl::parse_policy_spec("nope"), std::invalid_argument);
+}
+
+TEST(PolicySwitchParsing, TimesAndBindings) {
+  const auto switches = ctrl::parse_policy_switch_spec("t0:random,30s:c3,500ms:tenantA:lor");
+  ASSERT_EQ(switches.size(), 3u);
+  EXPECT_EQ(switches[0].at, Time::zero());
+  EXPECT_EQ(switches[0].policy, "random");
+  EXPECT_EQ(switches[1].at, Time::seconds(30.0));
+  EXPECT_EQ(switches[1].policy, "c3");
+  EXPECT_EQ(switches[2].at, Time::millis(500.0));
+  EXPECT_EQ(switches[2].tenant, "tenantA");
+  EXPECT_EQ(switches[2].policy, "least-outstanding");
+
+  EXPECT_THROW(ctrl::parse_policy_switch_spec("random"), std::invalid_argument);
+  EXPECT_THROW(ctrl::parse_policy_switch_spec("30:random"), std::invalid_argument);
+  EXPECT_THROW(ctrl::parse_policy_switch_spec("-3s:random"), std::invalid_argument);
+  EXPECT_THROW(ctrl::parse_policy_switch_spec("xs:random"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PolicyRuntime
+
+TEST(PolicyRuntime, ResolvesInitialBindings) {
+  sim::Simulator sim;
+  ctrl::PolicyRuntime::Config config;
+  config.default_policy = "lpc";
+  config.policy_spec = "tenantB:lor";
+  config.switch_spec = "t0:tenantA:c3";
+  config.tenants = {"tenantA", "tenantB"};
+  ctrl::PolicyRuntime runtime(sim, config);
+  EXPECT_EQ(runtime.initial_policy(0), "c3");
+  EXPECT_EQ(runtime.initial_policy(1), "least-outstanding");
+  EXPECT_EQ(runtime.num_epochs(), 0u);
+}
+
+TEST(PolicyRuntime, RejectsUnknownTenant) {
+  sim::Simulator sim;
+  ctrl::PolicyRuntime::Config config;
+  config.policy_spec = "ghost:c3";
+  config.tenants = {"tenantA"};
+  EXPECT_THROW(ctrl::PolicyRuntime(sim, config), std::invalid_argument);
+
+  ctrl::PolicyRuntime::Config no_tenants;
+  no_tenants.policy_spec = "ghost:c3";
+  EXPECT_THROW(ctrl::PolicyRuntime(sim, no_tenants), std::invalid_argument);
+}
+
+TEST(PolicyRuntime, SwitchesAtEpochAndKeepsSignals) {
+  sim::Simulator sim;
+  ctrl::PolicyRuntime::Config config;
+  config.default_policy = "round-robin";
+  config.switch_spec = "2s:least-outstanding";
+  ctrl::PolicyRuntime runtime(sim, config);
+  ASSERT_EQ(runtime.num_epochs(), 1u);
+
+  const auto selector = runtime.bind_client(0, 0, util::Rng(3));
+  EXPECT_EQ(selector->name(), "round-robin");
+  selector->on_send(7, Duration::micros(100));
+  runtime.start();
+
+  sim.schedule_at(Time::seconds(3.0), [&sim] { sim.stop(); });
+  sim.run();
+
+  EXPECT_EQ(selector->name(), "least-outstanding");
+  EXPECT_EQ(runtime.switches_applied(), 1u);
+  // The accumulated signals survived the swap.
+  EXPECT_EQ(runtime.signals_of(0).outstanding(7), 1u);
+}
+
+TEST(PolicyRuntime, TenantScopedSwitchTouchesOnlyThatTenant) {
+  sim::Simulator sim;
+  ctrl::PolicyRuntime::Config config;
+  config.default_policy = "round-robin";
+  config.switch_spec = "1s:batch:random";
+  config.tenants = {"interactive", "batch"};
+  ctrl::PolicyRuntime runtime(sim, config);
+  const auto fg = runtime.bind_client(0, 0, util::Rng(1));
+  const auto bg = runtime.bind_client(1, 1, util::Rng(2));
+  runtime.start();
+  sim.schedule_at(Time::seconds(2.0), [&sim] { sim.stop(); });
+  sim.run();
+  EXPECT_EQ(fg->name(), "round-robin");
+  EXPECT_EQ(bg->name(), "random");
+  EXPECT_EQ(runtime.switches_applied(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-artifact equivalence: the legacy wiring (profile defaults,
+// selector_override) and the explicit policy runtime path must produce
+// byte-identical artifacts modulo the config block naming the binding
+// and the wall-clock "timing" subtree.
+
+core::ScenarioConfig small_config(core::SystemKind system) {
+  core::ScenarioConfig config;
+  config.system = system;
+  config.num_tasks = 1500;
+  config.seed = 1;
+  return config;
+}
+
+/// The deterministic payload of an artifact: the "cases" subtree
+/// serialized without indentation. "timing" sits outside it; the
+/// config block and the per-case "policy"/"policy_switch"/"admission"
+/// descriptors legitimately *name* the explicit binding, so they are
+/// stripped — everything measured must match byte-for-byte.
+std::string cases_fingerprint(const std::string& scenario,
+                              const core::ScenarioConfig& base,
+                              const std::vector<std::uint64_t>& seeds,
+                              const std::vector<cli::CaseResult>& results) {
+  stats::Json doc = cli::report_json(scenario, base, seeds, results);
+  stats::Json& cases = doc["cases"];
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    cases.at(i).erase("policy");
+    cases.at(i).erase("policy_switch");
+    cases.at(i).erase("admission");
+  }
+  return doc.at("cases").dump_string(-1);
+}
+
+std::string artifact_csv_string(const std::string& scenario, const core::ScenarioConfig& base,
+                                const std::vector<std::uint64_t>& seeds,
+                                const std::vector<cli::CaseResult>& results) {
+  const stats::Json doc = cli::report_json(scenario, base, seeds, results);
+  std::ostringstream os;
+  stats::artifact_csv(os, doc);
+  return os.str();
+}
+
+std::vector<cli::CaseResult> run_case(const core::ScenarioConfig& config,
+                                      const std::vector<std::uint64_t>& seeds,
+                                      const std::string& label) {
+  cli::CaseResult result;
+  result.spec = {label, config};
+  result.aggregate = core::run_seeds(config, seeds, /*parallel=*/false);
+  return {std::move(result)};
+}
+
+TEST(GoldenEquivalence, ExplicitPolicyMatchesProfileDefault) {
+  // kEqualMaxCredits's profile default is least-pending-cost wrapped
+  // credit-aware; binding the same policy explicitly through the
+  // runtime must not move a byte.
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const core::ScenarioConfig legacy = small_config(core::SystemKind::kEqualMaxCredits);
+  core::ScenarioConfig bound = legacy;
+  bound.policy_spec = "least-pending-cost";
+
+  const auto legacy_results = run_case(legacy, seeds, "equalmax-credits");
+  const auto bound_results = run_case(bound, seeds, "equalmax-credits");
+  EXPECT_EQ(cases_fingerprint("golden", legacy, seeds, legacy_results),
+            cases_fingerprint("golden", bound, seeds, bound_results));
+  EXPECT_EQ(artifact_csv_string("golden", legacy, seeds, legacy_results),
+            artifact_csv_string("golden", bound, seeds, bound_results));
+}
+
+TEST(GoldenEquivalence, PaperSystemsMatchUnderExplicitBinding) {
+  // Each paper system against its profile selector bound explicitly.
+  const std::vector<std::uint64_t> seeds = {1};
+  const struct {
+    core::SystemKind system;
+    const char* selector;
+  } cases[] = {
+      {core::SystemKind::kC3, "c3"},
+      {core::SystemKind::kEqualMaxModel, "first"},
+      {core::SystemKind::kUnifIncrCredits, "least-pending-cost"},
+  };
+  for (const auto& entry : cases) {
+    const core::ScenarioConfig legacy = small_config(entry.system);
+    core::ScenarioConfig bound = legacy;
+    bound.policy_spec = entry.selector;
+    EXPECT_EQ(cases_fingerprint("golden", legacy, seeds,
+                                run_case(legacy, seeds, to_string(entry.system))),
+              cases_fingerprint("golden", bound, seeds,
+                                run_case(bound, seeds, to_string(entry.system))))
+        << to_string(entry.system);
+  }
+}
+
+TEST(GoldenEquivalence, MultiTenantPerTenantBindingMatchesDefault) {
+  const std::vector<std::uint64_t> seeds = {1};
+  core::ScenarioConfig legacy = small_config(core::SystemKind::kEqualMaxCredits);
+  legacy.tenant_spec =
+      "interactive,share=0.7,fanout=lognormal:2.5:1.0:64;"
+      "batch,share=0.3,fanout=lognormal:24:1.5:512,write=0.1";
+  core::ScenarioConfig bound = legacy;
+  bound.policy_spec = "interactive:least-pending-cost,batch:least-pending-cost";
+
+  EXPECT_EQ(cases_fingerprint("golden", legacy, seeds, run_case(legacy, seeds, "multi-tenant")),
+            cases_fingerprint("golden", bound, seeds, run_case(bound, seeds, "multi-tenant")));
+}
+
+TEST(GoldenEquivalence, LargeClusterScaledDownMatches) {
+  const std::vector<std::uint64_t> seeds = {1};
+  core::ScenarioConfig legacy = small_config(core::SystemKind::kEqualMaxCredits);
+  legacy.cluster.num_servers = 20;
+  legacy.num_clients = 50;
+  core::ScenarioConfig bound = legacy;
+  bound.policy_spec = "lpc";  // alias resolves to the profile default
+
+  EXPECT_EQ(cases_fingerprint("golden", legacy, seeds, run_case(legacy, seeds, "large")),
+            cases_fingerprint("golden", bound, seeds, run_case(bound, seeds, "large")));
+}
+
+TEST(GoldenEquivalence, SwitchBeyondEndOfRunIsInert) {
+  const std::vector<std::uint64_t> seeds = {1};
+  const core::ScenarioConfig legacy = small_config(core::SystemKind::kFifoDirect);
+  core::ScenarioConfig switched = legacy;
+  switched.policy_switch_spec = "t0:least-outstanding,3600s:random";
+
+  EXPECT_EQ(cases_fingerprint("golden", legacy, seeds, run_case(legacy, seeds, "fifo-direct")),
+            cases_fingerprint("golden", switched, seeds,
+                              run_case(switched, seeds, "fifo-direct")));
+}
+
+TEST(ControlPlane, MidRunSwitchCompletesAndCounts) {
+  core::ScenarioConfig config = small_config(core::SystemKind::kFifoDirect);
+  config.num_tasks = 4000;
+  // The default workload runs ~0.4s at this size; switch at 100ms.
+  config.policy_switch_spec = "t0:random,100ms:least-outstanding";
+  const core::RunResult result = core::run_scenario(config);
+  EXPECT_EQ(result.tasks_completed, config.num_tasks);
+  EXPECT_EQ(result.policy_switches, config.num_clients);
+  EXPECT_EQ(result.gate_held_requests, 0u);
+}
+
+TEST(ControlPlane, AdmissionOverrideMatchesEquivalentSystem) {
+  // equalmax-credits with --admission=direct runs the same control
+  // plane as equalmax-direct: identical latency distributions.
+  core::ScenarioConfig credits_off = small_config(core::SystemKind::kEqualMaxCredits);
+  credits_off.admission_override = "direct";
+  core::ScenarioConfig direct = small_config(core::SystemKind::kEqualMaxDirect);
+
+  const core::RunResult a = core::run_scenario(credits_off);
+  const core::RunResult b = core::run_scenario(direct);
+  EXPECT_EQ(a.task_latency.percentile(99), b.task_latency.percentile(99));
+  EXPECT_EQ(a.task_latency.mean(), b.task_latency.mean());
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.congestion_signals, 0u);  // no credits machinery wired
+}
+
+}  // namespace
+}  // namespace brb

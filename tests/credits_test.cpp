@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/credits.hpp"
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
 #include "policy/replica_selector.hpp"
 #include "server/backend_server.hpp"
 #include "server/service_model.hpp"
@@ -320,49 +322,65 @@ TEST(CongestionMonitor, SignalsOnlyAboveThreshold) {
 }
 
 // ---------------------------------------------------------------------------
-// CreditAwareSelector
+// CreditAwarePolicy over the gate-mirrored SignalTable (the ported
+// CreditAwareSelector: the gate mirrors balances into the unified
+// table, the policy filters funded replicas from it).
 
-TEST(CreditAwareSelector, PrefersFundedReplicas) {
+TEST(CreditAwarePolicy, PrefersFundedReplicas) {
   sim::Simulator simulator;
   CreditsConfig config;
+  ctrl::SignalTable signals;
   CreditGate gate(simulator, 3, config, {0.0, 5.0, 0.0});
-  auto selector = std::make_unique<policy::RoundRobinSelector>();
-  CreditAwareSelector aware(std::move(selector), gate);
+  gate.attach_signals(&signals);
+  ctrl::CreditAwarePolicy aware(std::make_unique<ctrl::RoundRobinPolicy>());
   // Only server 1 is funded.
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(aware.select({0, 1, 2}, Duration::zero()), 1u);
+    EXPECT_EQ(aware.select(signals, {0, 1, 2}, Duration::zero()), 1u);
   }
 }
 
-TEST(CreditAwareSelector, FallsBackWhenAllBroke) {
+TEST(CreditAwarePolicy, FallsBackWhenAllBroke) {
   sim::Simulator simulator;
   CreditsConfig config;
+  ctrl::SignalTable signals;
   CreditGate gate(simulator, 3, config, {0.0, 0.0, 0.0});
-  CreditAwareSelector aware(std::make_unique<policy::FirstReplicaSelector>(), gate);
-  EXPECT_EQ(aware.select({2, 1, 0}, Duration::zero()), 2u);  // inner decides
+  gate.attach_signals(&signals);
+  ctrl::CreditAwarePolicy aware(std::make_unique<ctrl::FirstReplicaPolicy>());
+  EXPECT_EQ(aware.select(signals, {2, 1, 0}, Duration::zero()), 2u);  // inner decides
 }
 
-TEST(CreditAwareSelector, PassThroughWhenAllFunded) {
+TEST(CreditAwarePolicy, PassThroughWhenAllFunded) {
   sim::Simulator simulator;
   CreditsConfig config;
+  ctrl::SignalTable signals;
   CreditGate gate(simulator, 3, config, {5.0, 5.0, 5.0});
-  CreditAwareSelector aware(std::make_unique<policy::RoundRobinSelector>(), gate);
-  EXPECT_EQ(aware.select({0, 1, 2}, Duration::zero()), 0u);
-  EXPECT_EQ(aware.select({0, 1, 2}, Duration::zero()), 1u);
+  gate.attach_signals(&signals);
+  ctrl::CreditAwarePolicy aware(std::make_unique<ctrl::RoundRobinPolicy>());
+  EXPECT_EQ(aware.select(signals, {0, 1, 2}, Duration::zero()), 0u);
+  EXPECT_EQ(aware.select(signals, {0, 1, 2}, Duration::zero()), 1u);
 }
 
-TEST(CreditAwareSelector, ForwardsObservations) {
+TEST(CreditAwarePolicy, MirrorTracksSpends) {
+  // Spending a credit through the gate immediately updates the
+  // table's balance — selection and admission can never disagree.
   sim::Simulator simulator;
   CreditsConfig config;
-  CreditGate gate(simulator, 2, config, {1.0, 1.0});
-  auto inner = std::make_unique<policy::LeastOutstandingSelector>();
-  policy::LeastOutstandingSelector* raw = inner.get();
-  CreditAwareSelector aware(std::move(inner), gate);
-  aware.on_send(0, Duration::micros(10));
-  EXPECT_EQ(raw->outstanding(0), 1u);
-  store::ServerFeedback feedback;
-  aware.on_response(0, feedback, Duration::micros(100), Duration::micros(10));
-  EXPECT_EQ(raw->outstanding(0), 0u);
+  ctrl::SignalTable signals;
+  CreditGate gate(simulator, 2, config, {1.0, 5.0});
+  gate.attach_signals(&signals);
+  EXPECT_DOUBLE_EQ(signals.credit_balance(0), 1.0);
+  bool sent = false;
+  gate.set_transmit([&](client::OutboundRequest&) { sent = true; });
+  client::OutboundRequest out;
+  out.server = 0;
+  gate.offer(std::move(out));
+  EXPECT_TRUE(sent);
+  EXPECT_DOUBLE_EQ(signals.credit_balance(0), 0.0);
+  EXPECT_DOUBLE_EQ(signals.credit_balance(1), 5.0);
+
+  // A grant refills the mirror too.
+  gate.on_grant({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(signals.credit_balance(0), 3.0);
 }
 
 }  // namespace

@@ -101,6 +101,29 @@ TEST(FirstReplicaSelector, AlwaysFront) {
   EXPECT_THROW(selector.select({}, Duration::zero()), std::invalid_argument);
 }
 
+TEST(TwoChoicesSelector, FollowsOutstandingCounts) {
+  TwoChoicesSelector selector{util::Rng(9)};
+  // Load servers 3 and 5; with three replicas every sampled pair
+  // contains 7 at least sometimes, and 7 must win whenever it does.
+  selector.on_send(3, Duration::zero());
+  selector.on_send(3, Duration::zero());
+  selector.on_send(5, Duration::zero());
+  std::map<store::ServerId, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[selector.select(kReplicas, Duration::zero())];
+  EXPECT_GT(counts[7], counts[3]);
+  EXPECT_EQ(selector.outstanding(3), 2u);
+}
+
+TEST(SignalBackedSelectors, ExposeTheSharedTable) {
+  // The selector shims are views over one SignalTable per instance —
+  // observations land there, not in per-selector private state.
+  LeastOutstandingSelector selector;
+  selector.on_send(3, Duration::micros(50));
+  EXPECT_EQ(selector.signals().outstanding(3), 1u);
+  EXPECT_EQ(selector.signals().pending_cost(3), Duration::micros(50));
+  EXPECT_EQ(selector.name(), "least-outstanding");
+}
+
 // ---------------------------------------------------------------------------
 // C3 selector
 

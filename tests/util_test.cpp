@@ -1,9 +1,11 @@
-// Tests for the util module: flags parsing and the logger.
+// Tests for the util module: flags parsing, the logger, and the shared
+// EWMA helpers.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <vector>
 
+#include "util/ewma.hpp"
 #include "util/flags.hpp"
 #include "util/logger.hpp"
 
@@ -128,6 +130,42 @@ TEST(Logger, MacroShortCircuitsWhenDisabled) {
   BRB_DEBUG("test") << expensive();
   EXPECT_EQ(evaluations, 0);
   Logger::set_level(original);
+}
+
+// ---------------------------------------------------------------------------
+// EWMA (the single smoothing implementation every component shares)
+
+TEST(Ewma, UpdateIsTheExactHistoricalExpression) {
+  // Every pre-dedupe call site computed a*sample + (1-a)*previous;
+  // artifact byte-identity depends on this staying bit-exact.
+  const double a = 0.3;
+  const double previous = 123.456;
+  const double sample = 789.0123;
+  EXPECT_EQ(ewma_update(previous, a, sample), a * sample + (1.0 - a) * previous);
+}
+
+TEST(Ewma, UnseededSeedsWithFirstObservation) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.seen());
+  ewma.observe(1000.0);
+  EXPECT_TRUE(ewma.seen());
+  EXPECT_DOUBLE_EQ(ewma.value(), 1000.0);  // verbatim, not blended with 0
+  ewma.observe(2000.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 1500.0);
+}
+
+TEST(Ewma, SeededBlendsFromThePrior) {
+  Ewma ewma(0.2, 100.0);
+  EXPECT_TRUE(ewma.seen());
+  ewma.observe(200.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), ewma_update(100.0, 0.2, 200.0));
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(-0.1), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.1, 5.0), std::invalid_argument);
+  EXPECT_NO_THROW(Ewma(1.0));  // alpha 1 = no smoothing, legal
 }
 
 }  // namespace
