@@ -127,7 +127,9 @@ class AppClient : public sim::Actor {
   /// grows to the max in-flight span and then runs collision-free.
   std::vector<InflightSlot> inflight_table_;
   std::uint64_t inflight_count_ = 0;
-  std::unordered_map<store::TaskId, PendingTask> pending_tasks_;
+  /// Lookup-only (find/emplace/erase by task id) — never iterated, so
+  /// hash order cannot reach completion order or artifacts.
+  std::unordered_map<store::TaskId, PendingTask> pending_tasks_;  // brblint:allow(BRB-D01): lookup-only, never iterated
   std::uint64_t next_request_serial_ = 0;
 };
 

@@ -186,7 +186,7 @@ class CreditsController {
  private:
   void adapt_tick();
 
-  double& demand_at(store::ClientId client, std::size_t server) noexcept {
+  double& demand_at(store::ClientId client, store::ServerId server) noexcept {
     return demand_[static_cast<std::size_t>(client) * capacities_.size() + server];
   }
 

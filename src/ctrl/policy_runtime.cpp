@@ -100,7 +100,7 @@ std::vector<PolicySwitch> parse_policy_switch_spec(const std::string& spec) {
 class PolicyRuntime::BoundSelector final : public policy::ReplicaSelector {
  public:
   BoundSelector(SignalTableConfig signals, std::unique_ptr<ReplicaPolicy> active, util::Rng rng,
-                std::uint32_t tenant)
+                store::TenantId tenant)
       : signals_(signals), active_(std::move(active)), rng_(rng), tenant_(tenant) {}
 
   store::ServerId select(const std::vector<store::ServerId>& replicas,
@@ -124,7 +124,7 @@ class PolicyRuntime::BoundSelector final : public policy::ReplicaSelector {
   /// Stream for policies constructed at switch epochs (split per
   /// rebind; the t=0 policy uses the client's original stream copy).
   util::Rng rng_;
-  std::uint32_t tenant_;
+  store::TenantId tenant_;
 };
 
 // ---------------------------------------------------------------------------
@@ -139,7 +139,7 @@ PolicyRuntime::PolicyRuntime(sim::Simulator& sim, Config config)
     if (tenant.empty()) {
       std::fill(initial_.begin(), initial_.end(), policy);
     } else {
-      initial_[tenant_index(tenant)] = policy;
+      initial_[tenant_index(tenant).value()] = policy;
     }
   };
   for (const PolicyBinding& binding : parse_policy_spec(config_.policy_spec)) {
@@ -157,13 +157,13 @@ PolicyRuntime::PolicyRuntime(sim::Simulator& sim, Config config)
                    [](const PolicySwitch& a, const PolicySwitch& b) { return a.at < b.at; });
 }
 
-std::uint32_t PolicyRuntime::tenant_index(const std::string& name) const {
+store::TenantId PolicyRuntime::tenant_index(const std::string& name) const {
   if (config_.tenants.empty()) {
     throw std::invalid_argument("policy spec names tenant '" + name +
                                 "' but the scenario has no tenant mix (--tenants)");
   }
   for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
-    if (config_.tenants[i] == name) return static_cast<std::uint32_t>(i);
+    if (config_.tenants[i] == name) return store::TenantId{static_cast<std::uint32_t>(i)};
   }
   std::string known;
   for (const std::string& tenant : config_.tenants) {
@@ -174,11 +174,11 @@ std::uint32_t PolicyRuntime::tenant_index(const std::string& name) const {
                               known + ")");
 }
 
-const std::string& PolicyRuntime::initial_policy(std::uint32_t tenant) const {
-  if (tenant >= initial_.size()) {
+const std::string& PolicyRuntime::initial_policy(store::TenantId tenant) const {
+  if (tenant.value() >= initial_.size()) {
     throw std::out_of_range("PolicyRuntime::initial_policy: bad tenant index");
   }
-  return initial_[tenant];
+  return initial_[tenant.value()];
 }
 
 std::unique_ptr<ReplicaPolicy> PolicyRuntime::make_bound_policy(const std::string& name,
@@ -193,14 +193,13 @@ std::unique_ptr<ReplicaPolicy> PolicyRuntime::make_bound_policy(const std::strin
 }
 
 std::unique_ptr<policy::ReplicaSelector> PolicyRuntime::bind_client(store::ClientId id,
-                                                                    std::uint32_t tenant,
+                                                                    store::TenantId tenant,
                                                                     util::Rng rng) {
-  if (tenant >= initial_.size()) {
+  if (tenant.value() >= initial_.size()) {
     throw std::invalid_argument("PolicyRuntime::bind_client: tenant index out of range");
   }
-  auto bound = std::make_unique<BoundSelector>(config_.signals,
-                                               make_bound_policy(initial_[tenant], rng), rng,
-                                               tenant);
+  auto bound = std::make_unique<BoundSelector>(
+      config_.signals, make_bound_policy(initial_[tenant.value()], rng), rng, tenant);
   if (id >= clients_.size()) clients_.resize(id + 1, nullptr);
   if (clients_[id] != nullptr) {
     throw std::logic_error("PolicyRuntime::bind_client: client bound twice");
@@ -221,7 +220,7 @@ void PolicyRuntime::apply_epoch(std::size_t epoch_index) {
   for (BoundSelector* client : clients_) {
     if (client == nullptr) continue;
     if (!epoch.tenant.empty() &&
-        config_.tenants[client->tenant_] != epoch.tenant) {
+        config_.tenants[client->tenant_.value()] != epoch.tenant) {
       continue;
     }
     // The replacement policy reads the same SignalTable the old one

@@ -74,14 +74,14 @@ class PolicyRuntime {
   PolicyRuntime(sim::Simulator& sim, Config config);
 
   /// Resolved t=0 policy name for tenant `tenant`.
-  const std::string& initial_policy(std::uint32_t tenant) const;
+  const std::string& initial_policy(store::TenantId tenant) const;
 
   /// Creates client `id`'s control-plane endpoint: a SignalTable plus
   /// the tenant's bound policy, packaged as the ReplicaSelector the
   /// client owns. `rng` seeds randomized policies exactly as the
   /// pre-runtime wiring did (by value; the runtime keeps its own copy
   /// for constructing replacement policies at switch epochs).
-  std::unique_ptr<policy::ReplicaSelector> bind_client(store::ClientId id, std::uint32_t tenant,
+  std::unique_ptr<policy::ReplicaSelector> bind_client(store::ClientId id, store::TenantId tenant,
                                                        util::Rng rng);
 
   /// The client's SignalTable (valid for the bound selector's
@@ -103,7 +103,7 @@ class PolicyRuntime {
   class BoundSelector;
 
   std::unique_ptr<ReplicaPolicy> make_bound_policy(const std::string& name, util::Rng rng) const;
-  std::uint32_t tenant_index(const std::string& name) const;
+  store::TenantId tenant_index(const std::string& name) const;
   void apply_epoch(std::size_t epoch_index);
 
   sim::Simulator* sim_;

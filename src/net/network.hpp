@@ -19,14 +19,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/node_id.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
 
 namespace brb::net {
-
-/// Identifies an endpoint (client, server, controller) in the topology.
-using NodeId = std::uint32_t;
 
 /// Cumulative traffic counters, exposed for tests and reports.
 struct NetworkStats {
@@ -90,7 +88,9 @@ class Network {
   std::vector<sim::Time> last_delivery_;
   std::size_t stride_ = 0;
   /// Sparse latency overrides; empty in every homogeneous run.
-  std::unordered_map<std::uint64_t, sim::Duration> pair_latency_override_;
+  /// Lookup-only (find/insert by packed pair key) — never iterated, so
+  /// hash order cannot reach delivery order or artifacts.
+  std::unordered_map<std::uint64_t, sim::Duration> pair_latency_override_;  // brblint:allow(BRB-D01): lookup-only, never iterated
 };
 
 }  // namespace brb::net

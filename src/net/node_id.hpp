@@ -1,0 +1,15 @@
+// The network-endpoint identifier, split out of network.hpp so that
+// headers needing only the ID type (store/ids.hpp, workload/capacity)
+// don't pull in the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace brb::net {
+
+/// Identifies an endpoint (client, server, controller) in the topology.
+/// Dense: the cluster wiring assigns 0..num_nodes-1 contiguously
+/// (servers first, then clients, then controller/global-queue nodes).
+using NodeId = std::uint32_t;
+
+}  // namespace brb::net

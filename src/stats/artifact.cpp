@@ -143,6 +143,9 @@ Json merge_artifacts(const std::vector<Json>& shards) {
       p95.add(run.at("p95_ms").as_double());
       p99.add(run.at("p99_ms").as_double());
       mean.add(run.at("mean_ms").as_double());
+      // Wall seconds live in the timing subtree of the artifact, which the
+      // identity gate drops; order-sensitivity here cannot affect identity.
+      // brblint:allow(BRB-D03): wall timing, excluded from artifact identity
       total_wall_seconds += it->second.second;
       walls.push_back(it->second.second);
       runs.push_back(std::move(it->second.first));

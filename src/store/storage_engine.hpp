@@ -77,7 +77,9 @@ class StorageEngine {
   /// dense_size_plus1_[key] = size + 1; 0 means absent.
   std::vector<std::uint32_t> dense_size_plus1_;
   /// Payload-bearing entries and keys outside the dense range only.
-  std::unordered_map<KeyId, ValueMeta> values_;
+  /// Lookup-only (find/erase/indexed insert by key) — never iterated,
+  /// so hash order cannot reach service order or artifacts.
+  std::unordered_map<KeyId, ValueMeta> values_;  // brblint:allow(BRB-D01): lookup-only, never iterated
   std::size_t num_keys_ = 0;
   std::uint64_t stored_bytes_ = 0;
 };

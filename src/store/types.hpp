@@ -1,4 +1,5 @@
-// Shared identifier and protocol types for the replicated data store.
+// Shared protocol types for the replicated data store. The identifier
+// types (ClientId, ServerId, TenantId, ...) live in store/ids.hpp.
 #pragma once
 
 #include <cstdint>
@@ -6,26 +7,9 @@
 
 #include "net/network.hpp"
 #include "sim/time.hpp"
+#include "store/ids.hpp"
 
 namespace brb::store {
-
-/// Key in the data store's flat 64-bit keyspace.
-using KeyId = std::uint64_t;
-
-/// A replica group: the set of servers holding one data partition.
-using GroupId = std::uint32_t;
-
-/// Backend server index within the cluster (also its net::NodeId).
-using ServerId = net::NodeId;
-
-/// Application-server (client) index (also its net::NodeId).
-using ClientId = net::NodeId;
-
-/// Globally unique task identifier.
-using TaskId = std::uint64_t;
-
-/// Globally unique request identifier.
-using RequestId = std::uint64_t;
 
 /// Scheduling priority attached to a read request. Lower values are
 /// served first. BRB policies encode costs/slacks (in nanoseconds of

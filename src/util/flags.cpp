@@ -51,6 +51,9 @@ Flags::Flags(int argc, const char* const* argv) {
 
 std::optional<std::string> Flags::get(std::string_view name) const {
   if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  // BRB_* env vars are explicit run configuration — the same input class as
+  // argv, resolved once per lookup — not hidden nondeterminism.
+  // brblint:allow(BRB-D02): env fallback is declared run configuration
   if (const char* env = std::getenv(env_name_for(name).c_str()); env != nullptr) {
     return std::string(env);
   }

@@ -1,0 +1,50 @@
+// Strong typedef for dense integer identifiers.
+//
+// The engine indexes everything by small dense integers (clients,
+// servers, tenants). Raw integers make those indices interchangeable,
+// and a client index silently used as a server index is exactly the
+// kind of bug that survives until an artifact diff catches it — or
+// doesn't. `StrongId` is a zero-cost wrapper that makes each ID kind a
+// distinct type: construction from the raw representation is explicit,
+// comparison only works within a kind, and `.value()` is the single,
+// greppable way back to the integer (for array indexing).
+//
+// brblint's BRB-D04 check enforces that API boundaries use these (or
+// the dense aliases in store/ids.hpp) instead of raw integers.
+#pragma once
+
+#include <compare>
+
+namespace brb::util {
+
+template <class Tag, class Rep>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(Rep value) noexcept : value_(value) {}
+
+  /// The raw representation — the one escape hatch, used at dense
+  /// array-indexing sites.
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+  constexpr explicit operator Rep() const noexcept { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+  /// Dense iteration support (for (TenantId t{0}; t < end; ++t)).
+  constexpr StrongId& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) noexcept {
+    StrongId before = *this;
+    ++value_;
+    return before;
+  }
+
+ private:
+  Rep value_{};
+};
+
+}  // namespace brb::util

@@ -38,7 +38,7 @@ ServerClass parse_class(const std::string& part) {
 
 }  // namespace
 
-const ServerClass& ClusterSpec::class_of(std::uint32_t server) const {
+const ServerClass& ClusterSpec::class_of(store::ServerId server) const {
   for (const ServerClass& c : classes) {
     if (server < c.count) return c;
     server -= c.count;
@@ -46,17 +46,17 @@ const ServerClass& ClusterSpec::class_of(std::uint32_t server) const {
   throw std::out_of_range("ClusterSpec: server outside fleet");
 }
 
-std::uint32_t ClusterSpec::cores_of(std::uint32_t server) const {
+std::uint32_t ClusterSpec::cores_of(store::ServerId server) const {
   if (classes.empty()) return cores_per_server;
   return class_of(server).cores;
 }
 
-double ClusterSpec::rate_of(std::uint32_t server) const {
+double ClusterSpec::rate_of(store::ServerId server) const {
   if (classes.empty()) return service_rate_per_core;
   return class_of(server).rate_per_core;
 }
 
-double ClusterSpec::capacity_of(std::uint32_t server) const {
+double ClusterSpec::capacity_of(store::ServerId server) const {
   if (classes.empty()) {
     return static_cast<double>(cores_per_server) * service_rate_per_core;
   }

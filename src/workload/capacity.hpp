@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "store/ids.hpp"
+
 namespace brb::workload {
 
 /// One homogeneous slice of a heterogeneous fleet.
@@ -40,10 +42,10 @@ struct ClusterSpec {
 
   /// Per-server shape. Homogeneous clusters answer from the scalar
   /// fields (bit-identical to the pre-hetero arithmetic).
-  std::uint32_t cores_of(std::uint32_t server) const;
-  double rate_of(std::uint32_t server) const;
+  std::uint32_t cores_of(store::ServerId server) const;
+  double rate_of(store::ServerId server) const;
   /// cores_of * rate_of, requests/second.
-  double capacity_of(std::uint32_t server) const;
+  double capacity_of(store::ServerId server) const;
   std::uint64_t total_cores() const noexcept;
 
   /// Parses "hetero:COUNTxCORESxRATE[,...]" or the homogeneous
@@ -57,7 +59,7 @@ struct ClusterSpec {
  private:
   /// The class a heterogeneous server id falls in (classes assign ids
   /// in declaration order). Throws out_of_range past the fleet.
-  const ServerClass& class_of(std::uint32_t server) const;
+  const ServerClass& class_of(store::ServerId server) const;
 };
 
 class CapacityPlanner {

@@ -28,7 +28,7 @@ struct TaskSpec {
   /// Which application server (client) receives the task.
   store::ClientId client = 0;
   /// Tenant the issuing client belongs to (0 in single-tenant runs).
-  std::uint32_t tenant = 0;
+  store::TenantId tenant{};
   sim::Time arrival;
   std::vector<RequestSpec> requests;
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace brb::workload {
 
@@ -207,9 +206,9 @@ std::pair<std::uint32_t, std::uint32_t> TaskGenerator::tenant_clients(std::size_
 }
 
 void TaskGenerator::fill_requests(TaskSpec& task, const KeyDistribution& keys, bool is_write) {
-  std::uint32_t fanout =
-      (!tenants_.empty() && tenants_[task.tenant].fanout) ? tenants_[task.tenant].fanout->sample(rng_)
-                                                          : fanout_->sample(rng_);
+  std::uint32_t fanout = (!tenants_.empty() && tenants_[task.tenant.value()].fanout)
+                             ? tenants_[task.tenant.value()].fanout->sample(rng_)
+                             : fanout_->sample(rng_);
   // A task cannot request more distinct keys than the keyspace holds.
   if (config_.distinct_keys && fanout > keys.num_keys()) {
     fanout = static_cast<std::uint32_t>(keys.num_keys());
@@ -225,9 +224,20 @@ void TaskGenerator::fill_requests(TaskSpec& task, const KeyDistribution& keys, b
     task.requests.push_back(spec);
   };
   if (config_.distinct_keys) {
-    std::unordered_set<store::KeyId>& chosen = chosen_scratch_;
+    // Sorted-vector membership: insertion keeps the scratch ordered so
+    // the dedup check is a binary search. Requests are still emitted in
+    // sample order (the RNG stream and the generated task are
+    // byte-identical to the old hash-set dedup — pinned by
+    // workload_test's DistinctKeyStreamIsPinned).
+    std::vector<store::KeyId>& chosen = chosen_scratch_;
     chosen.clear();
-    chosen.reserve(fanout * 2);
+    chosen.reserve(fanout);
+    const auto try_insert = [&chosen](store::KeyId key) {
+      const auto it = std::lower_bound(chosen.begin(), chosen.end(), key);
+      if (it != chosen.end() && *it == key) return false;
+      chosen.insert(it, key);
+      return true;
+    };
     // The popularity distribution may not reach every key (scrambled
     // Zipf can collide), so bound the rejection loop and fill any
     // remainder by deterministic scan — only reachable in tests with
@@ -236,10 +246,10 @@ void TaskGenerator::fill_requests(TaskSpec& task, const KeyDistribution& keys, b
     const std::uint64_t max_attempts = 64ULL * fanout + 256;
     while (chosen.size() < fanout && attempts++ < max_attempts) {
       const store::KeyId key = keys.sample(rng_);
-      if (chosen.insert(key).second) push(key);
+      if (try_insert(key)) push(key);
     }
     for (store::KeyId key = 0; chosen.size() < fanout && key < keys.num_keys(); ++key) {
-      if (chosen.insert(key).second) push(key);
+      if (try_insert(key)) push(key);
     }
   } else {
     for (std::uint32_t i = 0; i < fanout; ++i) push(keys.sample(rng_));
@@ -256,7 +266,7 @@ TaskSpec TaskGenerator::next() {
     const double u = rng_.uniform();
     std::size_t t = 0;
     while (t + 1 < tenant_cdf_.size() && u > tenant_cdf_[t]) ++t;
-    task.tenant = static_cast<std::uint32_t>(t);
+    task.tenant = store::TenantId{static_cast<std::uint32_t>(t)};
     const std::uint32_t begin = tenant_client_begin_[t];
     const std::uint32_t width = tenant_client_begin_[t + 1] - begin;
     if (config_.round_robin_clients) {
@@ -279,13 +289,14 @@ TaskSpec TaskGenerator::next() {
   // asymmetry this knob exists to study. No RNG is consumed in the
   // read-only default, keeping legacy streams bit-identical.
   double write_fraction = write_fraction_;
-  if (!tenants_.empty() && tenants_[task.tenant].write_fraction >= 0.0) {
-    write_fraction = tenants_[task.tenant].write_fraction;
+  if (!tenants_.empty() && tenants_[task.tenant.value()].write_fraction >= 0.0) {
+    write_fraction = tenants_[task.tenant.value()].write_fraction;
   }
   const bool is_write = write_fraction > 0.0 && rng_.uniform() < write_fraction;
 
-  const KeyDistribution& keys =
-      (!tenants_.empty() && tenants_[task.tenant].keys) ? *tenants_[task.tenant].keys : *keys_;
+  const KeyDistribution& keys = (!tenants_.empty() && tenants_[task.tenant.value()].keys)
+                                    ? *tenants_[task.tenant.value()].keys
+                                    : *keys_;
   fill_requests(task, keys, is_write);
   return task;
 }

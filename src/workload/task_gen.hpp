@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -131,7 +130,10 @@ class TaskGenerator {
   std::vector<std::uint32_t> tenant_next_client_;
   /// Distinct-key dedup scratch reused across tasks (cleared, never
   /// reallocated — the per-task set was a measurable allocation cost).
-  std::unordered_set<store::KeyId> chosen_scratch_;
+  /// Sorted vector, not a hash set: fanouts are small (tens), binary
+  /// search beats hashing at this size, and the artifact path stays
+  /// free of unordered containers (brblint BRB-D01).
+  std::vector<store::KeyId> chosen_scratch_;
 };
 
 }  // namespace brb::workload

@@ -267,8 +267,8 @@ TEST(PolicyRuntime, ResolvesInitialBindings) {
   config.switch_spec = "t0:tenantA:c3";
   config.tenants = {"tenantA", "tenantB"};
   ctrl::PolicyRuntime runtime(sim, config);
-  EXPECT_EQ(runtime.initial_policy(0), "c3");
-  EXPECT_EQ(runtime.initial_policy(1), "least-outstanding");
+  EXPECT_EQ(runtime.initial_policy(store::TenantId{0}), "c3");
+  EXPECT_EQ(runtime.initial_policy(store::TenantId{1}), "least-outstanding");
   EXPECT_EQ(runtime.num_epochs(), 0u);
 }
 
@@ -292,7 +292,7 @@ TEST(PolicyRuntime, SwitchesAtEpochAndKeepsSignals) {
   ctrl::PolicyRuntime runtime(sim, config);
   ASSERT_EQ(runtime.num_epochs(), 1u);
 
-  const auto selector = runtime.bind_client(0, 0, util::Rng(3));
+  const auto selector = runtime.bind_client(0, store::TenantId{0}, util::Rng(3));
   EXPECT_EQ(selector->name(), "round-robin");
   selector->on_send(7, Duration::micros(100));
   runtime.start();
@@ -313,8 +313,8 @@ TEST(PolicyRuntime, TenantScopedSwitchTouchesOnlyThatTenant) {
   config.switch_spec = "1s:batch:random";
   config.tenants = {"interactive", "batch"};
   ctrl::PolicyRuntime runtime(sim, config);
-  const auto fg = runtime.bind_client(0, 0, util::Rng(1));
-  const auto bg = runtime.bind_client(1, 1, util::Rng(2));
+  const auto fg = runtime.bind_client(0, store::TenantId{0}, util::Rng(1));
+  const auto bg = runtime.bind_client(1, store::TenantId{1}, util::Rng(2));
   runtime.start();
   sim.schedule_at(Time::seconds(2.0), [&sim] { sim.stop(); });
   sim.run();

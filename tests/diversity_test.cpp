@@ -412,8 +412,8 @@ TEST(MultiTenant, ClientsPartitionIntoShareProportionalBlocks) {
   std::set<std::uint32_t> seen_tenants;
   for (int i = 0; i < 2000; ++i) {
     const workload::TaskSpec task = generator.next();
-    seen_tenants.insert(task.tenant);
-    if (task.tenant == 0) {
+    seen_tenants.insert(task.tenant.value());
+    if (task.tenant == store::TenantId{0}) {
       EXPECT_LT(task.client, 7u);
       EXPECT_EQ(task.fanout(), 2u);  // tenant override
     } else {

@@ -1,0 +1,21 @@
+// brblint self-test fixture: deterministic code — no findings expected.
+// expect:
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t sum_values(const std::map<std::uint32_t, std::uint64_t>& table) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : table) total += value;  // ordered traversal
+  return total;
+}
+
+double run_mean(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// brblint self-test fixture: BRB-D01 must fire on unordered containers.
+// expect: BRB-D01=2
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t sum_values(const std::unordered_map<std::uint32_t, std::uint64_t>& table) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : table) total += value;  // iteration order leaks
+  return total;
+}
+
+std::unordered_set<std::uint32_t> seen;
+
+}  // namespace fixture

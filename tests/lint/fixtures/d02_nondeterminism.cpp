@@ -1,0 +1,20 @@
+// brblint self-test fixture: BRB-D02 must fire on each banned
+// nondeterminism source (one per line below).
+// expect: BRB-D02=5
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace fixture {
+
+double naughty() {
+  const int r = std::rand();
+  const auto now = std::chrono::steady_clock::now();
+  const char* env = std::getenv("FIXTURE");
+  std::this_thread::yield();
+  const auto key = reinterpret_cast<std::uintptr_t>(env);
+  return static_cast<double>(r) + static_cast<double>(key) +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace fixture

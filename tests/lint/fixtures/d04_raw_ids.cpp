@@ -1,0 +1,20 @@
+// brblint self-test fixture: BRB-D04 must fire on raw integers named
+// like dense IDs at API boundaries, and stay quiet on the typed forms.
+// expect: BRB-D04=2
+#include <cstdint>
+
+namespace store {
+using ServerId = std::uint32_t;
+using ClientId = std::uint32_t;
+}  // namespace store
+
+namespace fixture {
+
+double capacity_of(std::uint32_t server_id);
+void bind(int client);
+
+// Typed boundary: must NOT fire.
+double rate_of(store::ServerId server);
+void rebind(store::ClientId client);
+
+}  // namespace fixture

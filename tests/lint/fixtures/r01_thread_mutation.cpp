@@ -1,0 +1,22 @@
+// brblint self-test fixture: BRB-R01 must fire on a thread-worker
+// lambda mutating by-reference captured state with no synchronization.
+// expect: BRB-R01=1
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t race() {
+  std::uint64_t hits = 0;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      hits += 1;  // unsynchronized read-modify-write
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  return hits;
+}
+
+}  // namespace fixture

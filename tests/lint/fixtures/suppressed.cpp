@@ -1,0 +1,41 @@
+// brblint self-test fixture: every violation below carries an inline
+// suppression, so the file must produce zero findings (and exit 0).
+// expect: suppressed=4
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// brblint:allow(BRB-D01): lookup-only, never iterated
+std::unordered_map<std::uint32_t, std::uint64_t> overrides;
+
+const char* env_config() {
+  return std::getenv("FIXTURE");  // brblint:allow(BRB-D02): declared run configuration
+}
+
+double merge_shards_sanctioned(double a, double b) {
+  double total = a;
+  // brblint:allow(BRB-D03): two fixed operands, order pinned by caller
+  total += b;
+  return total;
+}
+
+double disjoint_slots() {
+  std::vector<double> slots(4, 0.0);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    // brblint:allow(BRB-R01): disjoint pre-sized slots, joined before read
+    workers.emplace_back([&, w] {
+      slots[static_cast<std::size_t>(w)] = 1.0;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  double total = 0.0;
+  for (const double s : slots) total += s;
+  return total;
+}
+
+}  // namespace fixture

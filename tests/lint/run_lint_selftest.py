@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""brblint self-test: runs the linter over the seeded fixture files and
+asserts exact per-check finding counts, suppression counts, and exit
+codes. Each fixture declares its expectations in a header comment:
+
+    // expect: BRB-D01=2            (findings per check ID)
+    // expect: suppressed=4         (suppression count, optional)
+    // expect:                      (clean file: no findings)
+
+Also exercises the baseline workflow end to end: --update-baseline on a
+dirty fixture must make the follow-up run exit 0 with zero NEW findings.
+
+Exit 0 = all assertions hold; 1 = mismatch (details on stderr).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+CHECK_IDS = ("BRB-D01", "BRB-D02", "BRB-D03", "BRB-D04", "BRB-R01")
+
+_EXPECT = re.compile(r"^//\s*expect:\s*(.*)$")
+_FINDING = re.compile(r"^.+?:\d+: \[(BRB-[A-Z0-9]+)\] ")
+_SUMMARY = re.compile(
+    r"^brblint: (\d+) new finding\(s\), (\d+) baselined, (\d+) suppressed;")
+
+
+def parse_expectations(path):
+    expected = {check: 0 for check in CHECK_IDS}
+    suppressed = None
+    saw_expect = False
+    with open(path) as f:
+        for line in f:
+            m = _EXPECT.match(line.strip())
+            if not m:
+                continue
+            saw_expect = True
+            for term in m.group(1).split():
+                key, _, value = term.partition("=")
+                if key == "suppressed":
+                    suppressed = int(value)
+                elif key in expected:
+                    expected[key] = int(value)
+                else:
+                    raise SystemExit("%s: unknown expectation '%s'" % (path, term))
+    if not saw_expect:
+        raise SystemExit("%s: fixture has no '// expect:' header" % path)
+    return expected, suppressed
+
+
+def run_brblint(brblint, root, target, extra=()):
+    cmd = [sys.executable, brblint, "--root", root, "--mode=regex",
+           "--no-baseline", *extra, target]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def count_findings(stdout):
+    counts = {check: 0 for check in CHECK_IDS}
+    suppressed = 0
+    for line in stdout.splitlines():
+        m = _FINDING.match(line)
+        if m:
+            counts[m.group(1)] = counts.get(m.group(1), 0) + 1
+        m = _SUMMARY.match(line)
+        if m:
+            suppressed = int(m.group(3))
+    return counts, suppressed
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--brblint", required=True)
+    parser.add_argument("--fixtures", required=True)
+    parser.add_argument("--root", required=True)
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    fixtures = sorted(f for f in os.listdir(args.fixtures) if f.endswith(".cpp"))
+    if not fixtures:
+        print("no fixtures under %s" % args.fixtures, file=sys.stderr)
+        return 1
+
+    failures = []
+    dirty_fixture = None
+    for name in fixtures:
+        full = os.path.join(os.path.abspath(args.fixtures), name)
+        rel = os.path.relpath(full, root)
+        expected, expected_suppressed = parse_expectations(full)
+        proc = run_brblint(args.brblint, root, rel)
+        counts, suppressed = count_findings(proc.stdout)
+        want_exit = 1 if any(expected.values()) else 0
+        if any(expected.values()) and dirty_fixture is None:
+            dirty_fixture = rel
+        if proc.returncode != want_exit:
+            failures.append("%s: exit %d, want %d\n%s%s"
+                            % (name, proc.returncode, want_exit, proc.stdout, proc.stderr))
+        for check in CHECK_IDS:
+            if counts[check] != expected[check]:
+                failures.append("%s: %s fired %d time(s), want %d\n%s"
+                                % (name, check, counts[check], expected[check], proc.stdout))
+        if expected_suppressed is not None and suppressed != expected_suppressed:
+            failures.append("%s: %d suppression(s), want %d\n%s"
+                            % (name, suppressed, expected_suppressed, proc.stdout))
+
+    # Baseline round trip: accepting current findings must silence the rerun.
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "baseline.txt")
+        first = subprocess.run(
+            [sys.executable, args.brblint, "--root", root, "--mode=regex",
+             "--baseline", baseline, "--update-baseline", dirty_fixture],
+            capture_output=True, text=True)
+        second = subprocess.run(
+            [sys.executable, args.brblint, "--root", root, "--mode=regex",
+             "--baseline", baseline, dirty_fixture],
+            capture_output=True, text=True)
+        if first.returncode != 0:
+            failures.append("baseline update failed (exit %d)\n%s%s"
+                            % (first.returncode, first.stdout, first.stderr))
+        if second.returncode != 0 or "0 new finding(s)" not in second.stdout:
+            failures.append("baselined rerun not clean (exit %d)\n%s%s"
+                            % (second.returncode, second.stdout, second.stderr))
+
+    if failures:
+        for failure in failures:
+            print("FAIL %s" % failure, file=sys.stderr)
+        print("%d/%d fixture assertion group(s) failed"
+              % (len(failures), len(fixtures)), file=sys.stderr)
+        return 1
+    print("brblint self-test: %d fixture(s) + baseline round trip ok" % len(fixtures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -307,6 +307,35 @@ TEST(TaskGenerator, DistinctKeysWithinTask) {
   }
 }
 
+TEST(TaskGenerator, DistinctKeyStreamIsPinned) {
+  // Regression pin for the distinct-key sampling path: the sorted-vector
+  // dedup scratch must consume the RNG stream and emit keys exactly as
+  // the original unordered_set-based membership check did. Any change to
+  // the sampling order shifts every downstream artifact, so the full
+  // (client, key, size_hint) stream is pinned by hash for a fixed seed.
+  GeneralizedParetoSizeDist sizes;
+  Dataset dataset(2000, sizes, util::Rng(77));
+  ZipfKeys keys(2000, 0.9);
+  FixedFanout fanout(16);
+  auto generator = make_generator(dataset, keys, fanout, 78);
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (v >> (8 * b)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (int i = 0; i < 500; ++i) {
+    const TaskSpec task = generator.next();
+    mix(task.client);
+    for (const auto& request : task.requests) {
+      mix(request.key);
+      mix(request.size_hint);
+    }
+  }
+  EXPECT_EQ(hash, 0xf964fe5a03ddc8b0ull);
+}
+
 TEST(TaskGenerator, FanoutClampedToKeyspace) {
   FixedSizeDist sizes(100);
   Dataset dataset(3, sizes, util::Rng(27));
