@@ -89,6 +89,101 @@ MicroResult bench_event_queue_cancel(std::uint64_t rounds) {
   });
 }
 
+MicroResult bench_wheel_short_delta_push_pop(std::uint64_t rounds) {
+  // Steady-state wheel traffic: every push lands a short delta ahead
+  // of the advancing cursor (levels 0-1), every pop drains in tick
+  // order — the pattern network deliveries and service completions
+  // produce at paper scale. Everything stays wheel-resident, so this
+  // isolates the O(1) link/unlink path from the heap tier.
+  brb::sim::EventQueue queue;
+  brb::util::Rng rng(3);
+  const std::uint64_t batch = 1024;
+  std::int64_t now = 0;
+  return run_micro("wheel_short_delta_push_pop", rounds * batch, [&] {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        queue.push(brb::sim::Time::nanos(now + rng.uniform_int(4'096, 1'000'000)), [] {});
+      }
+      if (queue.wheel_resident() + queue.heap_resident() != batch) std::abort();
+      while (auto entry = queue.pop()) now = entry->when.count_nanos();
+    }
+  });
+}
+
+MicroResult bench_wheel_cascade(std::uint64_t rounds) {
+  // Far-delta events (levels 2-3): each pop first lazily relinks the
+  // event down through the lower levels — the full cascade path, cost
+  // amortized O(1) but with the worst constant the wheel has.
+  brb::sim::EventQueue queue;
+  brb::util::Rng rng(4);
+  const std::uint64_t batch = 256;
+  std::int64_t now = 0;
+  return run_micro("wheel_cascade_far_delta", rounds * batch, [&] {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        queue.push(brb::sim::Time::nanos(now + rng.uniform_int(300'000'000, 50'000'000'000)),
+                   [] {});
+      }
+      while (auto entry = queue.pop()) now = entry->when.count_nanos();
+    }
+  });
+}
+
+MicroResult bench_event_queue_cancel_heap(std::uint64_t rounds) {
+  // Same churn as event_queue_cancel but with every event beyond the
+  // wheel horizon: cancel pays the O(log n) heap unlink instead of the
+  // O(1) intrusive-list unlink, giving the two tiers' cancellation
+  // costs side by side in the artifact.
+  brb::sim::EventQueue queue;
+  brb::util::Rng rng(7);
+  const std::int64_t horizon_ns = brb::sim::EventQueue::kWheelSpanTicks
+                                  << brb::sim::EventQueue::kGranularityBits;
+  const std::uint64_t batch = 1024;
+  std::vector<brb::sim::EventId> ids(batch);
+  return run_micro("event_queue_cancel_heap", rounds * batch, [&] {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        ids[i] = queue.push(
+            brb::sim::Time::nanos(horizon_ns + rng.uniform_int(0, 1'000'000)), [] {});
+      }
+      if (queue.heap_resident() != batch) std::abort();
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        if (!queue.cancel(ids[i])) std::abort();
+      }
+    }
+  });
+}
+
+MicroResult bench_batch_drain_same_timestamp(std::uint64_t rounds) {
+  // Same-timestamp burst delivery: pop_batch takes the whole
+  // coincident group in one call and claim() hands out each callback
+  // without re-touching the queue's ordering structures per event —
+  // the path Simulator::run() drives for every batch.
+  brb::sim::EventQueue queue;
+  const std::uint64_t batch = 1024;
+  std::vector<brb::sim::EventQueue::Ready> ready;
+  brb::sim::EventQueue::Callback fn;
+  std::int64_t now = 0;
+  std::uint64_t ran = 0;
+  MicroResult result = run_micro("batch_drain_same_timestamp", rounds * batch, [&] {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      now += 1'000'000;
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        queue.push(brb::sim::Time::nanos(now), [&ran] { ++ran; });
+      }
+      ready.clear();
+      if (!queue.pop_batch(ready) || ready.size() != batch) std::abort();
+      for (const auto& ev : ready) {
+        if (!queue.claim(ev, fn)) std::abort();
+        fn();
+        fn.reset();
+      }
+    }
+  });
+  if (ran != rounds * batch) std::abort();
+  return result;
+}
+
 MicroResult bench_simulator_self_scheduling(std::uint64_t rounds) {
   const std::uint64_t chain = 10'000;
   return run_micro("simulator_self_scheduling", rounds * chain, [&] {
@@ -226,6 +321,10 @@ int main(int argc, char** argv) {
   std::vector<MicroResult> micro;
   micro.push_back(bench_event_queue_push_pop(rounds));
   micro.push_back(bench_event_queue_cancel(rounds));
+  micro.push_back(bench_wheel_short_delta_push_pop(rounds));
+  micro.push_back(bench_wheel_cascade(rounds));
+  micro.push_back(bench_event_queue_cancel_heap(rounds));
+  micro.push_back(bench_batch_drain_same_timestamp(rounds));
   micro.push_back(bench_simulator_self_scheduling(quick ? 20 : 200));
   micro.push_back(bench_priority_discipline(rounds));
   micro.push_back(bench_c3_scoring(ops));

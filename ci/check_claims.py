@@ -36,6 +36,17 @@ Policy sanity (policy-shootout nightly):
   a longer horizon than nightly runs to amortize) must beat uniform
   random selection on task p99:  p99(c3-noderate) < margin * p99(random).
 
+Engine throughput gate (nightly perf trajectory):
+    check_claims.py --engine-budget BENCH_engine.json \
+        ci/reference/engine_baseline.json [--budget 0.03]
+
+  Compares the fresh bench_micro_engine headline (paper-scenario
+  events/sec) against the checked-in baseline and fails when it drops
+  past the regression budget (default -3%). The engine config
+  (scenario, task count) must match the baseline's or the comparison
+  is refused. Micro-bench deltas are printed for the log but not
+  gated — they are too machine-sensitive for a hard budget.
+
 Determinism check:
     check_claims.py --identical a.json b.json
 
@@ -176,6 +187,47 @@ def run_policy_sanity(report_path, margin):
     return 0
 
 
+def run_engine_budget(bench_path, baseline_path, budget):
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    fresh = bench["engine"]
+    ref = baseline["engine"]
+    for key in ("scenario", "tasks"):
+        if fresh.get(key) != ref.get(key):
+            print(f"FAIL: engine config mismatch on '{key}': bench has "
+                  f"{fresh.get(key)!r}, baseline has {ref.get(key)!r} — "
+                  "refusing an apples-to-oranges comparison", file=sys.stderr)
+            return 1
+
+    got = fresh["events_per_sec"]
+    want = ref["events_per_sec"]
+    ratio = got / want
+    ok = ratio >= 1.0 - budget
+    print(f"{'ok' if ok else 'FAIL':4} engine events/sec: {got:,.0f} vs "
+          f"baseline {want:,.0f} ({ratio - 1.0:+.2%}, budget -{budget:.0%})")
+
+    # Micro-bench trajectory, informational only.
+    ref_micro = baseline.get("micro_ops_per_sec", {})
+    for name, fresh_ops in sorted(bench.get("micro_ops_per_sec", {}).items()):
+        base_ops = ref_micro.get(name)
+        if base_ops:
+            print(f"note micro {name}: {fresh_ops:,.0f} ops/s "
+                  f"({fresh_ops / base_ops - 1.0:+.1%} vs baseline)")
+        else:
+            print(f"note micro {name}: {fresh_ops:,.0f} ops/s (no baseline)")
+
+    if not ok:
+        print(f"\nengine throughput regressed past the -{budget:.0%} budget; "
+              "if the slowdown is intended, refresh "
+              "ci/reference/engine_baseline.json in the same change",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def strip_wall_clock(node, top=True):
     """Drops wall-clock time (the one legitimately nondeterministic
     part of a report): the top-level "timing" object in format-2
@@ -214,6 +266,10 @@ def main():
                         help="two reports must match modulo wall_seconds")
     parser.add_argument("--policy-sanity", action="store_true",
                         help="policy-shootout report: c3-noderate must beat random on p99")
+    parser.add_argument("--engine-budget", action="store_true",
+                        help="BENCH_engine.json vs engine_baseline.json throughput gate")
+    parser.add_argument("--budget", type=float, default=0.03,
+                        help="max relative events/sec drop (engine-budget mode)")
     parser.add_argument("--margin", type=float, default=1.0,
                         help="p99(c3-noderate) < margin * p99(random) (policy-sanity mode)")
     parser.add_argument("--max-tenant-p99-ratio", type=float, default=100.0,
@@ -224,6 +280,10 @@ def main():
         if len(args.files) != 1:
             parser.error("--policy-sanity takes exactly one report")
         return run_policy_sanity(args.files[0], args.margin)
+    if args.engine_budget:
+        if len(args.files) != 2:
+            parser.error("--engine-budget takes BENCH_engine.json baseline.json")
+        return run_engine_budget(args.files[0], args.files[1], args.budget)
     if args.invariants:
         if len(args.files) != 1:
             parser.error("--invariants takes exactly one report")

@@ -42,11 +42,12 @@ sim::Duration AppClient::forecast_cost(std::uint32_t size_hint) {
   return sim::Duration::nanos(std::max<std::int64_t>(1, noisy));
 }
 
-void AppClient::submit(const workload::TaskSpec& task) {
+void AppClient::submit(workload::TaskSpec task) {
   if (task.requests.empty()) {
     throw std::invalid_argument("AppClient::submit: task with no requests");
   }
   ++stats_.tasks_submitted;
+  const store::TaskId task_id = task.id;  // spec is moved out below
 
   // 1. Plan: forecast costs and group requests by replica group.
   policy::TaskPlan& plan = plan_scratch_;
@@ -125,10 +126,10 @@ void AppClient::submit(const workload::TaskSpec& task) {
                          : 1;
   }
   PendingTask pending;
-  pending.spec = task;
+  pending.spec = std::move(task);
   pending.remaining = wire_requests;
   pending.started = now();
-  pending_tasks_.emplace(task.id, std::move(pending));
+  pending_tasks_.emplace(task_id, std::move(pending));
 
   const auto dispatch = [&](const policy::PlannedRequest& planned, store::ServerId server) {
     OutboundRequest out;
@@ -136,7 +137,7 @@ void AppClient::submit(const workload::TaskSpec& task) {
     out.group = planned.group;
     out.request.request_id =
         (static_cast<std::uint64_t>(config_.id) << 40) | next_request_serial_++;
-    out.request.task_id = task.id;
+    out.request.task_id = task_id;
     out.request.key = planned.key;
     out.request.client = config_.id;
     out.request.priority = planned.priority;

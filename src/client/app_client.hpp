@@ -65,8 +65,11 @@ class AppClient : public sim::Actor {
   void set_network_send(NetworkSendFn fn) { network_send_ = std::move(fn); }
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
-  /// Entry point: a task arrives at this application server.
-  void submit(const workload::TaskSpec& task);
+  /// Entry point: a task arrives at this application server. By value:
+  /// callers that are done with the spec (the arrival pump) move it in,
+  /// and the client moves it again into its pending-task record — the
+  /// per-task requests vector is never copied on the hot path.
+  void submit(workload::TaskSpec task);
 
   /// Delivery of a response from the network.
   void on_response(const store::ReadResponse& response);

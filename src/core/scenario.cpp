@@ -542,7 +542,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
     workload::TaskSpec task = generator.next();
     result.tasks_submitted++;
     sim.schedule_at(task.arrival, [&, task = std::move(task)]() mutable {
-      clients[task.client]->submit(task);
+      const store::ClientId client = task.client;
+      clients[client]->submit(std::move(task));
       schedule_next();
     });
   };

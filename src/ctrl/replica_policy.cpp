@@ -88,14 +88,17 @@ C3ScorePolicy::C3ScorePolicy(C3ScoreConfig config, std::string registered_name)
 }
 
 double C3ScorePolicy::score(const SignalTable& signals, store::ServerId server) const {
-  const SignalTable::Signals& s = signals.of(server);
+  // Column reads, not an of() row snapshot: scoring strides the same
+  // few columns across every replica, so this keeps the scan cache-hot.
+  const bool seen = signals.seen(server);
+  const double ewma_service_ns = signals.ewma_service_time_ns(server);
   const double prior_ns = static_cast<double>(config_.prior_service_time.count_nanos());
-  const double service_ns = s.seen && s.ewma_service_time_ns > 0 ? s.ewma_service_time_ns
-                                                                 : prior_ns;
-  const double response_ns = s.seen ? s.ewma_response_ns : 0.0;
+  const double service_ns = seen && ewma_service_ns > 0 ? ewma_service_ns : prior_ns;
+  const double response_ns = seen ? signals.ewma_response_ns(server) : 0.0;
   const double q_hat =
-      1.0 + static_cast<double>(s.outstanding) * static_cast<double>(config_.num_clients) +
-      s.ewma_queue;
+      1.0 +
+      static_cast<double>(signals.outstanding(server)) * static_cast<double>(config_.num_clients) +
+      signals.ewma_queue(server);
   // Psi = R - 1/mu + q^b / mu, all in nanoseconds.
   return response_ns - service_ns + std::pow(q_hat, config_.queue_exponent) * service_ns;
 }

@@ -6,61 +6,117 @@ SignalTable::SignalTable(SignalTableConfig config) : config_(config) {
   util::validate_ewma_alpha(config_.ewma_alpha, "SignalTable");
 }
 
-const SignalTable::Signals& SignalTable::of(store::ServerId server) const {
-  static const Signals kEmpty{};
-  return server < servers_.size() ? servers_[server] : kEmpty;
+void SignalTable::grow(store::ServerId server) const {
+  if (server < columns_size_) return;
+  const std::size_t n = server + 1;
+  ewma_response_ns_.resize(n, 0.0);
+  ewma_queue_.resize(n, 0.0);
+  ewma_service_ns_.resize(n, 0.0);
+  seen_.resize(n, 0);
+  outstanding_.resize(n, 0);
+  pending_cost_ns_.resize(n, 0);
+  credit_balance_.resize(n, 0.0);
+  rate_cap_.resize(n, 0.0);
+  last_queue_length_.resize(n, 0);
+  last_service_rate_.resize(n, 0.0);
+  columns_size_ = n;
 }
 
-SignalTable::Signals& SignalTable::slot(store::ServerId server) {
-  if (server >= servers_.size()) servers_.resize(server + 1);
-  return servers_[server];
+SignalTable::Signals SignalTable::of(store::ServerId server) const {
+  flush();
+  if (server >= columns_size_) return Signals{};
+  Signals s;
+  s.ewma_response_ns = ewma_response_ns_[server];
+  s.ewma_queue = ewma_queue_[server];
+  s.ewma_service_time_ns = ewma_service_ns_[server];
+  s.seen = seen_[server] != 0;
+  s.outstanding = outstanding_[server];
+  s.pending_cost_ns = pending_cost_ns_[server];
+  s.credit_balance = credit_balance_[server];
+  s.rate_cap = rate_cap_[server];
+  s.last_queue_length = last_queue_length_[server];
+  s.last_service_rate = last_service_rate_[server];
+  return s;
 }
 
 void SignalTable::on_send(store::ServerId server, sim::Duration expected_cost) {
-  Signals& s = slot(server);
-  ++s.outstanding;
-  s.pending_cost_ns += expected_cost.count_nanos();
+  flush();  // sends and staged responses share the in-flight columns
+  grow(server);
+  ++outstanding_[server];
+  pending_cost_ns_[server] += expected_cost.count_nanos();
   ++sends_;
 }
 
 void SignalTable::on_response(store::ServerId server, const store::ServerFeedback& feedback,
                               sim::Duration rtt, sim::Duration expected_cost) {
-  Signals& s = slot(server);
+  grow(server);
   ++responses_;
-
-  // In-flight release. Guards match the old per-selector counters: a
-  // duplicate response must not underflow either account.
-  if (s.outstanding > 0) --s.outstanding;
-  s.pending_cost_ns -= expected_cost.count_nanos();
-  if (s.pending_cost_ns < 0) s.pending_cost_ns = 0;
-
-  s.last_queue_length = feedback.queue_length;
-  s.last_service_rate = feedback.service_rate;
-
+  StagedFeedback e;
+  e.server = server;
+  e.queue_length = feedback.queue_length;
+  e.rtt_ns = static_cast<double>(rtt.count_nanos());
   // Server-wide rate mu (req/s) -> expected per-request service time.
-  const double a = config_.ewma_alpha;
-  const double rtt_ns = static_cast<double>(rtt.count_nanos());
-  const double service_ns =
-      feedback.service_rate > 0 ? 1e9 / feedback.service_rate
-                                : static_cast<double>(feedback.service_time.count_nanos());
-  if (!s.seen) {
-    s.ewma_response_ns = rtt_ns;
-    s.ewma_queue = feedback.queue_length;
-    s.ewma_service_time_ns = service_ns;
-    s.seen = true;
-    return;
+  e.service_ns = feedback.service_rate > 0
+                     ? 1e9 / feedback.service_rate
+                     : static_cast<double>(feedback.service_time.count_nanos());
+  e.service_rate = feedback.service_rate;
+  e.expected_cost_ns = expected_cost.count_nanos();
+  staged_.push_back(e);
+}
+
+void SignalTable::flush_staged() const {
+  // In-flight release + raw last-feedback columns. Applied in arrival
+  // order: the underflow guards match the old per-selector counters (a
+  // duplicate response must not underflow either account), and "last"
+  // means last-arrived.
+  for (const StagedFeedback& e : staged_) {
+    if (outstanding_[e.server] > 0) --outstanding_[e.server];
+    pending_cost_ns_[e.server] -= e.expected_cost_ns;
+    if (pending_cost_ns_[e.server] < 0) pending_cost_ns_[e.server] = 0;
+    last_queue_length_[e.server] = e.queue_length;
+    last_service_rate_[e.server] = e.service_rate;
   }
-  s.ewma_response_ns = util::ewma_update(s.ewma_response_ns, a, rtt_ns);
-  s.ewma_queue = util::ewma_update(s.ewma_queue, a, static_cast<double>(feedback.queue_length));
-  s.ewma_service_time_ns = util::ewma_update(s.ewma_service_time_ns, a, service_ns);
+
+  // First-contact prepass: entry i seeds its server's EWMAs iff no
+  // response preceded it (in the table or earlier in this batch). The
+  // flags let each EWMA pass below stay a branch-light column sweep
+  // while reproducing seed-then-blend bit-exactly.
+  seed_scratch_.resize(staged_.size());
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const std::uint32_t s = staged_[i].server;
+    seed_scratch_[i] = seen_[s] == 0 ? 1 : 0;
+    seen_[s] = 1;
+  }
+
+  const double a = config_.ewma_alpha;
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const StagedFeedback& e = staged_[i];
+    ewma_response_ns_[e.server] =
+        seed_scratch_[i] ? e.rtt_ns : util::ewma_update(ewma_response_ns_[e.server], a, e.rtt_ns);
+  }
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const StagedFeedback& e = staged_[i];
+    const double q = static_cast<double>(e.queue_length);
+    ewma_queue_[e.server] =
+        seed_scratch_[i] ? q : util::ewma_update(ewma_queue_[e.server], a, q);
+  }
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const StagedFeedback& e = staged_[i];
+    ewma_service_ns_[e.server] =
+        seed_scratch_[i] ? e.service_ns
+                         : util::ewma_update(ewma_service_ns_[e.server], a, e.service_ns);
+  }
+  staged_.clear();
 }
 
 void SignalTable::set_credit_balance(store::ServerId server, double balance) {
-  slot(server).credit_balance = balance;
+  grow(server);
+  credit_balance_[server] = balance;
 }
 
 void SignalTable::set_rate_cap(store::ServerId server, double rate) {
-  slot(server).rate_cap = rate;
+  grow(server);
+  rate_cap_[server] = rate;
 }
 
 }  // namespace brb::ctrl

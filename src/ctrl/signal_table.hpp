@@ -12,6 +12,18 @@
 // Policies (ctrl/replica_policy.hpp) become pure readers — which is
 // what makes them swappable mid-run: a policy switch binds a new
 // decision procedure to the *same* accumulated signals.
+//
+// Layout: structure-of-arrays. Each signal lives in its own dense
+// column indexed by ServerId, and response feedback is *staged* into a
+// batch rather than applied immediately: `on_response()` only appends
+// the raw sample, and the accumulated batch is folded in column-wise
+// (all response EWMAs, then all queue EWMAs, ...) at the next read or
+// send. Bursts of responses between selections — the common shape
+// under gated admission — thus update each column in one contiguous
+// sweep instead of striding across per-pair structs. The flush applies
+// samples in arrival order per column with the exact original
+// arithmetic (seed-first-sample, then `util::ewma_update`), so every
+// observable value is bit-identical to immediate application.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +47,8 @@ struct SignalTableConfig {
 /// state (exactly the behavior the per-selector tables had).
 class SignalTable {
  public:
+  /// Materialized snapshot of one server's signals (row view over the
+  /// columns; taken at call time, does not track later updates).
   struct Signals {
     // --- response-path estimates (seeded by the first response) ---
     /// EWMA of measured response time (request RTT), nanoseconds.
@@ -68,44 +82,113 @@ class SignalTable {
   /// A request was bound to `server` (counted at *offer* time, before
   /// any gate hold, so throttled replicas keep accumulating believed
   /// load — the invariant the old selector-side accounting relied on).
+  /// Flushes any staged feedback first: sends and responses touch the
+  /// same in-flight columns and must apply in call order.
   void on_send(store::ServerId server, sim::Duration expected_cost);
 
-  /// A response arrived: releases in-flight accounting and folds the
-  /// piggybacked feedback into the EWMAs. The smoothing is exactly the
-  /// C3 selector's original arithmetic (seed-first-sample, then
-  /// `util::ewma_update`), so C3 scores over this table are
-  /// bit-identical to the pre-refactor implementation.
+  /// A response arrived: stages the sample into the feedback batch.
+  /// The in-flight release and EWMA folds happen column-wise at the
+  /// next flush point (any read, or the next on_send).
   void on_response(store::ServerId server, const store::ServerFeedback& feedback,
                    sim::Duration rtt, sim::Duration expected_cost);
 
   /// Admission mirrors (called by the credit gate / rate gate whenever
   /// their state changes, so selection policies can read balances and
-  /// caps without reaching into gate internals).
+  /// caps without reaching into gate internals). These columns are
+  /// never staged, so mirror writes need no flush and stay correctly
+  /// ordered relative to batched feedback.
   void set_credit_balance(store::ServerId server, double balance);
   void set_rate_cap(store::ServerId server, double rate);
 
-  /// Read access; servers beyond the table read as the zero state.
-  const Signals& of(store::ServerId server) const;
+  /// Row snapshot; servers beyond the table read as the zero state.
+  Signals of(store::ServerId server) const;
 
-  std::uint32_t outstanding(store::ServerId server) const { return of(server).outstanding; }
-  sim::Duration pending_cost(store::ServerId server) const {
-    return sim::Duration::nanos(of(server).pending_cost_ns);
+  // --- column reads (each flushes staged feedback first) ---
+  std::uint32_t outstanding(store::ServerId server) const {
+    flush();
+    return server < outstanding_.size() ? outstanding_[server] : 0;
   }
-  double credit_balance(store::ServerId server) const { return of(server).credit_balance; }
+  sim::Duration pending_cost(store::ServerId server) const {
+    flush();
+    return sim::Duration::nanos(server < pending_cost_ns_.size() ? pending_cost_ns_[server] : 0);
+  }
+  bool seen(store::ServerId server) const {
+    flush();
+    return server < seen_.size() && seen_[server] != 0;
+  }
+  double ewma_response_ns(store::ServerId server) const {
+    flush();
+    return server < ewma_response_ns_.size() ? ewma_response_ns_[server] : 0.0;
+  }
+  double ewma_queue(store::ServerId server) const {
+    flush();
+    return server < ewma_queue_.size() ? ewma_queue_[server] : 0.0;
+  }
+  double ewma_service_time_ns(store::ServerId server) const {
+    flush();
+    return server < ewma_service_ns_.size() ? ewma_service_ns_[server] : 0.0;
+  }
+
+  // --- mirror columns (never staged; no flush required) ---
+  double credit_balance(store::ServerId server) const {
+    return server < credit_balance_.size() ? credit_balance_[server] : 0.0;
+  }
+  double rate_cap(store::ServerId server) const {
+    return server < rate_cap_.size() ? rate_cap_[server] : 0.0;
+  }
 
   /// Servers contacted so far (table growth high-water mark).
-  std::size_t size() const noexcept { return servers_.size(); }
+  std::size_t size() const noexcept { return columns_size_; }
   const SignalTableConfig& config() const noexcept { return config_; }
 
   /// Cumulative update counts (observability + bench).
   std::uint64_t sends_recorded() const noexcept { return sends_; }
   std::uint64_t responses_recorded() const noexcept { return responses_; }
 
+  /// Staged-but-unapplied feedback samples (observability + bench).
+  std::size_t staged_feedback() const noexcept { return staged_.size(); }
+
+  /// Applies the staged feedback batch column-wise. Reads do this
+  /// lazily; exposed for benches that want to time the fold itself.
+  void flush() const {
+    if (!staged_.empty()) flush_staged();
+  }
+
  private:
-  Signals& slot(store::ServerId server);
+  /// One raw response sample, as staged by on_response(). The expected
+  /// service time is precomputed here so the flush's EWMA pass is a
+  /// pure column sweep.
+  struct StagedFeedback {
+    store::ServerId server = 0;
+    std::uint32_t queue_length = 0;
+    double rtt_ns = 0.0;
+    double service_ns = 0.0;
+    double service_rate = 0.0;
+    std::int64_t expected_cost_ns = 0;
+  };
+
+  void grow(store::ServerId server) const;
+  void flush_staged() const;
 
   SignalTableConfig config_;
-  std::vector<Signals> servers_;
+
+  // Columns (mutable: flushing from const readers is not an observable
+  // state change). All share columns_size_.
+  mutable std::size_t columns_size_ = 0;
+  mutable std::vector<double> ewma_response_ns_;
+  mutable std::vector<double> ewma_queue_;
+  mutable std::vector<double> ewma_service_ns_;
+  mutable std::vector<std::uint8_t> seen_;
+  mutable std::vector<std::uint32_t> outstanding_;
+  mutable std::vector<std::int64_t> pending_cost_ns_;
+  mutable std::vector<double> credit_balance_;
+  mutable std::vector<double> rate_cap_;
+  mutable std::vector<std::uint32_t> last_queue_length_;
+  mutable std::vector<double> last_service_rate_;
+
+  mutable std::vector<StagedFeedback> staged_;
+  mutable std::vector<std::uint8_t> seed_scratch_;  // per-entry first-contact flags
+
   std::uint64_t sends_ = 0;
   std::uint64_t responses_ = 0;
 };

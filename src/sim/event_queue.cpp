@@ -1,6 +1,9 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
 #include <utility>
 
 namespace brb::sim {
@@ -8,48 +11,410 @@ namespace brb::sim {
 // Slot generations: even = free, odd = occupied. acquire/release each
 // bump the counter, so any id captured before a release fails the
 // generation check afterwards — stale cancels are always rejected.
+//
+// Wheel invariants (checked by event_queue_wheel_test's differential
+// fuzz against a pure-heap reference):
+//   W1  every wheel-resident event has tick(when) >= cursor_tick_;
+//       past pushes and beyond-horizon pushes route to the heap tier.
+//   W2  a level-l bucket only holds events whose tick falls inside
+//       that bucket's current rotation window; the bucket is cascaded
+//       (l > 0) or drained (l == 0) before the cursor passes it.
+//   W3  the ready run always belongs to the bucket at cursor_tick_;
+//       pushes landing on that exact tick while the run is live are
+//       merge-inserted so slot-internal order stays exact.
+
+namespace {
+constexpr std::uint32_t kSlotMask = EventQueue::kSlotsPerLevel - 1;
+constexpr int kWordsPerLevel = EventQueue::kSlotsPerLevel / 64;
+}  // namespace
+
+namespace {
+constexpr std::int64_t kNoHint = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+EventQueue::EventQueue() {
+  head_.fill(kNil);
+  tail_.fill(kNil);
+  bitmap_.fill(0);
+  level_hint_.fill(kNoHint);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return slot;
+}
 
 void EventQueue::release_slot(std::uint32_t slot) noexcept {
   Slot& s = slots_[slot];
   s.fn.reset();
   ++s.generation;  // odd -> even: free
+  s.tier = Tier::kLoose;
   free_slots_.push_back(slot);
+}
+
+void EventQueue::place(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const std::int64_t tick = tick_of(s.when);
+  if (tick == cursor_tick_ && ready_pos_ < ready_.size()) {
+    // The bucket at the cursor is already drained; late arrivals for
+    // the same granule merge into the sorted run (W3).
+    ready_insert(slot);
+    return;
+  }
+  const std::int64_t delta = tick - cursor_tick_;
+  if (delta < 0 || delta >= kWheelSpanTicks) {
+    heap_link(slot);
+    return;
+  }
+  wheel_link(slot, tick);
+}
+
+void EventQueue::wheel_link(std::uint32_t slot, std::int64_t tick) {
+  Slot& s = slots_[slot];
+  const std::int64_t delta = tick - cursor_tick_;
+  int level = 0;
+  while (delta >= (std::int64_t{1} << (kLevelBits * (level + 1)))) ++level;
+  const auto bucket = static_cast<std::uint16_t>((tick >> (kLevelBits * level)) & kSlotMask);
+  const std::size_t idx = static_cast<std::size_t>(level) * kSlotsPerLevel + bucket;
+  s.prev = tail_[idx];
+  s.next = kNil;
+  if (tail_[idx] == kNil) {
+    head_[idx] = slot;
+  } else {
+    slots_[tail_[idx]].next = slot;
+  }
+  tail_[idx] = slot;
+  bitmap_[static_cast<std::size_t>(level) * kWordsPerLevel + (bucket >> 6)] |=
+      std::uint64_t{1} << (bucket & 63);
+  const std::int64_t start =
+      (tick >> (kLevelBits * level)) << (kLevelBits * level);
+  if (start < level_hint_[level]) level_hint_[level] = start;
+  s.tier = Tier::kWheel;
+  s.level = static_cast<std::uint8_t>(level);
+  s.bucket = bucket;
+  ++wheel_count_;
+}
+
+void EventQueue::wheel_unlink(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  const std::size_t idx = static_cast<std::size_t>(s.level) * kSlotsPerLevel + s.bucket;
+  if (s.prev == kNil) {
+    head_[idx] = s.next;
+  } else {
+    slots_[s.prev].next = s.next;
+  }
+  if (s.next == kNil) {
+    tail_[idx] = s.prev;
+  } else {
+    slots_[s.next].prev = s.prev;
+  }
+  if (head_[idx] == kNil) {
+    bitmap_[static_cast<std::size_t>(s.level) * kWordsPerLevel + (s.bucket >> 6)] &=
+        ~(std::uint64_t{1} << (s.bucket & 63));
+  }
+  --wheel_count_;
+}
+
+void EventQueue::ready_insert(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const Ready r{s.when, s.seq, slot, s.generation};
+  const auto begin = ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_);
+  const auto pos = std::upper_bound(begin, ready_.end(), r, [](const Ready& a, const Ready& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  });
+  ready_.insert(pos, r);
+  s.tier = Tier::kReady;
+}
+
+int EventQueue::next_occupied(int level, std::uint32_t from, bool inclusive) const noexcept {
+  // Circular find-first-set over the level's bitmap words, starting at
+  // bit `from`. Returns the circular distance in buckets, or -1.
+  const std::uint64_t* bm = &bitmap_[static_cast<std::size_t>(level) * kWordsPerLevel];
+  if (!inclusive) from = (from + 1) & kSlotMask;
+  const std::uint32_t word = from >> 6;
+  const std::uint32_t bit = from & 63;
+  int dist = 0;
+  std::uint64_t m = bm[word] >> bit;
+  if (m != 0) return std::countr_zero(m);
+  dist = static_cast<int>(64 - bit);
+  for (int k = 1; k < kWordsPerLevel; ++k) {
+    m = bm[(word + k) & (kWordsPerLevel - 1)];
+    if (m != 0) return dist + std::countr_zero(m);
+    dist += 64;
+  }
+  // Full circle: the low bits of the starting word, before `from`.
+  m = bit != 0 ? (bm[word] & ((std::uint64_t{1} << bit) - 1)) : 0;
+  if (m != 0) return dist + std::countr_zero(m);
+  return -1;
+}
+
+void EventQueue::drain_bucket(std::int64_t tick) {
+  cursor_tick_ = tick;
+  const auto bucket = static_cast<std::uint16_t>(tick & kSlotMask);
+  const std::size_t idx = bucket;  // level 0
+  std::uint32_t slot = head_[idx];
+  head_[idx] = kNil;
+  tail_[idx] = kNil;
+  bitmap_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  while (slot != kNil) {
+    Slot& s = slots_[slot];
+    const std::uint32_t next = s.next;
+    --wheel_count_;
+    ready_insert(slot);
+    slot = next;
+  }
+}
+
+void EventQueue::cascade_bucket(int level, std::uint16_t bucket) {
+  const std::size_t idx = static_cast<std::size_t>(level) * kSlotsPerLevel + bucket;
+  std::uint32_t slot = head_[idx];
+  head_[idx] = kNil;
+  tail_[idx] = kNil;
+  bitmap_[static_cast<std::size_t>(level) * kWordsPerLevel + (bucket >> 6)] &=
+      ~(std::uint64_t{1} << (bucket & 63));
+  while (slot != kNil) {
+    Slot& s = slots_[slot];
+    const std::uint32_t next = s.next;
+    --wheel_count_;
+    // Relink below: delta is now < this level's bucket width (W2), so
+    // the event lands at a strictly lower level (or the cursor tick's
+    // own level-0 bucket).
+    wheel_link(slot, tick_of(s.when));
+    slot = next;
+  }
+}
+
+void EventQueue::skip_dead_ready() {
+  while (ready_pos_ < ready_.size()) {
+    const Ready& r = ready_[ready_pos_];
+    if (slots_[r.slot].generation == r.generation) break;
+    ++ready_pos_;  // cancelled while in the run; slot already released
+  }
+}
+
+void EventQueue::ensure_ready() {
+  skip_dead_ready();
+  while (ready_pos_ >= ready_.size() && wheel_count_ > 0) {
+    ready_.clear();
+    ready_pos_ = 0;
+    // Advance the cursor to the earliest wheel content: pick the
+    // minimum of the next occupied level-0 bucket (inclusive of the
+    // cursor's own bucket) and the start of the next occupied bucket
+    // at every higher level; equal ticks cascade the highest level
+    // first so its contents can join the lower buckets before those
+    // are processed.
+    std::int64_t best_tick = kNoHint;
+    int best_level = 0;
+    if (level_hint_[0] != kNoHint) {
+      const std::uint32_t i0 = static_cast<std::uint32_t>(cursor_tick_) & kSlotMask;
+      const int d0 = next_occupied(0, i0, /*inclusive=*/true);
+      if (d0 >= 0) {
+        best_tick = cursor_tick_ + d0;
+        level_hint_[0] = best_tick;
+      } else {
+        level_hint_[0] = kNoHint;
+      }
+    }
+    for (int level = 1; level < kLevels; ++level) {
+      // The hint is a lower bound on this level's earliest bucket
+      // start; when it cannot beat (or tie) the best candidate, the
+      // level's bitmap scan is skipped entirely. Ties must scan: the
+      // tie-break below needs the true start to cascade the higher
+      // level first.
+      if (level_hint_[level] > best_tick) continue;
+      const int shift = kLevelBits * level;
+      const std::int64_t cb = cursor_tick_ >> shift;
+      const std::uint32_t il = static_cast<std::uint32_t>(cb) & kSlotMask;
+      // When the cursor sits exactly on this level's bucket boundary
+      // (e.g. just advanced there by a higher-level cascade), the
+      // bucket at the cursor's own index can hold current-rotation
+      // events and must be scanned inclusively; a next-rotation event
+      // cannot be in it (a push at an aligned cursor with delta >=
+      // 2^(bits*(l+1)) always lands one level up), so distance 0 is
+      // unambiguous. Off the boundary, the own index can only hold
+      // next-rotation events, so the scan starts one past it.
+      const bool aligned = (cursor_tick_ & ((std::int64_t{1} << shift) - 1)) == 0;
+      const int dl = next_occupied(level, il, /*inclusive=*/aligned);
+      if (dl < 0) {
+        level_hint_[level] = kNoHint;
+        continue;
+      }
+      const std::int64_t bucket_num = cb + (aligned ? dl : 1 + dl);
+      const std::int64_t start_tick = bucket_num << shift;
+      level_hint_[level] = start_tick;
+      if (start_tick < best_tick || (start_tick == best_tick && level > best_level)) {
+        best_tick = start_tick;
+        best_level = level;
+      }
+    }
+    assert(best_tick != kNoHint && "wheel_count_ > 0 but no occupied bucket");
+    if (best_level == 0) {
+      drain_bucket(best_tick);
+    } else {
+      cursor_tick_ = best_tick;
+      cascade_bucket(best_level,
+                     static_cast<std::uint16_t>((best_tick >> (kLevelBits * best_level)) &
+                                                kSlotMask));
+    }
+    skip_dead_ready();
+  }
+  if (ready_pos_ >= ready_.size()) {
+    ready_.clear();
+    ready_pos_ = 0;
+  }
 }
 
 bool EventQueue::cancel(EventId id) {
   const auto slot = static_cast<std::uint32_t>(id & 0xffff'ffffu);
   const auto generation = static_cast<std::uint32_t>(id >> 32);
   if ((generation & 1u) == 0 || slot >= slots_.size()) return false;
-  if (slots_[slot].generation != generation) return false;
-  remove_at(slots_[slot].heap_pos);
+  Slot& s = slots_[slot];
+  if (s.generation != generation) return false;
+  switch (s.tier) {
+    case Tier::kWheel:
+      wheel_unlink(slot);
+      break;
+    case Tier::kHeap:
+      heap_remove_at(s.heap_pos);
+      break;
+    case Tier::kReady:
+    case Tier::kLoose:
+      // The ready-run entry (or the caller's popped batch entry) goes
+      // stale via the generation bump and is skipped lazily.
+      break;
+  }
+  if (s.tier != Tier::kLoose) --live_;
   release_slot(slot);
   return true;
 }
 
-std::optional<Time> EventQueue::peek_time() const {
-  if (heap_.empty()) return std::nullopt;
-  return heap_.front().when;
+std::optional<Time> EventQueue::peek_time() {
+  ensure_ready();
+  const bool have_ready = ready_pos_ < ready_.size();
+  if (!have_ready && heap_.empty()) return std::nullopt;
+  if (!have_ready) return heap_.front().when;
+  const Time tr = ready_[ready_pos_].when;
+  if (heap_.empty()) return tr;
+  return std::min(tr, heap_.front().when);
 }
 
 std::optional<EventQueue::Entry> EventQueue::pop() {
-  if (heap_.empty()) return std::nullopt;
-  const HeapItem top = heap_.front();
-  Slot& s = slots_[top.slot];
-  Entry out{top.when, make_id(top.slot, s.generation), std::move(s.fn)};
-  release_slot(top.slot);
-  remove_at(0);
+  ensure_ready();
+  const bool have_ready = ready_pos_ < ready_.size();
+  const bool have_heap = !heap_.empty();
+  if (!have_ready && !have_heap) return std::nullopt;
+  bool from_ready = have_ready;
+  if (have_ready && have_heap) {
+    const Ready& r = ready_[ready_pos_];
+    const HeapItem& h = heap_.front();
+    from_ready = h.when != r.when ? r.when < h.when : r.seq < h.seq;
+  }
+  std::uint32_t slot;
+  Time when;
+  if (from_ready) {
+    slot = ready_[ready_pos_].slot;
+    when = ready_[ready_pos_].when;
+    ++ready_pos_;
+  } else {
+    slot = heap_.front().slot;
+    when = heap_.front().when;
+    heap_remove_at(0);
+  }
+  Slot& s = slots_[slot];
+  Entry out{when, make_id(slot, s.generation), std::move(s.fn)};
+  release_slot(slot);
+  --live_;
   return out;
 }
 
-void EventQueue::clear() {
-  for (const HeapItem& item : heap_) release_slot(item.slot);
-  heap_.clear();
+bool EventQueue::pop_batch(std::vector<Ready>& out) {
+  ensure_ready();
+  const bool have_ready = ready_pos_ < ready_.size();
+  const bool have_heap = !heap_.empty();
+  if (!have_ready && !have_heap) return false;
+  Time t = have_ready ? ready_[ready_pos_].when : heap_.front().when;
+  if (have_ready && have_heap && heap_.front().when < t) t = heap_.front().when;
+  // Merge both tiers' run of events at exactly t, by seq. Each tier
+  // yields its t-run in seq order already (the ready run is sorted;
+  // the heap pops (when, seq) ascending).
+  for (;;) {
+    skip_dead_ready();  // cancelled entries can sit behind live ones
+    const bool r_ok = ready_pos_ < ready_.size() && ready_[ready_pos_].when == t;
+    const bool h_ok = !heap_.empty() && heap_.front().when == t;
+    if (!r_ok && !h_ok) break;
+    bool take_ready = r_ok;
+    if (r_ok && h_ok) take_ready = ready_[ready_pos_].seq < heap_.front().seq;
+    if (take_ready) {
+      const Ready r = ready_[ready_pos_];
+      ++ready_pos_;
+      slots_[r.slot].tier = Tier::kLoose;
+      out.push_back(r);
+    } else {
+      const HeapItem h = heap_.front();
+      heap_remove_at(0);
+      Slot& s = slots_[h.slot];
+      s.tier = Tier::kLoose;
+      out.push_back(Ready{h.when, h.seq, h.slot, s.generation});
+    }
+    --live_;
+  }
+  return true;
 }
 
-void EventQueue::remove_at(std::size_t pos) {
+bool EventQueue::claim(const Ready& ev, Callback& fn) {
+  Slot& s = slots_[ev.slot];
+  if (s.generation != ev.generation) return false;  // cancelled mid-batch
+  fn = std::move(s.fn);
+  release_slot(ev.slot);
+  return true;
+}
+
+void EventQueue::restore(const Ready& ev) {
+  Slot& s = slots_[ev.slot];
+  if (s.generation != ev.generation) return;  // cancelled mid-batch
+  assert(s.tier == Tier::kLoose);
+  place(ev.slot);
+  ++live_;
+}
+
+void EventQueue::clear() {
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if ((slots_[slot].generation & 1u) != 0 && slots_[slot].tier != Tier::kLoose) {
+      release_slot(slot);
+    }
+  }
+  head_.fill(kNil);
+  tail_.fill(kNil);
+  bitmap_.fill(0);
+  level_hint_.fill(kNoHint);
+  wheel_count_ = 0;
+  ready_.clear();
+  ready_pos_ = 0;
+  heap_.clear();
+  live_ = 0;
+}
+
+// --- heap tier -------------------------------------------------------------
+
+void EventQueue::heap_link(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  heap_.push_back(HeapItem{s.when, s.seq, slot});
+  s.tier = Tier::kHeap;
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::heap_remove_at(std::size_t pos) {
   const std::size_t last = heap_.size() - 1;
   if (pos != last) {
-    place(pos, heap_[last]);
+    heap_place(pos, heap_[last]);
     heap_.pop_back();
     // The displaced item may violate the heap property in either
     // direction relative to its new neighbourhood.
@@ -60,7 +425,7 @@ void EventQueue::remove_at(std::size_t pos) {
   }
 }
 
-void EventQueue::place(std::size_t pos, HeapItem item) noexcept {
+void EventQueue::heap_place(std::size_t pos, HeapItem item) noexcept {
   heap_[pos] = item;
   slots_[item.slot].heap_pos = static_cast<std::uint32_t>(pos);
 }
@@ -77,10 +442,10 @@ void EventQueue::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
     if (!later(heap_[parent], item)) break;
-    place(i, heap_[parent]);
+    heap_place(i, heap_[parent]);
     i = parent;
   }
-  place(i, item);
+  heap_place(i, item);
 }
 
 void EventQueue::sift_down(std::size_t i) {
@@ -95,10 +460,10 @@ void EventQueue::sift_down(std::size_t i) {
       if (later(heap_[best], heap_[c])) best = c;
     }
     if (!later(item, heap_[best])) break;
-    place(i, heap_[best]);
+    heap_place(i, heap_[best]);
     i = best;
   }
-  place(i, item);
+  heap_place(i, item);
 }
 
 }  // namespace brb::sim

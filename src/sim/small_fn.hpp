@@ -71,8 +71,13 @@ class SmallFn {
 
   /// True when the capture lives in the inline buffer (test hook).
   bool is_inline() const noexcept {
-    return invoke_ != nullptr && manage_ != nullptr && storage_kind_ == Storage::kInline;
+    return invoke_ != nullptr && storage_kind_ == Storage::kInline;
   }
+
+  /// True when the capture moves/destroys without a manager call —
+  /// trivially-copyable inline captures, the event loop's hot closures
+  /// (test hook).
+  bool is_trivial() const noexcept { return invoke_ != nullptr && manage_ == nullptr; }
 
   void reset() noexcept {
     if (manage_ != nullptr) manage_(Op::kDestroy, *this, nullptr);
@@ -142,7 +147,20 @@ class SmallFn {
   void emplace(F&& fn) {
     using Fn = std::decay_t<F>;
     void* where = nullptr;
-    if constexpr (sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(std::max_align_t)) {
+    if constexpr (sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>) {
+      // Trivial inline fast path: no manager function at all. Moves
+      // byte-copy the buffer and destruction is a no-op, which keeps
+      // the event queue's claim/release cycle free of indirect calls —
+      // the simulator's hot closures (deliveries, completions) capture
+      // only ids, times, and raw pointers, so they all land here.
+      storage_kind_ = Storage::kInline;
+      ::new (static_cast<void*>(inline_)) Fn(std::forward<F>(fn));
+      invoke_ = [](SmallFn& self) { (*static_cast<Fn*>(self.target()))(); };
+      manage_ = nullptr;
+      return;
+    } else if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                         alignof(Fn) <= alignof(std::max_align_t)) {
       storage_kind_ = Storage::kInline;
       where = inline_;
     } else if constexpr (sizeof(Fn) <= kPooledBlockSize &&
@@ -189,7 +207,16 @@ class SmallFn {
   void move_from(SmallFn& other) noexcept {
     invoke_ = other.invoke_;
     manage_ = other.manage_;
-    if (other.manage_ != nullptr) other.manage_(Op::kMove, other, this);
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMove, other, this);
+    } else if (other.invoke_ != nullptr) {
+      // Trivial inline capture: a fixed-size byte copy beats a managed
+      // member-wise move (straight-line, no indirect call). Copying the
+      // full buffer over-reads past sizeof(Fn) but never past the
+      // union, and the source needs no teardown.
+      storage_kind_ = Storage::kInline;
+      __builtin_memcpy(inline_, other.inline_, kInlineCapacity);
+    }
     other.invoke_ = nullptr;
     other.manage_ = nullptr;
   }

@@ -10,6 +10,7 @@
 
 #include "cli/driver.hpp"
 #include "core/scenario.hpp"
+#include "ctrl/replica_policy.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/small_fn.hpp"
@@ -224,6 +225,43 @@ TEST(ThreadDeterminism, ReportJsonByteIdenticalAcrossWorkerCounts) {
   }
   EXPECT_EQ(dumps[0], dumps[1]);
   EXPECT_EQ(dumps[0], dumps[2]);
+}
+
+TEST(ThreadDeterminism, PolicyShootoutSubstrateByteIdenticalAcrossWorkerCounts) {
+  // The policy-shootout substrate (FIFO direct dispatch + a scored
+  // replica policy) drives the control-plane feedback path hardest:
+  // staged SignalTable batches, column flushes on every selection, and
+  // dense same-timestamp delivery batches through the timing wheel.
+  // Worker count must still not leak into the artifact.
+  core::ScenarioConfig config;
+  config.system = core::SystemKind::kFifoDirect;
+  config.policy_spec = ctrl::canonical_policy_name("c3-noderate");
+  config.num_tasks = 3000;
+  config.cluster.num_servers = 5;
+  config.num_clients = 6;
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
+
+  core::RunSeedsOptions serial;
+  serial.max_threads = 1;
+  core::RunSeedsOptions threaded;
+  threaded.max_threads = 0;  // one worker per seed
+
+  std::vector<core::AggregateResult> results;
+  results.push_back(core::run_seeds(config, seeds, serial));
+  results.push_back(core::run_seeds(config, seeds, threaded));
+
+  std::vector<std::string> dumps;
+  for (core::AggregateResult& result : results) {
+    cli::CaseResult case_result;
+    case_result.spec = {"shootout-determinism", config};
+    case_result.aggregate = std::move(result);
+    std::vector<cli::CaseResult> cases;
+    cases.push_back(std::move(case_result));
+    stats::Json doc = cli::report_json("shootout-determinism", config, seeds, cases);
+    doc.erase("timing");
+    dumps.push_back(doc.dump_string());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
 }
 
 // ---------------------------------------------------------------------------

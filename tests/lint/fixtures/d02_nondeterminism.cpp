@@ -1,8 +1,10 @@
 // brblint self-test fixture: BRB-D02 must fire on each banned
 // nondeterminism source (one per line below).
-// expect: BRB-D02=5
+// expect: BRB-D02=7
 #include <chrono>
 #include <cstdlib>
+#include <map>
+#include <set>
 #include <thread>
 
 namespace fixture {
@@ -15,6 +17,22 @@ double naughty() {
   const auto key = reinterpret_cast<std::uintptr_t>(env);
   return static_cast<double>(r) + static_cast<double>(key) +
          std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+struct Slot {
+  int value = 0;
+};
+
+// Pointer-keyed containers iterate in address order (ASLR): dense
+// indices are the deterministic key.
+int pointer_keyed(Slot* a, Slot* b) {
+  std::map<Slot*, int> by_slot;
+  std::set<const Slot*> seen;
+  by_slot[a] = 1;
+  seen.insert(b);
+  int total = 0;
+  for (const auto& [slot, value] : by_slot) total += value + slot->value;
+  return total + static_cast<int>(seen.size());
 }
 
 }  // namespace fixture

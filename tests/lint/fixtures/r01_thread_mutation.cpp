@@ -1,6 +1,9 @@
 // brblint self-test fixture: BRB-R01 must fire on a thread-worker
-// lambda mutating by-reference captured state with no synchronization.
-// expect: BRB-R01=1
+// lambda mutating by-reference captured state with no synchronization —
+// including mutation hidden behind scheduler entry points (push/cancel
+// relink intrusive wheel slot lists even though no assignment operator
+// appears in the lambda body).
+// expect: BRB-R01=2
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -17,6 +20,21 @@ std::uint64_t race() {
   }
   for (auto& worker : workers) worker.join();
   return hits;
+}
+
+struct FakeQueue {
+  void push(std::uint64_t when);
+  void cancel(std::uint64_t id);
+};
+
+void race_through_scheduler(FakeQueue& queue) {
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      queue.push(static_cast<std::uint64_t>(w));  // mutates slot lists inside
+    });
+  }
+  for (auto& worker : workers) worker.join();
 }
 
 }  // namespace fixture
