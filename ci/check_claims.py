@@ -36,6 +36,16 @@ Policy sanity (policy-shootout nightly):
   a longer horizon than nightly runs to amortize) must beat uniform
   random selection on task p99:  p99(c3-noderate) < margin * p99(random).
 
+Hedge sanity (hedging-shootout nightly):
+    check_claims.py --hedge-sanity shootout.json [--max-dwf 0.1]
+
+  Asserts tail-cutting pays for itself on every workload of the
+  hedging-shootout sweep: for each workload prefix (diurnal,
+  multi-tenant), the hedged case must beat the single-target reference
+  on task p99 while keeping the duplicate-work fraction (wasted full
+  services / all full services) under the bound — hedging that burns
+  more than that is load amplification, not tail-cutting.
+
 Engine throughput gate (nightly perf trajectory):
     check_claims.py --engine-budget BENCH_engine.json \
         ci/reference/engine_baseline.json [--budget 0.03]
@@ -187,6 +197,50 @@ def run_policy_sanity(report_path, margin):
     return 0
 
 
+def run_hedge_sanity(report_path, max_dwf):
+    with open(report_path) as f:
+        doc = json.load(f)
+
+    # Group hedging-shootout cases by workload prefix ("diurnal/...").
+    workloads = {}
+    for case in doc["cases"]:
+        prefix, _, mode = case["label"].rpartition("/")
+        if not prefix:
+            raise SystemExit(f"case '{case['label']}' has no workload/mode label "
+                             "(is this a hedging-shootout report?)")
+        workloads.setdefault(prefix, {})[mode] = case
+
+    failures = []
+
+    def check(name, ok, detail):
+        print(f"{'ok' if ok else 'FAIL':4} {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    for prefix, modes in sorted(workloads.items()):
+        single = modes.get("single")
+        hedged = next((c for m, c in modes.items() if m.startswith("hedge")), None)
+        if single is None or hedged is None:
+            raise SystemExit(f"workload '{prefix}' is missing its single or hedge "
+                             "case — the sanity gate needs both")
+        single_p99 = single["task_latency_ms"]["p99_ms"]["mean"]
+        hedged_p99 = hedged["task_latency_ms"]["p99_ms"]["mean"]
+        check(f"{prefix}/hedge_beats_single_p99",
+              hedged_p99 < single_p99,
+              f"p99(hedge)={hedged_p99:.3f} ms vs p99(single)={single_p99:.3f} ms")
+        dwfs = [run.get("duplicate_work_fraction", 0.0) for run in hedged["runs"]]
+        worst = max(dwfs) if dwfs else 0.0
+        check(f"{prefix}/hedge_duplicate_work",
+              worst < max_dwf,
+              f"duplicate_work_fraction={worst:.4f} (bound {max_dwf})")
+
+    if failures:
+        print(f"\nhedge sanity violated: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nhedging pays for itself on every workload")
+    return 0
+
+
 def run_engine_budget(bench_path, baseline_path, budget):
     with open(bench_path) as f:
         bench = json.load(f)
@@ -266,6 +320,11 @@ def main():
                         help="two reports must match modulo wall_seconds")
     parser.add_argument("--policy-sanity", action="store_true",
                         help="policy-shootout report: c3-noderate must beat random on p99")
+    parser.add_argument("--hedge-sanity", action="store_true",
+                        help="hedging-shootout report: hedge beats single on p99 with "
+                             "bounded duplicate work, per workload")
+    parser.add_argument("--max-dwf", type=float, default=0.1,
+                        help="bound on duplicate_work_fraction (hedge-sanity mode)")
     parser.add_argument("--engine-budget", action="store_true",
                         help="BENCH_engine.json vs engine_baseline.json throughput gate")
     parser.add_argument("--budget", type=float, default=0.03,
@@ -280,6 +339,10 @@ def main():
         if len(args.files) != 1:
             parser.error("--policy-sanity takes exactly one report")
         return run_policy_sanity(args.files[0], args.margin)
+    if args.hedge_sanity:
+        if len(args.files) != 1:
+            parser.error("--hedge-sanity takes exactly one report")
+        return run_hedge_sanity(args.files[0], args.max_dwf)
     if args.engine_budget:
         if len(args.files) != 2:
             parser.error("--engine-budget takes BENCH_engine.json baseline.json")

@@ -17,6 +17,7 @@
 #include <unistd.h>
 #endif
 
+#include "ctrl/dispatch_policy.hpp"
 #include "ctrl/replica_policy.hpp"
 #include "stats/artifact.hpp"
 #include "stats/table.hpp"
@@ -72,9 +73,10 @@ const std::vector<std::string>& known_flags() {
       "warmup", "keep-raw",
       // system under test / control plane
       "system", "seed", "selector", "systems", "policy", "policy-switch", "admission",
+      "dispatch",
       // scenario expanders
       "loads", "fanouts", "writes", "skews", "replications", "intervals-ms", "noise-sigmas",
-      "policies",
+      "policies", "dispatches",
       // credits controller
       "credits-adapt-s", "credits-measure-ms", "credits-monitor-ms", "credits-congestion-factor",
       "credits-backoff", "credits-recovery", "credits-min-capacity", "credits-ewma",
@@ -170,6 +172,7 @@ ScenarioConfig config_from_flags(const util::Flags& flags) {
   // --- control plane ---
   config.policy_spec = flags.get_string("policy", config.policy_spec);
   config.policy_switch_spec = flags.get_string("policy-switch", config.policy_switch_spec);
+  config.dispatch_spec = flags.get_string("dispatch", config.dispatch_spec);
   config.admission_override = flags.get_string("admission", config.admission_override);
   if (!config.selector_override.empty() && !config.policy_spec.empty()) {
     throw std::invalid_argument(
@@ -334,6 +337,7 @@ stats::Json config_json(const ScenarioConfig& config) {
   // byte-identical to their pre-control-plane form.
   if (!config.policy_spec.empty()) j["policy"] = config.policy_spec;
   if (!config.policy_switch_spec.empty()) j["policy_switch"] = config.policy_switch_spec;
+  if (!config.dispatch_spec.empty()) j["dispatch"] = config.dispatch_spec;
   if (!config.admission_override.empty()) j["admission"] = config.admission_override;
   return j;
 }
@@ -380,6 +384,17 @@ stats::Json run_json(const RunResult& run) {
   // Mid-run policy switching only (absent = static binding), so
   // legacy rows keep their exact key set.
   if (run.policy_switches > 0) j["policy_switches"] = run.policy_switches;
+  // Tail-cutting executor metrics: present only when the dispatch
+  // plumbing was in play, so legacy rows keep their exact key set.
+  if (run.dispatch_metrics) {
+    j["duplicate_work_fraction"] = run.duplicate_work_fraction;
+    j["hedges_issued"] = run.hedges_issued;
+    j["hedges_won"] = run.hedges_won;
+    j["hedges_cancelled"] = run.hedges_cancelled;
+    j["duplicates_sent"] = run.duplicates_sent;
+    j["duplicates_cancelled"] = run.duplicates_cancelled;
+    j["duplicates_served"] = run.duplicates_served;
+  }
   j["credit_hold_events"] = run.credit_hold_events;
   j["credit_hold_time_s"] = run.credit_hold_time.as_seconds();
   j["gate_held_requests"] = run.gate_held_requests;
@@ -429,6 +444,9 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
     }
     if (!result.spec.config.policy_switch_spec.empty()) {
       c["policy_switch"] = result.spec.config.policy_switch_spec;
+    }
+    if (!result.spec.config.dispatch_spec.empty()) {
+      c["dispatch"] = result.spec.config.dispatch_spec;
     }
     if (!result.spec.config.admission_override.empty()) {
       c["admission"] = result.spec.config.admission_override;
@@ -589,7 +607,10 @@ void print_usage(std::ostream& os) {
         "  --policy=tenantA:c3,tenantB:lor   per-tenant bindings (later entries win)\n"
         "  --policy-switch=t0:random,30s:c3  epoch-scheduled mid-run switching\n"
         "                                (times: t0 | <n>s | <n>ms | <n>us;\n"
-        "                                per-tenant epochs via 30s:tenantA:c3)\n"
+        "                                per-tenant epochs via 30s:tenantA:c3;\n"
+        "                                payloads may be dispatch modes: 30s:hedge:q95)\n"
+        "  --dispatch=MODE               dispatch plan mode for every tenant\n"
+        "  --dispatch=tenantA:tied,tenantB:kofn:2  per-tenant dispatch modes\n"
         "  --admission=direct|cubic-rate|credits   override the admission policy\n"
         "  --selector=NAME               legacy alias for --policy=NAME\n"
         "  replica policies:\n";
@@ -607,6 +628,15 @@ void print_usage(std::ostream& os) {
     os << "    " << title << std::string(policy_width - title.size() + 2, ' ') << info.summary
        << "\n";
   }
+  os << "  dispatch modes:\n";
+  std::size_t mode_width = 0;
+  for (const ctrl::DispatchModeInfo& info : ctrl::dispatch_mode_catalog()) {
+    mode_width = std::max(mode_width, info.grammar.size());
+  }
+  for (const ctrl::DispatchModeInfo& info : ctrl::dispatch_mode_catalog()) {
+    os << "    " << info.grammar << std::string(mode_width - info.grammar.size() + 2, ' ')
+       << info.summary << "\n";
+  }
   os << "\npolicy knobs:\n"
         "  --system --systems=a,b,c (scenario system set)\n"
         "  --loads=0.5,0.7 (load-sweep)  --fanouts=spec,... (fanout-sweep)\n"
@@ -614,6 +644,7 @@ void print_usage(std::ostream& os) {
         "  --replications=1,2,3 (replication-sweep)\n"
         "  --intervals-ms=100,1000 (credits-interval)  --noise-sigmas=0,0.5 (forecast-noise)\n"
         "  --policies=random,c3-noderate (policy-shootout case list)\n"
+        "  --dispatches=single,hedge:q98,tied,kofn:2 (hedging-shootout mode list)\n"
         "  --credits-{adapt-s,measure-ms,monitor-ms,congestion-factor,backoff,\n"
         "             recovery,min-capacity,ewma,min-share,carryover}\n"
         "  --c3-{ewma,exponent}  --rate-{initial,beta,scaling,burst,window-ms}\n"

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ctrl/dispatch_policy.hpp"
 #include "ctrl/policy_runtime.hpp"
 #include "ctrl/replica_policy.hpp"
 
@@ -319,35 +320,107 @@ std::vector<ExperimentCase> expand_policy_switch(const ScenarioConfig& base,
                    [](const ctrl::PolicySwitch& a, const ctrl::PolicySwitch& b) {
                      return a.at < b.at;
                    });
-  std::string start = "least-outstanding";  // kFifoDirect profile default
-  std::string end;
+  // Each switch kind folds independently: a mode epoch leaves the
+  // policy endpoint alone and vice versa, exactly as in the runtime.
+  std::string start_policy = "least-outstanding";  // kFifoDirect profile default
+  std::string end_policy;
+  ctrl::DispatchModeConfig start_mode;  // single
+  ctrl::DispatchModeConfig end_mode;
+  bool end_mode_seen = false;
   for (const ctrl::PolicySwitch& epoch : epochs) {
     if (epoch.at == sim::Time::zero()) {
-      start = epoch.policy;
+      if (epoch.kind == ctrl::PolicySwitch::Kind::kPolicy) {
+        start_policy = epoch.policy;
+      } else {
+        start_mode = epoch.mode;
+      }
     } else {
-      end = epoch.policy;
+      if (epoch.kind == ctrl::PolicySwitch::Kind::kPolicy) {
+        end_policy = epoch.policy;
+      } else {
+        end_mode = epoch.mode;
+        end_mode_seen = true;
+      }
     }
   }
-  if (end.empty()) end = start;  // schedule never leaves the t0 binding
+  if (end_policy.empty()) end_policy = start_policy;
+  if (!end_mode_seen) end_mode = start_mode;
 
   std::vector<ExperimentCase> cases;
-  const auto add_static = [&](const std::string& policy) {
+  const auto add_static = [&](const std::string& policy,
+                              const ctrl::DispatchModeConfig& mode) {
+    std::string label = "static/" + policy;
+    if (!mode.is_single()) label += "+" + mode.canonical();
     for (const ExperimentCase& existing : cases) {
-      if (existing.label == "static/" + policy) return;  // endpoints may coincide
+      if (existing.label == label) return;  // endpoints may coincide
     }
     ScenarioConfig config = base;
     config.system = SystemKind::kFifoDirect;
     config.policy_spec = policy;
+    config.dispatch_spec = mode.is_single() ? "" : mode.canonical();
     config.policy_switch_spec.clear();
-    cases.push_back({"static/" + policy, std::move(config)});
+    cases.push_back({std::move(label), std::move(config)});
   };
-  add_static(start);
-  add_static(end);
+  add_static(start_policy, start_mode);
+  add_static(end_policy, end_mode);
 
   ScenarioConfig switched = base;
   switched.system = SystemKind::kFifoDirect;
   switched.policy_switch_spec = schedule;
   cases.push_back({"switch/" + schedule, std::move(switched)});
+  return cases;
+}
+
+std::vector<ExperimentCase> expand_hedging_shootout(const ScenarioConfig& base,
+                                                    const util::Flags& flags) {
+  // Tail-cutting bake-off: the dispatch mode is the only varying
+  // mechanism — fixed FIFO/direct substrate, fixed replica policy
+  // (c3-noderate, the strongest single-target picker), on the
+  // large-fleet shape (100 servers x 1000 clients) where per-server
+  // feedback is sparse enough that single-target selection has real
+  // tails to cut. (On the paper's 9-server fleet fresh signals keep
+  // queues balanced and duplicates are pure load amplification — the
+  // informative regime for hedging is scale.) Two arrival envelopes:
+  // steady load and the diurnal sinusoid. `single` rides along as the
+  // duplicate-free reference for --hedge-sanity.
+  if (!base.dispatch_spec.empty()) {
+    throw std::invalid_argument(
+        "scenario hedging-shootout fixes the dispatch mode per case; --dispatch conflicts "
+        "(use --dispatches=single,hedge:q98,... to change the case list)");
+  }
+  if (!base.policy_spec.empty() || !base.selector_override.empty()) {
+    throw std::invalid_argument(
+        "scenario hedging-shootout fixes the replica policy (c3-noderate) so the dispatch "
+        "mode is the only varying mechanism; --policy/--selector conflict");
+  }
+  std::vector<std::string> modes = {"single", "hedge:q98", "tied", "kofn:2"};
+  if (const auto custom = flags.get("dispatches")) modes = split_csv(*custom);
+  if (modes.empty()) throw std::invalid_argument("--dispatches: empty list");
+
+  struct Workload {
+    std::string label;
+    std::string arrival_spec;
+  };
+  const std::vector<Workload> workloads = {
+      {"steady", ""},
+      {"diurnal", "diurnal:0.5:1.5:1"},
+  };
+
+  std::vector<ExperimentCase> cases;
+  for (const Workload& workload : workloads) {
+    for (const std::string& mode_spec : modes) {
+      // Parse for validation + canonical labels ("hedge" -> "hedge:q95").
+      const ctrl::DispatchModeConfig mode = ctrl::parse_dispatch_mode(mode_spec);
+      ScenarioConfig config = base;
+      config.system = SystemKind::kFifoDirect;
+      config.policy_spec = "c3-noderate";
+      config.dispatch_spec = mode.is_single() ? "" : mode.canonical();
+      if (!flags.has("servers") && !flags.has("cluster")) config.cluster.num_servers = 100;
+      if (!flags.has("clients")) config.num_clients = 1000;
+      if (config.arrival_spec.empty()) config.arrival_spec = workload.arrival_spec;
+      cases.push_back({workload.label + "/" + mode.canonical(), std::move(config)});
+    }
+  }
   return cases;
 }
 
@@ -435,6 +508,10 @@ const std::vector<ScenarioSpec>& scenario_registry() {
        expand_policy_shootout},
       {"policy-switch", "mid-run policy switching vs its static endpoints (--policy-switch=...)",
        expand_policy_switch},
+      {"hedging-shootout",
+       "tail-cutting bake-off: single vs hedge/tied/kofn on the large fleet, "
+       "steady + diurnal arrivals (--dispatches=...)",
+       expand_hedging_shootout},
       {"large-cluster", "100 servers x 1000 clients scale case (credits + C3)",
        expand_large_cluster},
       {"trace-replay", "replay a recorded trace (--trace=PATH) across systems",

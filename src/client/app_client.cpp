@@ -7,18 +7,18 @@ namespace brb::client {
 
 AppClient::AppClient(sim::Simulator& sim, Config config, const store::Partitioner& partitioner,
                      const server::ServiceTimeModel& cost_model,
-                     std::unique_ptr<policy::ReplicaSelector> selector,
+                     std::unique_ptr<ctrl::DispatchEndpoint> endpoint,
                      const policy::PriorityPolicy& priority_policy,
                      std::unique_ptr<DispatchGate> gate, util::Rng rng)
     : Actor(sim),
       config_(config),
       partitioner_(&partitioner),
       cost_model_(&cost_model),
-      selector_(std::move(selector)),
+      endpoint_(std::move(endpoint)),
       priority_policy_(&priority_policy),
       gate_(std::move(gate)),
       rng_(rng) {
-  if (!selector_) throw std::invalid_argument("AppClient: null selector");
+  if (!endpoint_) throw std::invalid_argument("AppClient: null dispatch endpoint");
   if (!gate_) throw std::invalid_argument("AppClient: null gate");
   if (config_.cost_noise_sigma < 0.0) {
     throw std::invalid_argument("AppClient: negative cost noise sigma");
@@ -66,24 +66,31 @@ void AppClient::submit(workload::TaskSpec task) {
     plan.requests.push_back(planned);
   }
 
-  // 2. Replica selection: jointly per sub-task (BRB) or per request.
-  // Group aggregation runs over sorted scratch vectors (reused across
-  // submits); selectors still observe groups in ascending id order,
+  // 2. Dispatch planning: jointly per sub-task (BRB) or per request.
+  // The endpoint returns a full DispatchPlan; `planned.server` carries
+  // the primary for the bottleneck/priority step, and the plan itself
+  // (parallel scratch) drives multi-copy dispatch in step 4. Group
+  // aggregation runs over sorted scratch vectors (reused across
+  // submits); policies still observe groups in ascending id order,
   // exactly as the std::map formulation did. Writes have no replica
   // freedom (every replica executes a copy), so a pure-write task
-  // skips selection entirely; a mixed task (possible via
-  // tasks_override) still selects for every group — its reads use the
-  // choice, its writes ignore it.
+  // skips planning entirely; a mixed task (possible via
+  // tasks_override) still plans for every group — its reads use the
+  // plan, its writes ignore it.
   const bool all_writes =
       std::all_of(plan.requests.begin(), plan.requests.end(),
                   [](const policy::PlannedRequest& planned) { return planned.is_write; });
+  request_plan_scratch_.clear();
+  request_plan_scratch_.resize(plan.requests.size());
   if (all_writes) {
     // Generated write tasks are all-or-nothing per task.
   } else if (config_.select_per_subtask && plan.requests.size() == 1) {
     // Median fan-out is 1-2 requests: skip the aggregation machinery.
     policy::PlannedRequest& planned = plan.requests.front();
-    planned.server =
-        selector_->select(partitioner_->replicas_of(planned.group), planned.expected_cost);
+    const ctrl::DispatchPlan dispatch =
+        endpoint_->plan(partitioner_->replicas_of(planned.group), planned.expected_cost);
+    planned.server = dispatch.primary();
+    request_plan_scratch_.front() = dispatch;
   } else if (config_.select_per_subtask) {
     group_cost_scratch_.clear();
     for (const policy::PlannedRequest& planned : plan.requests) {
@@ -93,18 +100,23 @@ void AppClient::submit(workload::TaskSpec task) {
     chosen_scratch_.clear();
     for (const auto& [group, cost] : group_cost_scratch_) {
       chosen_scratch_.emplace_back(
-          group, selector_->select(partitioner_->replicas_of(group), sim::Duration::nanos(cost)));
+          group, endpoint_->plan(partitioner_->replicas_of(group), sim::Duration::nanos(cost)));
     }
-    for (policy::PlannedRequest& planned : plan.requests) {
+    for (std::size_t i = 0; i < plan.requests.size(); ++i) {
+      policy::PlannedRequest& planned = plan.requests[i];
       const auto it = std::lower_bound(
           chosen_scratch_.begin(), chosen_scratch_.end(), planned.group,
           [](const auto& entry, store::GroupId group) { return entry.first < group; });
-      planned.server = it->second;
+      planned.server = it->second.primary();
+      request_plan_scratch_[i] = it->second;
     }
   } else {
-    for (policy::PlannedRequest& planned : plan.requests) {
-      planned.server =
-          selector_->select(partitioner_->replicas_of(planned.group), planned.expected_cost);
+    for (std::size_t i = 0; i < plan.requests.size(); ++i) {
+      policy::PlannedRequest& planned = plan.requests[i];
+      const ctrl::DispatchPlan dispatch =
+          endpoint_->plan(partitioner_->replicas_of(planned.group), planned.expected_cost);
+      planned.server = dispatch.primary();
+      request_plan_scratch_[i] = dispatch;
     }
   }
 
@@ -117,7 +129,9 @@ void AppClient::submit(workload::TaskSpec task) {
   // the planned priority; the task completes when the last replica
   // acknowledges. Each copy spends gate credits against its own
   // server, which is exactly the asymmetric pressure write traffic
-  // puts on the credit and congestion paths.
+  // puts on the credit and congestion paths. `remaining` counts
+  // LOGICAL units: a multi-copy read still contributes one — its
+  // duplicate copies complete (or cancel) outside task accounting.
   std::uint32_t wire_requests = 0;
   for (const policy::PlannedRequest& planned : plan.requests) {
     wire_requests += planned.is_write
@@ -145,23 +159,180 @@ void AppClient::submit(workload::TaskSpec task) {
     out.request.sent_at = now();  // refined at actual transmit time
     out.request.is_write = planned.is_write;
     out.request.write_size = planned.is_write ? planned.size_hint : 0;
-    // The selector sees load at *offer* time so that requests held by a
+    // The endpoint sees load at *offer* time so that requests held by a
     // gate (credits exhausted, rate limited) still count against the
     // server they are bound for — otherwise the client keeps piling
     // work onto a throttled replica it believes is idle.
-    selector_->on_send(out.server, out.request.expected_cost);
+    endpoint_->on_send(out.server, out.request.expected_cost);
     gate_->offer(std::move(out));
   };
-  for (const policy::PlannedRequest& planned : plan.requests) {
+  for (std::size_t i = 0; i < plan.requests.size(); ++i) {
+    const policy::PlannedRequest& planned = plan.requests[i];
     if (planned.is_write) {
       for (const store::ServerId replica : partitioner_->replicas_of(planned.group)) {
         dispatch(planned, replica);
       }
-    } else {
+    } else if (request_plan_scratch_[i].mode == ctrl::DispatchMode::kSingle) {
       dispatch(planned, planned.server);
+    } else {
+      dispatch_plan(planned, request_plan_scratch_[i], task_id);
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-copy logical requests (hedge / tied / kofn executor)
+
+std::uint32_t AppClient::logical_alloc() {
+  ++logical_count_;
+  if (logical_free_head_ != kNoLogical) {
+    const std::uint32_t index = logical_free_head_;
+    logical_free_head_ = logicals_[index].next_free;
+    return index;
+  }
+  logicals_.emplace_back();
+  return static_cast<std::uint32_t>(logicals_.size() - 1);
+}
+
+void AppClient::logical_release(std::uint32_t index) {
+  logicals_[index].next_free = logical_free_head_;
+  logical_free_head_ = index;
+  --logical_count_;
+}
+
+void AppClient::maybe_release_logical(std::uint32_t index) {
+  LogicalRequest& lr = logicals_[index];
+  // An armed hedge deadline keeps the slot live: its closure captures
+  // this index, and recycling under it would fire onto a stranger.
+  if (!lr.completed || lr.hedge_armed) return;
+  for (std::uint8_t c = 0; c < lr.num_targets; ++c) {
+    const std::uint8_t state = lr.copy_state[c];
+    if (state == kCopyInFlight || state == kTombstone) return;
+  }
+  logical_release(index);
+}
+
+void AppClient::issue_copy(std::uint32_t index, std::uint8_t copy) {
+  LogicalRequest& lr = logicals_[index];
+  OutboundRequest out;
+  out.server = lr.targets[copy];
+  out.group = lr.group;
+  out.logical = index;
+  out.copy = copy;
+  out.request = lr.request;
+  out.request.request_id =
+      (static_cast<std::uint64_t>(config_.id) << 40) | next_request_serial_++;
+  out.request.sent_at = now();  // refined at actual transmit time
+  lr.copy_serial_plus1[copy] = (out.request.request_id & ((std::uint64_t{1} << 40) - 1)) + 1;
+  lr.copy_state[copy] = kCopyInFlight;
+  // Offer-time accounting, exactly like single-copy dispatch: a held
+  // duplicate still counts against the server it is bound for.
+  endpoint_->on_send(out.server, out.request.expected_cost);
+  gate_->offer(std::move(out));
+}
+
+void AppClient::hedge_fire(std::uint32_t index) {
+  LogicalRequest& lr = logicals_[index];
+  lr.hedge_armed = false;
+  if (lr.completed) {
+    // The response's cancel lost the race with this firing (the event
+    // was already claimed for delivery): just disarm and release.
+    maybe_release_logical(index);
+    return;
+  }
+  ++stats_.hedges_issued;
+  ++stats_.duplicates_sent;
+  issue_copy(index, 1);
+}
+
+void AppClient::dispatch_plan(const policy::PlannedRequest& planned,
+                              const ctrl::DispatchPlan& dispatch, store::TaskId task_id) {
+  const std::uint32_t index = logical_alloc();
+  LogicalRequest& lr = logicals_[index];
+  lr.group = planned.group;
+  lr.targets = dispatch.targets;
+  lr.copy_serial_plus1.fill(0);
+  lr.copy_state.fill(kUnissued);
+  lr.num_targets = dispatch.num_targets;
+  lr.needed = dispatch.needed;
+  lr.received = 0;
+  lr.mode = dispatch.mode;
+  lr.completed = false;
+  lr.claimed = false;
+  lr.hedge_armed = false;
+  // Template for the copies: they differ only in request_id and server.
+  lr.request.request_id = 0;
+  lr.request.task_id = task_id;
+  lr.request.key = planned.key;
+  lr.request.client = config_.id;
+  lr.request.priority = planned.priority;
+  lr.request.expected_cost = planned.expected_cost;
+  lr.request.sent_at = now();
+  lr.request.is_write = false;
+  lr.request.write_size = 0;
+
+  switch (dispatch.mode) {
+    case ctrl::DispatchMode::kHedge:
+      issue_copy(index, 0);
+      lr.hedge_armed = true;
+      lr.hedge_event =
+          sim().schedule_after(dispatch.hedge_delay, [this, index] { hedge_fire(index); });
+      break;
+    case ctrl::DispatchMode::kTied:
+      issue_copy(index, 0);
+      ++stats_.duplicates_sent;
+      issue_copy(index, 1);
+      break;
+    case ctrl::DispatchMode::kKofn:
+      for (std::uint8_t c = 0; c < dispatch.num_targets; ++c) issue_copy(index, c);
+      stats_.duplicates_sent +=
+          static_cast<std::uint64_t>(dispatch.num_targets - dispatch.needed);
+      break;
+    case ctrl::DispatchMode::kSingle:
+      throw std::logic_error("AppClient::dispatch_plan: single-mode plan");
+  }
+}
+
+bool AppClient::admit_service(const store::ReadRequest& request) {
+  const std::uint64_t serial = request.request_id & ((std::uint64_t{1} << 40) - 1);
+  if (inflight_table_.empty()) return true;
+  InflightSlot& slot = inflight_table_[serial & (inflight_table_.size() - 1)];
+  // Unknown serials (another client's request routed here by mistake
+  // cannot happen — the wiring keys filters by request.client; writes
+  // and single-mode reads) admit unconditionally.
+  if (slot.serial_plus1 != serial + 1) return true;
+  const std::uint32_t logical_index = slot.data.logical;
+  if (logical_index == kNoLogical) return true;
+  LogicalRequest& lr = logicals_[logical_index];
+  const std::uint8_t copy = slot.data.copy;
+  if (lr.copy_state[copy] == kTombstone) {
+    // Rejected at dequeue: the loser consumes no core and no
+    // service-time draw. Finalize the copy here.
+    const store::ServerId server = slot.data.server;
+    const sim::Duration expected_cost = slot.data.expected_cost;
+    slot.serial_plus1 = 0;
+    --inflight_count_;
+    endpoint_->on_cancel(server, expected_cost);
+    ++stats_.duplicates_cancelled;
+    lr.copy_state[copy] = kCopyDone;
+    lr.copy_serial_plus1[copy] = 0;
+    maybe_release_logical(logical_index);
+    return false;
+  }
+  if (lr.mode == ctrl::DispatchMode::kTied && !lr.claimed) {
+    // First copy to reach service claims the logical request; the
+    // sibling is tombstoned and will be rejected at its own dequeue
+    // (or dropped at the gate if still held).
+    lr.claimed = true;
+    for (std::uint8_t c = 0; c < lr.num_targets; ++c) {
+      if (c != copy && lr.copy_state[c] == kCopyInFlight) lr.copy_state[c] = kTombstone;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// In-flight window table + wire path
 
 void AppClient::inflight_grow() {
   std::size_t capacity = inflight_table_.size() * 2;
@@ -202,12 +373,25 @@ void AppClient::inflight_insert(std::uint64_t serial, const InflightRequest& dat
 
 void AppClient::transmit_now(OutboundRequest& out) {
   if (!network_send_) throw std::logic_error("AppClient: network send hook not installed");
+  if (out.logical != kNoLogical && logicals_[out.logical].copy_state[out.copy] == kTombstone) {
+    // Cancelled while held at the gate: the copy never reaches the
+    // wire. Release its offer-time accounting and finalize.
+    LogicalRequest& lr = logicals_[out.logical];
+    endpoint_->on_cancel(out.server, out.request.expected_cost);
+    ++stats_.duplicates_cancelled;
+    lr.copy_state[out.copy] = kCopyDone;
+    lr.copy_serial_plus1[out.copy] = 0;
+    maybe_release_logical(out.logical);
+    return;
+  }
   out.request.sent_at = now();
   InflightRequest inflight;
   inflight.task_id = out.request.task_id;
   inflight.server = out.server;
   inflight.sent_at = now();
   inflight.expected_cost = out.request.expected_cost;
+  inflight.logical = out.logical;
+  inflight.copy = out.copy;
   inflight_insert(out.request.request_id & ((std::uint64_t{1} << 40) - 1), inflight);
   ++stats_.requests_sent;
   if (out.request.is_write) ++stats_.writes_sent;
@@ -229,9 +413,42 @@ void AppClient::on_response(const store::ReadResponse& response) {
   if (response.is_write) ++stats_.writes_acked;
 
   const sim::Duration rtt = now() - inflight.sent_at;
-  selector_->on_response(inflight.server, response.feedback, rtt, inflight.expected_cost);
+  // Real server work produced real feedback — fold it even for
+  // absorbed duplicates; only *cancelled* copies skip the EWMA path.
+  endpoint_->on_response(inflight.server, response.feedback, rtt, inflight.expected_cost);
   gate_->on_response(inflight.server, response.feedback);
-  if (hooks_.on_request_complete) hooks_.on_request_complete(rtt);
+
+  if (inflight.logical != kNoLogical) {
+    LogicalRequest& lr = logicals_[inflight.logical];
+    lr.copy_state[inflight.copy] = kCopyDone;
+    lr.copy_serial_plus1[inflight.copy] = 0;
+    if (lr.completed) {
+      // Absorbed duplicate: it was already in (or past) service when
+      // the logical request completed — the quantified wasted work.
+      ++stats_.duplicates_served;
+      maybe_release_logical(inflight.logical);
+      return;
+    }
+    ++lr.received;
+    if (hooks_.on_request_complete) hooks_.on_request_complete(rtt);
+    if (lr.received < lr.needed) return;
+
+    lr.completed = true;
+    if (lr.mode == ctrl::DispatchMode::kHedge && inflight.copy != 0) ++stats_.hedges_won;
+    if (lr.hedge_armed && sim().cancel(lr.hedge_event)) {
+      // O(1) wheel cancel; on failure the already-claimed firing will
+      // see `completed`, disarm itself, and release the slot.
+      lr.hedge_armed = false;
+      ++stats_.hedges_cancelled;
+    }
+    for (std::uint8_t c = 0; c < lr.num_targets; ++c) {
+      if (lr.copy_state[c] == kCopyInFlight) lr.copy_state[c] = kTombstone;
+    }
+    maybe_release_logical(inflight.logical);
+    // Fall through to task accounting: the logical unit completed.
+  } else {
+    if (hooks_.on_request_complete) hooks_.on_request_complete(rtt);
+  }
 
   const auto task_it = pending_tasks_.find(response.task_id);
   if (task_it == pending_tasks_.end()) {

@@ -1,21 +1,38 @@
 // The application server ("client" in the paper's terminology).
 //
 // Receives end-user tasks, splits them into sub-tasks (one per replica
-// group), forecasts request costs from requested value sizes, selects a
-// replica per sub-task, assigns BRB priorities, and dispatches through
-// the configured gate. Tracks in-flight requests and reports task
-// completion (a task completes when its last request completes — the
-// property all of BRB exploits).
+// group), forecasts request costs from requested value sizes, asks the
+// control plane for a dispatch plan per sub-task, assigns BRB
+// priorities, and dispatches through the configured gate. Tracks
+// in-flight requests and reports task completion (a task completes
+// when its last request completes — the property all of BRB exploits).
+//
+// The client is also the dispatch-plan *executor* (tail-cutting):
+//  * hedge — copy 0 goes out immediately; a cancellable engine event
+//    armed at the plan's quantile deadline issues the back-up, and the
+//    first response cancels the timer (or tombstones the loser).
+//  * tied — both copies are enqueued at once; the first copy to reach
+//    service *claims* the logical request (server-side admission
+//    filter) and the sibling is rejected at its dequeue.
+//  * kofn — n copies go out; the k-th response completes the logical
+//    request and the stragglers are tombstoned.
+// A tombstoned copy is finalized at exactly one of three points: the
+// gate drop (never transmitted), the dequeue rejection (admission
+// filter), or the absorbed response (it was already in service).
+// Either way its SignalTable accounting is released via the
+// endpoint's single feedback path, so duplicates never corrupt C3's
+// estimates.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 
 #include "client/dispatch_gate.hpp"
+#include "ctrl/dispatch_policy.hpp"
 #include "policy/priority_policy.hpp"
-#include "policy/replica_selector.hpp"
 #include "server/service_model.hpp"
 #include "sim/simulator.hpp"
 #include "store/partitioner.hpp"
@@ -33,6 +50,22 @@ struct ClientStats {
   /// Write replica copies sent / acknowledged (subset of the above).
   std::uint64_t writes_sent = 0;
   std::uint64_t writes_acked = 0;
+  // --- tail-cutting (dispatch modes other than single) ---
+  /// Hedge back-up copies actually issued (deadline fired).
+  std::uint64_t hedges_issued = 0;
+  /// Logical requests completed by the hedge back-up, not the primary.
+  std::uint64_t hedges_won = 0;
+  /// Armed hedge deadlines cancelled by a response before firing.
+  std::uint64_t hedges_cancelled = 0;
+  /// Duplicate copies offered beyond the needed count (tied siblings,
+  /// kofn extras, fired hedge back-ups).
+  std::uint64_t duplicates_sent = 0;
+  /// Duplicates cancelled before consuming service (gate drop or
+  /// dequeue rejection).
+  std::uint64_t duplicates_cancelled = 0;
+  /// Duplicates that consumed full service after the logical request
+  /// had already completed (the wasted work the metric quantifies).
+  std::uint64_t duplicates_served = 0;
 };
 
 class AppClient : public sim::Actor {
@@ -55,7 +88,7 @@ class AppClient : public sim::Actor {
 
   AppClient(sim::Simulator& sim, Config config, const store::Partitioner& partitioner,
             const server::ServiceTimeModel& cost_model,
-            std::unique_ptr<policy::ReplicaSelector> selector,
+            std::unique_ptr<ctrl::DispatchEndpoint> endpoint,
             const policy::PriorityPolicy& priority_policy, std::unique_ptr<DispatchGate> gate,
             util::Rng rng);
 
@@ -75,21 +108,37 @@ class AppClient : public sim::Actor {
   void on_response(const store::ReadResponse& response);
 
   /// Called by the gate when a request is released to the transport:
-  /// stamps send time, notifies the selector, transmits.
+  /// stamps send time, drops tombstoned duplicates, transmits.
   void transmit_now(OutboundRequest& out);
+
+  /// Server-side admission filter (installed only when some dispatch
+  /// mode can issue duplicates): called synchronously at service
+  /// start. Returns false to reject a tombstoned copy (it consumes no
+  /// core and no service-time draw); a tied request's first copy to
+  /// reach service claims the logical request here and tombstones its
+  /// sibling.
+  bool admit_service(const store::ReadRequest& request);
 
   const ClientStats& stats() const noexcept { return stats_; }
   const Config& config() const noexcept { return config_; }
   DispatchGate& gate() noexcept { return *gate_; }
-  policy::ReplicaSelector& selector() noexcept { return *selector_; }
+  ctrl::DispatchEndpoint& endpoint() noexcept { return *endpoint_; }
   std::uint64_t in_flight() const noexcept { return inflight_count_; }
+  /// Logical (multi-copy) requests still live — 0 once drained.
+  std::uint64_t logical_in_flight() const noexcept { return logical_count_; }
 
  private:
+  /// Sentinel: this wire request is not part of a multi-copy logical
+  /// request (single mode, writes) — the zero-overhead legacy path.
+  static constexpr std::uint32_t kNoLogical = OutboundRequest::kNoLogical;
+
   struct InflightRequest {
     store::TaskId task_id = 0;
     store::ServerId server = 0;
     sim::Time sent_at;
     sim::Duration expected_cost = sim::Duration::zero();
+    std::uint32_t logical = kNoLogical;  // index into logicals_
+    std::uint8_t copy = 0;               // which plan target this copy is
   };
   struct PendingTask {
     workload::TaskSpec spec;
@@ -102,21 +151,66 @@ class AppClient : public sim::Actor {
     InflightRequest data;
   };
 
+  /// Per-copy lifecycle of a multi-copy logical request.
+  enum CopyState : std::uint8_t {
+    kUnissued = 0,   // hedge back-up before the deadline fires
+    kCopyInFlight,   // offered (possibly gate-held or being serviced)
+    kTombstone,      // cancelled; finalize at gate/dequeue/response
+    kCopyDone,       // finalized (responded, dropped, or rejected)
+  };
+
+  /// One multi-copy logical request (free-list pooled). `completed`
+  /// means the needed responses arrived and the task-level accounting
+  /// ran; the slot is recycled once every issued copy is finalized and
+  /// no hedge timer can still fire.
+  struct LogicalRequest {
+    store::ReadRequest request;  // template for issuing further copies
+    store::GroupId group = 0;
+    std::array<store::ServerId, ctrl::DispatchPlan::kMaxTargets> targets{};
+    std::array<std::uint64_t, ctrl::DispatchPlan::kMaxTargets> copy_serial_plus1{};
+    std::array<std::uint8_t, ctrl::DispatchPlan::kMaxTargets> copy_state{};
+    std::uint8_t num_targets = 0;
+    std::uint8_t needed = 1;
+    std::uint8_t received = 0;
+    ctrl::DispatchMode mode = ctrl::DispatchMode::kSingle;
+    bool completed = false;
+    bool claimed = false;      // tied: a copy reached service first
+    bool hedge_armed = false;  // a cancellable deadline event is live
+    sim::EventId hedge_event = 0;
+    std::uint32_t next_free = kNoLogical;
+  };
+
   sim::Duration forecast_cost(std::uint32_t size_hint);
   void inflight_insert(std::uint64_t serial, const InflightRequest& data);
   /// Doubles the window table until every live serial maps to a
   /// distinct slot again.
   void inflight_grow();
 
+  std::uint32_t logical_alloc();
+  void logical_release(std::uint32_t index);
+  /// Recycles the slot once completed, all issued copies finalized,
+  /// and no armed hedge deadline remains.
+  void maybe_release_logical(std::uint32_t index);
+  /// Offers copy `copy` of logical request `index` through the gate.
+  void issue_copy(std::uint32_t index, std::uint8_t copy);
+  /// Hedge deadline fired: issue the back-up unless already complete.
+  void hedge_fire(std::uint32_t index);
+  /// Dispatches one read according to `plan` (multi-copy modes).
+  void dispatch_plan(const policy::PlannedRequest& planned, const ctrl::DispatchPlan& plan,
+                     store::TaskId task_id);
+
   Config config_;
   /// Planning scratch reused across submits — the per-task std::maps
   /// this replaces dominated client-side allocation at paper scale.
   policy::TaskPlan plan_scratch_;
   std::vector<std::pair<store::GroupId, std::int64_t>> group_cost_scratch_;
-  std::vector<std::pair<store::GroupId, store::ServerId>> chosen_scratch_;
+  std::vector<std::pair<store::GroupId, ctrl::DispatchPlan>> chosen_scratch_;
+  /// Per-request plans (parallel to plan_scratch_.requests) for the
+  /// multi-copy dispatch step; single-mode plans never touch it.
+  std::vector<ctrl::DispatchPlan> request_plan_scratch_;
   const store::Partitioner* partitioner_;
   const server::ServiceTimeModel* cost_model_;
-  std::unique_ptr<policy::ReplicaSelector> selector_;
+  std::unique_ptr<ctrl::DispatchEndpoint> endpoint_;
   const policy::PriorityPolicy* priority_policy_;
   std::unique_ptr<DispatchGate> gate_;
   util::Rng rng_;
@@ -130,6 +224,11 @@ class AppClient : public sim::Actor {
   /// grows to the max in-flight span and then runs collision-free.
   std::vector<InflightSlot> inflight_table_;
   std::uint64_t inflight_count_ = 0;
+  /// Multi-copy logical requests, free-list pooled (never shrinks;
+  /// bounded by the max simultaneous multi-copy window).
+  std::vector<LogicalRequest> logicals_;
+  std::uint32_t logical_free_head_ = kNoLogical;
+  std::uint64_t logical_count_ = 0;
   /// Lookup-only (find/emplace/erase by task id) — never iterated, so
   /// hash order cannot reach completion order or artifacts.
   std::unordered_map<store::TaskId, PendingTask> pending_tasks_;  // brblint:allow(BRB-D01): lookup-only, never iterated

@@ -22,9 +22,17 @@ namespace brb::client {
 
 /// A planned request on its way out of the client.
 struct OutboundRequest {
+  /// `logical` sentinel: not part of a multi-copy logical request.
+  static constexpr std::uint32_t kNoLogical = 0xffffffffu;
+
   store::ReadRequest request;
   store::ServerId server = 0;
   store::GroupId group = 0;
+  /// Multi-copy dispatch (hedge/tied/kofn): index of the logical
+  /// request this copy belongs to, and which plan target it is. The
+  /// client uses them to drop tombstoned copies at transmit time.
+  std::uint32_t logical = kNoLogical;
+  std::uint8_t copy = 0;
 };
 
 class DispatchGate {

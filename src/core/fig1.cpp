@@ -7,9 +7,9 @@
 #include <stdexcept>
 
 #include "client/app_client.hpp"
+#include "ctrl/dispatch_policy.hpp"
 #include "net/network.hpp"
 #include "policy/priority_policy.hpp"
-#include "policy/replica_selector.hpp"
 #include "server/backend_server.hpp"
 #include "sim/simulator.hpp"
 #include "stats/table.hpp"
@@ -99,10 +99,14 @@ Fig1Result run_fig1(const std::string& policy_name) {
   for (std::uint32_t c = 0; c < 2; ++c) {
     client::AppClient::Config config;
     config.id = c;
+    util::Rng client_rng = rng.split();
+    auto endpoint = std::make_unique<ctrl::DispatchEndpoint>(
+        ctrl::SignalTableConfig{},
+        std::make_unique<ctrl::SingleTargetAdapter>(std::make_unique<ctrl::FirstReplicaPolicy>()),
+        client_rng, store::TenantId{0});
     clients.push_back(std::make_unique<client::AppClient>(
-        sim, config, partitioner, service_model,
-        std::make_unique<policy::FirstReplicaSelector>(), *priority_policy,
-        std::make_unique<client::DirectGate>(), rng.split()));
+        sim, config, partitioner, service_model, std::move(endpoint), *priority_policy,
+        std::make_unique<client::DirectGate>(), client_rng));
   }
 
   const auto key_name = [](store::KeyId key) {

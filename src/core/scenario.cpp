@@ -12,7 +12,6 @@
 #include "ctrl/policy_runtime.hpp"
 #include "net/network.hpp"
 #include "policy/priority_policy.hpp"
-#include "policy/replica_selector.hpp"
 #include "server/backend_server.hpp"
 #include "server/service_model.hpp"
 #include "sim/simulator.hpp"
@@ -332,6 +331,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   ctrl::PolicyRuntime::Config runtime_config;
   runtime_config.default_policy = selector_name;
   runtime_config.policy_spec = config.policy_spec;
+  runtime_config.dispatch_spec = config.dispatch_spec;
   runtime_config.switch_spec = config.policy_switch_spec;
   runtime_config.signals.ewma_alpha = config.c3.ewma_alpha;
   runtime_config.c3.queue_exponent = config.c3.queue_exponent;
@@ -340,6 +340,16 @@ RunResult run_scenario(const ScenarioConfig& config) {
   runtime_config.credit_aware = credits_admission;
   runtime_config.tenants = tenant_names;
   ctrl::PolicyRuntime runtime(sim, std::move(runtime_config));
+  // Duplicate-issuing dispatch modes cancel losers at the server's
+  // dequeue point; the shared global queue has no per-server dequeue to
+  // intercept, so the combination is rejected rather than silently
+  // serving every copy.
+  const bool tail_cutting = runtime.may_dispatch_duplicates();
+  if (tail_cutting && uses_global_queue(config.system)) {
+    throw std::invalid_argument(
+        "run_scenario: dispatch modes that issue duplicates (hedge/tied/kofn) are incompatible "
+        "with global-queue model systems");
+  }
 
   // Credits machinery (wired iff the credits admission policy is in
   // effect).
@@ -368,7 +378,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
     // unspecified and both expressions touch rng_clients[c]. One split
     // per client for the policy stream, exactly as before the runtime.
     util::Rng selector_rng = rng_clients[c].split();
-    std::unique_ptr<policy::ReplicaSelector> selector =
+    std::unique_ptr<ctrl::DispatchEndpoint> endpoint =
         runtime.bind_client(c, tenant_of_client(c), selector_rng);
 
     // Admission policy by name; stateful gates mirror balances / rate
@@ -397,8 +407,20 @@ RunResult run_scenario(const ScenarioConfig& config) {
     if (credits_admission) credit_gates[c] = static_cast<CreditGate*>(gate.get());
 
     clients.push_back(std::make_unique<client::AppClient>(
-        sim, client_config, partitioner, service_model, std::move(selector), *priority_policy,
+        sim, client_config, partitioner, service_model, std::move(endpoint), *priority_policy,
         std::move(gate), rng_clients[c]));
+  }
+
+  // Tail-cutting executor: loser copies are finalized at the server's
+  // dequeue point by asking the issuing client whether the copy is
+  // still live. Installed only when some mode can issue duplicates, so
+  // single-target runs keep an empty (never-called) filter slot.
+  if (tail_cutting) {
+    for (std::uint32_t s = 0; s < num_servers; ++s) {
+      servers[s]->set_service_filter([&clients](const store::ReadRequest& request) {
+        return clients[request.client]->admit_service(request);
+      });
+    }
   }
 
   // --- transport wiring ---
@@ -608,8 +630,23 @@ RunResult run_scenario(const ScenarioConfig& config) {
     held = std::max<std::uint64_t>(held, client->gate().held());
     result.write_requests_sent += client->stats().writes_sent;
     result.write_requests_acked += client->stats().writes_acked;
+    result.hedges_issued += client->stats().hedges_issued;
+    result.hedges_won += client->stats().hedges_won;
+    result.hedges_cancelled += client->stats().hedges_cancelled;
+    result.duplicates_sent += client->stats().duplicates_sent;
+    result.duplicates_cancelled += client->stats().duplicates_cancelled;
+    result.duplicates_served += client->stats().duplicates_served;
   }
   result.gate_held_requests = held;
+  result.dispatch_metrics = !config.dispatch_spec.empty() || tail_cutting;
+  // Wasted-work headline: of all full read services performed, the
+  // fraction that went to copies whose logical request was already
+  // complete. Denominator = counted responses + absorbed duplicates.
+  const std::uint64_t full_services = result.requests_completed + result.duplicates_served;
+  if (full_services > 0) {
+    result.duplicate_work_fraction =
+        static_cast<double>(result.duplicates_served) / static_cast<double>(full_services);
+  }
   if (result.write_requests_acked != result.write_requests_sent) {
     throw std::runtime_error("run_scenario: write replica copies lost: acked " +
                              std::to_string(result.write_requests_acked) + " of " +

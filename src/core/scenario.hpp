@@ -97,10 +97,17 @@ struct ScenarioConfig {
   /// "tenantA:c3,tenantB:lor" binds per tenant (later entries win).
   std::string policy_spec;
   /// Epoch-scheduled mid-run policy switching:
-  /// "t0:random,30s:c3[,45s:tenantA:lor]". Signals (EWMAs, outstanding
+  /// "t0:random,30s:c3[,45s:tenantA:lor]". Epoch payloads may also be
+  /// dispatch modes ("30s:hedge:q95"). Signals (EWMAs, outstanding
   /// counts, balances) live in the per-client SignalTable and survive
   /// each switch.
   std::string policy_switch_spec;
+  /// Dispatch-mode bindings ("" = single-target dispatch everywhere):
+  /// "hedge:q95" binds every tenant, "tenantA:tied,tenantB:kofn:2"
+  /// binds per tenant. Modes: single | hedge[:qNN] | tied | kofn[:K]
+  /// (ctrl::parse_dispatch_spec). Duplicate-issuing modes are
+  /// incompatible with global-queue (model) systems.
+  std::string dispatch_spec;
   /// Override the admission policy ("" = system default: "credits" for
   /// credits systems, "cubic-rate" for C3, "direct" otherwise). The
   /// credits controller/monitor machinery follows the effective
@@ -153,6 +160,22 @@ struct RunResult {
   /// Per-client policy rebinds applied by the runtime (mid-run
   /// switching only; 0 for static bindings).
   std::uint64_t policy_switches = 0;
+
+  /// Tail-cutting executor counters (all zero in single-target runs).
+  /// `dispatch_metrics` marks runs where the dispatch plumbing was in
+  /// play (a --dispatch spec or a mode-switching epoch) so reports can
+  /// gate the extra columns without disturbing legacy artifacts.
+  bool dispatch_metrics = false;
+  std::uint64_t hedges_issued = 0;     // backup copies actually fired
+  std::uint64_t hedges_won = 0;        // logical completed by a backup
+  std::uint64_t hedges_cancelled = 0;  // timers cancelled pre-fire
+  std::uint64_t duplicates_sent = 0;   // extra copies beyond `needed`
+  std::uint64_t duplicates_cancelled = 0;  // rejected before service
+  std::uint64_t duplicates_served = 0;     // absorbed full service
+  /// duplicates_served / responses received: the fraction of server
+  /// work wasted on copies that lost their race (0 = no tail-cutting
+  /// waste).
+  double duplicate_work_fraction = 0.0;
 
   sim::Duration sim_duration = sim::Duration::zero();
   std::uint64_t events_processed = 0;

@@ -1,0 +1,336 @@
+#include "ctrl/dispatch_policy.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/flags.hpp"
+
+namespace brb::ctrl {
+
+const char* to_string(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kSingle:
+      return "single";
+    case DispatchMode::kHedge:
+      return "hedge";
+    case DispatchMode::kTied:
+      return "tied";
+    case DispatchMode::kKofn:
+      return "kofn";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Quantile as a percent with minimal digits ("95", "99.9").
+std::string format_quantile_percent(double quantile) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", quantile * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string DispatchModeConfig::canonical() const {
+  switch (mode) {
+    case DispatchMode::kSingle:
+      return "single";
+    case DispatchMode::kHedge:
+      return "hedge:q" + format_quantile_percent(hedge_quantile);
+    case DispatchMode::kTied:
+      return "tied";
+    case DispatchMode::kKofn:
+      return "kofn:" + std::to_string(static_cast<unsigned>(k));
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SingleTargetAdapter
+
+SingleTargetAdapter::SingleTargetAdapter(std::unique_ptr<ReplicaPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("SingleTargetAdapter: null inner policy");
+}
+
+DispatchPlan SingleTargetAdapter::plan(const SignalTable& signals,
+                                       const std::vector<store::ServerId>& replicas,
+                                       sim::Duration expected_cost) {
+  return DispatchPlan::single(inner_->select(signals, replicas, expected_cost));
+}
+
+// ---------------------------------------------------------------------------
+// HedgeDispatchPolicy
+
+HedgeDispatchPolicy::HedgeDispatchPolicy(std::unique_ptr<DispatchPolicy> inner, double quantile,
+                                         sim::Duration prior_response)
+    : inner_(std::move(inner)),
+      quantile_factor_(-std::log(1.0 - quantile)),
+      quantile_(quantile),
+      prior_response_(prior_response) {
+  if (!inner_) throw std::invalid_argument("HedgeDispatchPolicy: null inner policy");
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    throw std::invalid_argument("HedgeDispatchPolicy: quantile must be in (0, 1)");
+  }
+  if (prior_response_ <= sim::Duration::zero()) {
+    throw std::invalid_argument("HedgeDispatchPolicy: prior response must be positive");
+  }
+}
+
+std::string HedgeDispatchPolicy::name() const {
+  return "hedge:q" + format_quantile_percent(quantile_) + "(" + inner_->name() + ")";
+}
+
+DispatchPlan HedgeDispatchPolicy::plan(const SignalTable& signals,
+                                       const std::vector<store::ServerId>& replicas,
+                                       sim::Duration expected_cost) {
+  DispatchPlan primary = inner_->plan(signals, replicas, expected_cost);
+  if (replicas.size() < 2) return primary;  // nobody to hedge onto
+
+  rest_scratch_.clear();
+  for (const store::ServerId s : replicas) {
+    if (s != primary.primary()) rest_scratch_.push_back(s);
+  }
+  const DispatchPlan backup = inner_->plan(signals, rest_scratch_, expected_cost);
+
+  // Deadline: configured quantile of the primary's response-time
+  // distribution under an exponential-tail assumption, t_q =
+  // -ln(1-q) * mean. Unseen servers fall back to the configured prior.
+  const double ewma_ns = signals.ewma_response_ns(primary.primary());
+  const double mean_ns = signals.seen(primary.primary()) && ewma_ns > 0.0
+                             ? ewma_ns
+                             : static_cast<double>(prior_response_.count_nanos());
+
+  DispatchPlan out = primary;
+  out.targets[1] = backup.primary();
+  out.num_targets = 2;
+  out.mode = DispatchMode::kHedge;
+  out.hedge_delay = sim::Duration::nanos(static_cast<std::int64_t>(quantile_factor_ * mean_ns));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TiedDispatchPolicy
+
+TiedDispatchPolicy::TiedDispatchPolicy(std::unique_ptr<DispatchPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("TiedDispatchPolicy: null inner policy");
+}
+
+DispatchPlan TiedDispatchPolicy::plan(const SignalTable& signals,
+                                      const std::vector<store::ServerId>& replicas,
+                                      sim::Duration expected_cost) {
+  DispatchPlan primary = inner_->plan(signals, replicas, expected_cost);
+  if (replicas.size() < 2) return primary;
+
+  rest_scratch_.clear();
+  for (const store::ServerId s : replicas) {
+    if (s != primary.primary()) rest_scratch_.push_back(s);
+  }
+  const DispatchPlan sibling = inner_->plan(signals, rest_scratch_, expected_cost);
+
+  DispatchPlan out = primary;
+  out.targets[1] = sibling.primary();
+  out.num_targets = 2;
+  out.mode = DispatchMode::kTied;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KofnDispatchPolicy
+
+KofnDispatchPolicy::KofnDispatchPolicy(std::unique_ptr<DispatchPolicy> inner, std::uint8_t k)
+    : inner_(std::move(inner)), k_(k) {
+  if (!inner_) throw std::invalid_argument("KofnDispatchPolicy: null inner policy");
+  if (k_ < 1 || k_ > DispatchPlan::kMaxTargets) {
+    throw std::invalid_argument("KofnDispatchPolicy: k must be in [1, " +
+                                std::to_string(DispatchPlan::kMaxTargets) + "]");
+  }
+}
+
+std::string KofnDispatchPolicy::name() const {
+  return "kofn:" + std::to_string(static_cast<unsigned>(k_)) + "(" + inner_->name() + ")";
+}
+
+DispatchPlan KofnDispatchPolicy::plan(const SignalTable& signals,
+                                      const std::vector<store::ServerId>& replicas,
+                                      sim::Duration expected_cost) {
+  const std::size_t n = std::min(replicas.size(), DispatchPlan::kMaxTargets);
+  if (n < 2) return inner_->plan(signals, replicas, expected_cost);
+
+  // Rank n distinct targets by repeated inner selection over the
+  // remaining set — target i is the inner policy's choice once targets
+  // 0..i-1 are off the table.
+  rest_scratch_.assign(replicas.begin(), replicas.end());
+  DispatchPlan out;
+  out.mode = DispatchMode::kKofn;
+  for (std::size_t i = 0; i < n; ++i) {
+    const store::ServerId chosen = inner_->plan(signals, rest_scratch_, expected_cost).primary();
+    out.targets[i] = chosen;
+    ++out.num_targets;
+    for (std::size_t j = 0; j < rest_scratch_.size(); ++j) {
+      if (rest_scratch_[j] == chosen) {
+        rest_scratch_.erase(rest_scratch_.begin() + static_cast<std::ptrdiff_t>(j));
+        break;
+      }
+    }
+  }
+  out.needed = static_cast<std::uint8_t>(std::min<std::size_t>(k_, n));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CreditAwareDispatchPolicy
+
+CreditAwareDispatchPolicy::CreditAwareDispatchPolicy(std::unique_ptr<DispatchPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("CreditAwareDispatchPolicy: null inner policy");
+}
+
+DispatchPlan CreditAwareDispatchPolicy::plan(const SignalTable& signals,
+                                             const std::vector<store::ServerId>& replicas,
+                                             sim::Duration expected_cost) {
+  funded_scratch_.clear();
+  for (const store::ServerId s : replicas) {
+    if (signals.credit_balance(s) >= 1.0) funded_scratch_.push_back(s);
+  }
+  if (funded_scratch_.empty() || funded_scratch_.size() == replicas.size()) {
+    return inner_->plan(signals, replicas, expected_cost);
+  }
+  return inner_->plan(signals, funded_scratch_, expected_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Mode registry
+
+const std::vector<DispatchModeInfo>& dispatch_mode_catalog() {
+  static const std::vector<DispatchModeInfo> catalog = {
+      {"single", "single", "one target per request, no duplicates (legacy behavior)"},
+      {"hedge", "hedge[:qNN]",
+       "back-up copy if the primary misses its qNN response-EWMA deadline (default q95)"},
+      {"tied", "tied", "two copies enqueued at once; first service start cancels the sibling"},
+      {"kofn", "kofn[:K]",
+       "fan out to up to 4 replicas, complete on the K-th response (default K=2)"},
+  };
+  return catalog;
+}
+
+bool is_dispatch_mode_name(const std::string& head) {
+  for (const DispatchModeInfo& info : dispatch_mode_catalog()) {
+    if (info.name == head) return true;
+  }
+  return false;
+}
+
+DispatchModeConfig parse_dispatch_mode(const std::string& spec) {
+  if (spec.empty()) throw std::invalid_argument("empty dispatch mode spec");
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string param = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const bool has_param = colon != std::string::npos;
+
+  if (!is_dispatch_mode_name(head)) {
+    std::vector<std::string> known;
+    for (const DispatchModeInfo& info : dispatch_mode_catalog()) known.push_back(info.name);
+    std::string message = "unknown dispatch mode '" + head + "'";
+    if (const auto suggestion = util::closest_name(head, known)) {
+      message += " (did you mean '" + *suggestion + "'?)";
+    }
+    throw std::invalid_argument(message);
+  }
+
+  DispatchModeConfig config;
+  if (head == "single" || head == "tied") {
+    if (has_param) {
+      throw std::invalid_argument("dispatch mode '" + head + "' takes no parameter (got '" + spec +
+                                  "')");
+    }
+    config.mode = head == "tied" ? DispatchMode::kTied : DispatchMode::kSingle;
+    return config;
+  }
+
+  if (head == "hedge") {
+    config.mode = DispatchMode::kHedge;
+    if (has_param) {
+      if (param.size() < 2 || param[0] != 'q') {
+        throw std::invalid_argument("hedge parameter must be qNN (a percent), got '" + spec + "'");
+      }
+      std::size_t consumed = 0;
+      double percent = 0.0;
+      try {
+        percent = std::stod(param.substr(1), &consumed);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("hedge parameter must be qNN (a percent), got '" + spec + "'");
+      }
+      if (consumed != param.size() - 1 || !(percent > 0.0 && percent < 100.0)) {
+        throw std::invalid_argument("hedge quantile must be a percent in (0, 100), got '" + spec +
+                                    "'");
+      }
+      config.hedge_quantile = percent / 100.0;
+    }
+    return config;
+  }
+
+  // kofn
+  config.mode = DispatchMode::kKofn;
+  if (has_param) {
+    std::size_t consumed = 0;
+    long k = 0;
+    try {
+      k = std::stol(param, &consumed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("kofn parameter must be an integer k, got '" + spec + "'");
+    }
+    if (consumed != param.size() || k < 1 ||
+        k > static_cast<long>(DispatchPlan::kMaxTargets)) {
+      throw std::invalid_argument("kofn k must be in [1, " +
+                                  std::to_string(DispatchPlan::kMaxTargets) + "], got '" + spec +
+                                  "'");
+    }
+    config.k = static_cast<std::uint8_t>(k);
+  }
+  return config;
+}
+
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(const std::string& policy_name,
+                                                     const DispatchModeConfig& mode,
+                                                     const C3ScoreConfig& c3, bool credit_aware,
+                                                     sim::Duration prior_response, util::Rng rng) {
+  std::unique_ptr<DispatchPolicy> stack =
+      std::make_unique<SingleTargetAdapter>(make_replica_policy(policy_name, c3, rng));
+  switch (mode.mode) {
+    case DispatchMode::kSingle:
+      break;  // no wrapper: the call chain equals the legacy selector path
+    case DispatchMode::kHedge:
+      stack = std::make_unique<HedgeDispatchPolicy>(std::move(stack), mode.hedge_quantile,
+                                                    prior_response);
+      break;
+    case DispatchMode::kTied:
+      stack = std::make_unique<TiedDispatchPolicy>(std::move(stack));
+      break;
+    case DispatchMode::kKofn:
+      stack = std::make_unique<KofnDispatchPolicy>(std::move(stack), mode.k);
+      break;
+  }
+  if (credit_aware) stack = std::make_unique<CreditAwareDispatchPolicy>(std::move(stack));
+  return stack;
+}
+
+// ---------------------------------------------------------------------------
+// DispatchEndpoint
+
+DispatchEndpoint::DispatchEndpoint(SignalTableConfig signals,
+                                   std::unique_ptr<DispatchPolicy> policy, util::Rng rng,
+                                   store::TenantId tenant)
+    : signals_(signals), policy_(std::move(policy)), rng_(rng), tenant_(tenant) {
+  if (!policy_) throw std::invalid_argument("DispatchEndpoint: null policy");
+}
+
+void DispatchEndpoint::rebind(std::unique_ptr<DispatchPolicy> policy) {
+  if (!policy) throw std::invalid_argument("DispatchEndpoint::rebind: null policy");
+  policy_ = std::move(policy);
+}
+
+}  // namespace brb::ctrl

@@ -1,0 +1,280 @@
+// The dispatch-plan API — the control plane's request-layer surface.
+//
+// Replica selection used to answer "which one server?"; tail-cutting
+// mechanisms (hedged and tied requests, k-of-n partial fanout — the
+// "Tail at Scale" family) need an ordered *set* of targets plus a rule
+// for when duplicates are issued and when losers are cancelled. A
+// DispatchPolicy therefore returns a DispatchPlan:
+//
+//   single            one target, no duplicates (the legacy contract)
+//   hedge{q}          primary now; back-up re-issued to a second
+//                     replica if no response within the per-server
+//                     latency-quantile deadline (EWMA-fed), loser
+//                     cancelled best-effort
+//   tied              two copies enqueued at once; the first to reach
+//                     service claims the request and the sibling is
+//                     cancelled at dequeue
+//   kofn{k}           fan out to n replicas, complete on the k-th
+//                     response, cancel the stragglers
+//
+// Every legacy ReplicaPolicy lifts into this API through
+// SingleTargetAdapter bit-identically: in single mode the adapter's
+// plan() is exactly one inner select() call, so the eight registered
+// selectors keep their decision sequences (and artifacts) unchanged.
+// The executor lives in client::AppClient; cancellation rides the
+// engine's generation-validated event cancel and the servers'
+// service-admission filter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
+#include "sim/time.hpp"
+#include "store/ids.hpp"
+#include "store/types.hpp"
+#include "util/rng.hpp"
+
+namespace brb::ctrl {
+
+enum class DispatchMode : std::uint8_t {
+  kSingle = 0,
+  kHedge,
+  kTied,
+  kKofn,
+};
+
+const char* to_string(DispatchMode mode);
+
+/// An ordered target list plus the duplicate/cancellation rule.
+/// Fixed capacity — plans live on the submit hot path and must stay
+/// allocation-free.
+struct DispatchPlan {
+  static constexpr std::size_t kMaxTargets = 4;
+
+  std::array<store::ServerId, kMaxTargets> targets{};
+  std::uint8_t num_targets = 0;
+  DispatchMode mode = DispatchMode::kSingle;
+  /// Responses required to complete the logical request (k of k-of-n;
+  /// 1 for every other mode).
+  std::uint8_t needed = 1;
+  /// Hedge mode only: how long the primary may stay unanswered before
+  /// the back-up copy is issued.
+  sim::Duration hedge_delay = sim::Duration::zero();
+
+  store::ServerId primary() const { return targets[0]; }
+
+  static DispatchPlan single(store::ServerId target) {
+    DispatchPlan plan;
+    plan.targets[0] = target;
+    plan.num_targets = 1;
+    return plan;
+  }
+};
+
+/// Decision surface: reads the client's SignalTable, returns a plan.
+/// Like ReplicaPolicy, instances hold only private decision state, so
+/// the PolicyRuntime can swap them mid-run over the same signals.
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+
+  /// `replicas` is never empty.
+  virtual DispatchPlan plan(const SignalTable& signals,
+                            const std::vector<store::ServerId>& replicas,
+                            sim::Duration expected_cost) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Lifts a legacy single-winner ReplicaPolicy into the plan API.
+/// plan() is exactly one inner select() call — bit-identical decision
+/// streams for all eight registered selectors.
+class SingleTargetAdapter final : public DispatchPolicy {
+ public:
+  explicit SingleTargetAdapter(std::unique_ptr<ReplicaPolicy> inner);
+
+  DispatchPlan plan(const SignalTable& signals, const std::vector<store::ServerId>& replicas,
+                    sim::Duration expected_cost) override;
+  std::string name() const override { return inner_->name(); }
+
+  ReplicaPolicy& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<ReplicaPolicy> inner_;
+};
+
+/// Parsed form of one dispatch-mode spec ("single", "hedge[:qNN]",
+/// "tied", "kofn[:K]").
+struct DispatchModeConfig {
+  DispatchMode mode = DispatchMode::kSingle;
+  /// Hedge deadline quantile of the per-server response distribution.
+  double hedge_quantile = 0.95;
+  /// k of k-of-n.
+  std::uint8_t k = 2;
+
+  /// Canonical spelling ("hedge:q95", "kofn:2", "tied", "single").
+  std::string canonical() const;
+  bool is_single() const noexcept { return mode == DispatchMode::kSingle; }
+};
+
+/// Hedged requests: the inner policy picks the primary; the back-up
+/// target is the inner choice over the remaining replicas. The hedge
+/// deadline is the configured quantile of the primary's response-time
+/// EWMA (exponential-tail assumption: t_q = -ln(1-q) * mean), falling
+/// back to the C3 prior for unseen servers.
+class HedgeDispatchPolicy final : public DispatchPolicy {
+ public:
+  HedgeDispatchPolicy(std::unique_ptr<DispatchPolicy> inner, double quantile,
+                      sim::Duration prior_response);
+
+  DispatchPlan plan(const SignalTable& signals, const std::vector<store::ServerId>& replicas,
+                    sim::Duration expected_cost) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<DispatchPolicy> inner_;
+  double quantile_factor_;  // -ln(1 - q)
+  double quantile_;
+  sim::Duration prior_response_;
+  std::vector<store::ServerId> rest_scratch_;  // replicas minus primary
+};
+
+/// Tied requests: two copies enqueued at once; first service start
+/// wins, the sibling is cancelled at its dequeue.
+class TiedDispatchPolicy final : public DispatchPolicy {
+ public:
+  explicit TiedDispatchPolicy(std::unique_ptr<DispatchPolicy> inner);
+
+  DispatchPlan plan(const SignalTable& signals, const std::vector<store::ServerId>& replicas,
+                    sim::Duration expected_cost) override;
+  std::string name() const override { return "tied(" + inner_->name() + ")"; }
+
+ private:
+  std::unique_ptr<DispatchPolicy> inner_;
+  std::vector<store::ServerId> rest_scratch_;
+};
+
+/// k-of-n partial fanout (the SCDP rateless-coding idea at the request
+/// layer): fan out to n replicas ranked by repeated inner selection,
+/// complete on the k-th response, cancel the stragglers.
+class KofnDispatchPolicy final : public DispatchPolicy {
+ public:
+  KofnDispatchPolicy(std::unique_ptr<DispatchPolicy> inner, std::uint8_t k);
+
+  DispatchPlan plan(const SignalTable& signals, const std::vector<store::ServerId>& replicas,
+                    sim::Duration expected_cost) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<DispatchPolicy> inner_;
+  std::uint8_t k_;
+  std::vector<store::ServerId> rest_scratch_;
+};
+
+/// Credits decorator at the plan layer: restrict the replica set to
+/// servers the client can pay for right now (gate-mirrored balances),
+/// then defer to the inner policy over that set — one uniform wrapper
+/// for every mode instead of the old select()-special-cased decorator.
+class CreditAwareDispatchPolicy final : public DispatchPolicy {
+ public:
+  explicit CreditAwareDispatchPolicy(std::unique_ptr<DispatchPolicy> inner);
+
+  DispatchPlan plan(const SignalTable& signals, const std::vector<store::ServerId>& replicas,
+                    sim::Duration expected_cost) override;
+  std::string name() const override { return "credit-aware(" + inner_->name() + ")"; }
+
+ private:
+  std::unique_ptr<DispatchPolicy> inner_;
+  std::vector<store::ServerId> funded_scratch_;  // reused per plan
+};
+
+// ---------------------------------------------------------------------------
+// Mode registry
+
+/// One catalog row (drives --help and the README mode table).
+struct DispatchModeInfo {
+  std::string name;
+  std::string grammar;
+  std::string summary;
+};
+
+const std::vector<DispatchModeInfo>& dispatch_mode_catalog();
+
+/// True if `head` (the text before the first ':' of a spec entry) names
+/// a dispatch mode — the disambiguator between "tenant:policy" and
+/// mode specs like "hedge:q95" in shared binding grammars.
+bool is_dispatch_mode_name(const std::string& head);
+
+/// Parses one mode spec; throws std::invalid_argument with a
+/// did-you-mean hint on unknown modes and on malformed parameters.
+DispatchModeConfig parse_dispatch_mode(const std::string& spec);
+
+/// Composes the full dispatch stack for one binding:
+/// credit-aware?( mode-wrapper?( SingleTargetAdapter(policy) ) ).
+/// In single mode no wrapper is added, so the call sequence equals the
+/// legacy selector path exactly. `prior_response` seeds hedge
+/// deadlines for servers without feedback yet.
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(const std::string& policy_name,
+                                                     const DispatchModeConfig& mode,
+                                                     const C3ScoreConfig& c3, bool credit_aware,
+                                                     sim::Duration prior_response, util::Rng rng);
+
+// ---------------------------------------------------------------------------
+// DispatchEndpoint
+
+class PolicyRuntime;
+
+/// One client's control-plane endpoint: the SignalTable plus the bound
+/// DispatchPolicy, with the *single* feedback entry point the client
+/// drives. All outstanding/pending-cost accounting funnels through
+/// on_send/on_response/on_cancel here — there is no second forwarding
+/// path a hedged duplicate could double-count through.
+class DispatchEndpoint final {
+ public:
+  DispatchEndpoint(SignalTableConfig signals, std::unique_ptr<DispatchPolicy> policy,
+                   util::Rng rng, store::TenantId tenant);
+
+  DispatchPlan plan(const std::vector<store::ServerId>& replicas, sim::Duration expected_cost) {
+    return policy_->plan(signals_, replicas, expected_cost);
+  }
+  /// A copy was bound to `server` (offer time, before any gate hold).
+  void on_send(store::ServerId server, sim::Duration expected_cost) {
+    signals_.on_send(server, expected_cost);
+  }
+  /// A copy's response arrived (real server work: full feedback fold).
+  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
+                   sim::Duration rtt, sim::Duration expected_cost) {
+    signals_.on_response(server, feedback, rtt, expected_cost);
+  }
+  /// A copy was cancelled before service: release the in-flight
+  /// accounting its on_send charged, with no EWMA fold (no feedback
+  /// was produced) — C3's estimates stay uncorrupted by duplicates.
+  void on_cancel(store::ServerId server, sim::Duration expected_cost) {
+    signals_.on_cancel(server, expected_cost);
+  }
+
+  std::string name() const { return policy_->name(); }
+  SignalTable& signals() noexcept { return signals_; }
+  const SignalTable& signals() const noexcept { return signals_; }
+  store::TenantId tenant() const noexcept { return tenant_; }
+
+  /// Swaps the decision procedure; the accumulated signals survive.
+  void rebind(std::unique_ptr<DispatchPolicy> policy);
+
+ private:
+  friend class PolicyRuntime;
+
+  SignalTable signals_;
+  std::unique_ptr<DispatchPolicy> policy_;
+  /// Stream for policies constructed at switch epochs (split per
+  /// rebind; the t=0 policy uses the client's original stream copy).
+  util::Rng rng_;
+  store::TenantId tenant_;
+};
+
+}  // namespace brb::ctrl

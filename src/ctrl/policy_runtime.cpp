@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/flags.hpp"
+
 namespace brb::ctrl {
 
 namespace {
@@ -63,6 +65,61 @@ sim::Time parse_switch_time(const std::string& text) {
   return sim::Time::zero() + sim::Duration::seconds(value * scale_to_seconds);
 }
 
+/// Resolves a bare switch payload that is not a dispatch-mode spec as
+/// a policy name; on failure, the did-you-mean hint spans the combined
+/// policy + mode catalog (the payload grammar accepts both).
+std::string canonical_policy_or_hint(const std::string& text) {
+  try {
+    return canonical_policy_name(text);
+  } catch (const std::invalid_argument&) {
+    std::vector<std::string> known;
+    for (const ReplicaPolicyInfo& info : replica_policy_catalog()) known.push_back(info.name);
+    for (const DispatchModeInfo& info : dispatch_mode_catalog()) known.push_back(info.name);
+    std::string message = "unknown policy or dispatch mode '" + text + "'";
+    if (const auto suggestion = util::closest_name(text, known)) {
+      message += " (did you mean '" + *suggestion + "'?)";
+    }
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Resolves one switch payload: "c3" | "hedge:q95" | "tenantA:c3" |
+/// "tenantA:tied". The mode-keyword set disambiguates mode heads from
+/// tenant names.
+PolicySwitch parse_switch_payload(sim::Time at, const std::string& payload) {
+  PolicySwitch sw;
+  sw.at = at;
+  const std::size_t colon = payload.find(':');
+  const std::string head = payload.substr(0, colon);
+
+  if (is_dispatch_mode_name(head)) {  // fleet-wide mode switch
+    sw.kind = PolicySwitch::Kind::kMode;
+    sw.mode = parse_dispatch_mode(payload);
+    return sw;
+  }
+  if (colon == std::string::npos) {  // fleet-wide policy switch
+    sw.kind = PolicySwitch::Kind::kPolicy;
+    sw.policy = canonical_policy_or_hint(payload);
+    return sw;
+  }
+
+  const std::string rest = payload.substr(colon + 1);
+  if (head.empty() || rest.empty()) {
+    throw std::invalid_argument("--policy-switch: malformed entry payload '" + payload +
+                                "' (want [tenant:]policy or [tenant:]mode)");
+  }
+  sw.tenant = head;
+  const std::string rest_head = rest.substr(0, rest.find(':'));
+  if (is_dispatch_mode_name(rest_head)) {
+    sw.kind = PolicySwitch::Kind::kMode;
+    sw.mode = parse_dispatch_mode(rest);
+  } else {
+    sw.kind = PolicySwitch::Kind::kPolicy;
+    sw.policy = canonical_policy_or_hint(rest);
+  }
+  return sw;
+}
+
 }  // namespace
 
 std::vector<PolicyBinding> parse_policy_spec(const std::string& spec) {
@@ -76,17 +133,42 @@ std::vector<PolicyBinding> parse_policy_spec(const std::string& spec) {
   return bindings;
 }
 
+std::vector<DispatchBinding> parse_dispatch_spec(const std::string& spec) {
+  std::vector<DispatchBinding> bindings;
+  for (const std::string& entry : split_list(spec)) {
+    const std::size_t colon = entry.find(':');
+    const std::string head = entry.substr(0, colon);
+    if (is_dispatch_mode_name(head)) {
+      bindings.push_back({"", parse_dispatch_mode(entry)});
+      continue;
+    }
+    if (colon == std::string::npos) {
+      parse_dispatch_mode(entry);  // throws with the did-you-mean hint
+      continue;                    // unreachable
+    }
+    const std::string rest = entry.substr(colon + 1);
+    if (head.empty() || rest.empty()) {
+      throw std::invalid_argument("--dispatch: malformed entry '" + entry +
+                                  "' (want [tenant:]mode)");
+    }
+    bindings.push_back({head, parse_dispatch_mode(rest)});
+  }
+  if (!spec.empty() && bindings.empty()) {
+    throw std::invalid_argument("--dispatch: empty spec");
+  }
+  return bindings;
+}
+
 std::vector<PolicySwitch> parse_policy_switch_spec(const std::string& spec) {
   std::vector<PolicySwitch> switches;
   for (const std::string& entry : split_list(spec)) {
     const std::size_t colon = entry.find(':');
     if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
       throw std::invalid_argument("--policy-switch: malformed entry '" + entry +
-                                  "' (want TIME:[tenant:]policy)");
+                                  "' (want TIME:[tenant:]policy or TIME:[tenant:]mode)");
     }
     const sim::Time at = parse_switch_time(entry.substr(0, colon));
-    const PolicyBinding binding = parse_binding(entry.substr(colon + 1), "--policy-switch");
-    switches.push_back({at, binding.tenant, binding.policy});
+    switches.push_back(parse_switch_payload(at, entry.substr(colon + 1)));
   }
   if (!spec.empty() && switches.empty()) {
     throw std::invalid_argument("--policy-switch: empty spec");
@@ -95,59 +177,41 @@ std::vector<PolicySwitch> parse_policy_switch_spec(const std::string& spec) {
 }
 
 // ---------------------------------------------------------------------------
-// BoundSelector: one client's control-plane endpoint.
-
-class PolicyRuntime::BoundSelector final : public policy::ReplicaSelector {
- public:
-  BoundSelector(SignalTableConfig signals, std::unique_ptr<ReplicaPolicy> active, util::Rng rng,
-                store::TenantId tenant)
-      : signals_(signals), active_(std::move(active)), rng_(rng), tenant_(tenant) {}
-
-  store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override {
-    return active_->select(signals_, replicas, expected_cost);
-  }
-  void on_send(store::ServerId server, sim::Duration expected_cost) override {
-    signals_.on_send(server, expected_cost);
-  }
-  void on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                   sim::Duration rtt, sim::Duration expected_cost) override {
-    signals_.on_response(server, feedback, rtt, expected_cost);
-  }
-  std::string name() const override { return active_->name(); }
-
- private:
-  friend class PolicyRuntime;
-
-  SignalTable signals_;
-  std::unique_ptr<ReplicaPolicy> active_;
-  /// Stream for policies constructed at switch epochs (split per
-  /// rebind; the t=0 policy uses the client's original stream copy).
-  util::Rng rng_;
-  store::TenantId tenant_;
-};
-
-// ---------------------------------------------------------------------------
 // PolicyRuntime
 
 PolicyRuntime::PolicyRuntime(sim::Simulator& sim, Config config)
     : sim_(&sim), config_(std::move(config)) {
   const std::size_t num_tenants = std::max<std::size_t>(1, config_.tenants.size());
-  initial_.assign(num_tenants, canonical_policy_name(config_.default_policy));
+  initial_policy_.assign(num_tenants, canonical_policy_name(config_.default_policy));
+  initial_mode_.assign(num_tenants, DispatchModeConfig{});
 
-  const auto apply_binding = [&](const std::string& tenant, const std::string& policy) {
+  const auto apply_policy = [&](const std::string& tenant, const std::string& policy) {
     if (tenant.empty()) {
-      std::fill(initial_.begin(), initial_.end(), policy);
+      std::fill(initial_policy_.begin(), initial_policy_.end(), policy);
     } else {
-      initial_[tenant_index(tenant).value()] = policy;
+      initial_policy_[tenant_index(tenant).value()] = policy;
+    }
+  };
+  const auto apply_mode = [&](const std::string& tenant, const DispatchModeConfig& mode) {
+    if (tenant.empty()) {
+      std::fill(initial_mode_.begin(), initial_mode_.end(), mode);
+    } else {
+      initial_mode_[tenant_index(tenant).value()] = mode;
     }
   };
   for (const PolicyBinding& binding : parse_policy_spec(config_.policy_spec)) {
-    apply_binding(binding.tenant, binding.policy);
+    apply_policy(binding.tenant, binding.policy);
+  }
+  for (const DispatchBinding& binding : parse_dispatch_spec(config_.dispatch_spec)) {
+    apply_mode(binding.tenant, binding.mode);
   }
   for (const PolicySwitch& entry : parse_policy_switch_spec(config_.switch_spec)) {
     if (entry.at == sim::Time::zero()) {
-      apply_binding(entry.tenant, entry.policy);
+      if (entry.kind == PolicySwitch::Kind::kPolicy) {
+        apply_policy(entry.tenant, entry.policy);
+      } else {
+        apply_mode(entry.tenant, entry.mode);
+      }
     } else {
       if (!entry.tenant.empty()) tenant_index(entry.tenant);  // validate eagerly
       epochs_.push_back(entry);
@@ -175,57 +239,82 @@ store::TenantId PolicyRuntime::tenant_index(const std::string& name) const {
 }
 
 const std::string& PolicyRuntime::initial_policy(store::TenantId tenant) const {
-  if (tenant.value() >= initial_.size()) {
+  if (tenant.value() >= initial_policy_.size()) {
     throw std::out_of_range("PolicyRuntime::initial_policy: bad tenant index");
   }
-  return initial_[tenant.value()];
+  return initial_policy_[tenant.value()];
 }
 
-std::unique_ptr<ReplicaPolicy> PolicyRuntime::make_bound_policy(const std::string& name,
-                                                                util::Rng rng) const {
-  std::unique_ptr<ReplicaPolicy> policy = make_replica_policy(name, config_.c3, rng);
-  if (config_.credit_aware) {
-    // Credits systems select jointly over replica load *and* credit
-    // balances (the gate mirrors balances into the SignalTable).
-    policy = std::make_unique<CreditAwarePolicy>(std::move(policy));
+const DispatchModeConfig& PolicyRuntime::initial_mode(store::TenantId tenant) const {
+  if (tenant.value() >= initial_mode_.size()) {
+    throw std::out_of_range("PolicyRuntime::initial_mode: bad tenant index");
   }
-  return policy;
+  return initial_mode_[tenant.value()];
 }
 
-std::unique_ptr<policy::ReplicaSelector> PolicyRuntime::bind_client(store::ClientId id,
-                                                                    store::TenantId tenant,
-                                                                    util::Rng rng) {
-  if (tenant.value() >= initial_.size()) {
+bool PolicyRuntime::may_dispatch_duplicates() const {
+  for (const DispatchModeConfig& mode : initial_mode_) {
+    if (!mode.is_single()) return true;
+  }
+  for (const PolicySwitch& epoch : epochs_) {
+    if (epoch.kind == PolicySwitch::Kind::kMode && !epoch.mode.is_single()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<DispatchPolicy> PolicyRuntime::make_bound_stack(const std::string& policy,
+                                                                const DispatchModeConfig& mode,
+                                                                util::Rng rng) const {
+  // Credits systems select jointly over replica load *and* credit
+  // balances (the gate mirrors balances into the SignalTable); the
+  // credit-aware wrapper composes outermost, uniformly for every mode.
+  return make_dispatch_policy(policy, mode, config_.c3, config_.credit_aware,
+                              config_.c3.prior_service_time, rng);
+}
+
+std::unique_ptr<DispatchEndpoint> PolicyRuntime::bind_client(store::ClientId id,
+                                                             store::TenantId tenant,
+                                                             util::Rng rng) {
+  if (tenant.value() >= initial_policy_.size()) {
     throw std::invalid_argument("PolicyRuntime::bind_client: tenant index out of range");
   }
-  auto bound = std::make_unique<BoundSelector>(
-      config_.signals, make_bound_policy(initial_[tenant.value()], rng), rng, tenant);
-  if (id >= clients_.size()) clients_.resize(id + 1, nullptr);
-  if (clients_[id] != nullptr) {
+  const std::string& policy = initial_policy_[tenant.value()];
+  const DispatchModeConfig& mode = initial_mode_[tenant.value()];
+  auto endpoint = std::make_unique<DispatchEndpoint>(
+      config_.signals, make_bound_stack(policy, mode, rng), rng, tenant);
+  if (id >= clients_.size()) clients_.resize(id + 1);
+  if (clients_[id].endpoint != nullptr) {
     throw std::logic_error("PolicyRuntime::bind_client: client bound twice");
   }
-  clients_[id] = bound.get();
-  return bound;
+  clients_[id] = ClientBinding{endpoint.get(), policy, mode, tenant};
+  return endpoint;
 }
 
 SignalTable& PolicyRuntime::signals_of(store::ClientId id) {
-  if (id >= clients_.size() || clients_[id] == nullptr) {
+  if (id >= clients_.size() || clients_[id].endpoint == nullptr) {
     throw std::out_of_range("PolicyRuntime::signals_of: unbound client");
   }
-  return clients_[id]->signals_;
+  return clients_[id].endpoint->signals_;
 }
 
 void PolicyRuntime::apply_epoch(std::size_t epoch_index) {
   const PolicySwitch& epoch = epochs_[epoch_index];
-  for (BoundSelector* client : clients_) {
-    if (client == nullptr) continue;
-    if (!epoch.tenant.empty() &&
-        config_.tenants[client->tenant_.value()] != epoch.tenant) {
+  for (ClientBinding& client : clients_) {
+    if (client.endpoint == nullptr) continue;
+    if (!epoch.tenant.empty() && config_.tenants[client.tenant.value()] != epoch.tenant) {
       continue;
     }
-    // The replacement policy reads the same SignalTable the old one
-    // fed from — it starts with warm estimates, not a cold cache.
-    client->active_ = make_bound_policy(epoch.policy, client->rng_.split());
+    // A switch replaces one axis of the (policy, mode) pair and keeps
+    // the other; the replacement stack reads the same SignalTable the
+    // old one fed from — it starts with warm estimates, not a cold
+    // cache.
+    if (epoch.kind == PolicySwitch::Kind::kPolicy) {
+      client.policy = epoch.policy;
+    } else {
+      client.mode = epoch.mode;
+    }
+    client.endpoint->policy_ =
+        make_bound_stack(client.policy, client.mode, client.endpoint->rng_.split());
     ++switches_applied_;
   }
 }

@@ -1,17 +1,24 @@
 // The policy runtime — layer 3 of the control plane.
 //
-// Binds a ReplicaPolicy per tenant onto each client's SignalTable and
-// supports epoch-scheduled mid-run switching:
+// Binds a dispatch stack (replica policy + dispatch mode) per tenant
+// onto each client's SignalTable and supports epoch-scheduled mid-run
+// switching:
 //
 //   --policy=c3                        one policy for every tenant
 //   --policy=tenantA:c3,tenantB:lor    per-tenant bindings
-//   --policy-switch=t0:random,30s:c3   epoch schedule (applies to all
-//                                      tenants; per-tenant epochs via
-//                                      "30s:tenantA:c3")
+//   --dispatch=hedge:q95               one dispatch mode for every tenant
+//   --dispatch=tenantA:tied            per-tenant dispatch modes
+//   --policy-switch=t0:random,30s:c3   epoch schedule; entries may name
+//                                      a policy OR a dispatch mode
+//                                      ("30s:hedge:q95"), optionally
+//                                      tenant-qualified
+//                                      ("30s:tenantA:tied")
 //
 // A switch replaces only the decision procedure; the accumulated
 // signals (EWMAs, outstanding counts, balances) live in the
 // SignalTable and survive the swap — the new policy starts warm.
+// Switching the dispatch mode keeps the tenant's current policy, and
+// vice versa.
 #pragma once
 
 #include <cstdint>
@@ -19,9 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/dispatch_policy.hpp"
 #include "ctrl/replica_policy.hpp"
 #include "ctrl/signal_table.hpp"
-#include "policy/replica_selector.hpp"
 #include "sim/simulator.hpp"
 #include "store/types.hpp"
 #include "util/rng.hpp"
@@ -35,11 +42,23 @@ struct PolicyBinding {
   std::string policy;  // canonical name
 };
 
-/// One "TIME:[tenant:]policy" entry of a --policy-switch spec.
+/// One "[tenant:]mode" entry of a --dispatch spec. An empty tenant
+/// applies to every tenant.
+struct DispatchBinding {
+  std::string tenant;
+  DispatchModeConfig mode;
+};
+
+/// One "TIME:[tenant:]payload" entry of a --policy-switch spec, where
+/// the payload is a replica-policy name or a dispatch-mode spec.
 struct PolicySwitch {
+  enum class Kind : std::uint8_t { kPolicy, kMode };
+
   sim::Time at;
   std::string tenant;  // empty = all tenants
-  std::string policy;  // canonical name
+  Kind kind = Kind::kPolicy;
+  std::string policy;       // canonical name (kind == kPolicy)
+  DispatchModeConfig mode;  // kind == kMode
 };
 
 /// Parses "--policy" ("name" | "tenant:name,..." | a mix; later entries
@@ -47,9 +66,18 @@ struct PolicySwitch {
 /// names throw with a did-you-mean hint.
 std::vector<PolicyBinding> parse_policy_spec(const std::string& spec);
 
-/// Parses "--policy-switch" ("t0:random,30s:c3,45s:tenantA:lor").
-/// Times are "t0" or a positive duration with an s/ms/us suffix.
-/// Entries keep spec order; callers sort by time where needed.
+/// Parses "--dispatch" ("mode" | "tenant:mode,..."; later entries win).
+/// Mode heads are disambiguated from tenant names by the mode-keyword
+/// set {single, hedge, tied, kofn}; unknown modes throw with a
+/// did-you-mean hint.
+std::vector<DispatchBinding> parse_dispatch_spec(const std::string& spec);
+
+/// Parses "--policy-switch" ("t0:random,30s:c3,45s:tenantA:lor,
+/// 60s:hedge:q95"). Times are "t0" or a positive duration with an
+/// s/ms/us suffix. Each payload resolves to a policy name or a
+/// dispatch-mode spec; unknown payloads throw with a did-you-mean hint
+/// over the combined policy + mode catalog. Entries keep spec order;
+/// callers sort by time where needed.
 std::vector<PolicySwitch> parse_policy_switch_spec(const std::string& spec);
 
 class PolicyRuntime {
@@ -58,13 +86,14 @@ class PolicyRuntime {
     /// The system profile's selector (or --selector override): the
     /// binding every tenant starts from when --policy says nothing.
     std::string default_policy = "least-outstanding";
-    /// --policy / --policy-switch specs ("" = none).
+    /// --policy / --dispatch / --policy-switch specs ("" = none).
     std::string policy_spec;
+    std::string dispatch_spec;
     std::string switch_spec;
     /// Table smoothing + C3 scoring parameters shared by all clients.
     SignalTableConfig signals{};
     C3ScoreConfig c3{};
-    /// Wrap every bound policy credit-aware (credits admission).
+    /// Wrap every bound dispatch stack credit-aware (credits admission).
     bool credit_aware = false;
     /// Tenant names in tenant-index order; empty = one anonymous
     /// tenant. Tenant-qualified spec entries must name one of these.
@@ -73,18 +102,25 @@ class PolicyRuntime {
 
   PolicyRuntime(sim::Simulator& sim, Config config);
 
-  /// Resolved t=0 policy name for tenant `tenant`.
+  /// Resolved t=0 policy name / dispatch mode for tenant `tenant`.
   const std::string& initial_policy(store::TenantId tenant) const;
+  const DispatchModeConfig& initial_mode(store::TenantId tenant) const;
+
+  /// True if any binding or switch epoch can issue duplicate copies
+  /// (some dispatch mode other than `single` is reachable) — gates the
+  /// executor wiring (server-side admission filters) so single-mode
+  /// runs pay nothing.
+  bool may_dispatch_duplicates() const;
 
   /// Creates client `id`'s control-plane endpoint: a SignalTable plus
-  /// the tenant's bound policy, packaged as the ReplicaSelector the
-  /// client owns. `rng` seeds randomized policies exactly as the
-  /// pre-runtime wiring did (by value; the runtime keeps its own copy
-  /// for constructing replacement policies at switch epochs).
-  std::unique_ptr<policy::ReplicaSelector> bind_client(store::ClientId id, store::TenantId tenant,
-                                                       util::Rng rng);
+  /// the tenant's bound dispatch stack. `rng` seeds randomized
+  /// policies exactly as the pre-runtime wiring did (by value; the
+  /// endpoint keeps its own copy for constructing replacement stacks
+  /// at switch epochs).
+  std::unique_ptr<DispatchEndpoint> bind_client(store::ClientId id, store::TenantId tenant,
+                                                util::Rng rng);
 
-  /// The client's SignalTable (valid for the bound selector's
+  /// The client's SignalTable (valid for the bound endpoint's
   /// lifetime) — admission gates attach their mirrors here.
   SignalTable& signals_of(store::ClientId id);
 
@@ -100,17 +136,27 @@ class PolicyRuntime {
   const Config& config() const noexcept { return config_; }
 
  private:
-  class BoundSelector;
+  /// One bound client: the endpoint plus its current (policy, mode)
+  /// pair, so a switch can replace one axis and keep the other.
+  struct ClientBinding {
+    DispatchEndpoint* endpoint = nullptr;  // non-owning; the client owns it
+    std::string policy;
+    DispatchModeConfig mode;
+    store::TenantId tenant{0};
+  };
 
-  std::unique_ptr<ReplicaPolicy> make_bound_policy(const std::string& name, util::Rng rng) const;
+  std::unique_ptr<DispatchPolicy> make_bound_stack(const std::string& policy,
+                                                   const DispatchModeConfig& mode,
+                                                   util::Rng rng) const;
   store::TenantId tenant_index(const std::string& name) const;
   void apply_epoch(std::size_t epoch_index);
 
   sim::Simulator* sim_;
   Config config_;
-  std::vector<std::string> initial_;  // per tenant
-  std::vector<PolicySwitch> epochs_;  // time-ordered, t > 0 only
-  std::vector<BoundSelector*> clients_;  // non-owning; clients own them
+  std::vector<std::string> initial_policy_;       // per tenant
+  std::vector<DispatchModeConfig> initial_mode_;  // per tenant
+  std::vector<PolicySwitch> epochs_;              // time-ordered, t > 0 only
+  std::vector<ClientBinding> clients_;
   std::uint64_t switches_applied_ = 0;
   bool started_ = false;
 };

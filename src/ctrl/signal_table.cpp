@@ -64,6 +64,19 @@ void SignalTable::on_response(store::ServerId server, const store::ServerFeedbac
   staged_.push_back(e);
 }
 
+void SignalTable::on_cancel(store::ServerId server, sim::Duration expected_cost) {
+  flush();  // cancels and staged responses share the in-flight columns
+  grow(server);
+  // Release the accounting the copy's on_send charged, with the same
+  // underflow guards as the response-side release. No EWMA fold and no
+  // response count: a cancelled copy produced no feedback, and folding
+  // one in would corrupt C3's estimates with phantom samples.
+  if (outstanding_[server] > 0) --outstanding_[server];
+  pending_cost_ns_[server] -= expected_cost.count_nanos();
+  if (pending_cost_ns_[server] < 0) pending_cost_ns_[server] = 0;
+  ++cancels_;
+}
+
 void SignalTable::flush_staged() const {
   // In-flight release + raw last-feedback columns. Applied in arrival
   // order: the underflow guards match the old per-selector counters (a

@@ -92,6 +92,12 @@ class SignalTable {
   void on_response(store::ServerId server, const store::ServerFeedback& feedback,
                    sim::Duration rtt, sim::Duration expected_cost);
 
+  /// A request bound to `server` was cancelled before service (hedge
+  /// loser dropped at the gate or rejected at dequeue): releases the
+  /// in-flight accounting its on_send charged. No EWMA fold and no
+  /// response count — cancelled copies produce no feedback.
+  void on_cancel(store::ServerId server, sim::Duration expected_cost);
+
   /// Admission mirrors (called by the credit gate / rate gate whenever
   /// their state changes, so selection policies can read balances and
   /// caps without reaching into gate internals). These columns are
@@ -144,6 +150,7 @@ class SignalTable {
   /// Cumulative update counts (observability + bench).
   std::uint64_t sends_recorded() const noexcept { return sends_; }
   std::uint64_t responses_recorded() const noexcept { return responses_; }
+  std::uint64_t cancels_recorded() const noexcept { return cancels_; }
 
   /// Staged-but-unapplied feedback samples (observability + bench).
   std::size_t staged_feedback() const noexcept { return staged_.size(); }
@@ -191,6 +198,7 @@ class SignalTable {
 
   std::uint64_t sends_ = 0;
   std::uint64_t responses_ = 0;
+  std::uint64_t cancels_ = 0;
 };
 
 }  // namespace brb::ctrl

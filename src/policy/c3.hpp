@@ -28,7 +28,6 @@
 
 #include "ctrl/replica_policy.hpp"
 #include "ctrl/signal_table.hpp"
-#include "policy/replica_selector.hpp"
 #include "sim/time.hpp"
 #include "store/types.hpp"
 
@@ -53,18 +52,19 @@ ctrl::C3ScoreConfig c3_score_config(const C3Config& config);
 /// Client-local replica ranking (one instance per client): a private
 /// SignalTable fed by the observation hooks plus the shared
 /// ctrl::C3ScorePolicy ranking over it. The production path wires the
-/// same policy through ctrl::PolicyRuntime; this class keeps the
-/// historical single-object API.
-class C3Selector final : public ReplicaSelector {
+/// same policy through ctrl::PolicyRuntime (as a DispatchPolicy stack);
+/// this standalone class keeps the historical single-object API for
+/// tests and benches.
+class C3Selector final {
  public:
   explicit C3Selector(C3Config config);
 
   store::ServerId select(const std::vector<store::ServerId>& replicas,
-                         sim::Duration expected_cost) override;
-  void on_send(store::ServerId server, sim::Duration expected_cost) override;
+                         sim::Duration expected_cost);
+  void on_send(store::ServerId server, sim::Duration expected_cost);
   void on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                   sim::Duration rtt, sim::Duration expected_cost) override;
-  std::string name() const override { return "c3"; }
+                   sim::Duration rtt, sim::Duration expected_cost);
+  std::string name() const { return "c3"; }
 
   /// The scoring function, exposed for tests.
   double score(store::ServerId server) const;

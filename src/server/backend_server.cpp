@@ -82,6 +82,12 @@ void BackendServer::pump() {
 }
 
 void BackendServer::start_service(QueuedRead read) {
+  if (service_filter_ && !service_filter_(read.request)) {
+    // Rejected at dequeue (a cancelled duplicate): consumes no core
+    // and no service-time draw; the caller's pump loop simply pulls
+    // the next item, and the receive fast path falls through idle.
+    return;
+  }
   ++busy_cores_;
   // Actual work is driven by the replica's stored value size; absent
   // keys (possible in unit tests) serve as 1-byte values. Writes do

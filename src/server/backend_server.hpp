@@ -95,6 +95,15 @@ class BackendServer : public sim::Actor {
     check_watch();
   }
 
+  /// Service-admission filter (tail-cutting executor): called
+  /// synchronously at every service start; returning false rejects the
+  /// request — it consumes no core and no service-time draw, and no
+  /// response is ever produced (the issuing client already finalized
+  /// it). Installed by the scenario wiring only when some dispatch
+  /// mode can issue duplicates, so single-mode runs pay nothing.
+  using ServiceFilterFn = std::function<bool(const store::ReadRequest&)>;
+  void set_service_filter(ServiceFilterFn fn) { service_filter_ = std::move(fn); }
+
   /// Local storage replica (populated by the cluster loader).
   store::StorageEngine& storage() noexcept { return storage_; }
   const store::StorageEngine& storage() const noexcept { return storage_; }
@@ -149,6 +158,7 @@ class BackendServer : public sim::Actor {
   WorkSource* source_ = nullptr;
   PrivateQueueSource* private_source_ = nullptr;  // set iff source is private
   ResponseHandler on_response_;
+  ServiceFilterFn service_filter_;
   QueueWatchFn queue_watch_;
   std::uint32_t watch_threshold_ = 0;
   bool watch_over_ = false;

@@ -177,9 +177,27 @@ Json merge_artifacts(const std::vector<Json>& shards) {
 }
 
 void artifact_csv(std::ostream& os, const Json& artifact) {
+  // Dispatch columns appear only when some run carries tail-cutting
+  // metrics, so artifacts from single-target sweeps stay byte-identical
+  // to pre-dispatch builds.
+  bool dispatch_columns = false;
+  for (const Json& item : artifact.at("cases").items()) {
+    for (const Json& run : item.at("runs").items()) {
+      if (run.find("duplicate_work_fraction") != nullptr) {
+        dispatch_columns = true;
+        break;
+      }
+    }
+    if (dispatch_columns) break;
+  }
+
   os << "scenario,label,system,seed,p50_ms,p95_ms,p99_ms,mean_ms,tasks_completed,"
         "requests_completed,write_requests,mean_utilization,congestion_signals,"
-        "credit_hold_events,tenant_p99_ratio\n";
+        "credit_hold_events,tenant_p99_ratio";
+  if (dispatch_columns) {
+    os << ",duplicate_work_fraction,hedges_issued,hedges_won,hedges_cancelled";
+  }
+  os << "\n";
   const std::string& scenario = artifact.at("scenario").as_string();
   for (const Json& item : artifact.at("cases").items()) {
     const std::string prefix = csv_field(scenario) + "," +
@@ -194,14 +212,27 @@ void artifact_csv(std::ostream& os, const Json& artifact) {
          << "," << run.at("mean_utilization").as_double() << ","
          << run.at("congestion_signals").as_int() << ","
          << run.at("credit_hold_events").as_int() << ","
-         << (ratio != nullptr ? ratio->as_double() : 0.0) << "\n";
+         << (ratio != nullptr ? ratio->as_double() : 0.0);
+      if (dispatch_columns) {
+        const Json* dwf = run.find("duplicate_work_fraction");
+        const Json* issued = run.find("hedges_issued");
+        const Json* won = run.find("hedges_won");
+        const Json* cancelled = run.find("hedges_cancelled");
+        os << "," << (dwf != nullptr ? dwf->as_double() : 0.0) << ","
+           << (issued != nullptr ? issued->as_int() : 0) << ","
+           << (won != nullptr ? won->as_int() : 0) << ","
+           << (cancelled != nullptr ? cancelled->as_int() : 0);
+      }
+      os << "\n";
     }
     // The cross-seed aggregate row (seed column = "all").
     const Json& latency = item.at("task_latency_ms");
     os << prefix << ",all," << latency.at("p50_ms").at("mean").as_double() << ","
        << latency.at("p95_ms").at("mean").as_double() << ","
        << latency.at("p99_ms").at("mean").as_double() << ","
-       << latency.at("mean_ms").at("mean").as_double() << ",,,,,,,\n";
+       << latency.at("mean_ms").at("mean").as_double() << ",,,,,,,";
+    if (dispatch_columns) os << ",,,,";
+    os << "\n";
   }
 }
 

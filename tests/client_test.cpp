@@ -8,8 +8,8 @@
 
 #include "client/app_client.hpp"
 #include "client/dispatch_gate.hpp"
+#include "ctrl/dispatch_policy.hpp"
 #include "policy/priority_policy.hpp"
-#include "policy/replica_selector.hpp"
 #include "server/service_model.hpp"
 #include "sim/simulator.hpp"
 #include "store/partitioner.hpp"
@@ -20,6 +20,16 @@ namespace {
 
 using sim::Duration;
 using sim::Time;
+
+/// Single-target endpoint over one inner replica policy — the
+/// dispatch-plan equivalent of the old selector argument.
+std::unique_ptr<ctrl::DispatchEndpoint> single_endpoint(
+    std::unique_ptr<ctrl::ReplicaPolicy> inner) {
+  return std::make_unique<ctrl::DispatchEndpoint>(
+      ctrl::SignalTableConfig{},
+      std::make_unique<ctrl::SingleTargetAdapter>(std::move(inner)), util::Rng(99),
+      store::TenantId{0});
+}
 
 /// Captures outbound traffic instead of a network.
 struct ClientFixture {
@@ -36,7 +46,7 @@ struct ClientFixture {
       : policy(policy::make_priority_policy(policy_name)) {
     client = std::make_unique<AppClient>(
         simulator, config, partitioner, cost_model,
-        std::make_unique<policy::FirstReplicaSelector>(), *policy,
+        single_endpoint(std::make_unique<ctrl::FirstReplicaPolicy>()), *policy,
         std::make_unique<DirectGate>(), util::Rng(1));
     client->set_network_send([this](const OutboundRequest& out) { sent.push_back(out); });
     AppClient::Hooks hooks;
@@ -238,7 +248,7 @@ TEST(AppClient, PerRequestSelectionMode) {
   policy::FifoPolicy fifo;
   std::vector<OutboundRequest> sent;
   AppClient client(simulator, config, partitioner, cost_model,
-                   std::make_unique<policy::RoundRobinSelector>(), fifo,
+                   single_endpoint(std::make_unique<ctrl::RoundRobinPolicy>()), fifo,
                    std::make_unique<DirectGate>(), util::Rng(2));
   client.set_network_send([&sent](const OutboundRequest& out) { sent.push_back(out); });
   workload::TaskSpec task;

@@ -8,7 +8,6 @@
 #include "core/credits.hpp"
 #include "ctrl/replica_policy.hpp"
 #include "ctrl/signal_table.hpp"
-#include "policy/replica_selector.hpp"
 #include "server/backend_server.hpp"
 #include "server/service_model.hpp"
 #include "sim/simulator.hpp"

@@ -2,8 +2,11 @@
 // lambda mutating by-reference captured state with no synchronization —
 // including mutation hidden behind scheduler entry points (push/cancel
 // relink intrusive wheel slot lists even though no assignment operator
-// appears in the lambda body).
-// expect: BRB-R01=2
+// appears in the lambda body) and behind the DispatchPlan executor
+// callbacks (dispatch_plan/issue_copy/hedge_fire and the
+// DispatchEndpoint on_send/on_response/on_cancel feedback hooks, which
+// rewrite per-request slot state and SignalTable accounting).
+// expect: BRB-R01=3
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -32,6 +35,20 @@ void race_through_scheduler(FakeQueue& queue) {
   for (int w = 0; w < 4; ++w) {
     workers.emplace_back([&] {
       queue.push(static_cast<std::uint64_t>(w));  // mutates slot lists inside
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+struct FakeEndpoint {
+  void on_cancel(std::uint32_t target, double expected_cost);
+};
+
+void race_through_dispatch_executor(FakeEndpoint& endpoint) {
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      endpoint.on_cancel(static_cast<std::uint32_t>(w), 1.0);  // SignalTable accounting inside
     });
   }
   for (auto& worker : workers) worker.join();

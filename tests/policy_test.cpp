@@ -1,13 +1,14 @@
-// Tests for replica selectors, the C3 implementation, and the BRB
+// Tests for replica policies, the C3 implementation, and the BRB
 // priority-assignment policies (the paper's core algorithms).
 #include <gtest/gtest.h>
 
 #include <map>
 #include <vector>
 
+#include "ctrl/replica_policy.hpp"
+#include "ctrl/signal_table.hpp"
 #include "policy/c3.hpp"
 #include "policy/priority_policy.hpp"
-#include "policy/replica_selector.hpp"
 #include "util/rng.hpp"
 
 namespace brb::policy {
@@ -27,82 +28,102 @@ store::ServerFeedback feedback(std::uint32_t queue, double rate) {
 }
 
 // ---------------------------------------------------------------------------
-// Simple selectors
+// Replica policies (stateless rankings over one SignalTable)
 
-TEST(RandomSelector, UniformOverReplicas) {
-  RandomSelector selector{util::Rng(1)};
+/// Test harness pairing one ctrl policy with its own SignalTable —
+/// the shape the production DispatchEndpoint maintains per client.
+template <typename Policy>
+struct Bound {
+  ctrl::SignalTable signals;
+  Policy policy;
+
+  Bound() = default;
+  explicit Bound(Policy p) : policy(std::move(p)) {}
+
+  store::ServerId select(const std::vector<store::ServerId>& replicas, Duration cost) {
+    return policy.select(signals, replicas, cost);
+  }
+  void on_send(store::ServerId server, Duration cost) { signals.on_send(server, cost); }
+  void on_response(store::ServerId server, const store::ServerFeedback& fb, Duration rtt,
+                   Duration cost) {
+    signals.on_response(server, fb, rtt, cost);
+  }
+};
+
+TEST(RandomPolicy, UniformOverReplicas) {
+  Bound<ctrl::RandomPolicy> selector{ctrl::RandomPolicy{util::Rng(1)}};
   std::map<store::ServerId, int> counts;
   for (int i = 0; i < 30000; ++i) ++counts[selector.select(kReplicas, Duration::zero())];
   ASSERT_EQ(counts.size(), 3u);
   for (const auto& [server, count] : counts) EXPECT_NEAR(count, 10000, 700);
 }
 
-TEST(RandomSelector, ThrowsOnEmpty) {
-  RandomSelector selector{util::Rng(2)};
+TEST(RandomPolicy, ThrowsOnEmpty) {
+  Bound<ctrl::RandomPolicy> selector{ctrl::RandomPolicy{util::Rng(2)}};
   EXPECT_THROW(selector.select({}, Duration::zero()), std::invalid_argument);
 }
 
-TEST(RoundRobinSelector, Cycles) {
-  RoundRobinSelector selector;
+TEST(RoundRobinPolicy, Cycles) {
+  Bound<ctrl::RoundRobinPolicy> selector;
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 3u);
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 5u);
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 7u);
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 3u);
 }
 
-TEST(LeastOutstandingSelector, PicksIdleServer) {
-  LeastOutstandingSelector selector;
+TEST(LeastOutstandingPolicy, PicksIdleServer) {
+  Bound<ctrl::LeastOutstandingPolicy> selector;
   selector.on_send(3, Duration::zero());
   selector.on_send(3, Duration::zero());
   selector.on_send(5, Duration::zero());
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 7u);
 }
 
-TEST(LeastOutstandingSelector, ResponsesDecrement) {
-  LeastOutstandingSelector selector;
+TEST(LeastOutstandingPolicy, ResponsesDecrement) {
+  Bound<ctrl::LeastOutstandingPolicy> selector;
   selector.on_send(3, Duration::zero());
   selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::zero());
-  EXPECT_EQ(selector.outstanding(3), 0u);
+  EXPECT_EQ(selector.signals.outstanding(3), 0u);
   // Double response never underflows.
   selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::zero());
-  EXPECT_EQ(selector.outstanding(3), 0u);
+  EXPECT_EQ(selector.signals.outstanding(3), 0u);
 }
 
-TEST(LeastOutstandingSelector, TieBreakRotates) {
-  LeastOutstandingSelector selector;
+TEST(LeastOutstandingPolicy, TieBreakRotates) {
+  Bound<ctrl::LeastOutstandingPolicy> selector;
   std::map<store::ServerId, int> counts;
   for (int i = 0; i < 3000; ++i) ++counts[selector.select(kReplicas, Duration::zero())];
   // All tied at zero outstanding: rotation spreads the picks evenly.
   for (const auto& [server, count] : counts) EXPECT_EQ(count, 1000);
 }
 
-TEST(LeastPendingCostSelector, PicksCheapestServer) {
-  LeastPendingCostSelector selector;
+TEST(LeastPendingCostPolicy, PicksCheapestServer) {
+  Bound<ctrl::LeastPendingCostPolicy> selector;
   selector.on_send(3, Duration::micros(500));
   selector.on_send(5, Duration::micros(100));
   selector.on_send(7, Duration::micros(300));
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 5u);
-  EXPECT_EQ(selector.pending_cost(3), Duration::micros(500));
+  EXPECT_EQ(selector.signals.pending_cost(3), Duration::micros(500));
 }
 
-TEST(LeastPendingCostSelector, ResponsesReleaseCost) {
-  LeastPendingCostSelector selector;
+TEST(LeastPendingCostPolicy, ResponsesReleaseCost) {
+  Bound<ctrl::LeastPendingCostPolicy> selector;
   selector.on_send(3, Duration::micros(500));
   selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::micros(500));
-  EXPECT_EQ(selector.pending_cost(3), Duration::zero());
+  EXPECT_EQ(selector.signals.pending_cost(3), Duration::zero());
   // Over-release clamps at zero.
   selector.on_response(3, feedback(0, 1), Duration::micros(100), Duration::micros(500));
-  EXPECT_EQ(selector.pending_cost(3), Duration::zero());
+  EXPECT_EQ(selector.signals.pending_cost(3), Duration::zero());
 }
 
-TEST(FirstReplicaSelector, AlwaysFront) {
-  FirstReplicaSelector selector;
+TEST(FirstReplicaPolicy, AlwaysFront) {
+  Bound<ctrl::FirstReplicaPolicy> selector;
   EXPECT_EQ(selector.select(kReplicas, Duration::zero()), 3u);
   EXPECT_THROW(selector.select({}, Duration::zero()), std::invalid_argument);
 }
 
-TEST(TwoChoicesSelector, FollowsOutstandingCounts) {
-  TwoChoicesSelector selector{util::Rng(9)};
+TEST(TwoChoicesPolicy, FollowsOutstandingCounts) {
+  Bound<ctrl::TwoChoicesPolicy> selector{ctrl::TwoChoicesPolicy{util::Rng(9)}};
   // Load servers 3 and 5; with three replicas every sampled pair
   // contains 7 at least sometimes, and 7 must win whenever it does.
   selector.on_send(3, Duration::zero());
@@ -111,17 +132,17 @@ TEST(TwoChoicesSelector, FollowsOutstandingCounts) {
   std::map<store::ServerId, int> counts;
   for (int i = 0; i < 3000; ++i) ++counts[selector.select(kReplicas, Duration::zero())];
   EXPECT_GT(counts[7], counts[3]);
-  EXPECT_EQ(selector.outstanding(3), 2u);
+  EXPECT_EQ(selector.signals.outstanding(3), 2u);
 }
 
-TEST(SignalBackedSelectors, ExposeTheSharedTable) {
-  // The selector shims are views over one SignalTable per instance —
-  // observations land there, not in per-selector private state.
-  LeastOutstandingSelector selector;
+TEST(SignalBackedPolicies, ObservationsLandInTheTable) {
+  // Policies are stateless rankings; observations land in the shared
+  // SignalTable, not in per-policy private state.
+  Bound<ctrl::LeastOutstandingPolicy> selector;
   selector.on_send(3, Duration::micros(50));
-  EXPECT_EQ(selector.signals().outstanding(3), 1u);
-  EXPECT_EQ(selector.signals().pending_cost(3), Duration::micros(50));
-  EXPECT_EQ(selector.name(), "least-outstanding");
+  EXPECT_EQ(selector.signals.outstanding(3), 1u);
+  EXPECT_EQ(selector.signals.pending_cost(3), Duration::micros(50));
+  EXPECT_EQ(selector.policy.name(), "least-outstanding");
 }
 
 // ---------------------------------------------------------------------------
