@@ -57,6 +57,22 @@ Engine throughput gate (nightly perf trajectory):
   is refused. Micro-bench deltas are printed for the log but not
   gated — they are too machine-sensitive for a hard budget.
 
+Scale sanity (mega-fleet nightly):
+    check_claims.py --scale-sanity mega.json \
+        [--max-wall-seconds W] [--max-rss-mb M] [--sketch-tolerance T]
+
+  Gates the million-client scale case: the sweep must complete every
+  task of every run under the wall-clock budget with the worst single
+  process's peak RSS under the memory budget (merged artifacts carry
+  the max across shard workers), the sparse signal store must actually
+  have engaged (a dense fallback would "pass" by luck on a small CI
+  shape), and the mergeable quantile sketch must agree with the exact
+  per-run percentiles (p50/p95/p99) within a relative-error bound.
+  The sketch's documented accuracy is alpha = 1% relative on values;
+  the default bound (5%) adds slack for the exact path's histogram
+  quantization. Pooled case-level sketch counts must equal the sum of
+  their per-run sketches (merge lost or double-counted nothing).
+
 Determinism check:
     check_claims.py --identical a.json b.json
 
@@ -282,6 +298,79 @@ def run_engine_budget(bench_path, baseline_path, budget):
     return 0
 
 
+def run_scale_sanity(report_path, max_wall_seconds, max_rss_mb, sketch_tolerance):
+    with open(report_path) as f:
+        doc = json.load(f)
+
+    failures = []
+    checked = 0
+
+    def check(name, ok, detail):
+        nonlocal checked
+        checked += 1
+        print(f"{'ok' if ok else 'FAIL':4} {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    timing = doc.get("timing", {})
+    wall = timing.get("total_wall_seconds")
+    check("wall_budget", wall is not None and wall <= max_wall_seconds,
+          f"{wall:.1f}s (budget {max_wall_seconds:.0f}s)" if wall is not None
+          else "timing.total_wall_seconds missing")
+    rss = timing.get("peak_rss_mb")
+    check("rss_budget", rss is not None and rss <= max_rss_mb,
+          f"peak {rss:.0f} MB per process (budget {max_rss_mb:.0f} MB)"
+          if rss is not None else "timing.peak_rss_mb missing")
+
+    for case in doc.get("cases", []):
+        label = case["label"]
+        expected_tasks = case.get("tasks", doc["config"]["tasks"])
+        if not case.get("runs"):
+            check(f"{label}/runs", False, "case has no runs")
+            continue
+        pooled = case.get("task_latency_sketch")
+        check(f"{label}/pooled_sketch", pooled is not None,
+              f"count={pooled['count']}" if pooled else "case-level sketch missing")
+        run_sketch_total = 0
+        for run in case["runs"]:
+            tag = f"{label}/seed={run['seed']}"
+            check(f"{tag}/tasks_completed",
+                  run["tasks_completed"] == expected_tasks,
+                  f"{run['tasks_completed']} of {expected_tasks}")
+            check(f"{tag}/sparse_store",
+                  run.get("sparse_signal_store") is True,
+                  "sparse signal store engaged" if run.get("sparse_signal_store")
+                  else "ran on the dense store — not a scale test")
+            sketch = run.get("task_latency_sketch")
+            if sketch is None:
+                check(f"{tag}/sketch", False, "per-run sketch missing")
+                continue
+            run_sketch_total += sketch["count"]
+            measured = run.get("tasks_measured", run["tasks_completed"])
+            check(f"{tag}/sketch_count",
+                  sketch["count"] == measured,
+                  f"sketch holds {sketch['count']} of {measured} measured samples")
+            for metric in ("p50_ms", "p95_ms", "p99_ms"):
+                exact = run[metric]
+                est = sketch[metric]
+                rel = abs(est - exact) / exact if exact else abs(est)
+                check(f"{tag}/sketch_{metric}",
+                      rel <= sketch_tolerance,
+                      f"sketch {est:.3f} ms vs exact {exact:.3f} ms "
+                      f"(rel {rel:.2%}, bound {sketch_tolerance:.0%})")
+        if pooled is not None:
+            check(f"{label}/pooled_sketch_count",
+                  pooled["count"] == run_sketch_total,
+                  f"pooled {pooled['count']} vs per-run sum {run_sketch_total}")
+
+    if failures:
+        print(f"\n{len(failures)} of {checked} scale check(s) failed: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} scale checks hold")
+    return 0
+
+
 def strip_wall_clock(node, top=True):
     """Drops wall-clock time (the one legitimately nondeterministic
     part of a report): the top-level "timing" object in format-2
@@ -325,6 +414,16 @@ def main():
                              "bounded duplicate work, per workload")
     parser.add_argument("--max-dwf", type=float, default=0.1,
                         help="bound on duplicate_work_fraction (hedge-sanity mode)")
+    parser.add_argument("--scale-sanity", action="store_true",
+                        help="mega-fleet report: wall/RSS budgets, sparse store "
+                             "engaged, sketch percentiles within bound of exact")
+    parser.add_argument("--max-wall-seconds", type=float, default=1800.0,
+                        help="wall-clock budget in seconds (scale-sanity mode)")
+    parser.add_argument("--max-rss-mb", type=float, default=12288.0,
+                        help="peak-RSS budget per process in MB (scale-sanity mode)")
+    parser.add_argument("--sketch-tolerance", type=float, default=0.05,
+                        help="max relative sketch-vs-exact percentile error "
+                             "(scale-sanity mode)")
     parser.add_argument("--engine-budget", action="store_true",
                         help="BENCH_engine.json vs engine_baseline.json throughput gate")
     parser.add_argument("--budget", type=float, default=0.03,
@@ -343,6 +442,11 @@ def main():
         if len(args.files) != 1:
             parser.error("--hedge-sanity takes exactly one report")
         return run_hedge_sanity(args.files[0], args.max_dwf)
+    if args.scale_sanity:
+        if len(args.files) != 1:
+            parser.error("--scale-sanity takes exactly one report")
+        return run_scale_sanity(args.files[0], args.max_wall_seconds,
+                                args.max_rss_mb, args.sketch_tolerance)
     if args.engine_budget:
         if len(args.files) != 2:
             parser.error("--engine-budget takes BENCH_engine.json baseline.json")

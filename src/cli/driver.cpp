@@ -13,6 +13,7 @@
 #include <string>
 
 #ifdef __unix__
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
@@ -73,7 +74,7 @@ const std::vector<std::string>& known_flags() {
       "warmup", "keep-raw",
       // system under test / control plane
       "system", "seed", "selector", "systems", "policy", "policy-switch", "admission",
-      "dispatch",
+      "dispatch", "signal-store", "stats",
       // scenario expanders
       "loads", "fanouts", "writes", "skews", "replications", "intervals-ms", "noise-sigmas",
       "policies", "dispatches",
@@ -174,6 +175,8 @@ ScenarioConfig config_from_flags(const util::Flags& flags) {
   config.policy_switch_spec = flags.get_string("policy-switch", config.policy_switch_spec);
   config.dispatch_spec = flags.get_string("dispatch", config.dispatch_spec);
   config.admission_override = flags.get_string("admission", config.admission_override);
+  config.signal_store = flags.get_string("signal-store", config.signal_store);
+  config.stats_spec = flags.get_string("stats", config.stats_spec);
   if (!config.selector_override.empty() && !config.policy_spec.empty()) {
     throw std::invalid_argument(
         "--selector and --policy conflict (--policy is the superset: use --policy=NAME)");
@@ -339,6 +342,8 @@ stats::Json config_json(const ScenarioConfig& config) {
   if (!config.policy_switch_spec.empty()) j["policy_switch"] = config.policy_switch_spec;
   if (!config.dispatch_spec.empty()) j["dispatch"] = config.dispatch_spec;
   if (!config.admission_override.empty()) j["admission"] = config.admission_override;
+  if (!config.signal_store.empty()) j["signal_store"] = config.signal_store;
+  if (!config.stats_spec.empty()) j["stats"] = config.stats_spec;
   return j;
 }
 
@@ -391,6 +396,9 @@ stats::Json run_json(const RunResult& run) {
     j["hedges_issued"] = run.hedges_issued;
     j["hedges_won"] = run.hedges_won;
     j["hedges_cancelled"] = run.hedges_cancelled;
+    // Only fresh=-configured hedging can skip, so legacy dispatch rows
+    // (no fresh= spec, counter always zero) keep their exact key set.
+    if (run.hedges_skipped_fresh > 0) j["hedges_skipped_fresh"] = run.hedges_skipped_fresh;
     j["duplicates_sent"] = run.duplicates_sent;
     j["duplicates_cancelled"] = run.duplicates_cancelled;
     j["duplicates_served"] = run.duplicates_served;
@@ -400,6 +408,20 @@ stats::Json run_json(const RunResult& run) {
   j["gate_held_requests"] = run.gate_held_requests;
   j["sim_seconds"] = run.sim_duration.as_seconds();
   j["events_processed"] = run.events_processed;
+  // Sparse-store telemetry: present only on --signal-store=sparse runs,
+  // so dense rows keep their exact key set.
+  if (run.sparse_signal_store) {
+    j["sparse_signal_store"] = true;
+    j["signal_entries_live"] = run.signal_entries_live;
+    j["signal_evictions"] = run.signal_evictions;
+  }
+  // Mergeable quantile sketch (--stats=sketch only): the O(sketch)
+  // artifact replacement for raw samples. `brbsim merge` re-pools
+  // these per-seed sketches exactly.
+  if (const stats::QuantileSketch* sketch = run.task_latency.sketch();
+      sketch != nullptr && !sketch->empty()) {
+    j["task_latency_sketch"] = stats::sketch_block_json(*sketch);
+  }
   return j;
 }
 
@@ -451,6 +473,12 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
     if (!result.spec.config.admission_override.empty()) {
       c["admission"] = result.spec.config.admission_override;
     }
+    if (!result.spec.config.signal_store.empty()) {
+      c["signal_store"] = result.spec.config.signal_store;
+    }
+    if (!result.spec.config.stats_spec.empty()) {
+      c["stats"] = result.spec.config.stats_spec;
+    }
     stats::Json latency = stats::Json::object();
     latency["p50_ms"] = stats::summary_json(result.aggregate.p50_ms);
     latency["p95_ms"] = stats::summary_json(result.aggregate.p95_ms);
@@ -465,6 +493,23 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
       total_wall_seconds += run.wall_seconds;
     }
     c["runs"] = std::move(runs);
+    // Case-level pooled sketch (--stats=sketch only), merged across
+    // seeds. Emitted after "runs" so `brbsim merge` — which rebuilds
+    // this block from the per-seed sketches — lands it in the same
+    // position whether or not shard #1 executed any seed of the case.
+    std::unique_ptr<stats::QuantileSketch> pooled_sketch;
+    for (const RunResult& run : result.aggregate.runs) {
+      const stats::QuantileSketch* sketch = run.task_latency.sketch();
+      if (sketch == nullptr || sketch->empty()) continue;
+      if (pooled_sketch == nullptr) {
+        pooled_sketch = std::make_unique<stats::QuantileSketch>(*sketch);
+      } else {
+        pooled_sketch->merge(*sketch);
+      }
+    }
+    if (pooled_sketch != nullptr) {
+      c["task_latency_sketch"] = stats::sketch_block_json(*pooled_sketch);
+    }
     cases.push_back(std::move(c));
     stats::Json timing_case = stats::Json::object();
     timing_case["label"] = result.spec.label;
@@ -479,6 +524,15 @@ stats::Json report_json(const std::string& scenario, const ScenarioConfig& base,
   // subtree instead of excluding fields all over the document.
   stats::Json timing = stats::Json::object();
   timing["total_wall_seconds"] = total_wall_seconds;
+#ifdef __unix__
+  // Peak RSS of this process (the shard worker, under --spawn): the
+  // number the mega-fleet nightly budget gates. Like wall time it is
+  // machine-dependent, hence quarantined here in the timing subtree.
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    timing["peak_rss_mb"] = static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+#endif
   timing["cases"] = std::move(timing_cases);
   root["timing"] = std::move(timing);
   return root;
@@ -613,6 +667,16 @@ void print_usage(std::ostream& os) {
         "  --dispatch=tenantA:tied,tenantB:kofn:2  per-tenant dispatch modes\n"
         "  --admission=direct|cubic-rate|credits   override the admission policy\n"
         "  --selector=NAME               legacy alias for --policy=NAME\n"
+        "  --signal-store=auto|dense|sparse[:CAP]  control-plane state layout\n"
+        "                                (auto = sparse once clients x servers\n"
+        "                                exceeds 2^24 pairs; sparse switches the\n"
+        "                                signal table AND credits bookkeeping to\n"
+        "                                windowed per-client state, CAP live\n"
+        "                                servers per client, default 128)\n"
+        "  --stats=exact|sketch          sketch adds mergeable DDSketch quantile\n"
+        "                                sketches to artifacts (1% relative error;\n"
+        "                                merge stays byte-identical for any shard\n"
+        "                                count)\n"
         "  replica policies:\n";
   const auto policy_title = [](const ctrl::ReplicaPolicyInfo& info) {
     std::string title = info.name;

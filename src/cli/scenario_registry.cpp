@@ -136,6 +136,40 @@ std::vector<ExperimentCase> expand_large_cluster(const ScenarioConfig& base,
                                                        SystemKind::kC3}));
 }
 
+std::vector<ExperimentCase> expand_mega_fleet(const ScenarioConfig& base,
+                                              const util::Flags& flags) {
+  // Million-client scale case: 10k servers x 1M clients — three orders
+  // of magnitude past the paper's fleet on the client axis. The pair
+  // cross-product (1e10) is far past the sparse auto threshold, so the
+  // control plane runs the windowed per-client store plus sparse
+  // credits bookkeeping, and stats default to mergeable sketches so
+  // per-seed artifacts stay O(sketch). Two selection policies on the
+  // fixed FIFO/direct substrate probe the sparse SignalTable under
+  // load; the credits case drives the sparse demand/grant path end to
+  // end. Runs as a nightly job under wall/RSS budgets
+  // (check_claims.py --scale-sanity), sharded over the plan layer.
+  if (!base.policy_spec.empty() || !base.selector_override.empty()) {
+    throw std::invalid_argument(
+        "scenario mega-fleet fixes the replica policy per case; --policy/--selector conflict");
+  }
+  ScenarioConfig config = base;
+  if (!flags.has("servers") && !flags.has("cluster")) config.cluster.num_servers = 10'000;
+  if (!flags.has("clients")) config.num_clients = 1'000'000;
+  if (!flags.has("tasks")) config.num_tasks = 1'000'000;
+  if (config.stats_spec.empty()) config.stats_spec = "sketch";
+  std::vector<ExperimentCase> cases;
+  for (const char* policy : {"two-choices", "c3-noderate"}) {
+    ScenarioConfig c = config;
+    c.system = SystemKind::kFifoDirect;
+    c.policy_spec = policy;
+    cases.push_back({policy, std::move(c)});
+  }
+  ScenarioConfig credits = config;
+  credits.system = SystemKind::kEqualMaxCredits;
+  cases.push_back({"equalmax-credits", std::move(credits)});
+  return cases;
+}
+
 std::vector<ExperimentCase> expand_trace_replay(const ScenarioConfig& base,
                                                 const util::Flags& flags) {
   if (base.trace_path.empty()) {
@@ -514,6 +548,9 @@ const std::vector<ScenarioSpec>& scenario_registry() {
        expand_hedging_shootout},
       {"large-cluster", "100 servers x 1000 clients scale case (credits + C3)",
        expand_large_cluster},
+      {"mega-fleet",
+       "10k servers x 1M clients: sparse control plane + sketch stats (nightly scale case)",
+       expand_mega_fleet},
       {"trace-replay", "replay a recorded trace (--trace=PATH) across systems",
        expand_trace_replay},
       {"hetero-servers", "mixed fleet (6x4-core + 3x8-core at 2x rate) via --cluster",

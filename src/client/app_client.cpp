@@ -173,6 +173,7 @@ void AppClient::submit(workload::TaskSpec task) {
         dispatch(planned, replica);
       }
     } else if (request_plan_scratch_[i].mode == ctrl::DispatchMode::kSingle) {
+      if (request_plan_scratch_[i].skipped_fresh) ++stats_.hedges_skipped_fresh;
       dispatch(planned, planned.server);
     } else {
       dispatch_plan(planned, request_plan_scratch_[i], task_id);
@@ -415,7 +416,7 @@ void AppClient::on_response(const store::ReadResponse& response) {
   const sim::Duration rtt = now() - inflight.sent_at;
   // Real server work produced real feedback — fold it even for
   // absorbed duplicates; only *cancelled* copies skip the EWMA path.
-  endpoint_->on_response(inflight.server, response.feedback, rtt, inflight.expected_cost);
+  endpoint_->on_response(inflight.server, response.feedback, rtt, inflight.expected_cost, now());
   gate_->on_response(inflight.server, response.feedback);
 
   if (inflight.logical != kNoLogical) {

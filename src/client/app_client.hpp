@@ -57,6 +57,9 @@ struct ClientStats {
   std::uint64_t hedges_won = 0;
   /// Armed hedge deadlines cancelled by a response before firing.
   std::uint64_t hedges_cancelled = 0;
+  /// Hedge plans degraded to single because the primary's feedback was
+  /// fresher than the configured fresh= age (signal-aware skip).
+  std::uint64_t hedges_skipped_fresh = 0;
   /// Duplicate copies offered beyond the needed count (tied siblings,
   /// kofn extras, fired hedge back-ups).
   std::uint64_t duplicates_sent = 0;

@@ -8,6 +8,13 @@
 
 namespace brb::core {
 
+namespace {
+// Sparse demand pairs whose EWMA decays below this rate (req/s) are
+// dropped from the controller's books. With the default alpha of 0.5
+// a 1 req/s pair is forgotten after ~30 idle reports (~3 s).
+constexpr double kDemandRetentionFloor = 1e-9;
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // CreditGate
 
@@ -22,11 +29,33 @@ CreditGate::CreditGate(sim::Simulator& sim, std::uint32_t num_servers, CreditsCo
   for (std::uint32_t s = 0; s < num_servers; ++s) servers_[s].balance = initial_credits[s];
 }
 
+CreditGate::CreditGate(sim::Simulator& sim, CreditsConfig config, double default_credit)
+    : sim_(&sim), config_(config), sparse_(true), default_credit_(default_credit) {
+  if (default_credit < 0.0) throw std::invalid_argument("CreditGate: negative default credit");
+}
+
+CreditGate::PerServer& CreditGate::slot(store::ServerId server) {
+  if (!sparse_) {
+    if (server >= servers_.size()) throw std::out_of_range("CreditGate: bad server");
+    return servers_[server];
+  }
+  auto [it, inserted] = sparse_servers_.try_emplace(server);
+  if (inserted) {
+    it->second.balance = default_credit_;
+    sync_balance(server, it->second.balance);
+  }
+  return it->second;
+}
+
 void CreditGate::attach_signals(ctrl::SignalTable* signals) {
   signals_ = signals;
   if (signals_ == nullptr) return;
+  if (sparse_) {
+    for (const auto& [server, ps] : sparse_servers_) sync_balance(server, ps.balance);
+    return;
+  }
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    sync_balance(static_cast<store::ServerId>(s));
+    sync_balance(static_cast<store::ServerId>(s), servers_[s].balance);
   }
 }
 
@@ -72,7 +101,21 @@ void CreditGate::start() {
 
 void CreditGate::measure_tick() {
   if (!running_) return;
-  if (report_) {
+  if (sparse_) {
+    if (sparse_report_) {
+      sparse_rates_scratch_.clear();
+      const double window_sec = config_.measure_interval.as_seconds();
+      for (auto& [server, ps] : sparse_servers_) {
+        if (ps.offered_in_window == 0) continue;
+        sparse_rates_scratch_.emplace_back(
+            server, static_cast<double>(ps.offered_in_window) / window_sec);
+        ps.offered_in_window = 0;
+      }
+      // Idle ticks send nothing: a million dormant clients must not
+      // produce a million empty control messages per interval.
+      if (!sparse_rates_scratch_.empty()) sparse_report_(sparse_rates_scratch_);
+    }
+  } else if (report_) {
     rates_scratch_.assign(servers_.size(), 0.0);
     const double window_sec = config_.measure_interval.as_seconds();
     for (std::size_t s = 0; s < servers_.size(); ++s) {
@@ -86,12 +129,11 @@ void CreditGate::measure_tick() {
 
 void CreditGate::offer(client::OutboundRequest out) {
   const store::ServerId server = out.server;
-  if (server >= servers_.size()) throw std::out_of_range("CreditGate::offer: bad server");
-  PerServer& ps = servers_[server];
+  PerServer& ps = slot(server);
   ++ps.offered_in_window;
   if (ps.heap.empty() && ps.balance >= 1.0) {
     ps.balance -= 1.0;
-    sync_balance(server);
+    sync_balance(server, ps.balance);
     transmit(out);
     return;
   }
@@ -101,6 +143,7 @@ void CreditGate::offer(client::OutboundRequest out) {
 }
 
 void CreditGate::on_grant(const std::vector<double>& credits) {
+  if (sparse_) throw std::logic_error("CreditGate::on_grant: dense grant on a sparse gate");
   if (credits.size() != servers_.size()) {
     throw std::invalid_argument("CreditGate::on_grant: arity mismatch");
   }
@@ -110,12 +153,21 @@ void CreditGate::on_grant(const std::vector<double>& credits) {
     const double carryover =
         std::min(servers_[s].balance, config_.carryover_cap_factor * credits[s]);
     servers_[s].balance = credits[s] + std::max(0.0, carryover);
-    drain(static_cast<store::ServerId>(s));
+    drain(static_cast<store::ServerId>(s), servers_[s]);
   }
 }
 
-void CreditGate::drain(store::ServerId server) {
-  PerServer& ps = servers_[server];
+void CreditGate::on_sparse_grant(const SparseCredits& credits) {
+  if (!sparse_) throw std::logic_error("CreditGate::on_sparse_grant: sparse grant on a dense gate");
+  for (const auto& [server, amount] : credits) {
+    PerServer& ps = slot(server);
+    const double carryover = std::min(ps.balance, config_.carryover_cap_factor * amount);
+    ps.balance = amount + std::max(0.0, carryover);
+    drain(server, ps);
+  }
+}
+
+void CreditGate::drain(store::ServerId server, PerServer& ps) {
   while (!ps.heap.empty() && ps.balance >= 1.0) {
     Held held = heap_pop(ps);
     ps.balance -= 1.0;
@@ -123,10 +175,14 @@ void CreditGate::drain(store::ServerId server) {
     total_hold_time_ += sim_->now() - held.held_at;
     transmit(held.out);
   }
-  sync_balance(server);
+  sync_balance(server, ps.balance);
 }
 
 double CreditGate::balance(store::ServerId server) const {
+  if (sparse_) {
+    const auto it = sparse_servers_.find(server);
+    return it == sparse_servers_.end() ? default_credit_ : it->second.balance;
+  }
   if (server >= servers_.size()) throw std::out_of_range("CreditGate::balance: bad server");
   return servers_[server].balance;
 }
@@ -135,14 +191,26 @@ double CreditGate::balance(store::ServerId server) const {
 // CreditsController
 
 CreditsController::CreditsController(sim::Simulator& sim, std::uint32_t num_clients,
-                                     std::vector<double> capacities, CreditsConfig config)
-    : sim_(&sim), num_clients_(num_clients), capacities_(std::move(capacities)), config_(config) {
+                                     std::vector<double> capacities, CreditsConfig config,
+                                     bool sparse_demand)
+    : sim_(&sim),
+      num_clients_(num_clients),
+      capacities_(std::move(capacities)),
+      config_(config),
+      sparse_(sparse_demand) {
   if (num_clients_ == 0) throw std::invalid_argument("CreditsController: no clients");
   if (capacities_.empty()) throw std::invalid_argument("CreditsController: no servers");
   for (const double c : capacities_) {
     if (c <= 0.0) throw std::invalid_argument("CreditsController: non-positive capacity");
   }
-  demand_.assign(static_cast<std::size_t>(num_clients_) * capacities_.size(), 0.0);
+  if (sparse_) {
+    // O(active pairs): the dense clients x servers matrix would be
+    // 80 GB at 1M clients x 10k servers.
+    sparse_demand_.resize(num_clients_);
+    server_active_clients_.resize(capacities_.size());
+  } else {
+    demand_.assign(static_cast<std::size_t>(num_clients_) * capacities_.size(), 0.0);
+  }
   capacity_factor_.assign(capacities_.size(), 1.0);
   congested_this_interval_.assign(capacities_.size(), false);
   server_total_demand_.resize(capacities_.size());
@@ -158,6 +226,7 @@ void CreditsController::start() {
 
 void CreditsController::on_demand_report(store::ClientId client,
                                          const std::vector<double>& per_server_rate) {
+  if (sparse_) throw std::logic_error("CreditsController: dense report in sparse mode");
   if (client >= num_clients_) throw std::out_of_range("CreditsController: bad client id");
   if (per_server_rate.size() != capacities_.size()) {
     throw std::invalid_argument("CreditsController: report arity mismatch");
@@ -168,6 +237,53 @@ void CreditsController::on_demand_report(store::ClientId client,
     double& d = demand_at(client, s);
     d = util::ewma_update(d, a, per_server_rate[s]);
   }
+}
+
+void CreditsController::on_sparse_demand_report(store::ClientId client,
+                                                const SparseCredits& rates) {
+  if (!sparse_) throw std::logic_error("CreditsController: sparse report in dense mode");
+  if (client >= num_clients_) throw std::out_of_range("CreditsController: bad client id");
+  ++stats_.demand_reports;
+  const double a = config_.demand_ewma_alpha;
+  std::map<store::ServerId, double>& demand = sparse_demand_[client];
+  // Merge-walk the (ascending) report against the (ascending) map:
+  // reported servers blend toward the new rate, unreported entries
+  // decay toward zero exactly as a dense zero sample would, and
+  // entries below the retention floor are forgotten.
+  auto it = demand.begin();
+  std::size_t r = 0;
+  while (it != demand.end() || r < rates.size()) {
+    if (it == demand.end() || (r < rates.size() && rates[r].first < it->first)) {
+      if (rates[r].first >= capacities_.size()) {
+        throw std::out_of_range("CreditsController: bad server id in sparse report");
+      }
+      const double d = util::ewma_update(0.0, a, rates[r].second);
+      if (d >= kDemandRetentionFloor) it = demand.emplace_hint(it, rates[r].first, d);
+      ++r;
+      if (it != demand.end() && it->first == rates[r - 1].first) ++it;
+    } else if (r < rates.size() && rates[r].first == it->first) {
+      it->second = util::ewma_update(it->second, a, rates[r].second);
+      ++r;
+      if (it->second < kDemandRetentionFloor) {
+        it = demand.erase(it);
+      } else {
+        ++it;
+      }
+    } else {
+      it->second = util::ewma_update(it->second, a, 0.0);
+      if (it->second < kDemandRetentionFloor) {
+        it = demand.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t CreditsController::live_demand_pairs() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : sparse_demand_) n += m.size();
+  return n;
 }
 
 void CreditsController::on_congestion_signal(store::ServerId server, std::uint32_t) {
@@ -210,13 +326,58 @@ void CreditsController::adapt_tick() {
     }
   }
 
+  const double interval_sec = config_.adapt_interval.as_seconds();
+
+  if (sparse_) {
+    // Pass 1: per-server demand totals and active-client counts, in
+    // (client asc, server asc) order — deterministic regardless of
+    // report arrival order.
+    std::fill(server_total_demand_.begin(), server_total_demand_.end(), 0.0);
+    std::fill(server_active_clients_.begin(), server_active_clients_.end(), 0u);
+    for (const auto& demand : sparse_demand_) {
+      for (const auto& [s, d] : demand) {
+        server_total_demand_[s] += std::max(0.0, d);
+        ++server_active_clients_[s];
+      }
+    }
+    // The equal floor is split among the clients with demand on record
+    // for the server (a fleet-wide split rounds to zero at 1M clients);
+    // everyone else bootstraps from the gate's first-touch default.
+    for (std::size_t s = 0; s < capacities_.size(); ++s) {
+      const double budget = capacities_[s] * capacity_factor_[s] * interval_sec;
+      const double floor_budget = budget * config_.min_share_fraction;
+      server_floor_each_[s] = server_active_clients_[s] > 0
+                                  ? floor_budget / static_cast<double>(server_active_clients_[s])
+                                  : 0.0;
+      server_prop_budget_[s] = budget - floor_budget;
+    }
+    // Pass 2: one sparse grant per client with live demand. Idle
+    // clients get no message at all.
+    if (send_sparse_grant_) {
+      for (std::uint32_t c = 0; c < num_clients_; ++c) {
+        const auto& demand = sparse_demand_[c];
+        if (demand.empty()) continue;
+        sparse_grant_scratch_.clear();
+        for (const auto& [s, d] : demand) {
+          const double total = server_total_demand_[s];
+          const double share =
+              total <= 0.0 ? 0.0 : std::max(0.0, d) / total * server_prop_budget_[s];
+          sparse_grant_scratch_.emplace_back(s, server_floor_each_[s] + share);
+        }
+        send_sparse_grant_(c, sparse_grant_scratch_);
+        ++stats_.grants_sent;
+      }
+    }
+    sim_->schedule_after(config_.adapt_interval, [this] { adapt_tick(); });
+    return;
+  }
+
   // Per server: a small equal floor (so bursty newcomers are not
   // stalled for a whole interval), the rest proportional to demand.
   // Arithmetic matches allocate_proportional exactly (summation order
   // included) so grants are bit-identical to the per-server-vector
   // formulation; the flat layout just avoids materializing a clients x
   // servers grant matrix every interval.
-  const double interval_sec = config_.adapt_interval.as_seconds();
   const double num_clients = static_cast<double>(num_clients_);
   for (std::size_t s = 0; s < capacities_.size(); ++s) {
     double total = 0.0;

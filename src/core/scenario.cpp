@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -10,6 +11,7 @@
 #include "core/global_queue.hpp"
 #include "ctrl/admission.hpp"
 #include "ctrl/policy_runtime.hpp"
+#include "ctrl/sparse_signal_table.hpp"
 #include "net/network.hpp"
 #include "policy/priority_policy.hpp"
 #include "server/backend_server.hpp"
@@ -116,6 +118,50 @@ RunResult run_scenario(const ScenarioConfig& config) {
   const SystemProfile profile = profile_for(config.system);
   const std::uint32_t num_servers = config.cluster.num_servers;
   const std::uint32_t num_clients = config.num_clients;
+
+  // --- signal-store resolution ---
+  // "auto" flips to the sparse windowed store once the clients x
+  // servers cross-product would make dense per-pair columns a memory
+  // problem. The threshold (2^24 pairs = a few hundred MB of dense
+  // columns fleet-wide) keeps every nightly scenario short of
+  // mega-fleet on the dense path, where artifacts are byte-frozen.
+  bool sparse_store = false;
+  bool sparse_credits_mode = false;
+  std::uint32_t sparse_cap = 128;
+  {
+    constexpr std::uint64_t kAutoSparsePairs = 1ull << 24;
+    const std::uint64_t pairs = static_cast<std::uint64_t>(num_clients) * num_servers;
+    const std::string& spec = config.signal_store;
+    if (spec.empty() || spec == "auto") {
+      sparse_store = pairs > kAutoSparsePairs;
+    } else if (spec == "dense") {
+      sparse_store = false;
+    } else if (spec == "sparse" || spec.rfind("sparse:", 0) == 0) {
+      sparse_store = true;
+      if (spec.size() > 7) {
+        const unsigned long cap = std::stoul(spec.substr(7));
+        if (cap == 0) throw std::invalid_argument("run_scenario: sparse store cap must be > 0");
+        sparse_cap = static_cast<std::uint32_t>(cap);
+      }
+    } else {
+      throw std::invalid_argument("run_scenario: signal store must be auto|dense|sparse[:CAP]");
+    }
+    // Sparse credits bookkeeping (first-touch balances, grants only to
+    // live-demand pairs, floor shared among active clients) carries
+    // slightly different floor-sharing semantics than the dense
+    // controller, so it engages only past the auto threshold — where
+    // the dense per-fleet bootstrap vectors are the thing being
+    // avoided. Below it, an explicit sparse store keeps the exact
+    // dense credits path: the sparse SignalTable alone is
+    // decision-identical whenever the cap covers the fleet.
+    sparse_credits_mode = sparse_store && pairs > kAutoSparsePairs;
+  }
+
+  // --- latency statistics resolution ---
+  const bool sketch_stats = config.stats_spec == "sketch";
+  if (!config.stats_spec.empty() && config.stats_spec != "exact" && !sketch_stats) {
+    throw std::invalid_argument("run_scenario: stats must be exact|sketch");
+  }
 
   // Trace replay: tasks come from a file or an in-memory list.
   std::vector<workload::TaskSpec> trace_storage;
@@ -297,6 +343,9 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.seed = config.seed;
   result.task_latency = stats::LatencyRecorder(config.keep_raw_latencies);
   result.request_latency = stats::LatencyRecorder(config.keep_raw_latencies);
+  // Only the task sketch reaches artifacts; the request recorder keeps
+  // its histogram-only footprint even in sketch runs.
+  if (sketch_stats) result.task_latency.enable_sketch();
   const std::uint64_t warmup_tasks =
       static_cast<std::uint64_t>(config.warmup_fraction * static_cast<double>(total_tasks));
 
@@ -334,6 +383,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
   runtime_config.dispatch_spec = config.dispatch_spec;
   runtime_config.switch_spec = config.policy_switch_spec;
   runtime_config.signals.ewma_alpha = config.c3.ewma_alpha;
+  runtime_config.signals.sparse = sparse_store;
+  runtime_config.signals.sparse_cap = sparse_cap;
   runtime_config.c3.queue_exponent = config.c3.queue_exponent;
   runtime_config.c3.num_clients = num_clients;
   runtime_config.c3.prior_service_time = config.c3.prior_service_time;
@@ -349,6 +400,22 @@ RunResult run_scenario(const ScenarioConfig& config) {
     throw std::invalid_argument(
         "run_scenario: dispatch modes that issue duplicates (hedge/tied/kofn) are incompatible "
         "with global-queue model systems");
+  }
+  // kofn multiplies *every* logical request n-fold — unlike hedge
+  // (conditional on the deadline) or tied (losers cancel at dequeue,
+  // cheaply). At high utilization that amplification alone can push
+  // offered load past capacity and the run collapses. Warn once per
+  // process; the run still proceeds (hedging-shootout deliberately
+  // probes this regime).
+  const bool uses_kofn = config.dispatch_spec.find("kofn") != std::string::npos ||
+                         config.policy_switch_spec.find("kofn") != std::string::npos;
+  if (uses_kofn && config.utilization >= 0.6) {
+    static std::once_flag kofn_warned;
+    std::call_once(kofn_warned, [&config] {
+      BRB_WARN("scenario") << "kofn dispatch at utilization " << config.utilization
+                           << " >= 0.6: n-fold load amplification may exceed fleet capacity "
+                              "(see README, tail-cutting regimes)";
+    });
   }
 
   // Credits machinery (wired iff the credits admission policy is in
@@ -389,12 +456,23 @@ RunResult run_scenario(const ScenarioConfig& config) {
     admission.signals = &runtime.signals_of(c);
     if (credits_admission) {
       admission.credits = config.credits;
-      // Bootstrap: equal share of each server's capacity per interval.
-      admission.initial_credits.resize(num_servers);
-      for (std::uint32_t s = 0; s < num_servers; ++s) {
-        admission.initial_credits[s] = config.cluster.capacity_of(s) *
-                                       config.credits.adapt_interval.as_seconds() /
-                                       static_cast<double>(num_clients);
+      if (sparse_credits_mode) {
+        // Sparse credits: no per-fleet bootstrap vector; slots open on
+        // first touch with an equal share of the *mean* server
+        // capacity (heterogeneous fleets get the exact per-server
+        // share with their first grant, one interval later).
+        admission.sparse_credits = true;
+        admission.sparse_default_credit = per_server_capacity *
+                                          config.credits.adapt_interval.as_seconds() /
+                                          static_cast<double>(num_clients);
+      } else {
+        // Bootstrap: equal share of each server's capacity per interval.
+        admission.initial_credits.resize(num_servers);
+        for (std::uint32_t s = 0; s < num_servers; ++s) {
+          admission.initial_credits[s] = config.cluster.capacity_of(s) *
+                                         config.credits.adapt_interval.as_seconds() /
+                                         static_cast<double>(num_clients);
+        }
       }
     } else if (admission_name == "cubic-rate") {
       admission.rate = config.rate;
@@ -469,24 +547,43 @@ RunResult run_scenario(const ScenarioConfig& config) {
     }
     controller =
         std::make_unique<CreditsController>(sim, num_clients, std::move(capacities),
-                                            config.credits);
+                                            config.credits, /*sparse_demand=*/sparse_credits_mode);
     for (std::uint32_t c = 0; c < num_clients; ++c) {
       CreditGate* gate = credit_gates[c];
       const net::NodeId client_node = num_servers + c;
-      gate->set_report([&network, client_node, controller_node, c,
-                        ctrl = controller.get()](const std::vector<double>& rates) {
-        network.send(client_node, controller_node, 64,
-                     [ctrl, c, rates] { ctrl->on_demand_report(c, rates); });
-      });
+      if (sparse_credits_mode) {
+        gate->set_sparse_report([&network, client_node, controller_node, c,
+                                 ctrl = controller.get()](const SparseCredits& rates) {
+          network.send(client_node, controller_node, 64,
+                       [ctrl, c, rates] { ctrl->on_sparse_demand_report(c, rates); });
+        });
+      } else {
+        gate->set_report([&network, client_node, controller_node, c,
+                          ctrl = controller.get()](const std::vector<double>& rates) {
+          network.send(client_node, controller_node, 64,
+                       [ctrl, c, rates] { ctrl->on_demand_report(c, rates); });
+        });
+      }
       gate->start();
     }
-    controller->set_grant_sender([&network, controller_node, num_servers, &credit_gates](
-                                     store::ClientId client, const std::vector<double>& credits) {
-      const net::NodeId client_node = num_servers + client;
-      CreditGate* gate = credit_gates[client];
-      network.send(controller_node, client_node, 64,
-                   [gate, credits] { gate->on_grant(credits); });
-    });
+    if (sparse_credits_mode) {
+      controller->set_sparse_grant_sender([&network, controller_node, num_servers, &credit_gates](
+                                              store::ClientId client,
+                                              const SparseCredits& credits) {
+        const net::NodeId client_node = num_servers + client;
+        CreditGate* gate = credit_gates[client];
+        network.send(controller_node, client_node, 64,
+                     [gate, credits] { gate->on_sparse_grant(credits); });
+      });
+    } else {
+      controller->set_grant_sender([&network, controller_node, num_servers, &credit_gates](
+                                       store::ClientId client, const std::vector<double>& credits) {
+        const net::NodeId client_node = num_servers + client;
+        CreditGate* gate = credit_gates[client];
+        network.send(controller_node, client_node, 64,
+                     [gate, credits] { gate->on_grant(credits); });
+      });
+    }
     controller->start();
 
     std::vector<server::BackendServer*> raw;
@@ -601,6 +698,15 @@ RunResult run_scenario(const ScenarioConfig& config) {
 
   result.sim_duration = sim.now() - sim::Time::zero();
   result.events_processed = sim.events_processed();
+  if (sparse_store) {
+    result.sparse_signal_store = true;
+    for (std::uint32_t c = 0; c < num_clients; ++c) {
+      if (const ctrl::SparseSignalTable* sp = runtime.signals_of(c).sparse_store()) {
+        result.signal_entries_live += sp->live_entries();
+        result.signal_evictions += sp->evictions();
+      }
+    }
+  }
   result.network_messages = network.stats().messages_sent;
   result.network_bytes = network.stats().bytes_sent;
   result.policy_switches = runtime.switches_applied();
@@ -633,6 +739,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
     result.hedges_issued += client->stats().hedges_issued;
     result.hedges_won += client->stats().hedges_won;
     result.hedges_cancelled += client->stats().hedges_cancelled;
+    result.hedges_skipped_fresh += client->stats().hedges_skipped_fresh;
     result.duplicates_sent += client->stats().duplicates_sent;
     result.duplicates_cancelled += client->stats().duplicates_cancelled;
     result.duplicates_served += client->stats().duplicates_served;

@@ -113,6 +113,22 @@ struct ScenarioConfig {
   /// credits controller/monitor machinery follows the effective
   /// admission policy, not the system kind.
   std::string admission_override;
+  /// Control-plane signal store: "" / "auto" (sparse iff the
+  /// clients x servers cross-product exceeds an internal threshold),
+  /// "dense" (force the legacy per-pair columns), or "sparse[:CAP]"
+  /// (windowed per-client store, CAP live servers per client).
+  /// Past the auto threshold the sparse store also switches the
+  /// credits machinery to sparse demand/grant bookkeeping; below it,
+  /// an explicit sparse store keeps the exact dense credits path, so
+  /// sparse-vs-dense runs are decision-identical whenever CAP covers
+  /// the fleet. Dense runs are byte-identical to before the flag
+  /// existed.
+  std::string signal_store;
+  /// Latency statistics: "" / "exact" (histogram + optional raw
+  /// samples, the legacy artifacts) or "sketch" (additionally record
+  /// into mergeable DDSketch-style quantile sketches whose serialized
+  /// form replaces per-seed raw samples in artifacts).
+  std::string stats_spec;
 
   /// Optional observer invoked on every task completion (including
   /// warmup tasks), after the built-in recording. Useful for custom
@@ -161,6 +177,12 @@ struct RunResult {
   /// switching only; 0 for static bindings).
   std::uint64_t policy_switches = 0;
 
+  /// Control-plane store telemetry (sparse signal store only; all
+  /// zero/false on the dense path so legacy artifacts are untouched).
+  bool sparse_signal_store = false;
+  std::uint64_t signal_entries_live = 0;  // summed over clients at teardown
+  std::uint64_t signal_evictions = 0;     // window evictions over the run
+
   /// Tail-cutting executor counters (all zero in single-target runs).
   /// `dispatch_metrics` marks runs where the dispatch plumbing was in
   /// play (a --dispatch spec or a mode-switching epoch) so reports can
@@ -169,6 +191,9 @@ struct RunResult {
   std::uint64_t hedges_issued = 0;     // backup copies actually fired
   std::uint64_t hedges_won = 0;        // logical completed by a backup
   std::uint64_t hedges_cancelled = 0;  // timers cancelled pre-fire
+  /// Hedge plans degraded to single because the primary's feedback was
+  /// fresher than the fresh= age threshold (signal-aware skip).
+  std::uint64_t hedges_skipped_fresh = 0;
   std::uint64_t duplicates_sent = 0;   // extra copies beyond `needed`
   std::uint64_t duplicates_cancelled = 0;  // rejected before service
   std::uint64_t duplicates_served = 0;     // absorbed full service

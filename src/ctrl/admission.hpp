@@ -40,6 +40,12 @@ struct AdmissionContext {
   /// (one per server).
   core::CreditsConfig credits{};
   std::vector<double> initial_credits;
+  /// Credits admission, sparse mode: per-server slots materialize on
+  /// first touch with `sparse_default_credit` as the opening balance;
+  /// `initial_credits` is ignored. Pairs with the sparse signal store
+  /// — per-client memory stays O(servers contacted).
+  bool sparse_credits = false;
+  double sparse_default_credit = 0.0;
   /// Cubic-rate admission: controller config with initial_rate already
   /// resolved (> 0).
   policy::CubicRateController::Config rate{};

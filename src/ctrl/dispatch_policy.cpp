@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "sim/simulator.hpp"
 #include "util/flags.hpp"
 
 namespace brb::ctrl {
@@ -31,14 +32,24 @@ std::string format_quantile_percent(double quantile) {
   return buf;
 }
 
+/// Milliseconds with minimal digits ("2", "0.5").
+std::string format_millis(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", d.as_millis());
+  return buf;
+}
+
 }  // namespace
 
 std::string DispatchModeConfig::canonical() const {
   switch (mode) {
     case DispatchMode::kSingle:
       return "single";
-    case DispatchMode::kHedge:
-      return "hedge:q" + format_quantile_percent(hedge_quantile);
+    case DispatchMode::kHedge: {
+      std::string spec = "hedge:q" + format_quantile_percent(hedge_quantile);
+      if (fresh_age > sim::Duration::zero()) spec += ":fresh=" + format_millis(fresh_age);
+      return spec;
+    }
     case DispatchMode::kTied:
       return "tied";
     case DispatchMode::kKofn:
@@ -65,11 +76,14 @@ DispatchPlan SingleTargetAdapter::plan(const SignalTable& signals,
 // HedgeDispatchPolicy
 
 HedgeDispatchPolicy::HedgeDispatchPolicy(std::unique_ptr<DispatchPolicy> inner, double quantile,
-                                         sim::Duration prior_response)
+                                         sim::Duration prior_response, sim::Duration fresh_age,
+                                         const sim::Simulator* sim)
     : inner_(std::move(inner)),
       quantile_factor_(-std::log(1.0 - quantile)),
       quantile_(quantile),
-      prior_response_(prior_response) {
+      prior_response_(prior_response),
+      fresh_age_(fresh_age),
+      sim_(sim) {
   if (!inner_) throw std::invalid_argument("HedgeDispatchPolicy: null inner policy");
   if (!(quantile > 0.0 && quantile < 1.0)) {
     throw std::invalid_argument("HedgeDispatchPolicy: quantile must be in (0, 1)");
@@ -88,6 +102,19 @@ DispatchPlan HedgeDispatchPolicy::plan(const SignalTable& signals,
                                        sim::Duration expected_cost) {
   DispatchPlan primary = inner_->plan(signals, replicas, expected_cost);
   if (replicas.size() < 2) return primary;  // nobody to hedge onto
+
+  // Signal-aware skip: when the primary's feedback is fresher than the
+  // configured age, the queue estimate that chose it is current enough
+  // to trust — spend no duplicate work. Checked before the back-up
+  // selection so the inner policy's decision stream is untouched too.
+  if (fresh_age_ > sim::Duration::zero() && sim_ != nullptr) {
+    const std::int64_t last_ns = signals.last_feedback_ns(primary.primary());
+    if (last_ns >= 0 &&
+        sim_->now() - sim::Time::nanos(last_ns) < fresh_age_) {
+      primary.skipped_fresh = true;
+      return primary;
+    }
+  }
 
   rest_scratch_.clear();
   for (const store::ServerId s : replicas) {
@@ -208,8 +235,9 @@ DispatchPlan CreditAwareDispatchPolicy::plan(const SignalTable& signals,
 const std::vector<DispatchModeInfo>& dispatch_mode_catalog() {
   static const std::vector<DispatchModeInfo> catalog = {
       {"single", "single", "one target per request, no duplicates (legacy behavior)"},
-      {"hedge", "hedge[:qNN]",
-       "back-up copy if the primary misses its qNN response-EWMA deadline (default q95)"},
+      {"hedge", "hedge[:qNN][:fresh=MS]",
+       "back-up copy if the primary misses its qNN response-EWMA deadline (default q95); "
+       "fresh=MS skips the back-up when the primary's feedback is younger than MS milliseconds"},
       {"tied", "tied", "two copies enqueued at once; first service start cancels the sibling"},
       {"kofn", "kofn[:K]",
        "fan out to up to 4 replicas, complete on the K-th response (default K=2)"},
@@ -253,22 +281,46 @@ DispatchModeConfig parse_dispatch_mode(const std::string& spec) {
 
   if (head == "hedge") {
     config.mode = DispatchMode::kHedge;
-    if (has_param) {
-      if (param.size() < 2 || param[0] != 'q') {
-        throw std::invalid_argument("hedge parameter must be qNN (a percent), got '" + spec + "'");
-      }
-      std::size_t consumed = 0;
-      double percent = 0.0;
-      try {
-        percent = std::stod(param.substr(1), &consumed);
-      } catch (const std::exception&) {
-        throw std::invalid_argument("hedge parameter must be qNN (a percent), got '" + spec + "'");
-      }
-      if (consumed != param.size() - 1 || !(percent > 0.0 && percent < 100.0)) {
-        throw std::invalid_argument("hedge quantile must be a percent in (0, 100), got '" + spec +
+    // Zero or more ':'-separated parameters, each qNN (deadline
+    // quantile, percent) or fresh=MS (freshness-skip age threshold,
+    // milliseconds).
+    std::string rest = has_param ? param : "";
+    while (!rest.empty()) {
+      const auto next = rest.find(':');
+      const std::string token = rest.substr(0, next);
+      rest = next == std::string::npos ? "" : rest.substr(next + 1);
+      if (token.size() >= 2 && token[0] == 'q') {
+        std::size_t consumed = 0;
+        double percent = 0.0;
+        try {
+          percent = std::stod(token.substr(1), &consumed);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("hedge parameter must be qNN (a percent), got '" + spec +
+                                      "'");
+        }
+        if (consumed != token.size() - 1 || !(percent > 0.0 && percent < 100.0)) {
+          throw std::invalid_argument("hedge quantile must be a percent in (0, 100), got '" +
+                                      spec + "'");
+        }
+        config.hedge_quantile = percent / 100.0;
+      } else if (token.rfind("fresh=", 0) == 0) {
+        const std::string value = token.substr(6);
+        std::size_t consumed = 0;
+        double millis = 0.0;
+        try {
+          millis = std::stod(value, &consumed);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("hedge fresh= must be milliseconds, got '" + spec + "'");
+        }
+        if (value.empty() || consumed != value.size() || !(millis > 0.0)) {
+          throw std::invalid_argument("hedge fresh= must be positive milliseconds, got '" + spec +
+                                      "'");
+        }
+        config.fresh_age = sim::Duration::millis(millis);
+      } else {
+        throw std::invalid_argument("hedge parameter must be qNN or fresh=MS, got '" + spec +
                                     "'");
       }
-      config.hedge_quantile = percent / 100.0;
     }
     return config;
   }
@@ -297,7 +349,8 @@ DispatchModeConfig parse_dispatch_mode(const std::string& spec) {
 std::unique_ptr<DispatchPolicy> make_dispatch_policy(const std::string& policy_name,
                                                      const DispatchModeConfig& mode,
                                                      const C3ScoreConfig& c3, bool credit_aware,
-                                                     sim::Duration prior_response, util::Rng rng) {
+                                                     sim::Duration prior_response, util::Rng rng,
+                                                     const sim::Simulator* sim) {
   std::unique_ptr<DispatchPolicy> stack =
       std::make_unique<SingleTargetAdapter>(make_replica_policy(policy_name, c3, rng));
   switch (mode.mode) {
@@ -305,7 +358,7 @@ std::unique_ptr<DispatchPolicy> make_dispatch_policy(const std::string& policy_n
       break;  // no wrapper: the call chain equals the legacy selector path
     case DispatchMode::kHedge:
       stack = std::make_unique<HedgeDispatchPolicy>(std::move(stack), mode.hedge_quantile,
-                                                    prior_response);
+                                                    prior_response, mode.fresh_age, sim);
       break;
     case DispatchMode::kTied:
       stack = std::make_unique<TiedDispatchPolicy>(std::move(stack));

@@ -39,6 +39,10 @@
 #include "store/types.hpp"
 #include "util/rng.hpp"
 
+namespace brb::sim {
+class Simulator;
+}
+
 namespace brb::ctrl {
 
 enum class DispatchMode : std::uint8_t {
@@ -65,6 +69,11 @@ struct DispatchPlan {
   /// Hedge mode only: how long the primary may stay unanswered before
   /// the back-up copy is issued.
   sim::Duration hedge_delay = sim::Duration::zero();
+  /// Signal-aware hedge suppression fired: the primary's feedback was
+  /// fresher than the configured age threshold, so the plan degraded
+  /// to single and no back-up will be armed (counted in artifacts as
+  /// `hedges_skipped_fresh`).
+  bool skipped_fresh = false;
 
   store::ServerId primary() const { return targets[0]; }
 
@@ -108,16 +117,22 @@ class SingleTargetAdapter final : public DispatchPolicy {
   std::unique_ptr<ReplicaPolicy> inner_;
 };
 
-/// Parsed form of one dispatch-mode spec ("single", "hedge[:qNN]",
-/// "tied", "kofn[:K]").
+/// Parsed form of one dispatch-mode spec ("single",
+/// "hedge[:qNN][:fresh=MS]", "tied", "kofn[:K]").
 struct DispatchModeConfig {
   DispatchMode mode = DispatchMode::kSingle;
   /// Hedge deadline quantile of the per-server response distribution.
   double hedge_quantile = 0.95;
   /// k of k-of-n.
   std::uint8_t k = 2;
+  /// Hedge only: suppress the back-up when the primary's last feedback
+  /// is younger than this (signal-aware hedge skip). Zero = disabled —
+  /// the pre-existing always-hedge behavior, and the default, so
+  /// artifacts without `fresh=` stay byte-identical.
+  sim::Duration fresh_age = sim::Duration::zero();
 
-  /// Canonical spelling ("hedge:q95", "kofn:2", "tied", "single").
+  /// Canonical spelling ("hedge:q95", "hedge:q95:fresh=2", "kofn:2",
+  /// "tied", "single").
   std::string canonical() const;
   bool is_single() const noexcept { return mode == DispatchMode::kSingle; }
 };
@@ -127,10 +142,18 @@ struct DispatchModeConfig {
 /// deadline is the configured quantile of the primary's response-time
 /// EWMA (exponential-tail assumption: t_q = -ln(1-q) * mean), falling
 /// back to the C3 prior for unseen servers.
+///
+/// Signal-aware skip (`fresh_age` > 0 and a clock wired): when the
+/// primary's last feedback is younger than `fresh_age`, the queue
+/// estimate that picked it is trusted and the plan degrades to single
+/// (`skipped_fresh` set) — the duplicate-work budget is spent only
+/// where the signals are stale enough to doubt.
 class HedgeDispatchPolicy final : public DispatchPolicy {
  public:
   HedgeDispatchPolicy(std::unique_ptr<DispatchPolicy> inner, double quantile,
-                      sim::Duration prior_response);
+                      sim::Duration prior_response,
+                      sim::Duration fresh_age = sim::Duration::zero(),
+                      const sim::Simulator* sim = nullptr);
 
   DispatchPlan plan(const SignalTable& signals, const std::vector<store::ServerId>& replicas,
                     sim::Duration expected_cost) override;
@@ -141,6 +164,8 @@ class HedgeDispatchPolicy final : public DispatchPolicy {
   double quantile_factor_;  // -ln(1 - q)
   double quantile_;
   sim::Duration prior_response_;
+  sim::Duration fresh_age_;    // zero: skip disabled
+  const sim::Simulator* sim_;  // clock for feedback ages (may be null)
   std::vector<store::ServerId> rest_scratch_;  // replicas minus primary
 };
 
@@ -218,11 +243,14 @@ DispatchModeConfig parse_dispatch_mode(const std::string& spec);
 /// credit-aware?( mode-wrapper?( SingleTargetAdapter(policy) ) ).
 /// In single mode no wrapper is added, so the call sequence equals the
 /// legacy selector path exactly. `prior_response` seeds hedge
-/// deadlines for servers without feedback yet.
+/// deadlines for servers without feedback yet. `sim` supplies the
+/// clock for the hedge freshness skip; when null (or `fresh_age` is
+/// zero) hedging always issues a back-up, as before.
 std::unique_ptr<DispatchPolicy> make_dispatch_policy(const std::string& policy_name,
                                                      const DispatchModeConfig& mode,
                                                      const C3ScoreConfig& c3, bool credit_aware,
-                                                     sim::Duration prior_response, util::Rng rng);
+                                                     sim::Duration prior_response, util::Rng rng,
+                                                     const sim::Simulator* sim = nullptr);
 
 // ---------------------------------------------------------------------------
 // DispatchEndpoint
@@ -247,9 +275,11 @@ class DispatchEndpoint final {
     signals_.on_send(server, expected_cost);
   }
   /// A copy's response arrived (real server work: full feedback fold).
+  /// `at` stamps the fold on the simulated clock (hedge freshness).
   void on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                   sim::Duration rtt, sim::Duration expected_cost) {
-    signals_.on_response(server, feedback, rtt, expected_cost);
+                   sim::Duration rtt, sim::Duration expected_cost,
+                   sim::Time at = sim::Time::zero()) {
+    signals_.on_response(server, feedback, rtt, expected_cost, at);
   }
   /// A copy was cancelled before service: release the in-flight
   /// accounting its on_send charged, with no EWMA fold (no feedback

@@ -269,7 +269,7 @@ std::unique_ptr<DispatchPolicy> PolicyRuntime::make_bound_stack(const std::strin
   // balances (the gate mirrors balances into the SignalTable); the
   // credit-aware wrapper composes outermost, uniformly for every mode.
   return make_dispatch_policy(policy, mode, config_.c3, config_.credit_aware,
-                              config_.c3.prior_service_time, rng);
+                              config_.c3.prior_service_time, rng, sim_);
 }
 
 std::unique_ptr<DispatchEndpoint> PolicyRuntime::bind_client(store::ClientId id,

@@ -1,10 +1,20 @@
 #include "ctrl/signal_table.hpp"
 
+#include "ctrl/sparse_signal_table.hpp"
+
 namespace brb::ctrl {
 
 SignalTable::SignalTable(SignalTableConfig config) : config_(config) {
   util::validate_ewma_alpha(config_.ewma_alpha, "SignalTable");
+  if (config_.sparse) {
+    sparse_ = std::make_unique<SparseSignalTable>(config_.ewma_alpha, config_.sparse_cap,
+                                                  config_.sparse_group_size);
+  }
 }
+
+SignalTable::~SignalTable() = default;
+SignalTable::SignalTable(SignalTable&&) noexcept = default;
+SignalTable& SignalTable::operator=(SignalTable&&) noexcept = default;
 
 void SignalTable::grow(store::ServerId server) const {
   if (server < columns_size_) return;
@@ -19,10 +29,12 @@ void SignalTable::grow(store::ServerId server) const {
   rate_cap_.resize(n, 0.0);
   last_queue_length_.resize(n, 0);
   last_service_rate_.resize(n, 0.0);
+  last_feedback_ns_.resize(n, -1);
   columns_size_ = n;
 }
 
 SignalTable::Signals SignalTable::of(store::ServerId server) const {
+  if (sparse_) return sparse_->of(server);
   flush();
   if (server >= columns_size_) return Signals{};
   Signals s;
@@ -36,21 +48,34 @@ SignalTable::Signals SignalTable::of(store::ServerId server) const {
   s.rate_cap = rate_cap_[server];
   s.last_queue_length = last_queue_length_[server];
   s.last_service_rate = last_service_rate_[server];
+  s.last_feedback_ns = last_feedback_ns_[server];
   return s;
 }
 
 void SignalTable::on_send(store::ServerId server, sim::Duration expected_cost) {
+  ++sends_;
+  if (sparse_) {
+    sparse_->on_send(server, expected_cost);
+    return;
+  }
   flush();  // sends and staged responses share the in-flight columns
   grow(server);
   ++outstanding_[server];
   pending_cost_ns_[server] += expected_cost.count_nanos();
-  ++sends_;
 }
 
 void SignalTable::on_response(store::ServerId server, const store::ServerFeedback& feedback,
-                              sim::Duration rtt, sim::Duration expected_cost) {
-  grow(server);
+                              sim::Duration rtt, sim::Duration expected_cost, sim::Time at) {
   ++responses_;
+  if (sparse_) {
+    // Immediate application: per-server arrival order is preserved and
+    // the arithmetic matches the dense flush, so the resulting values
+    // are bit-identical — there are no columns to sweep in the sparse
+    // entry layout, hence nothing to gain by staging.
+    sparse_->on_response(server, feedback, rtt, expected_cost, at);
+    return;
+  }
+  grow(server);
   StagedFeedback e;
   e.server = server;
   e.queue_length = feedback.queue_length;
@@ -61,10 +86,16 @@ void SignalTable::on_response(store::ServerId server, const store::ServerFeedbac
                      : static_cast<double>(feedback.service_time.count_nanos());
   e.service_rate = feedback.service_rate;
   e.expected_cost_ns = expected_cost.count_nanos();
+  e.at_ns = at.count_nanos();
   staged_.push_back(e);
 }
 
 void SignalTable::on_cancel(store::ServerId server, sim::Duration expected_cost) {
+  ++cancels_;
+  if (sparse_) {
+    sparse_->on_cancel(server, expected_cost);
+    return;
+  }
   flush();  // cancels and staged responses share the in-flight columns
   grow(server);
   // Release the accounting the copy's on_send charged, with the same
@@ -74,7 +105,6 @@ void SignalTable::on_cancel(store::ServerId server, sim::Duration expected_cost)
   if (outstanding_[server] > 0) --outstanding_[server];
   pending_cost_ns_[server] -= expected_cost.count_nanos();
   if (pending_cost_ns_[server] < 0) pending_cost_ns_[server] = 0;
-  ++cancels_;
 }
 
 void SignalTable::flush_staged() const {
@@ -88,6 +118,7 @@ void SignalTable::flush_staged() const {
     if (pending_cost_ns_[e.server] < 0) pending_cost_ns_[e.server] = 0;
     last_queue_length_[e.server] = e.queue_length;
     last_service_rate_[e.server] = e.service_rate;
+    last_feedback_ns_[e.server] = e.at_ns;
   }
 
   // First-contact prepass: entry i seeds its server's EWMAs iff no
@@ -123,13 +154,51 @@ void SignalTable::flush_staged() const {
 }
 
 void SignalTable::set_credit_balance(store::ServerId server, double balance) {
+  if (sparse_) {
+    sparse_->set_credit_balance(server, balance);
+    return;
+  }
   grow(server);
   credit_balance_[server] = balance;
 }
 
 void SignalTable::set_rate_cap(store::ServerId server, double rate) {
+  if (sparse_) {
+    sparse_->set_rate_cap(server, rate);
+    return;
+  }
   grow(server);
   rate_cap_[server] = rate;
+}
+
+std::size_t SignalTable::size() const noexcept {
+  return sparse_ ? sparse_->live_entries() : columns_size_;
+}
+
+std::uint32_t SignalTable::sparse_outstanding(store::ServerId server) const {
+  return sparse_->outstanding(server);
+}
+sim::Duration SignalTable::sparse_pending_cost(store::ServerId server) const {
+  return sparse_->pending_cost(server);
+}
+bool SignalTable::sparse_seen(store::ServerId server) const { return sparse_->seen(server); }
+double SignalTable::sparse_ewma_response_ns(store::ServerId server) const {
+  return sparse_->ewma_response_ns(server);
+}
+double SignalTable::sparse_ewma_queue(store::ServerId server) const {
+  return sparse_->ewma_queue(server);
+}
+double SignalTable::sparse_ewma_service_time_ns(store::ServerId server) const {
+  return sparse_->ewma_service_time_ns(server);
+}
+double SignalTable::sparse_credit_balance(store::ServerId server) const {
+  return sparse_->credit_balance(server);
+}
+double SignalTable::sparse_rate_cap(store::ServerId server) const {
+  return sparse_->rate_cap(server);
+}
+std::int64_t SignalTable::sparse_last_feedback_ns(store::ServerId server) const {
+  return sparse_->last_feedback_ns(server);
 }
 
 }  // namespace brb::ctrl

@@ -19,7 +19,9 @@ Network::Network(sim::Simulator& sim, Config config, util::Rng rng)
   if (config_.one_way_latency.is_negative() || config_.jitter_max.is_negative()) {
     throw std::invalid_argument("Network: negative latency");
   }
-  if (config_.num_nodes > 0) {
+  if (config_.num_nodes > kDenseHorizonLimit) {
+    sparse_horizon_ = true;
+  } else if (config_.num_nodes > 0) {
     stride_ = config_.num_nodes;
     last_delivery_.assign(stride_ * stride_, sim::Time::zero());
   }
@@ -61,6 +63,19 @@ sim::Time Network::reserve_delivery_slot(NodeId from, NodeId to) {
     delay += config_.jitter_max * rng_.uniform();
   }
   sim::Time deliver_at = sim_->now() + delay;
+  // Constant per-pair delay: departures at nondecreasing times arrive
+  // in order by construction, so the FIFO clamp could never fire.
+  // (Mid-run set_pair_latency can lower a pair's delay, so any
+  // override re-enables the horizon.)
+  if (config_.jitter_max <= sim::Duration::zero() && pair_latency_override_.empty()) {
+    return deliver_at;
+  }
+  if (sparse_horizon_) {
+    sim::Time& last = sparse_last_delivery_[override_key(from, to)];
+    if (deliver_at < last) deliver_at = last;  // keep the pair FIFO
+    last = deliver_at;
+    return deliver_at;
+  }
   ensure_node(std::max(from, to));
   sim::Time& last = last_delivery_[pair_index(from, to)];
   if (deliver_at < last) deliver_at = last;  // keep the pair FIFO

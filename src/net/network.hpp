@@ -13,6 +13,15 @@
 // dominated large-cluster runs. Per-pair latency overrides (used only
 // by tests and heterogeneous-latency ablations) stay in a sparse map
 // that the common path skips entirely.
+//
+// Scale: the horizon is only *needed* when jitter can reorder a pair —
+// with a constant per-pair delay, successive sends depart at
+// nondecreasing times and arrive in order automatically. The zero-
+// jitter/no-override path therefore skips horizon bookkeeping entirely
+// (bit-identical: the clamp could never fire), and topologies beyond
+// kDenseHorizonLimit nodes store what horizon they do need in a sparse
+// map instead of the O(nodes^2) table — at a million clients the dense
+// table would be terabytes.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +43,11 @@ struct NetworkStats {
 
 class Network {
  public:
+  /// Largest `num_nodes` for which the FIFO horizon uses the dense
+  /// pair table; beyond it (mega-fleet topologies) a sparse map holds
+  /// only the pairs actually communicating under jitter.
+  static constexpr std::uint32_t kDenseHorizonLimit = 4096;
+
   struct Config {
     /// Base one-way propagation + switching delay.
     sim::Duration one_way_latency = sim::Duration::micros(50);
@@ -87,6 +101,12 @@ class Network {
   /// Dense FIFO horizon per ordered pair, `stride_` x `stride_`.
   std::vector<sim::Time> last_delivery_;
   std::size_t stride_ = 0;
+  /// Sparse-horizon mode (num_nodes > kDenseHorizonLimit): per-pair
+  /// horizons materialize on demand. Lookup-only (operator[] by packed
+  /// pair key) — never iterated, so hash order cannot reach delivery
+  /// order or artifacts.
+  bool sparse_horizon_ = false;
+  std::unordered_map<std::uint64_t, sim::Time> sparse_last_delivery_;  // brblint:allow(BRB-D01): lookup-only, never iterated
   /// Sparse latency overrides; empty in every homogeneous run.
   /// Lookup-only (find/insert by packed pair key) — never iterated, so
   /// hash order cannot reach delivery order or artifacts.

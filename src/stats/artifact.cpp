@@ -1,8 +1,10 @@
 #include "stats/artifact.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +17,18 @@ Json summary_json(const Summary& summary) {
   j["stddev"] = summary.stddev();
   j["min"] = summary.min();
   j["max"] = summary.max();
+  return j;
+}
+
+Json sketch_block_json(const QuantileSketch& sketch) {
+  // Sketches record nanoseconds; artifacts report milliseconds.
+  Json j = Json::object();
+  j["count"] = sketch.count();
+  j["p50_ms"] = sketch.percentile(50) / 1e6;
+  j["p95_ms"] = sketch.percentile(95) / 1e6;
+  j["p99_ms"] = sketch.percentile(99) / 1e6;
+  j["p999_ms"] = sketch.percentile(99.9) / 1e6;
+  j["sketch"] = sketch.to_json();
   return j;
 }
 
@@ -59,6 +73,7 @@ std::string plan_fingerprint(const Json& doc) {
   Json& cases = stripped["cases"];
   for (std::size_t i = 0; i < cases.size(); ++i) {
     cases.at(i).erase("task_latency_ms");
+    cases.at(i).erase("task_latency_sketch");
     cases.at(i).erase("runs");
   }
   return stripped.dump_string(-1);
@@ -132,6 +147,11 @@ Json merge_artifacts(const std::vector<Json>& shards) {
     Json runs = Json::array();
     Json walls = Json::array();
     Summary p50, p95, p99, mean;
+    // Case-level pooled sketch, rebuilt from the per-seed sketches in
+    // planned seed order. Sketch merging is exact (integer bucket
+    // addition), so this reproduces the unsharded pooled block byte
+    // for byte.
+    std::unique_ptr<QuantileSketch> pooled_sketch;
     for (const std::int64_t seed : seed_order) {
       const auto it = by_seed.find(seed);
       if (it == by_seed.end()) {
@@ -143,6 +163,14 @@ Json merge_artifacts(const std::vector<Json>& shards) {
       p95.add(run.at("p95_ms").as_double());
       p99.add(run.at("p99_ms").as_double());
       mean.add(run.at("mean_ms").as_double());
+      if (const Json* run_sketch = run.find("task_latency_sketch")) {
+        const QuantileSketch parsed = QuantileSketch::from_json(run_sketch->at("sketch"));
+        if (pooled_sketch == nullptr) {
+          pooled_sketch = std::make_unique<QuantileSketch>(parsed);
+        } else {
+          pooled_sketch->merge(parsed);
+        }
+      }
       // Wall seconds live in the timing subtree of the artifact, which the
       // identity gate drops; order-sensitivity here cannot affect identity.
       // brblint:allow(BRB-D03): wall timing, excluded from artifact identity
@@ -162,6 +190,13 @@ Json merge_artifacts(const std::vector<Json>& shards) {
     Json& merged_case = cases.at(case_index);
     merged_case["task_latency_ms"] = std::move(latency);
     merged_case["runs"] = std::move(runs);
+    // Erase-then-append keeps the pooled block in its emitted position
+    // (the case object's last key) whether or not shard #1's slice of
+    // this case carried one.
+    merged_case.erase("task_latency_sketch");
+    if (pooled_sketch != nullptr && !pooled_sketch->empty()) {
+      merged_case["task_latency_sketch"] = sketch_block_json(*pooled_sketch);
+    }
 
     Json timing_case = Json::object();
     timing_case["label"] = label;
@@ -171,6 +206,17 @@ Json merge_artifacts(const std::vector<Json>& shards) {
 
   Json timing = Json::object();
   timing["total_wall_seconds"] = total_wall_seconds;
+  // The fleet-wide peak is the worst single process: an RSS budget
+  // must hold for every shard worker, not their (meaningless) sum.
+  double peak_rss_mb = 0.0;
+  bool have_rss = false;
+  for (const Json& shard : shards) {
+    if (const Json* rss = shard.at("timing").find("peak_rss_mb")) {
+      peak_rss_mb = std::max(peak_rss_mb, rss->as_double());
+      have_rss = true;
+    }
+  }
+  if (have_rss) timing["peak_rss_mb"] = peak_rss_mb;
   timing["cases"] = std::move(timing_cases);
   merged["timing"] = std::move(timing);
   return merged;

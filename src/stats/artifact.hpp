@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "stats/report.hpp"
+#include "stats/sketch.hpp"
 #include "stats/summary.hpp"
 
 namespace brb::stats {
@@ -41,6 +42,14 @@ inline constexpr int kArtifactFormat = 2;
 /// statistic in an artifact (shared by the driver and the merger so
 /// both serialize aggregates identically).
 Json summary_json(const Summary& summary);
+
+/// The "task_latency_sketch" block (`--stats=sketch` runs only):
+/// quantiles in milliseconds plus the serialized sketch itself. Shared
+/// by the driver and the merger — `merge_artifacts` re-pools the
+/// per-seed sketches and re-emits this block, so the merged case-level
+/// sketch is byte-identical to the unsharded one. Throws
+/// std::logic_error on an empty sketch.
+Json sketch_block_json(const QuantileSketch& sketch);
 
 /// Parses one artifact file and validates the envelope (tool, format,
 /// scenario/config/seeds/cases present). Throws std::runtime_error

@@ -6,11 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
 #include "stats/quantile.hpp"
+#include "stats/sketch.hpp"
 #include "stats/summary.hpp"
 
 namespace brb::stats {
@@ -20,6 +22,13 @@ class LatencyRecorder {
   /// `keep_raw` additionally retains every sample (exact quantiles;
   /// memory proportional to sample count).
   explicit LatencyRecorder(bool keep_raw = false);
+
+  // Copies deep-copy the optional sketch (run results are copied into
+  // aggregates); moves transfer it.
+  LatencyRecorder(const LatencyRecorder& other);
+  LatencyRecorder& operator=(const LatencyRecorder& other);
+  LatencyRecorder(LatencyRecorder&&) noexcept = default;
+  LatencyRecorder& operator=(LatencyRecorder&&) noexcept = default;
 
   void record(sim::Duration latency);
 
@@ -36,6 +45,13 @@ class LatencyRecorder {
   const Summary& summary() const noexcept { return summary_; }
   bool keeps_raw() const noexcept { return keep_raw_; }
 
+  /// Opt-in mergeable sketch (`--stats=sketch`): subsequent samples are
+  /// additionally recorded into a `QuantileSketch`, whose serialized
+  /// form lands in artifacts as the O(sketch) replacement for raw
+  /// samples. Off by default — existing artifacts stay byte-identical.
+  void enable_sketch(double alpha = QuantileSketch::kDefaultAlpha);
+  const QuantileSketch* sketch() const noexcept { return sketch_.get(); }
+
   void merge(const LatencyRecorder& other);
   void reset();
 
@@ -44,6 +60,7 @@ class LatencyRecorder {
   Histogram histogram_;
   Summary summary_;
   ExactQuantiles raw_;
+  std::unique_ptr<QuantileSketch> sketch_;
 };
 
 }  // namespace brb::stats

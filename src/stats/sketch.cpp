@@ -1,0 +1,187 @@
+#include "stats/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace brb::stats {
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("QuantileSketch: alpha must be in (0,1)");
+  }
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  log_gamma_ = std::log(gamma_);
+}
+
+int QuantileSketch::index_of(double x) const {
+  // Bucket i covers (gamma^(i-1), gamma^i]; ceil puts exact powers of
+  // gamma in their own bucket.
+  return static_cast<int>(std::ceil(std::log(x) / log_gamma_));
+}
+
+double QuantileSketch::value_of(int index) const {
+  // Midpoint estimate 2*gamma^i/(gamma+1): at most `alpha` relative
+  // error from any point in the bucket's (gamma^(i-1), gamma^i] span.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::ensure_index(int index) {
+  if (buckets_.empty()) {
+    offset_ = index;
+    buckets_.assign(1, 0);
+    return;
+  }
+  if (index < offset_) {
+    buckets_.insert(buckets_.begin(), static_cast<std::size_t>(offset_ - index), 0);
+    offset_ = index;
+  } else if (index >= offset_ + static_cast<int>(buckets_.size())) {
+    buckets_.resize(static_cast<std::size_t>(index - offset_) + 1, 0);
+  }
+}
+
+void QuantileSketch::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  if (x <= 0.0) {
+    ++zero_count_;
+    return;
+  }
+  const int index = index_of(x);
+  ensure_index(index);
+  ++buckets_[static_cast<std::size_t>(index - offset_)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.alpha_ != alpha_) {
+    throw std::invalid_argument("QuantileSketch::merge: alpha mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  if (!other.buckets_.empty()) {
+    ensure_index(other.offset_);
+    ensure_index(other.offset_ + static_cast<int>(other.buckets_.size()) - 1);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      buckets_[static_cast<std::size_t>(other.offset_ - offset_) + i] += other.buckets_[i];
+    }
+  }
+}
+
+double QuantileSketch::min() const {
+  if (count_ == 0) throw std::logic_error("QuantileSketch::min: empty");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  if (count_ == 0) throw std::logic_error("QuantileSketch::max: empty");
+  return max_;
+}
+
+std::size_t QuantileSketch::bucket_count() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t c : buckets_) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) throw std::logic_error("QuantileSketch::quantile: empty");
+  q = std::clamp(q, 0.0, 1.0);
+  // DDSketch rank convention: the bucket holding the floor(q*(n-1))-th
+  // order statistic (0-based).
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t cum = zero_count_;
+  if (rank < cum) return std::max(0.0, min_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (rank < cum) {
+      const double v = value_of(offset_ + static_cast<int>(i));
+      // Bucket midpoints can stick out past the observed extremes;
+      // clamping only tightens the error bound.
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void QuantileSketch::clear() {
+  count_ = 0;
+  zero_count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+  buckets_.clear();
+  offset_ = 0;
+}
+
+Json QuantileSketch::to_json() const {
+  Json j = Json::object();
+  j["alpha"] = Json(alpha_);
+  j["count"] = Json(count_);
+  j["zero"] = Json(zero_count_);
+  if (count_ > 0) {
+    j["min"] = Json(min_);
+    j["max"] = Json(max_);
+  }
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    Json pair = Json::array();
+    pair.push_back(Json(offset_ + static_cast<int>(i)));
+    pair.push_back(Json(buckets_[i]));
+    buckets.push_back(std::move(pair));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
+QuantileSketch QuantileSketch::from_json(const Json& j) {
+  const Json* alpha = j.find("alpha");
+  const Json* count = j.find("count");
+  const Json* zero = j.find("zero");
+  const Json* buckets = j.find("buckets");
+  if (alpha == nullptr || !alpha->is_number() || count == nullptr || !count->is_number() ||
+      zero == nullptr || !zero->is_number() || buckets == nullptr || !buckets->is_array()) {
+    throw std::runtime_error("QuantileSketch::from_json: malformed sketch document");
+  }
+  QuantileSketch sketch(alpha->as_double());
+  sketch.count_ = static_cast<std::uint64_t>(count->as_int());
+  sketch.zero_count_ = static_cast<std::uint64_t>(zero->as_int());
+  if (sketch.count_ > 0) {
+    const Json* min = j.find("min");
+    const Json* max = j.find("max");
+    if (min == nullptr || !min->is_number() || max == nullptr || !max->is_number()) {
+      throw std::runtime_error("QuantileSketch::from_json: missing min/max");
+    }
+    sketch.min_ = min->as_double();
+    sketch.max_ = max->as_double();
+  }
+  for (const Json& pair : buckets->items()) {
+    if (!pair.is_array() || pair.size() != 2 || !pair.at(0).is_number() ||
+        !pair.at(1).is_number()) {
+      throw std::runtime_error("QuantileSketch::from_json: malformed bucket entry");
+    }
+    const int index = static_cast<int>(pair.at(0).as_int());
+    const std::uint64_t bucket_count = static_cast<std::uint64_t>(pair.at(1).as_int());
+    sketch.ensure_index(index);
+    sketch.buckets_[static_cast<std::size_t>(index - sketch.offset_)] = bucket_count;
+  }
+  return sketch;
+}
+
+}  // namespace brb::stats

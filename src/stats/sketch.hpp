@@ -1,0 +1,89 @@
+// Mergeable quantile sketch (DDSketch-style, relative-error bounded).
+//
+// `QuantileSketch` buckets positive samples on a logarithmic grid:
+// bucket i covers (gamma^(i-1), gamma^i] with gamma = (1+alpha)/(1-alpha),
+// so any quantile estimate is within relative error `alpha` of the true
+// sample quantile (default alpha 0.01 = 1%). Buckets are never
+// collapsed: the index range for nanosecond latencies up to an hour is
+// ~1500 buckets at the default alpha, so the O(samples) raw vector is
+// replaced by a small fixed-size structure.
+//
+// The merge contract is the whole point: a sketch holds only integer
+// bucket counts plus order-independent min/max, so `merge` is a pure
+// commutative, associative count addition. Merging per-shard sketches
+// yields a sketch *byte-identical in serialized form* to the sketch of
+// the unsharded stream, for ANY partition of the samples — the property
+// `brbsim merge` relies on to reassemble sharded sweeps exactly.
+// Deliberately absent: sum/mean (their floating-point addition order
+// would break that identity; the existing `Summary` supplies means).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/report.hpp"
+
+namespace brb::stats {
+
+class QuantileSketch {
+ public:
+  /// Relative error bound; gamma = (1+alpha)/(1-alpha). Throws
+  /// std::invalid_argument unless 0 < alpha < 1.
+  explicit QuantileSketch(double alpha = kDefaultAlpha);
+
+  static constexpr double kDefaultAlpha = 0.01;
+
+  /// Non-positive samples land in the dedicated zero bucket (latencies
+  /// are clamped non-negative upstream, so "zero or negative" means an
+  /// instantaneous completion).
+  void add(double x);
+
+  /// Adds every count of `other` into this sketch. Commutative and
+  /// associative. Throws std::invalid_argument on an alpha mismatch —
+  /// sketches on different grids cannot be merged exactly.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double alpha() const noexcept { return alpha_; }
+  /// Exact (not bucketed) extremes of the stream.
+  double min() const;
+  double max() const;
+  /// Distinct non-empty log-grid buckets currently held (excludes the
+  /// zero bucket) — the O(sketch) size the artifact contract bounds.
+  std::size_t bucket_count() const noexcept;
+
+  /// q in [0,1]. Relative error at most `alpha` versus the exact
+  /// sample quantile. Throws std::logic_error when empty.
+  double quantile(double q) const;
+  double percentile(double p) const { return quantile(p / 100.0); }
+
+  void clear();
+
+  /// Deterministic serialization: counts in ascending bucket order.
+  /// Two sketches holding the same multiset of samples — however the
+  /// samples were partitioned and merged — dump identical JSON.
+  Json to_json() const;
+  /// Inverse of `to_json`. Throws std::runtime_error on a malformed
+  /// document.
+  static QuantileSketch from_json(const Json& j);
+
+ private:
+  int index_of(double x) const;
+  double value_of(int index) const;
+  void ensure_index(int index);
+
+  double alpha_;
+  double gamma_;
+  double log_gamma_;
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  /// Contiguous counts for indices [offset_, offset_ + size); grown on
+  /// demand at either end. Empty until the first positive sample.
+  std::vector<std::uint64_t> buckets_;
+  int offset_ = 0;
+};
+
+}  // namespace brb::stats

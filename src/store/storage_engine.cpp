@@ -34,7 +34,9 @@ void StorageEngine::put_meta(KeyId key, std::uint32_t size_bytes) {
     ++num_keys_;
   }
   stored_bytes_ += size_bytes;
-  if (dense_eligible(key, size_bytes)) {
+  if (dense_eligible(key, size_bytes) &&
+      (key < dense_size_plus1_.size() ||
+       key < kDenseGrowthAllowance + kDenseGrowthFactor * num_keys_)) {
     if (key >= dense_size_plus1_.size()) dense_size_plus1_.resize(key + 1, 0);
     dense_size_plus1_[key] = size_bytes + 1;
   } else {

@@ -35,6 +35,18 @@ class StorageEngine {
   /// Keys below this bound use the dense size table.
   static constexpr KeyId kDenseLimit = KeyId{1} << 22;
 
+  /// The dense table only grows while it stays within this factor of
+  /// the number of stored keys (plus a free initial allowance). A
+  /// server holding a dense slice of the keyspace (paper scale: each
+  /// replica stores ~1/3 of all keys, inserted in ascending order)
+  /// keeps the flat-array hot path; a server holding a few dozen keys
+  /// of a huge keyspace (mega-fleet: 10k servers sharding 100k keys)
+  /// stays in the hash map instead of allocating a keyspace-sized
+  /// array per server. Lookups are unaffected — size_of already falls
+  /// through to the map.
+  static constexpr std::uint64_t kDenseGrowthFactor = 8;
+  static constexpr std::uint64_t kDenseGrowthAllowance = 1024;
+
   /// `store_payloads` controls whether put() keeps the actual bytes.
   explicit StorageEngine(bool store_payloads = false) : store_payloads_(store_payloads) {}
 

@@ -15,6 +15,7 @@
 #include "ctrl/policy_runtime.hpp"
 #include "ctrl/replica_policy.hpp"
 #include "ctrl/signal_table.hpp"
+#include "ctrl/sparse_signal_table.hpp"
 #include "sim/simulator.hpp"
 #include "stats/artifact.hpp"
 #include "util/ewma.hpp"
@@ -93,6 +94,162 @@ TEST(SignalTable, AdmissionMirrors) {
 TEST(SignalTable, RejectsBadAlpha) {
   EXPECT_THROW(ctrl::SignalTable(ctrl::SignalTableConfig{0.0}), std::invalid_argument);
   EXPECT_THROW(ctrl::SignalTable(ctrl::SignalTableConfig{1.5}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SparseSignalTable — the million-client backing store
+
+TEST(SparseSignalTable, BitIdenticalToDenseWhenCapCoversFleet) {
+  // The differential the sparse design promises (see
+  // ctrl/sparse_signal_table.hpp): with a cap above the fleet size
+  // nothing ever evicts, and every observable must match the dense
+  // columns bit for bit under an arbitrary interleaved op history.
+  ctrl::SignalTable dense;
+  ctrl::SignalTableConfig sparse_config;
+  sparse_config.sparse = true;
+  sparse_config.sparse_cap = 64;  // fleet is 16 servers
+  sparse_config.sparse_group_size = 4;
+  ctrl::SignalTable sparse(sparse_config);
+
+  util::Rng history(41);
+  const std::uint32_t fleet = 16;
+  for (int round = 0; round < 2000; ++round) {
+    const store::ServerId server = history.uniform_u64_below(fleet);
+    const Duration cost = Duration::micros(100 + 10 * (round % 11));
+    switch (history.uniform_u64_below(5)) {
+      case 0:
+        dense.on_send(server, cost);
+        sparse.on_send(server, cost);
+        break;
+      case 1: {
+        const store::ServerFeedback fb =
+            feedback(round % 7, 5'000.0 + 250.0 * static_cast<double>(round % 5));
+        const Duration rtt = Duration::micros(200 + 30 * (round % 13));
+        const Time at = Time::nanos(round * 1000);
+        dense.on_response(server, fb, rtt, cost, at);
+        sparse.on_response(server, fb, rtt, cost, at);
+        break;
+      }
+      case 2:
+        dense.on_cancel(server, cost);
+        sparse.on_cancel(server, cost);
+        break;
+      case 3:
+        dense.set_credit_balance(server, static_cast<double>(round % 9));
+        sparse.set_credit_balance(server, static_cast<double>(round % 9));
+        break;
+      default:
+        dense.set_rate_cap(server, 100.0 * static_cast<double>(round % 4));
+        sparse.set_rate_cap(server, 100.0 * static_cast<double>(round % 4));
+        break;
+    }
+    const store::ServerId probe = history.uniform_u64_below(fleet + 2);  // also unseen
+    const ctrl::SignalTable::Signals d = dense.of(probe);
+    const ctrl::SignalTable::Signals s = sparse.of(probe);
+    ASSERT_EQ(d.seen, s.seen) << "round " << round;
+    ASSERT_EQ(d.outstanding, s.outstanding) << "round " << round;
+    ASSERT_EQ(d.pending_cost_ns, s.pending_cost_ns) << "round " << round;
+    ASSERT_EQ(d.ewma_response_ns, s.ewma_response_ns) << "round " << round;
+    ASSERT_EQ(d.ewma_queue, s.ewma_queue) << "round " << round;
+    ASSERT_EQ(d.ewma_service_time_ns, s.ewma_service_time_ns) << "round " << round;
+    ASSERT_EQ(d.credit_balance, s.credit_balance) << "round " << round;
+    ASSERT_EQ(d.rate_cap, s.rate_cap) << "round " << round;
+    ASSERT_EQ(d.last_queue_length, s.last_queue_length) << "round " << round;
+    ASSERT_EQ(d.last_service_rate, s.last_service_rate) << "round " << round;
+    ASSERT_EQ(d.last_feedback_ns, s.last_feedback_ns) << "round " << round;
+  }
+  ASSERT_NE(sparse.sparse_store(), nullptr);
+  EXPECT_EQ(sparse.sparse_store()->evictions(), 0u);
+}
+
+TEST(SparseSignalTable, EvictsLruIntoGroupAggregate) {
+  // Cap 4, groups of 4: touching servers 0..7 in order evicts 0..3
+  // (the LRU window keeps the last four), and their response EWMAs
+  // fold into group 0's running means — the fallback answer for any
+  // server of that group the window no longer tracks.
+  ctrl::SparseSignalTable table(/*ewma_alpha=*/0.5, /*entry_cap=*/4, /*group_size=*/4);
+  double folded_sum = 0.0;
+  for (store::ServerId s = 0; s < 8; ++s) {
+    const Duration cost = Duration::micros(100);
+    table.on_send(s, cost);
+    const Duration rtt = Duration::micros(100 * (s + 1));
+    table.on_response(s, feedback(2, 10'000.0), rtt, cost,
+                      Time::nanos(static_cast<std::int64_t>(s) * 100));
+    if (s < 4) folded_sum += static_cast<double>(rtt.count_nanos());
+  }
+  EXPECT_EQ(table.live_entries(), 4u);
+  EXPECT_EQ(table.evictions(), 4u);
+
+  // Live entries answer exactly.
+  EXPECT_TRUE(table.seen(7));
+  EXPECT_DOUBLE_EQ(table.ewma_response_ns(7), 800'000.0);
+
+  // An evicted pair answers with its group aggregate: seen, EWMAs =
+  // group means, counters and mirrors zero, freshness stale.
+  const ctrl::SignalTable::Signals evicted = table.of(0);
+  EXPECT_TRUE(evicted.seen);
+  EXPECT_DOUBLE_EQ(evicted.ewma_response_ns, folded_sum / 4.0);
+  EXPECT_EQ(evicted.outstanding, 0u);
+  EXPECT_DOUBLE_EQ(evicted.credit_balance, 0.0);
+  EXPECT_EQ(evicted.last_feedback_ns, -1);
+
+  // A never-touched server in a group with no history stays zero.
+  EXPECT_FALSE(table.of(11).seen);
+}
+
+TEST(SparseSignalStore, ScenarioDecisionsIdenticalToDense) {
+  // Satellite differential for --signal-store: below the auto-sparse
+  // threshold an explicit sparse store (cap covering the fleet) must
+  // reproduce the dense run's decision stream bit for bit — including
+  // credits systems, which keep the exact dense credits path there.
+  for (const core::SystemKind kind :
+       {core::SystemKind::kC3, core::SystemKind::kFifoDirect,
+        core::SystemKind::kEqualMaxCredits}) {
+    core::ScenarioConfig config;
+    config.system = kind;
+    config.seed = 5;
+    config.num_tasks = 3000;
+    config.key_spec = "zipf:20000:0.9";
+    config.signal_store = "dense";
+    const core::RunResult dense = core::run_scenario(config);
+    config.signal_store = "sparse:64";  // fleet is 9 servers
+    const core::RunResult sparse = core::run_scenario(config);
+
+    EXPECT_FALSE(dense.sparse_signal_store);
+    EXPECT_TRUE(sparse.sparse_signal_store) << core::to_string(kind);
+    EXPECT_EQ(sparse.signal_evictions, 0u) << core::to_string(kind);
+    EXPECT_GT(sparse.signal_entries_live, 0u) << core::to_string(kind);
+
+    EXPECT_EQ(dense.task_latency.percentile(50).count_nanos(),
+              sparse.task_latency.percentile(50).count_nanos())
+        << core::to_string(kind);
+    EXPECT_EQ(dense.task_latency.percentile(99).count_nanos(),
+              sparse.task_latency.percentile(99).count_nanos())
+        << core::to_string(kind);
+    EXPECT_EQ(dense.events_processed, sparse.events_processed) << core::to_string(kind);
+    EXPECT_EQ(dense.network_messages, sparse.network_messages) << core::to_string(kind);
+    EXPECT_EQ(dense.requests_completed, sparse.requests_completed) << core::to_string(kind);
+    EXPECT_EQ(dense.credit_hold_events, sparse.credit_hold_events) << core::to_string(kind);
+  }
+}
+
+TEST(SparseSignalTable, PinnedEntriesSurviveTheCap) {
+  // In-flight accounting and gate mirrors pin an entry: rather than
+  // corrupt balances, the soft cap grows past its limit.
+  ctrl::SparseSignalTable table(/*ewma_alpha=*/0.5, /*entry_cap=*/2, /*group_size=*/4);
+  table.on_send(0, Duration::micros(100));    // pinned: in-flight
+  table.set_credit_balance(1, 3.0);           // pinned: gate mirror
+  table.on_send(2, Duration::micros(100));    // pinned: in-flight
+  EXPECT_EQ(table.live_entries(), 3u);
+  EXPECT_EQ(table.evictions(), 0u);
+  EXPECT_EQ(table.outstanding(0), 1u);
+  EXPECT_DOUBLE_EQ(table.credit_balance(1), 3.0);
+
+  // Releasing the in-flight copy unpins: the next insert evicts it.
+  table.on_cancel(0, Duration::micros(100));
+  table.on_send(3, Duration::micros(100));
+  EXPECT_EQ(table.evictions(), 1u);
+  EXPECT_EQ(table.outstanding(0), 0u);
 }
 
 // ---------------------------------------------------------------------------

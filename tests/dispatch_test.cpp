@@ -155,6 +155,56 @@ TEST(HedgeDispatchPolicy, PlansDistinctBackupWithQuantileDeadline) {
   EXPECT_EQ(lone.num_targets, 1u);
 }
 
+TEST(HedgeDispatchPolicy, FreshFeedbackSuppressesTheBackup) {
+  // Signal-aware skip: feedback younger than fresh_age degrades the
+  // plan to single (skipped_fresh set); once the feedback ages past
+  // the threshold the full hedge plan returns.
+  sim::Simulator sim;
+  ctrl::HedgeDispatchPolicy hedge(
+      std::make_unique<ctrl::SingleTargetAdapter>(std::make_unique<ctrl::FirstReplicaPolicy>()),
+      0.95, Duration::millis(2), /*fresh_age=*/Duration::millis(1), &sim);
+  ctrl::SignalTable signals;
+
+  // No feedback yet: nothing to trust, hedge as usual.
+  DispatchPlan cold = hedge.plan(signals, {3, 8}, Duration::micros(100));
+  EXPECT_EQ(cold.mode, DispatchMode::kHedge);
+  EXPECT_FALSE(cold.skipped_fresh);
+
+  // Feedback stamped "now": fresher than 1 ms, so the plan degrades.
+  signals.on_response(3, feedback(1, 10'000), Duration::millis(1), Duration::zero(), sim.now());
+  DispatchPlan fresh = hedge.plan(signals, {3, 8}, Duration::micros(100));
+  EXPECT_EQ(fresh.mode, DispatchMode::kSingle);
+  EXPECT_EQ(fresh.num_targets, 1u);
+  EXPECT_EQ(fresh.primary(), 3u);
+  EXPECT_TRUE(fresh.skipped_fresh);
+
+  // 5 ms later the same feedback is stale: the back-up is armed again.
+  sim.run_until(Time::millis(5));
+  DispatchPlan stale = hedge.plan(signals, {3, 8}, Duration::micros(100));
+  EXPECT_EQ(stale.mode, DispatchMode::kHedge);
+  EXPECT_EQ(stale.num_targets, 2u);
+  EXPECT_FALSE(stale.skipped_fresh);
+}
+
+TEST(HedgeDispatchPolicy, SkipDisabledWithoutThresholdOrClock) {
+  sim::Simulator sim;
+  ctrl::SignalTable signals;
+  signals.on_response(3, feedback(1, 10'000), Duration::millis(1), Duration::zero(), sim.now());
+
+  // fresh_age zero (the default): always hedge, even on fresh feedback.
+  ctrl::HedgeDispatchPolicy no_threshold(
+      std::make_unique<ctrl::SingleTargetAdapter>(std::make_unique<ctrl::FirstReplicaPolicy>()),
+      0.95, Duration::millis(2), Duration::zero(), &sim);
+  EXPECT_EQ(no_threshold.plan(signals, {3, 8}, Duration::micros(100)).mode,
+            DispatchMode::kHedge);
+
+  // No clock wired: freshness cannot be judged, always hedge.
+  ctrl::HedgeDispatchPolicy no_clock(
+      std::make_unique<ctrl::SingleTargetAdapter>(std::make_unique<ctrl::FirstReplicaPolicy>()),
+      0.95, Duration::millis(2), Duration::millis(1), nullptr);
+  EXPECT_EQ(no_clock.plan(signals, {3, 8}, Duration::micros(100)).mode, DispatchMode::kHedge);
+}
+
 TEST(TiedDispatchPolicy, PlansTwoDistinctCopies) {
   ctrl::TiedDispatchPolicy tied(
       std::make_unique<ctrl::SingleTargetAdapter>(std::make_unique<ctrl::FirstReplicaPolicy>()));
@@ -205,6 +255,13 @@ TEST(DispatchModeGrammar, ParsesAndCanonicalizes) {
   EXPECT_EQ(ctrl::parse_dispatch_mode("hedge:q99.9").canonical(), "hedge:q99.9");
   EXPECT_EQ(ctrl::parse_dispatch_mode("kofn").canonical(), "kofn:2");  // default
   EXPECT_EQ(ctrl::parse_dispatch_mode("kofn:4").canonical(), "kofn:4");
+  EXPECT_EQ(ctrl::parse_dispatch_mode("hedge:q95:fresh=2").canonical(), "hedge:q95:fresh=2");
+  EXPECT_EQ(ctrl::parse_dispatch_mode("hedge:fresh=0.5").canonical(), "hedge:q95:fresh=0.5");
+
+  const DispatchModeConfig fresh_hedge = ctrl::parse_dispatch_mode("hedge:q90:fresh=2");
+  EXPECT_EQ(fresh_hedge.mode, DispatchMode::kHedge);
+  EXPECT_EQ(fresh_hedge.fresh_age, sim::Duration::millis(2));
+  EXPECT_EQ(ctrl::parse_dispatch_mode("hedge").fresh_age, sim::Duration::zero());
 
   const DispatchModeConfig hedge = ctrl::parse_dispatch_mode("hedge:q90");
   EXPECT_EQ(hedge.mode, DispatchMode::kHedge);
@@ -357,6 +414,22 @@ TEST(DispatchScenario, HedgeArmCancelRoundTrip) {
   EXPECT_LE(run.hedges_won, run.hedges_issued);
   EXPECT_GT(run.duplicate_work_fraction, 0.0);
   EXPECT_LT(run.duplicate_work_fraction, 0.5);
+}
+
+TEST(DispatchScenario, FreshSkipSuppressesHedgesAndCountsThem) {
+  // A generous freshness window (50 ms at ~sub-ms response times)
+  // suppresses most back-ups; the skip counter must record exactly the
+  // plans that degraded, and zero without a fresh= spec.
+  const core::RunResult always = core::run_scenario(dispatch_config("hedge:q90"));
+  EXPECT_EQ(always.hedges_skipped_fresh, 0u);
+
+  const core::RunResult skipping = core::run_scenario(dispatch_config("hedge:q90:fresh=50"));
+  EXPECT_EQ(skipping.tasks_completed, 2500u);
+  EXPECT_GT(skipping.hedges_skipped_fresh, 0u);
+  // Skipped plans arm no timer and send no duplicate, so duplicate
+  // work cannot exceed the always-hedge run's.
+  EXPECT_LE(skipping.duplicates_sent, always.duplicates_sent);
+  EXPECT_LE(skipping.duplicate_work_fraction, always.duplicate_work_fraction);
 }
 
 TEST(DispatchScenario, TiedLoserIsAlwaysRejectedAtDequeue) {

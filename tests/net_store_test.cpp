@@ -267,6 +267,48 @@ TEST(StorageEngine, MetadataModeDropsPayload) {
   EXPECT_EQ(value->size_bytes, 11u);
 }
 
+TEST(StorageEngine, ScatteredKeysPastAllowanceStayCorrect) {
+  // A server holding a sparse slice of a huge keyspace must not grow
+  // the dense array out to the largest key: beyond the growth
+  // allowance, scattered keys land in the hash map, and every lookup
+  // still answers through the size_of fallthrough.
+  store::StorageEngine engine;
+  const store::KeyId stride = 50'000;  // far beyond allowance per key
+  for (store::KeyId k = 0; k < 40; ++k) {
+    engine.put_meta(k * stride + 3, static_cast<std::uint32_t>(k + 1));
+  }
+  EXPECT_EQ(engine.num_keys(), 40u);
+  for (store::KeyId k = 0; k < 40; ++k) {
+    ASSERT_TRUE(engine.contains(k * stride + 3));
+    EXPECT_EQ(engine.size_of(k * stride + 3), static_cast<std::uint32_t>(k + 1));
+    EXPECT_FALSE(engine.contains(k * stride + 4));
+  }
+}
+
+TEST(StorageEngine, AscendingDenseLoadThenOverwriteAndErase) {
+  // The paper-scale shape: ascending key load stays dense-eligible the
+  // whole way, and overwrite/erase keep accounting consistent even for
+  // keys that crossed between the two structures.
+  store::StorageEngine engine;
+  for (store::KeyId k = 0; k < 5000; ++k) engine.put_meta(k, 16);
+  EXPECT_EQ(engine.num_keys(), 5000u);
+  EXPECT_EQ(engine.stored_bytes(), 5000u * 16);
+
+  // Overwrite a dense key with a sparse-only size (UINT32_MAX forces
+  // the hash-map path), then back again.
+  const auto huge = std::numeric_limits<std::uint32_t>::max();
+  engine.put_meta(42, huge);
+  EXPECT_EQ(engine.size_of(42), huge);
+  engine.put_meta(42, 16);
+  EXPECT_EQ(engine.size_of(42), 16u);
+  EXPECT_EQ(engine.num_keys(), 5000u);
+  EXPECT_EQ(engine.stored_bytes(), 5000u * 16);
+
+  EXPECT_TRUE(engine.erase(4999));
+  EXPECT_FALSE(engine.contains(4999));
+  EXPECT_EQ(engine.num_keys(), 4999u);
+}
+
 TEST(StorageEngine, EraseReleasesBytes) {
   store::StorageEngine engine;
   engine.put_meta(1, 100);

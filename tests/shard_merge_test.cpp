@@ -224,6 +224,83 @@ TEST(ShardMerge, MergedArtifactByteIdenticalToUnsharded) {
   }
 }
 
+TEST(ShardMerge, SketchArtifactsMergeByteIdentically) {
+  // --stats=sketch runs carry per-run and pooled case-level sketches;
+  // the merger must rebuild the pooled sketch from per-seed sketches
+  // (pure bucket addition) so the merged block is byte-identical to
+  // the unsharded one for any shard count.
+  const char* argv[] = {"brbsim",     "--systems=c3,equalmax-credits",
+                        "--tasks=600", "--servers=5",
+                        "--clients=6", "--stats=sketch"};
+  const util::Flags flags(6, argv);
+  const core::ScenarioConfig base = cli::config_from_flags(flags);
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  const cli::SweepPlan plan = cli::build_sweep_plan("paper", base, seeds, flags);
+  core::RunSeedsOptions options;
+  options.max_threads = 2;
+
+  const Json full_doc = cli::report_json(
+      "paper", base, seeds, cli::execute_shard(plan, cli::ShardSpec{}, options));
+  for (const Json& item : full_doc.at("cases").items()) {
+    const Json* pooled = item.find("task_latency_sketch");
+    ASSERT_NE(pooled, nullptr);
+    std::int64_t run_total = 0;
+    for (const Json& run : item.at("runs").items()) {
+      const Json* per_run = run.find("task_latency_sketch");
+      ASSERT_NE(per_run, nullptr);
+      run_total += per_run->at("count").as_int();
+    }
+    EXPECT_EQ(pooled->at("count").as_int(), run_total);
+  }
+
+  for (const std::uint32_t n : {2u, 3u}) {
+    SCOPED_TRACE("N=" + std::to_string(n));
+    std::vector<Json> shards;
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      cli::ShardSpec shard;
+      shard.index = i;
+      shard.count = n;
+      shards.push_back(cli::report_json("paper", base, seeds,
+                                        cli::execute_shard(plan, shard, options), &shard));
+    }
+    const Json merged = stats::merge_artifacts(shards);
+    EXPECT_EQ(deterministic_dump(merged), deterministic_dump(full_doc));
+    EXPECT_EQ(csv_of(merged), csv_of(full_doc));
+  }
+}
+
+TEST(ShardMerge, PeakRssIsMaxOverShards) {
+  // RSS budgets are per worker process, so the merged figure is the
+  // worst shard — never the sum.
+  const char* argv[] = {"brbsim", "--systems=equalmax-credits", "--tasks=400", "--servers=4",
+                        "--clients=4"};
+  const util::Flags flags(5, argv);
+  const core::ScenarioConfig base = cli::config_from_flags(flags);
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const cli::SweepPlan plan = cli::build_sweep_plan("paper", base, seeds, flags);
+  core::RunSeedsOptions options;
+  options.max_threads = 2;
+
+  std::vector<Json> shards;
+  for (std::uint32_t i = 1; i <= 2; ++i) {
+    cli::ShardSpec shard;
+    shard.index = i;
+    shard.count = 2;
+    shards.push_back(cli::report_json("paper", base, seeds,
+                                      cli::execute_shard(plan, shard, options), &shard));
+  }
+  shards[0]["timing"]["peak_rss_mb"] = 512.0;
+  shards[1]["timing"]["peak_rss_mb"] = 7168.0;
+  const Json merged = stats::merge_artifacts(shards);
+  EXPECT_EQ(merged.at("timing").at("peak_rss_mb").as_double(), 7168.0);
+
+  // A shard missing the field (older artifact) degrades gracefully:
+  // the max is taken over the shards that have it.
+  shards[1]["timing"].erase("peak_rss_mb");
+  const Json degraded = stats::merge_artifacts(shards);
+  EXPECT_EQ(degraded.at("timing").at("peak_rss_mb").as_double(), 512.0);
+}
+
 TEST(ShardMerge, ArtifactQuarantinesTimingLast) {
   const char* argv[] = {"brbsim", "--systems=equalmax-credits", "--tasks=500", "--servers=4",
                         "--clients=4"};

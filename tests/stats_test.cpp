@@ -15,6 +15,7 @@
 #include "stats/latency_recorder.hpp"
 #include "stats/quantile.hpp"
 #include "stats/report.hpp"
+#include "stats/sketch.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "util/rng.hpp"
@@ -407,6 +408,155 @@ TEST(ReservoirSample, ReplacementIndexUniformPastInt64Boundary) {
   }
 }
 
+TEST(QuantileSketch, RejectsBadAlphaAndThrowsWhenEmpty) {
+  EXPECT_THROW(QuantileSketch(0.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(-0.1), std::invalid_argument);
+  QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(QuantileSketch, ZeroBucketHoldsNonPositiveSamples) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(-2.0);
+  s.add(10.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.bucket_count(), 1u);  // only the positive sample grids
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  // Rank 1 of 3 at q=0.5 is still a zero-bucket sample; the estimate
+  // clamps to 0 (latencies cannot be negative downstream).
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, RelativeErrorBoundedOnHeavyTails) {
+  // Heavy-tailed streams shaped like nanosecond latencies: lognormal
+  // (skewed service) and exponential (queueing tail). Estimates must
+  // stay within the documented alpha bound at every reported quantile,
+  // plus a whisker for the rank-convention gap vs type-7 interpolation.
+  util::Rng rng(21);
+  QuantileSketch lognormal;
+  ExactQuantiles lognormal_exact;
+  QuantileSketch exponential;
+  ExactQuantiles exponential_exact;
+  for (int i = 0; i < 200000; ++i) {
+    const double ln_v = std::exp(rng.normal(std::log(1e6), 1.5));
+    lognormal.add(ln_v);
+    lognormal_exact.add(ln_v);
+    const double ex_v = rng.exponential(1.0 / 5e6);
+    exponential.add(ex_v);
+    exponential_exact.add(ex_v);
+  }
+  const double bound = QuantileSketch::kDefaultAlpha + 0.005;
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double ln_truth = lognormal_exact.quantile(q);
+    EXPECT_NEAR(lognormal.quantile(q), ln_truth, ln_truth * bound) << "lognormal q=" << q;
+    const double ex_truth = exponential_exact.quantile(q);
+    EXPECT_NEAR(exponential.quantile(q), ex_truth, ex_truth * bound) << "exponential q=" << q;
+  }
+  const double ln_min = lognormal_exact.quantile(0.0);
+  const double ln_max = lognormal_exact.quantile(1.0);
+  EXPECT_NEAR(lognormal.quantile(0.0), ln_min, ln_min * bound);
+  EXPECT_NEAR(lognormal.quantile(1.0), ln_max, ln_max * bound);
+  EXPECT_DOUBLE_EQ(lognormal.min(), ln_min);
+  EXPECT_DOUBLE_EQ(lognormal.max(), ln_max);
+}
+
+TEST(QuantileSketch, ShardMergeByteIdenticalForAnyPartition) {
+  // The merge contract `brbsim merge` rides on: round-robin the stream
+  // over N shard sketches, merge them in order, and the result must
+  // serialize byte-identically to the unsharded sketch — for every N.
+  util::Rng rng(22);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(std::exp(rng.normal(std::log(2e6), 1.2)));
+  }
+  samples[7] = 0.0;  // exercise the zero bucket across the partition
+  QuantileSketch reference;
+  for (const double v : samples) reference.add(v);
+  const std::string reference_json = reference.to_json().dump_string(-1);
+
+  for (const std::size_t shards : {1u, 2u, 3u, 7u}) {
+    std::vector<QuantileSketch> parts(shards);
+    for (std::size_t i = 0; i < samples.size(); ++i) parts[i % shards].add(samples[i]);
+    QuantileSketch merged = parts[0];
+    for (std::size_t i = 1; i < shards; ++i) merged.merge(parts[i]);
+    EXPECT_EQ(merged.to_json().dump_string(-1), reference_json) << "shards=" << shards;
+    EXPECT_EQ(merged.count(), reference.count());
+    EXPECT_DOUBLE_EQ(merged.quantile(0.99), reference.quantile(0.99));
+  }
+}
+
+TEST(QuantileSketch, MergeIsCommutativeAndAssociative) {
+  util::Rng rng(23);
+  QuantileSketch a;
+  QuantileSketch b;
+  QuantileSketch c;
+  for (int i = 0; i < 3000; ++i) {
+    a.add(rng.exponential(1e-6));
+    b.add(rng.uniform(1.0, 1e9));
+    c.add(std::exp(rng.normal(10.0, 2.0)));
+  }
+  QuantileSketch abc = a;
+  abc.merge(b);
+  abc.merge(c);
+  QuantileSketch cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  QuantileSketch bc = b;  // a + (b + c): associativity
+  bc.merge(c);
+  QuantileSketch a_bc = a;
+  a_bc.merge(bc);
+  const std::string expected = abc.to_json().dump_string(-1);
+  EXPECT_EQ(cba.to_json().dump_string(-1), expected);
+  EXPECT_EQ(a_bc.to_json().dump_string(-1), expected);
+}
+
+TEST(QuantileSketch, MergeRejectsAlphaMismatchAndAllowsEmpty) {
+  QuantileSketch fine(0.01);
+  QuantileSketch coarse(0.05);
+  fine.add(1.0);
+  coarse.add(1.0);
+  EXPECT_THROW(fine.merge(coarse), std::invalid_argument);
+  QuantileSketch empty;
+  fine.merge(empty);  // no-op
+  EXPECT_EQ(fine.count(), 1u);
+  empty.merge(fine);  // adopts the other's extremes
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+}
+
+TEST(QuantileSketch, JsonRoundTripPreservesEverything) {
+  util::Rng rng(24);
+  QuantileSketch s;
+  for (int i = 0; i < 5000; ++i) s.add(rng.exponential(1e-7));
+  s.add(0.0);
+  const Json emitted = s.to_json();
+  const QuantileSketch parsed = QuantileSketch::from_json(emitted);
+  EXPECT_EQ(parsed.to_json().dump_string(-1), emitted.dump_string(-1));
+  EXPECT_EQ(parsed.count(), s.count());
+  EXPECT_DOUBLE_EQ(parsed.quantile(0.99), s.quantile(0.99));
+  EXPECT_DOUBLE_EQ(parsed.min(), s.min());
+  EXPECT_DOUBLE_EQ(parsed.max(), s.max());
+  // An empty sketch round-trips too (no min/max keys emitted).
+  const QuantileSketch empty_parsed = QuantileSketch::from_json(QuantileSketch().to_json());
+  EXPECT_TRUE(empty_parsed.empty());
+}
+
+TEST(QuantileSketch, FromJsonRejectsMalformedDocuments) {
+  for (const char* text :
+       {"{}", "[1,2]", R"({"alpha":0.01,"count":1,"zero":0})",
+        R"({"alpha":0.01,"count":0,"zero":0,"buckets":[[1]]})",
+        R"({"alpha":0.01,"count":0,"zero":0,"buckets":[["x",1]]})"}) {
+    EXPECT_THROW(QuantileSketch::from_json(Json::parse(text)), std::runtime_error) << text;
+  }
+}
+
 TEST(LatencyRecorder, RecordsAndSummarizes) {
   LatencyRecorder r(false);
   r.record(sim::Duration::millis(1));
@@ -439,6 +589,39 @@ TEST(LatencyRecorder, MergeCombines) {
   a.merge(b);
   EXPECT_EQ(a.count(), 2u);
   EXPECT_NEAR(a.mean().as_millis(), 2.0, 0.01);
+}
+
+TEST(LatencyRecorder, SketchIsOptIn) {
+  LatencyRecorder off(false);
+  off.record(sim::Duration::millis(1));
+  EXPECT_EQ(off.sketch(), nullptr);
+
+  LatencyRecorder on(false);
+  on.enable_sketch();
+  for (int ms = 1; ms <= 100; ++ms) on.record(sim::Duration::millis(ms));
+  ASSERT_NE(on.sketch(), nullptr);
+  EXPECT_EQ(on.sketch()->count(), 100u);
+  EXPECT_NEAR(on.sketch()->percentile(99) / 1e6, 99.0, 99.0 * 0.02);
+}
+
+TEST(LatencyRecorder, MergeAndCopyCarryTheSketch) {
+  LatencyRecorder a(false);
+  a.enable_sketch();
+  LatencyRecorder b(false);
+  b.enable_sketch();
+  a.record(sim::Duration::millis(1));
+  b.record(sim::Duration::millis(2));
+  a.merge(b);
+  ASSERT_NE(a.sketch(), nullptr);
+  EXPECT_EQ(a.sketch()->count(), 2u);
+
+  // Copies must deep-copy: recording into the original cannot leak
+  // into the copy (run results are copied into aggregates).
+  const LatencyRecorder copy = a;
+  a.record(sim::Duration::millis(3));
+  ASSERT_NE(copy.sketch(), nullptr);
+  EXPECT_EQ(copy.sketch()->count(), 2u);
+  EXPECT_EQ(a.sketch()->count(), 3u);
 }
 
 TEST(Table, AlignsAndPrints) {
