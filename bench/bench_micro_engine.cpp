@@ -17,7 +17,9 @@
 #include "core/scenario.hpp"
 #include "ctrl/signal_table.hpp"
 #include "policy/c3.hpp"
+#include "server/backend_server.hpp"
 #include "server/queue_discipline.hpp"
+#include "server/service_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "stats/report.hpp"
@@ -25,6 +27,7 @@
 #include "store/partitioner.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "workload/task_gen.hpp"
 
 namespace {
 
@@ -265,6 +268,69 @@ MicroResult bench_signal_table_update(std::uint64_t ops) {
   return result;
 }
 
+MicroResult bench_task_gen_fill(std::uint64_t tasks_target) {
+  // Block-filled task generation at the paper's default workload:
+  // Zipf(0.9) keys over 100k, lognormal fan-out, gpareto sizes,
+  // Poisson arrivals — the exact distributions the headline engine run
+  // draws from. Ops are whole tasks (each task internally draws its
+  // gap, fan-out, and `fanout` distinct keys into the block slab).
+  const auto sizes = brb::workload::make_size_distribution("gpareto");
+  const auto keys = brb::workload::make_key_distribution("zipf:100000:0.9");
+  const auto fanout = brb::workload::make_fanout_distribution("lognormal:8.6:2.0:512");
+  brb::workload::Dataset dataset(keys->num_keys(), *sizes, brb::util::Rng(11));
+  brb::workload::TaskGenerator::Config cfg;
+  brb::workload::TaskGenerator gen(cfg, dataset, *keys, *fanout,
+                                   std::make_unique<brb::workload::PoissonArrivals>(14'000.0),
+                                   brb::util::Rng(12));
+  brb::workload::TaskBlock block;
+  const std::uint64_t blocks = tasks_target / 256;
+  std::uint64_t requests = 0;
+  MicroResult result = run_micro("task_gen_fill", blocks * 256, [&] {
+    for (std::uint64_t r = 0; r < blocks; ++r) {
+      gen.fill_block(block, 256);
+      requests += block.pool.size();
+    }
+  });
+  if (requests == 0) std::abort();  // keep the loop live
+  return result;
+}
+
+MicroResult bench_service_start(std::uint64_t ops) {
+  // The devirtualized service fast path end-to-end: receive -> FIFO
+  // ring push/pop -> inline service-time draw -> completion
+  // event -> pump. A closed loop of 8 outstanding requests keeps all 4
+  // cores busy, so every op is one full queued-service round trip.
+  brb::sim::Simulator sim;
+  brb::server::BackendServer::Config cfg;
+  cfg.cores = 4;
+  const auto model = brb::server::SizeLinearServiceModel::calibrate(
+      14'000.0, 4096.0, brb::sim::Duration::micros(5), 0.0);
+  brb::server::BackendServer server(sim, cfg, model, brb::util::Rng(13));
+  server.use_private_queue(std::make_unique<brb::server::FifoDiscipline>());
+  for (std::uint32_t k = 0; k < 1024; ++k) server.storage().put_meta(k, 512 + (7 * k) % 8192);
+  std::uint64_t sent = 0;
+  const auto send_one = [&] {
+    brb::store::ReadRequest request;
+    request.request_id = sent;
+    request.task_id = sent;
+    request.key = static_cast<brb::store::KeyId>(sent % 1024);
+    request.client = 0;
+    ++sent;
+    server.receive(request);
+  };
+  server.set_response_handler([&](const brb::store::ReadResponse&) {
+    if (sent < ops) send_one();
+  });
+  MicroResult result = run_micro("service_start", ops, [&] {
+    sim.schedule_at(brb::sim::Time::zero(), [&] {
+      for (int i = 0; i < 8; ++i) send_one();
+    });
+    sim.run();
+  });
+  if (server.stats().served != ops) std::abort();
+  return result;
+}
+
 MicroResult bench_ring_partitioner(std::uint64_t ops) {
   brb::store::RingPartitioner partitioner(9, 3);
   brb::util::Rng rng(6);
@@ -283,6 +349,7 @@ MicroResult bench_ring_partitioner(std::uint64_t ops) {
 struct EngineResult {
   double events_per_sec = 0.0;
   std::uint64_t events_processed = 0;
+  std::uint64_t requests_completed = 0;
   double wall_seconds = 0.0;
   std::uint64_t tasks = 0;
 };
@@ -303,6 +370,7 @@ EngineResult bench_engine_paper_scenario(std::uint64_t tasks, int repeats) {
     if (events_per_sec > result.events_per_sec) {
       result.events_per_sec = events_per_sec;
       result.events_processed = run.events_processed;
+      result.requests_completed = run.requests_completed;
       result.wall_seconds = run.wall_seconds;
     }
   }
@@ -330,6 +398,19 @@ int main(int argc, char** argv) {
   micro.push_back(bench_c3_scoring(ops));
   micro.push_back(bench_signal_table_update(ops));
   micro.push_back(bench_ring_partitioner(ops));
+  // The two gated rows (see check_claims.py --engine-budget) get the
+  // same best-of-N treatment as the headline: single-pass micros swing
+  // ~15% on a shared container, which is wider than the -6% budget.
+  const auto best_of = [quick](auto&& bench_fn) {
+    MicroResult best = bench_fn();
+    for (int r = 1; r < (quick ? 1 : 3); ++r) {
+      MicroResult again = bench_fn();
+      if (again.ops_per_sec > best.ops_per_sec) best = again;
+    }
+    return best;
+  };
+  micro.push_back(best_of([&] { return bench_task_gen_fill(quick ? 25'600 : 256'000); }));
+  micro.push_back(best_of([&] { return bench_service_start(ops / 2); }));
 
   std::cerr << "[bench] micro done; engine run (" << tasks << " tasks)...\n";
   const EngineResult engine = bench_engine_paper_scenario(tasks, quick ? 1 : 3);
@@ -344,6 +425,52 @@ int main(int argc, char** argv) {
   }
   table.add_row({"engine_events_per_sec", brb::stats::fmt_double(engine.events_per_sec, 0)});
   table.print(std::cout);
+
+  // Per-phase cycle accounting for the headline run: each phase's
+  // estimated share of the engine wall is (scenario count) / (micro
+  // rate) for the micro bench that isolates that phase. Estimates, not
+  // measurements — micro loops are cache-hot and the engine run is not
+  // — but the fractions show where the next point of leverage is.
+  const auto micro_rate = [&micro](const std::string& name) {
+    for (const MicroResult& m : micro) {
+      if (m.name == name) return m.ops_per_sec;
+    }
+    return 0.0;
+  };
+  struct Phase {
+    const char* name;
+    const char* micro_name;
+    std::uint64_t count;
+  };
+  const Phase phases[] = {
+      {"task_gen", "task_gen_fill", engine.tasks},
+      {"service", "service_start", engine.requests_completed},
+      {"event_queue", "wheel_short_delta_push_pop", engine.events_processed},
+      {"policy_feedback", "signal_table_update", engine.requests_completed},
+  };
+  double accounted_seconds = 0.0;
+  brb::stats::Json phases_json = brb::stats::Json::object();
+  brb::stats::Table phase_table({"phase", "count", "est_seconds", "frac_of_wall"});
+  for (const Phase& p : phases) {
+    const double rate = micro_rate(p.micro_name);
+    const double est = rate > 0 ? static_cast<double>(p.count) / rate : 0.0;
+    accounted_seconds += est;
+    const double frac = engine.wall_seconds > 0 ? est / engine.wall_seconds : 0.0;
+    phase_table.add_row({p.name, std::to_string(p.count), brb::stats::fmt_double(est, 4),
+                         brb::stats::fmt_double(frac, 3)});
+    brb::stats::Json entry = brb::stats::Json::object();
+    entry["micro"] = p.micro_name;
+    entry["count"] = p.count;
+    entry["est_seconds"] = est;
+    entry["fraction_of_wall"] = frac;
+    phases_json[p.name] = std::move(entry);
+  }
+  const double other_seconds = engine.wall_seconds - accounted_seconds;
+  phase_table.add_row({"other", "-", brb::stats::fmt_double(other_seconds, 4),
+                       brb::stats::fmt_double(
+                           engine.wall_seconds > 0 ? other_seconds / engine.wall_seconds : 0.0,
+                           3)});
+  phase_table.print(std::cout);
   std::cout << "engine: " << engine.events_processed << " events in " << engine.wall_seconds
             << " s = " << engine.events_per_sec << " events/sec";
   if (comparable) {
@@ -361,6 +488,7 @@ int main(int argc, char** argv) {
     engine_json["scenario"] = "paper/equalmax-credits";
     engine_json["tasks"] = engine.tasks;
     engine_json["events_processed"] = engine.events_processed;
+    engine_json["requests_completed"] = engine.requests_completed;
     engine_json["wall_seconds"] = engine.wall_seconds;
     engine_json["events_per_sec"] = engine.events_per_sec;
     if (comparable) {
@@ -374,6 +502,15 @@ int main(int argc, char** argv) {
     brb::stats::Json micro_json = brb::stats::Json::object();
     for (const MicroResult& m : micro) micro_json[m.name] = m.ops_per_sec;
     root["micro_ops_per_sec"] = std::move(micro_json);
+    brb::stats::Json accounting = brb::stats::Json::object();
+    accounting["note"] =
+        "estimated decomposition of the headline run's wall time: phase count / micro rate "
+        "(micro loops are cache-hot, so fractions are lower bounds on real phase cost)";
+    accounting["wall_seconds"] = engine.wall_seconds;
+    accounting["accounted_seconds"] = accounted_seconds;
+    accounting["other_seconds"] = other_seconds;
+    accounting["phases"] = std::move(phases_json);
+    root["phase_accounting"] = std::move(accounting);
     std::ofstream os(*json_path);
     if (!os) {
       std::cerr << "bench_micro_engine: cannot write " << *json_path << "\n";

@@ -279,9 +279,39 @@ def run_engine_budget(bench_path, baseline_path, budget):
     print(f"{'ok' if ok else 'FAIL':4} engine events/sec: {got:,.0f} vs "
           f"baseline {want:,.0f} ({ratio - 1.0:+.2%}, budget -{budget:.0%})")
 
-    # Micro-bench trajectory, informational only.
+    # Hot-path micro rows are gated like the headline number: the
+    # task-generation and service fast paths carry the workload/service
+    # fast-path win, so a silent regression there erodes the headline
+    # next. Both files must carry the row — a baseline predating the
+    # row is a config mismatch, not a free pass.
+    gated_rows = ("task_gen_fill", "service_start")
     ref_micro = baseline.get("micro_ops_per_sec", {})
-    for name, fresh_ops in sorted(bench.get("micro_ops_per_sec", {}).items()):
+    fresh_micro = bench.get("micro_ops_per_sec", {})
+    # Micro rows are noisier than the best-of-3 headline; give them
+    # double the relative budget.
+    micro_budget = 2.0 * budget
+    failed_micros = []
+    for name in gated_rows:
+        fresh_ops = fresh_micro.get(name)
+        base_ops = ref_micro.get(name)
+        if fresh_ops is None or base_ops is None:
+            missing = "bench" if fresh_ops is None else "baseline"
+            print(f"FAIL: gated micro row '{name}' missing from the {missing} "
+                  "file — refusing an apples-to-oranges comparison "
+                  "(re-run bench_micro_engine / refresh the baseline)",
+                  file=sys.stderr)
+            return 1
+        row_ok = fresh_ops / base_ops >= 1.0 - micro_budget
+        if not row_ok:
+            failed_micros.append(name)
+        print(f"{'ok' if row_ok else 'FAIL':4} micro {name}: {fresh_ops:,.0f} ops/s "
+              f"vs baseline {base_ops:,.0f} ({fresh_ops / base_ops - 1.0:+.1%}, "
+              f"budget -{micro_budget:.0%})")
+
+    # Remaining micro-bench trajectory, informational only.
+    for name, fresh_ops in sorted(fresh_micro.items()):
+        if name in gated_rows:
+            continue
         base_ops = ref_micro.get(name)
         if base_ops:
             print(f"note micro {name}: {fresh_ops:,.0f} ops/s "
@@ -289,8 +319,10 @@ def run_engine_budget(bench_path, baseline_path, budget):
         else:
             print(f"note micro {name}: {fresh_ops:,.0f} ops/s (no baseline)")
 
-    if not ok:
-        print(f"\nengine throughput regressed past the -{budget:.0%} budget; "
+    if not ok or failed_micros:
+        what = "engine throughput" if not ok else \
+            "micro row(s) " + ", ".join(failed_micros)
+        print(f"\n{what} regressed past the budget; "
               "if the slowdown is intended, refresh "
               "ci/reference/engine_baseline.json in the same change",
               file=sys.stderr)

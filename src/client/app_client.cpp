@@ -28,9 +28,20 @@ AppClient::AppClient(sim::Simulator& sim, Config config, const store::Partitione
   pending_tasks_.max_load_factor(0.5f);
   pending_tasks_.reserve(128);
   gate_->set_transmit([this](OutboundRequest& out) { transmit_now(out); });
+  // Noise-free linear cost model: forecasts are a pure function of the
+  // size hint, computed inline in forecast_cost (one multiply-add; no
+  // per-client state at mega-fleet client counts).
+  if (config_.cost_noise_sigma == 0.0) {
+    const auto* linear = dynamic_cast<const server::SizeLinearServiceModel*>(cost_model_);
+    if (linear != nullptr && linear->noise_sigma() == 0.0) {
+      linear_cost_ = linear;
+      cost_base_nanos_ = linear->base().count_nanos();
+      cost_per_byte_ = linear->per_byte_nanos();
+    }
+  }
 }
 
-sim::Duration AppClient::forecast_cost(std::uint32_t size_hint) {
+sim::Duration AppClient::forecast_cost_slow(std::uint32_t size_hint) {
   const sim::Duration exact = cost_model_->expected(size_hint);
   if (config_.cost_noise_sigma == 0.0) return exact;
   // Multiplicative log-normal noise with unit mean models imperfect
@@ -40,6 +51,22 @@ sim::Duration AppClient::forecast_cost(std::uint32_t size_hint) {
   const auto noisy =
       static_cast<std::int64_t>(static_cast<double>(exact.count_nanos()) * factor);
   return sim::Duration::nanos(std::max<std::int64_t>(1, noisy));
+}
+
+void AppClient::submit(const workload::TaskView& view) {
+  workload::TaskSpec spec;
+  if (!spec_pool_.empty()) {
+    // Recycle a requests vector from a completed task: assign() reuses
+    // its capacity, so the copy out of the block slab is allocation-free.
+    spec.requests = std::move(spec_pool_.back());
+    spec_pool_.pop_back();
+  }
+  spec.id = view.id;
+  spec.client = view.client;
+  spec.tenant = view.tenant;
+  spec.arrival = view.arrival;
+  spec.requests.assign(view.requests, view.requests + view.fanout);
+  submit(std::move(spec));
 }
 
 void AppClient::submit(workload::TaskSpec task) {
@@ -461,6 +488,12 @@ void AppClient::on_response(const store::ReadResponse& response) {
     ++stats_.tasks_completed;
     const sim::Duration latency = now() - task.started;
     if (hooks_.on_task_complete) hooks_.on_task_complete(task.spec, latency);
+    if (spec_pool_.size() < kSpecPoolMax) {
+      // Hand the spent requests vector back to the submit(TaskView)
+      // slab pool; its capacity is reused by the next task.
+      task.spec.requests.clear();
+      spec_pool_.push_back(std::move(task.spec.requests));
+    }
     pending_tasks_.erase(task_it);
   }
 }

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "client/dispatch_gate.hpp"
 #include "ctrl/dispatch_policy.hpp"
@@ -102,10 +103,17 @@ class AppClient : public sim::Actor {
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
   /// Entry point: a task arrives at this application server. By value:
-  /// callers that are done with the spec (the arrival pump) move it in,
-  /// and the client moves it again into its pending-task record — the
-  /// per-task requests vector is never copied on the hot path.
+  /// callers that are done with the spec (trace replay, tests) move it
+  /// in, and the client moves it again into its pending-task record —
+  /// the per-task requests vector is never copied on the hot path.
   void submit(workload::TaskSpec task);
+
+  /// Hot-path entry: a borrowed view into the generator's TaskBlock
+  /// slab. The request span is copied into a requests vector recycled
+  /// from completed tasks, so steady-state submission allocates
+  /// nothing (the spec must own its requests for the lifetime of the
+  /// task — completion hooks take `const TaskSpec&`).
+  void submit(const workload::TaskView& view);
 
   /// Delivery of a response from the network.
   void on_response(const store::ReadResponse& response);
@@ -183,7 +191,20 @@ class AppClient : public sim::Actor {
     std::uint32_t next_free = kNoLogical;
   };
 
-  sim::Duration forecast_cost(std::uint32_t size_hint);
+  /// Expected-cost forecast with the virtual dispatch peeled off: the
+  /// noise-free linear model (the default configuration) collapses to
+  /// one multiply-add, computed inline — no per-client state, which
+  /// matters at mega-fleet client counts. Identical to
+  /// `cost_model_->expected(size_hint)` plus the optional noise draw.
+  sim::Duration forecast_cost(std::uint32_t size_hint) {
+    if (linear_cost_ != nullptr) {
+      return sim::Duration::nanos(
+          cost_base_nanos_ +
+          static_cast<std::int64_t>(cost_per_byte_ * static_cast<double>(size_hint)));
+    }
+    return forecast_cost_slow(size_hint);
+  }
+  sim::Duration forecast_cost_slow(std::uint32_t size_hint);
   void inflight_insert(std::uint64_t serial, const InflightRequest& data);
   /// Doubles the window table until every live serial maps to a
   /// distinct slot again.
@@ -203,6 +224,14 @@ class AppClient : public sim::Actor {
                      store::TaskId task_id);
 
   Config config_;
+  /// Noise-free linear cost model, resolved once (null otherwise).
+  const server::SizeLinearServiceModel* linear_cost_ = nullptr;
+  std::int64_t cost_base_nanos_ = 0;
+  double cost_per_byte_ = 0.0;
+  /// Requests vectors recycled from completed tasks, feeding the
+  /// TaskView submit path (bounded; steady state allocates nothing).
+  static constexpr std::size_t kSpecPoolMax = 64;
+  std::vector<std::vector<workload::RequestSpec>> spec_pool_;
   /// Planning scratch reused across submits — the per-task std::maps
   /// this replaces dominated client-side allocation at paper scale.
   policy::TaskPlan plan_scratch_;

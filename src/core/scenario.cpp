@@ -655,14 +655,27 @@ RunResult run_scenario(const ScenarioConfig& config) {
 
   // Arrival pump. Trace replay schedules everything upfront (arrival
   // order is arbitrary but times are fixed); generated workloads pump
-  // lazily — each arrival schedules the next.
+  // lazily in pregenerated blocks: the generator fills a TaskBlock of
+  // up to kArrivalBlock tasks at once (batched sampling, slab-backed
+  // requests), and each arrival event submits its task straight from
+  // the block and chains the next. Event order is identical to the
+  // one-task-at-a-time pump — exactly one arrival is outstanding, and
+  // the block is refilled only after its last task is consumed.
+  constexpr std::size_t kArrivalBlock = 256;
+  workload::TaskBlock arrival_block;
+  std::size_t arrival_next = 0;
   std::function<void()> schedule_next = [&] {
-    if (generator.tasks_generated() >= total_tasks) return;
-    workload::TaskSpec task = generator.next();
+    if (arrival_next == arrival_block.size()) {
+      const std::uint64_t remaining = total_tasks - generator.tasks_generated();
+      if (remaining == 0) return;
+      generator.fill_block(arrival_block, static_cast<std::size_t>(std::min<std::uint64_t>(
+                                              kArrivalBlock, remaining)));
+      arrival_next = 0;
+    }
     result.tasks_submitted++;
-    sim.schedule_at(task.arrival, [&, task = std::move(task)]() mutable {
-      const store::ClientId client = task.client;
-      clients[client]->submit(std::move(task));
+    sim.schedule_at(arrival_block.view(arrival_next).arrival, [&] {
+      const workload::TaskView task = arrival_block.view(arrival_next++);
+      clients[task.client]->submit(task);
       schedule_next();
     });
   };

@@ -12,6 +12,7 @@ namespace {
 /// gathered into a thread-local scratch vector, sorted by group, and
 /// summed per run. Integer sums make the result order-independent.
 std::vector<std::pair<store::GroupId, std::int64_t>>& group_scratch() {
+  // brblint:allow(BRB-D02): content-free reuse — cleared before every use, only capacity survives
   thread_local std::vector<std::pair<store::GroupId, std::int64_t>> scratch;
   return scratch;
 }
@@ -19,8 +20,22 @@ std::vector<std::pair<store::GroupId, std::int64_t>>& group_scratch() {
 }  // namespace
 
 void collapse_group_costs(std::vector<std::pair<store::GroupId, std::int64_t>>& pairs) {
-  std::sort(pairs.begin(), pairs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Sorting is only a grouping device here: equal-group entries sum
+  // into one exact int64 total whatever their relative order, so the
+  // (unstable) algorithm choice cannot change the collapsed output.
+  // Typical tasks carry a handful of requests — insertion sort beats
+  // introsort's dispatch overhead at that size.
+  const auto by_group = [](const auto& a, const auto& b) { return a.first < b.first; };
+  if (pairs.size() <= 16) {
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      auto item = pairs[i];
+      std::size_t j = i;
+      for (; j > 0 && item.first < pairs[j - 1].first; --j) pairs[j] = pairs[j - 1];
+      pairs[j] = item;
+    }
+  } else {
+    std::sort(pairs.begin(), pairs.end(), by_group);
+  }
   std::size_t out = 0;
   for (std::size_t i = 0; i < pairs.size();) {
     const store::GroupId group = pairs[i].first;
@@ -36,12 +51,26 @@ void compute_bottleneck(TaskPlan& plan) {
     plan.bottleneck_cost = plan.requests.front().expected_cost;
     return;
   }
+  // Only the max of the per-group sums is needed, and int64 sums are
+  // exact in any accumulation order — so skip the sort-and-collapse
+  // pass and accumulate into a small linear-scan table (tasks touch
+  // few distinct groups).
   auto& scratch = group_scratch();
   scratch.clear();
   for (const PlannedRequest& request : plan.requests) {
-    scratch.emplace_back(request.group, request.expected_cost.count_nanos());
+    std::int64_t* sum = nullptr;
+    for (auto& entry : scratch) {
+      if (entry.first == request.group) {
+        sum = &entry.second;
+        break;
+      }
+    }
+    if (sum == nullptr) {
+      scratch.emplace_back(request.group, 0);
+      sum = &scratch.back().second;
+    }
+    *sum += request.expected_cost.count_nanos();
   }
-  collapse_group_costs(scratch);
   std::int64_t bottleneck = 0;
   for (const auto& [group, cost] : scratch) bottleneck = std::max(bottleneck, cost);
   plan.bottleneck_cost = sim::Duration::nanos(bottleneck);

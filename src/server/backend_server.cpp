@@ -30,15 +30,49 @@ BackendServer::BackendServer(sim::Simulator& sim, Config config,
   // average-sized (1-byte baseline) request. Refined on first completion.
   const double expected_ns = static_cast<double>(service_model_->expected(1).count_nanos());
   ewma_rate_ = expected_ns > 0 ? 1e9 / expected_ns * config_.cores : 1.0;
+  // Resolve the concrete model type once; a noise-free linear model is
+  // a pure function of size, so every start_service draw collapses to
+  // one inline multiply-add (no model math, no RNG).
+  linear_model_ = dynamic_cast<const SizeLinearServiceModel*>(service_model_);
+  if (linear_model_ != nullptr && linear_model_->noise_sigma() == 0.0) {
+    linear_deterministic_ = linear_model_;
+    linear_base_nanos_ = linear_model_->base().count_nanos();
+    linear_per_byte_ = linear_model_->per_byte_nanos();
+  }
 }
 
 PrivateQueueSource& BackendServer::use_private_queue(
     std::unique_ptr<QueueDiscipline> discipline) {
+  // Plain FIFO (the dominant baseline configuration) is served from a
+  // flat ring buffer instead of the virtual discipline round-trip; the
+  // discipline object stays installed only as the mode marker.
+  fifo_ring_ = discipline->name() == "fifo";
   owned_source_ = std::make_unique<PrivateQueueSource>(std::move(discipline));
   private_source_ = owned_source_.get();
   source_ = owned_source_.get();
   private_queue_len_ = 0;
+  ring_head_ = 0;
+  ring_tail_ = 0;
+  if (fifo_ring_ && ring_.empty()) {
+    ring_.resize(64);
+    ring_mask_ = ring_.size() - 1;
+  }
   return *owned_source_;
+}
+
+void BackendServer::ring_grow() {
+  // Double the power-of-two capacity, unrolling the occupied window to
+  // the front of the new buffer in FIFO order.
+  std::vector<QueuedRead> bigger(ring_.size() * 2);
+  const std::uint64_t count = ring_tail_ - ring_head_;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bigger[static_cast<std::size_t>(i)] =
+        std::move(ring_[static_cast<std::size_t>(ring_head_ + i) & ring_mask_]);
+  }
+  ring_ = std::move(bigger);
+  ring_mask_ = ring_.size() - 1;
+  ring_head_ = 0;
+  ring_tail_ = count;
 }
 
 void BackendServer::receive(const store::ReadRequest& request) {
@@ -51,7 +85,11 @@ void BackendServer::receive(const store::ReadRequest& request) {
     start_service(QueuedRead{request, now()});
     return;
   }
-  private_source_->enqueue(QueuedRead{request, now()});
+  if (fifo_ring_) {
+    ring_push(QueuedRead{request, now()});
+  } else {
+    private_source_->enqueue(QueuedRead{request, now()});
+  }
   ++private_queue_len_;
   stats_.max_queue_seen = std::max<std::uint64_t>(stats_.max_queue_seen, private_queue_len_);
   pump();
@@ -61,7 +99,14 @@ void BackendServer::receive(const store::ReadRequest& request) {
 void BackendServer::pump() {
   if (source_ == nullptr) throw std::logic_error("BackendServer::pump: no work source");
   bool pulled = false;
-  if (private_source_ != nullptr) {
+  if (fifo_ring_) {
+    // Ring fast path: straight-line pop, no optional, no virtual call.
+    while (busy_cores_ < config_.cores && !ring_empty()) {
+      pulled = true;
+      --private_queue_len_;
+      start_service(ring_pop());
+    }
+  } else if (private_source_ != nullptr) {
     // Devirtualized fast path for the private-queue configuration.
     while (busy_cores_ < config_.cores) {
       auto read = private_source_->next_for(config_.id);
@@ -95,7 +140,7 @@ void BackendServer::start_service(QueuedRead read) {
   const std::uint32_t size = read.request.is_write
                                  ? std::max(1u, read.request.write_size)
                                  : storage_.size_of(read.request.key).value_or(1);
-  const sim::Duration service_time = service_model_->sample(size, rng_);
+  const sim::Duration service_time = draw_service_time(size);
   const sim::Time done_at = now() + service_time;
   const std::uint32_t write_size_plus1 =
       read.request.is_write ? std::max(1u, read.request.write_size) + 1 : 0;

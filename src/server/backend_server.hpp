@@ -135,6 +135,31 @@ class BackendServer : public sim::Actor {
 
  private:
   void start_service(QueuedRead read);
+  /// Service-time draw with the virtual dispatch peeled off: a direct
+  /// call for SizeLinearServiceModel; when it is noise-free the draw
+  /// collapses to one inline multiply-add (no model math, no RNG, no
+  /// per-server state — which matters at mega-fleet server counts).
+  /// Falls back to the virtual sample() for other models.
+  /// Draw-for-draw identical to `service_model_->sample(size, rng_)`.
+  sim::Duration draw_service_time(std::uint32_t size) {
+    if (linear_deterministic_ != nullptr) {
+      return sim::Duration::nanos(
+          linear_base_nanos_ +
+          static_cast<std::int64_t>(linear_per_byte_ * static_cast<double>(size)));
+    }
+    if (linear_model_ != nullptr) return linear_model_->sample(size, rng_);
+    return service_model_->sample(size, rng_);
+  }
+  /// FIFO ring helpers (active iff the private discipline is "fifo").
+  void ring_push(QueuedRead&& read) {
+    if (ring_tail_ - ring_head_ == ring_.size()) ring_grow();
+    ring_[static_cast<std::size_t>(ring_tail_++) & ring_mask_] = std::move(read);
+  }
+  QueuedRead ring_pop() {
+    return std::move(ring_[static_cast<std::size_t>(ring_head_++) & ring_mask_]);
+  }
+  bool ring_empty() const noexcept { return ring_head_ == ring_tail_; }
+  void ring_grow();
   /// Completion takes only the response-relevant request fields — the
   /// scheduled closure stays small enough for the event queue's inline
   /// callback storage instead of copying the whole QueuedRead.
@@ -154,9 +179,24 @@ class BackendServer : public sim::Actor {
 
   Config config_;
   const ServiceTimeModel* service_model_;
+  /// Devirtualized alias (null unless the model is SizeLinearServiceModel).
+  const SizeLinearServiceModel* linear_model_ = nullptr;
+  /// Set iff `linear_model_` is noise-free: service times are then a
+  /// pure function of size, served from the memo table with no RNG.
+  const SizeLinearServiceModel* linear_deterministic_ = nullptr;
+  std::int64_t linear_base_nanos_ = 0;
+  double linear_per_byte_ = 0.0;
   util::Rng rng_;
   WorkSource* source_ = nullptr;
   PrivateQueueSource* private_source_ = nullptr;  // set iff source is private
+  /// Fixed-capacity (growable, power-of-two) FIFO ring bypassing the
+  /// virtual QueueDiscipline push/pop when the private discipline is
+  /// plain FIFO. Pop order matches FifoDiscipline's deque exactly.
+  bool fifo_ring_ = false;
+  std::vector<QueuedRead> ring_;
+  std::size_t ring_mask_ = 0;
+  std::uint64_t ring_head_ = 0;  // pop side
+  std::uint64_t ring_tail_ = 0;  // push side
   ResponseHandler on_response_;
   ServiceFilterFn service_filter_;
   QueueWatchFn queue_watch_;

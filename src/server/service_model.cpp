@@ -39,19 +39,6 @@ SizeLinearServiceModel SizeLinearServiceModel::calibrate(double target_rate_per_
   return SizeLinearServiceModel(base, size_budget_ns / mean_size_bytes, noise_sigma);
 }
 
-sim::Duration SizeLinearServiceModel::expected(std::uint32_t size) const {
-  return base_ + sim::Duration::nanos(
-                     static_cast<std::int64_t>(per_byte_nanos_ * static_cast<double>(size)));
-}
-
-sim::Duration SizeLinearServiceModel::sample(std::uint32_t size, util::Rng& rng) const {
-  const sim::Duration mean = expected(size);
-  if (noise_sigma_ == 0.0) return mean;
-  const double factor = rng.lognormal(noise_mu_, noise_sigma_);
-  const auto nanos = static_cast<std::int64_t>(static_cast<double>(mean.count_nanos()) * factor);
-  return sim::Duration::nanos(nanos > 0 ? nanos : 1);
-}
-
 ExponentialServiceModel::ExponentialServiceModel(sim::Duration mean) : mean_(mean) {
   if (mean_ <= sim::Duration::zero()) {
     throw std::invalid_argument("ExponentialServiceModel: mean must be positive");

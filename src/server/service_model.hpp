@@ -45,8 +45,17 @@ class SizeLinearServiceModel final : public ServiceTimeModel {
                                           sim::Duration base = sim::Duration::micros(50),
                                           double noise_sigma = 0.0);
 
-  sim::Duration sample(std::uint32_t size, util::Rng& rng) const override;
-  sim::Duration expected(std::uint32_t size) const override;
+  sim::Duration sample(std::uint32_t size, util::Rng& rng) const override {
+    const sim::Duration mean = expected(size);
+    if (noise_sigma_ == 0.0) return mean;
+    const double factor = rng.lognormal(noise_mu_, noise_sigma_);
+    const auto nanos = static_cast<std::int64_t>(static_cast<double>(mean.count_nanos()) * factor);
+    return sim::Duration::nanos(nanos > 0 ? nanos : 1);
+  }
+  sim::Duration expected(std::uint32_t size) const override {
+    return base_ + sim::Duration::nanos(
+                       static_cast<std::int64_t>(per_byte_nanos_ * static_cast<double>(size)));
+  }
   std::string name() const override { return "size-linear"; }
 
   sim::Duration base() const noexcept { return base_; }

@@ -139,6 +139,7 @@ class SmallFn {
   };
 
   static Pool& pool() noexcept {
+    // brblint:allow(BRB-D02): allocation cache only — every node is fully constructed before any read
     thread_local Pool instance;
     return instance;
   }

@@ -5,14 +5,6 @@
 
 namespace brb::store {
 
-std::uint64_t hash_key(KeyId key) noexcept {
-  // SplitMix64 finalizer: cheap, well-mixed, deterministic everywhere.
-  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 RingPartitioner::RingPartitioner(std::uint32_t num_servers, std::uint32_t replication_factor)
     : num_servers_(num_servers), replication_(replication_factor) {
   if (num_servers_ == 0) throw std::invalid_argument("RingPartitioner: no servers");

@@ -19,7 +19,13 @@ namespace brb::store {
 
 /// Deterministic 64-bit key hash (SplitMix64 finalizer) used by every
 /// partitioner so placement is stable across runs and platforms.
-std::uint64_t hash_key(KeyId key) noexcept;
+/// Inline: sits inside the Zipf key-scramble on the workload hot path.
+inline std::uint64_t hash_key(KeyId key) noexcept {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// Maps keys to replica groups and groups to server sets.
 class Partitioner {

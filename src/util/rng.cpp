@@ -6,32 +6,12 @@
 
 namespace brb::util {
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
   SplitMix64 mixer(seed);
   for (auto& word : s_) word = mixer.next();
   // An all-zero state is the one invalid state; SplitMix64 cannot emit
   // four consecutive zeros, but guard anyway for defence in depth.
   if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
-}
-
-std::uint64_t Xoshiro256StarStar::next() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256StarStar::long_jump() noexcept {
@@ -54,96 +34,6 @@ Rng Rng::split() noexcept {
   const std::uint64_t child_seed = gen_.next();
   gen_.long_jump();
   return Rng(child_seed);
-}
-
-double Rng::uniform() noexcept {
-  // 53 uniform mantissa bits -> double in [0, 1).
-  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
-  return lo + (hi - lo) * uniform();
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
-  // Width computed in unsigned arithmetic: hi - lo can overflow int64
-  // (full-span requests), which is well-defined only for unsigned.
-  const std::uint64_t range =
-      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
-  if (range == 0) return static_cast<std::int64_t>(gen_.next());  // full span
-  return lo + static_cast<std::int64_t>(uniform_u64_below(range));
-}
-
-std::uint64_t Rng::uniform_u64_below(std::uint64_t bound) {
-  if (bound == 0) throw std::invalid_argument("Rng::uniform_u64_below: bound == 0");
-  // Classic rejection sampling: discard the partial block at the top of
-  // the 64-bit space so every residue is equally likely.
-  const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
-  for (;;) {
-    const std::uint64_t r = gen_.next();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-bool Rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
-}
-
-double Rng::exponential(double mean) {
-  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean <= 0");
-  double u = uniform();
-  // uniform() can return exactly 0; log(0) is -inf, so nudge.
-  if (u <= 0.0) u = std::numeric_limits<double>::min();
-  return -mean * std::log(u);
-}
-
-double Rng::normal(double mu, double sigma) {
-  double u1 = uniform();
-  if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  constexpr double kTwoPi = 6.283185307179586476925286766559;
-  return mu + sigma * radius * std::cos(kTwoPi * u2);
-}
-
-double Rng::lognormal(double mu, double sigma) {
-  return std::exp(normal(mu, sigma));
-}
-
-double Rng::pareto(double shape, double scale) {
-  if (shape <= 0.0 || scale <= 0.0) {
-    throw std::invalid_argument("Rng::pareto: shape and scale must be > 0");
-  }
-  double u = uniform();
-  if (u <= 0.0) u = std::numeric_limits<double>::min();
-  return scale / std::pow(u, 1.0 / shape);
-}
-
-double Rng::generalized_pareto(double shape, double scale, double location) {
-  if (scale <= 0.0) {
-    throw std::invalid_argument("Rng::generalized_pareto: scale must be > 0");
-  }
-  double u = uniform();
-  if (u <= 0.0) u = std::numeric_limits<double>::min();
-  if (std::abs(shape) < 1e-12) {
-    return location - scale * std::log(u);
-  }
-  return location + scale * (std::pow(u, -shape) - 1.0) / shape;
-}
-
-double Rng::bounded_pareto(double shape, double lo, double hi) {
-  if (shape <= 0.0 || lo <= 0.0 || lo >= hi) {
-    throw std::invalid_argument("Rng::bounded_pareto: need shape > 0, 0 < lo < hi");
-  }
-  const double u = uniform();
-  const double lo_a = std::pow(lo, shape);
-  const double hi_a = std::pow(hi, shape);
-  // Inverse CDF of the truncated Pareto.
-  return std::pow(-(u * hi_a - u * lo_a - hi_a) / (hi_a * lo_a), -1.0 / shape);
 }
 
 std::int64_t Rng::poisson(double mean) {
@@ -194,31 +84,6 @@ ZipfDistribution::ZipfDistribution(double exponent, std::uint64_t num_elements)
   h_x1_ = h(1.5) - 1.0;
   h_n_ = h(static_cast<double>(n_) + 0.5);
   cut_ = 1.0 - h_inv(h(2.5) - std::pow(2.0, -s_));
-}
-
-double ZipfDistribution::h(double x) const {
-  // Integral of x^-s: primitive H(x); special-cased at s == 1 (log).
-  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
-  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
-}
-
-double ZipfDistribution::h_inv(double x) const {
-  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
-  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
-}
-
-std::uint64_t ZipfDistribution::sample(Rng& rng) const {
-  if (n_ == 1) return 1;
-  for (;;) {
-    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
-    const double x = h_inv(u);
-    auto k = static_cast<std::uint64_t>(x + 0.5);
-    k = std::clamp<std::uint64_t>(k, 1, n_);
-    if (static_cast<double>(k) - x <= cut_) return k;
-    if (u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
-      return k;
-    }
-  }
 }
 
 }  // namespace brb::util

@@ -10,6 +10,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -39,13 +40,27 @@ class Xoshiro256StarStar {
  public:
   explicit Xoshiro256StarStar(std::uint64_t seed) noexcept;
 
-  std::uint64_t next() noexcept;
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Advances the state by 2^128 steps; used to derive non-overlapping
   /// sub-streams from one seed.
   void long_jump() noexcept;
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
 };
 
@@ -65,43 +80,113 @@ class Rng {
   /// Raw 64 uniform bits.
   std::uint64_t next_u64() noexcept { return gen_.next(); }
 
+  // The samplers on the workload hot path (uniform, uniform_int,
+  // exponential, bernoulli) are defined inline so batched generation
+  // loops compile to straight-line code without a call per draw.
+
   /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  double uniform() noexcept {
+    // 53 uniform mantissa bits -> double in [0, 1).
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Requires lo <= hi.
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    // Width computed in unsigned arithmetic: hi - lo can overflow int64
+    // (full-span requests), which is well-defined only for unsigned.
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(gen_.next());  // full span
+    return lo + static_cast<std::int64_t>(uniform_u64_below(range));
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0. Covers the full
   /// uint64 range, unlike `uniform_int` whose bounds are int64 — use
   /// this for counters that may exceed 2^63 (e.g. reservoir sampling).
-  std::uint64_t uniform_u64_below(std::uint64_t bound);
+  std::uint64_t uniform_u64_below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::uniform_u64_below: bound == 0");
+    // Classic rejection sampling: discard the partial block at the top of
+    // the 64-bit space so every residue is equally likely.
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = gen_.next();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   /// True with probability p (clamped to [0, 1]).
-  bool bernoulli(double p) noexcept;
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Exponential with the given mean (= 1/rate). Requires mean > 0.
-  double exponential(double mean);
+  double exponential(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+    double u = uniform();
+    // uniform() can return exactly 0; log(0) is -inf, so nudge.
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return -mean * std::log(u);
+  }
 
   /// Standard normal via Box-Muller (no cached spare: stateless).
-  double normal(double mu, double sigma);
+  double normal(double mu, double sigma) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return mu + sigma * radius * std::cos(kTwoPi * u2);
+  }
 
   /// Log-normal: exp(N(mu, sigma)).
-  double lognormal(double mu, double sigma);
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
 
   /// Classic Pareto (Type I): support [scale, inf), P(X > x) = (scale/x)^shape.
   /// Requires shape > 0, scale > 0.
-  double pareto(double shape, double scale);
+  double pareto(double shape, double scale) {
+    if (shape <= 0.0 || scale <= 0.0) {
+      throw std::invalid_argument("Rng::pareto: shape and scale must be > 0");
+    }
+    double u = uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return scale / std::pow(u, 1.0 / shape);
+  }
 
   /// Generalized Pareto: location + scale * ((1-u)^(-shape) - 1) / shape.
   /// shape == 0 degenerates to the (shifted) exponential. Requires scale > 0.
-  double generalized_pareto(double shape, double scale, double location);
+  double generalized_pareto(double shape, double scale, double location) {
+    if (scale <= 0.0) {
+      throw std::invalid_argument("Rng::generalized_pareto: scale must be > 0");
+    }
+    double u = uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    if (std::abs(shape) < 1e-12) {
+      return location - scale * std::log(u);
+    }
+    return location + scale * (std::pow(u, -shape) - 1.0) / shape;
+  }
 
   /// Pareto truncated to [lo, hi] by inverse-CDF restriction (not
   /// rejection), so the cost is a single draw. Requires 0 < lo < hi.
-  double bounded_pareto(double shape, double lo, double hi);
+  double bounded_pareto(double shape, double lo, double hi) {
+    if (shape <= 0.0 || lo <= 0.0 || lo >= hi) {
+      throw std::invalid_argument("Rng::bounded_pareto: need shape > 0, 0 < lo < hi");
+    }
+    const double u = uniform();
+    const double lo_a = std::pow(lo, shape);
+    const double hi_a = std::pow(hi, shape);
+    // Inverse CDF of the truncated Pareto.
+    return std::pow(-(u * hi_a - u * lo_a - hi_a) / (hi_a * lo_a), -1.0 / shape);
+  }
 
   /// Poisson-distributed count with the given mean. Knuth's product
   /// method for small means, PTRS-style normal-based rejection cutover
@@ -134,15 +219,36 @@ class ZipfDistribution {
  public:
   ZipfDistribution(double exponent, std::uint64_t num_elements);
 
-  /// Draws a rank in [1, num_elements].
-  std::uint64_t sample(Rng& rng) const;
+  /// Draws a rank in [1, num_elements]. Defined inline: Zipf key draws
+  /// dominate workload generation, and the rejection loop usually
+  /// accepts on the first candidate.
+  std::uint64_t sample(Rng& rng) const {
+    if (n_ == 1) return 1;
+    for (;;) {
+      const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+      const double x = h_inv(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      k = k < 1 ? 1 : (k > n_ ? n_ : k);
+      if (static_cast<double>(k) - x <= cut_) return k;
+      if (u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+        return k;
+      }
+    }
+  }
 
   double exponent() const noexcept { return s_; }
   std::uint64_t num_elements() const noexcept { return n_; }
 
  private:
-  double h(double x) const;
-  double h_inv(double x) const;
+  double h(double x) const {
+    // Integral of x^-s: primitive H(x); special-cased at s == 1 (log).
+    if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  double h_inv(double x) const {
+    if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
 
   double s_ = 0.0;
   std::uint64_t n_ = 0;

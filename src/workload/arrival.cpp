@@ -10,12 +10,6 @@ PoissonArrivals::PoissonArrivals(double rate_per_sec) : rate_(rate_per_sec) {
   if (rate_ <= 0.0) throw std::invalid_argument("PoissonArrivals: rate <= 0");
 }
 
-sim::Duration PoissonArrivals::next_gap(util::Rng& rng) {
-  const double gap_seconds = rng.exponential(1.0 / rate_);
-  // Never zero: preserves strict event ordering between arrivals.
-  return std::max(sim::Duration::nanos(1), sim::Duration::seconds(gap_seconds));
-}
-
 PacedArrivals::PacedArrivals(double rate_per_sec) : rate_(rate_per_sec) {
   if (rate_ <= 0.0) throw std::invalid_argument("PacedArrivals: rate <= 0");
   gap_ = std::max(sim::Duration::nanos(1), sim::Duration::seconds(1.0 / rate_));

@@ -17,15 +17,6 @@ GeometricFanout::GeometricFanout(double mean) : mean_(mean) {
   p_ = 1.0 / mean_;
 }
 
-std::uint32_t GeometricFanout::sample(util::Rng& rng) const {
-  if (p_ >= 1.0) return 1;
-  double u = rng.uniform();
-  if (u <= 0.0) u = 1e-300;
-  const double g = std::floor(std::log(u) / std::log(1.0 - p_));
-  const double value = 1.0 + std::max(0.0, g);
-  return value > 4096.0 ? 4096u : static_cast<std::uint32_t>(value);
-}
-
 LogNormalFanout::LogNormalFanout(double mu, double sigma, std::uint32_t cap)
     : mu_(mu), sigma_(sigma), cap_(cap) {
   if (sigma_ <= 0.0) throw std::invalid_argument("LogNormalFanout: sigma <= 0");
@@ -64,13 +55,6 @@ LogNormalFanout LogNormalFanout::for_mean(double target_mean, double sigma, std:
     }
   }
   return LogNormalFanout(0.5 * (lo + hi), sigma, cap);
-}
-
-std::uint32_t LogNormalFanout::sample(util::Rng& rng) const {
-  const double v = std::round(rng.lognormal(mu_, sigma_));
-  if (v < 1.0) return 1;
-  if (v > static_cast<double>(cap_)) return cap_;
-  return static_cast<std::uint32_t>(v);
 }
 
 EmpiricalFanout::EmpiricalFanout(std::vector<double> weights) {

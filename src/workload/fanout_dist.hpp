@@ -8,6 +8,7 @@
 // empirical table for replaying measured histograms.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -25,6 +26,13 @@ class FanoutDistribution {
   /// Number of requests in one task; always >= 1.
   virtual std::uint32_t sample(util::Rng& rng) const = 0;
 
+  /// Fills `out[0..n)` with `n` fan-outs, consuming the RNG stream
+  /// exactly as `n` successive `sample()` calls would (draw-for-draw
+  /// identity). Hot implementations override with a devirtualized loop.
+  virtual void sample_batch(util::Rng& rng, std::uint32_t* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sample(rng);
+  }
+
   /// Mean fan-out (analytic or numerically derived at construction).
   virtual double mean() const = 0;
 
@@ -37,8 +45,14 @@ class FixedFanout final : public FanoutDistribution {
   explicit FixedFanout(std::uint32_t n);
 
   std::uint32_t sample(util::Rng&) const override { return n_; }
+  void sample_batch(util::Rng&, std::uint32_t* out, std::size_t n) const override {
+    std::fill_n(out, n, n_);
+  }
   double mean() const override { return static_cast<double>(n_); }
   std::string name() const override { return "fixed"; }
+
+  /// Fixed fan-out value, for devirtualized callers.
+  std::uint32_t value() const noexcept { return n_; }
 
  private:
   std::uint32_t n_;
@@ -50,9 +64,22 @@ class GeometricFanout final : public FanoutDistribution {
   /// Constructs with the target mean (>= 1).
   explicit GeometricFanout(double mean);
 
-  std::uint32_t sample(util::Rng& rng) const override;
+  std::uint32_t sample(util::Rng& rng) const override { return sample_inline(rng); }
+  void sample_batch(util::Rng& rng, std::uint32_t* out, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sample_inline(rng);
+  }
   double mean() const override { return mean_; }
   std::string name() const override { return "geometric"; }
+
+  /// Non-virtual sampler for devirtualized callers (TaskGenerator).
+  std::uint32_t sample_inline(util::Rng& rng) const {
+    if (p_ >= 1.0) return 1;
+    double u = rng.uniform();
+    if (u <= 0.0) u = 1e-300;
+    const double g = std::floor(std::log(u) / std::log(1.0 - p_));
+    const double value = 1.0 + std::max(0.0, g);
+    return value > 4096.0 ? 4096u : static_cast<std::uint32_t>(value);
+  }
 
  private:
   double mean_;
@@ -70,9 +97,20 @@ class LogNormalFanout final : public FanoutDistribution {
   static LogNormalFanout for_mean(double target_mean, double sigma = 0.8,
                                   std::uint32_t cap = 1024);
 
-  std::uint32_t sample(util::Rng& rng) const override;
+  std::uint32_t sample(util::Rng& rng) const override { return sample_inline(rng); }
+  void sample_batch(util::Rng& rng, std::uint32_t* out, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sample_inline(rng);
+  }
   double mean() const override { return mean_; }
   std::string name() const override { return "lognormal"; }
+
+  /// Non-virtual sampler for devirtualized callers (TaskGenerator).
+  std::uint32_t sample_inline(util::Rng& rng) const {
+    const double v = std::round(rng.lognormal(mu_, sigma_));
+    if (v < 1.0) return 1;
+    if (v > static_cast<double>(cap_)) return cap_;
+    return static_cast<std::uint32_t>(v);
+  }
 
   double mu() const noexcept { return mu_; }
   double sigma() const noexcept { return sigma_; }

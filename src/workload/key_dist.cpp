@@ -12,20 +12,9 @@ UniformKeys::UniformKeys(std::uint64_t num_keys) : n_(num_keys) {
   if (n_ == 0) throw std::invalid_argument("UniformKeys: num_keys == 0");
 }
 
-store::KeyId UniformKeys::sample(util::Rng& rng) const {
-  return static_cast<store::KeyId>(
-      rng.uniform_int(0, static_cast<std::int64_t>(n_) - 1));
-}
-
 ZipfKeys::ZipfKeys(std::uint64_t num_keys, double exponent)
     : n_(num_keys), zipf_(exponent, num_keys) {
   if (n_ == 0) throw std::invalid_argument("ZipfKeys: num_keys == 0");
-}
-
-store::KeyId ZipfKeys::sample(util::Rng& rng) const {
-  const std::uint64_t rank = zipf_.sample(rng);  // 1-based
-  // Scramble so popularity is uncorrelated with partition placement.
-  return store::hash_key(rank - 1) % n_;
 }
 
 std::unique_ptr<KeyDistribution> make_key_distribution(const std::string& spec) {

@@ -45,10 +45,6 @@ GeneralizedParetoSizeDist::GeneralizedParetoSizeDist(double location, double sca
   mean_ = truncated_mean(quantile, cap_);
 }
 
-std::uint32_t GeneralizedParetoSizeDist::sample(util::Rng& rng) const {
-  return clamp_size(rng.generalized_pareto(shape_, scale_, location_), cap_);
-}
-
 double GeneralizedParetoSizeDist::mean() const { return mean_; }
 
 FixedSizeDist::FixedSizeDist(std::uint32_t size) : size_(size) {

@@ -40,4 +40,66 @@ struct TaskSpec {
   }
 };
 
+/// Borrowed, non-owning view of one task inside a TaskBlock. The
+/// request span points into the block's slab, so a view is valid only
+/// until the owning block is cleared or refilled.
+struct TaskView {
+  store::TaskId id = 0;
+  store::ClientId client = 0;
+  store::TenantId tenant{};
+  sim::Time arrival;
+  const RequestSpec* requests = nullptr;
+  std::uint32_t fanout = 0;
+
+  bool is_write_task() const noexcept { return fanout > 0 && requests[0].is_write; }
+
+  /// Deep copy into an owning TaskSpec (trace materialization, tests).
+  TaskSpec to_spec() const {
+    TaskSpec spec;
+    spec.id = id;
+    spec.client = client;
+    spec.tenant = tenant;
+    spec.arrival = arrival;
+    spec.requests.assign(requests, requests + fanout);
+    return spec;
+  }
+};
+
+/// Structure-of-arrays block of generated tasks. Every request of every
+/// task lives in one flat `pool` slab; `req_begin` holds the n+1 prefix
+/// offsets delimiting each task's span. All vectors keep their capacity
+/// across `clear()`, so steady-state refills allocate nothing.
+struct TaskBlock {
+  std::vector<store::TaskId> ids;
+  std::vector<store::ClientId> clients;
+  std::vector<store::TenantId> tenants;
+  std::vector<sim::Time> arrivals;
+  std::vector<std::uint32_t> req_begin;  // size() + 1 entries once non-empty
+  std::vector<RequestSpec> pool;         // slab shared by all tasks in the block
+
+  std::size_t size() const noexcept { return ids.size(); }
+  bool empty() const noexcept { return ids.empty(); }
+
+  void clear() {
+    ids.clear();
+    clients.clear();
+    tenants.clear();
+    arrivals.clear();
+    req_begin.clear();
+    req_begin.push_back(0);
+    pool.clear();
+  }
+
+  TaskView view(std::size_t i) const {
+    TaskView v;
+    v.id = ids[i];
+    v.client = clients[i];
+    v.tenant = tenants[i];
+    v.arrival = arrivals[i];
+    v.requests = pool.data() + req_begin[i];
+    v.fanout = req_begin[i + 1] - req_begin[i];
+    return v;
+  }
+};
+
 }  // namespace brb::workload

@@ -9,13 +9,12 @@ namespace brb::workload {
 
 Dataset::Dataset(std::uint64_t num_keys, const SizeDistribution& sizes, util::Rng rng) {
   if (num_keys == 0) throw std::invalid_argument("Dataset: num_keys == 0");
-  sizes_.reserve(num_keys);
+  // One batched call draws the whole keyspace; the per-key draw order
+  // is identical to the scalar loop it replaced.
+  sizes_.resize(num_keys);
+  sizes.sample_batch(rng, sizes_.data(), num_keys);
   double acc = 0.0;
-  for (std::uint64_t k = 0; k < num_keys; ++k) {
-    const std::uint32_t size = sizes.sample(rng);
-    sizes_.push_back(size);
-    acc += size;
-  }
+  for (const std::uint32_t size : sizes_) acc += size;
   mean_size_ = acc / static_cast<double>(num_keys);
 }
 
@@ -106,6 +105,14 @@ TaskGenerator::TaskGenerator(Config config, const Dataset& dataset, const KeyDis
     throw std::invalid_argument("TaskGenerator: key distribution exceeds dataset keyspace");
   }
   if (!arrivals_) throw std::invalid_argument("TaskGenerator: null arrival process");
+  // Resolve the hot concrete types once so the per-task draws below are
+  // direct (often inlined) calls instead of virtual dispatches.
+  poisson_arrivals_ = dynamic_cast<const PoissonArrivals*>(arrivals_.get());
+  paced_arrivals_ = dynamic_cast<const PacedArrivals*>(arrivals_.get());
+  fixed_fanout_ = dynamic_cast<const FixedFanout*>(fanout_);
+  geometric_fanout_ = dynamic_cast<const GeometricFanout*>(fanout_);
+  lognormal_fanout_ = dynamic_cast<const LogNormalFanout*>(fanout_);
+  scratch_block_.clear();
 }
 
 void TaskGenerator::set_write_traffic(double fraction, const SizeDistribution* sizes) {
@@ -186,13 +193,18 @@ std::vector<std::uint32_t> tenant_client_blocks(const std::vector<TenantMix>& te
     assigned += whole;
     fractional[i] = ideal - std::floor(ideal);
   }
-  for (std::uint32_t left = spare - assigned; left > 0; --left) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < n; ++i) {
-      if (fractional[i] > fractional[best]) best = i;
-    }
-    ++counts[best];
-    fractional[best] = -1.0;
+  // Hand the leftover slots to the largest fractional parts. Sorting
+  // once by (fractional desc, index asc) replaces the old O(n * spare)
+  // repeated-argmax rescan and awards slots in the identical order: the
+  // argmax used strict '>', so ties also resolved to the lowest index.
+  const std::uint32_t left = spare - assigned;
+  if (left > 0) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return fractional[a] > fractional[b];
+    });
+    for (std::uint32_t i = 0; i < left; ++i) ++counts[order[i]];
   }
 
   std::vector<std::uint32_t> begin(n + 1, 0);
@@ -205,100 +217,158 @@ std::pair<std::uint32_t, std::uint32_t> TaskGenerator::tenant_clients(std::size_
   return {tenant_client_begin_[i], tenant_client_begin_[i + 1]};
 }
 
-void TaskGenerator::fill_requests(TaskSpec& task, const KeyDistribution& keys, bool is_write) {
-  std::uint32_t fanout = (!tenants_.empty() && tenants_[task.tenant.value()].fanout)
-                             ? tenants_[task.tenant.value()].fanout->sample(rng_)
-                             : fanout_->sample(rng_);
-  // A task cannot request more distinct keys than the keyspace holds.
-  if (config_.distinct_keys && fanout > keys.num_keys()) {
-    fanout = static_cast<std::uint32_t>(keys.num_keys());
-  }
-  task.requests.reserve(fanout);
-  const auto push = [&](store::KeyId key) {
-    RequestSpec spec;
-    spec.key = key;
-    spec.is_write = is_write;
-    // A write's size hint is the size being written (drawn fresh);
-    // a read's is the current stored size.
-    spec.size_hint = is_write ? std::max(1u, write_sizes_->sample(rng_)) : dataset_->size_of(key);
-    task.requests.push_back(spec);
+sim::Duration TaskGenerator::draw_gap() {
+  if (poisson_arrivals_ != nullptr) return poisson_arrivals_->gap_inline(rng_);
+  if (paced_arrivals_ != nullptr) return paced_arrivals_->gap();
+  return arrivals_->next_gap(rng_);
+}
+
+std::uint32_t TaskGenerator::draw_fanout(const TenantMix* tenant) {
+  if (tenant != nullptr && tenant->fanout) return tenant->fanout->sample(rng_);
+  if (fixed_fanout_ != nullptr) return fixed_fanout_->value();
+  if (geometric_fanout_ != nullptr) return geometric_fanout_->sample_inline(rng_);
+  if (lognormal_fanout_ != nullptr) return lognormal_fanout_->sample_inline(rng_);
+  return fanout_->sample(rng_);
+}
+
+void TaskGenerator::append_requests(TaskBlock& block, const KeyDistribution& keys, bool is_write,
+                                    std::uint32_t fanout) {
+  std::vector<RequestSpec>& pool = block.pool;
+  const auto push_read = [&](store::KeyId key) {
+    // A read's size hint is the current stored size (no RNG consumed).
+    pool.push_back(RequestSpec{key, dataset_->size_of(key), false});
   };
-  if (config_.distinct_keys) {
-    // Sorted-vector membership: insertion keeps the scratch ordered so
-    // the dedup check is a binary search. Requests are still emitted in
-    // sample order (the RNG stream and the generated task are
-    // byte-identical to the old hash-set dedup — pinned by
-    // workload_test's DistinctKeyStreamIsPinned).
-    std::vector<store::KeyId>& chosen = chosen_scratch_;
-    chosen.clear();
-    chosen.reserve(fanout);
-    const auto try_insert = [&chosen](store::KeyId key) {
-      const auto it = std::lower_bound(chosen.begin(), chosen.end(), key);
-      if (it != chosen.end() && *it == key) return false;
-      chosen.insert(it, key);
-      return true;
-    };
-    // The popularity distribution may not reach every key (scrambled
-    // Zipf can collide), so bound the rejection loop and fill any
-    // remainder by deterministic scan — only reachable in tests with
-    // tiny keyspaces.
-    std::uint64_t attempts = 0;
-    const std::uint64_t max_attempts = 64ULL * fanout + 256;
-    while (chosen.size() < fanout && attempts++ < max_attempts) {
-      const store::KeyId key = keys.sample(rng_);
-      if (try_insert(key)) push(key);
+  const auto push_write = [&](store::KeyId key) {
+    // A write's size hint is the size being written (drawn fresh).
+    pool.push_back(RequestSpec{key, std::max(1u, write_sizes_->sample(rng_)), true});
+  };
+
+  if (!config_.distinct_keys) {
+    if (is_write) {
+      // Key and size draws interleave per request: keep the scalar order.
+      for (std::uint32_t i = 0; i < fanout; ++i) push_write(keys.sample(rng_));
+    } else {
+      // Reads consume only key draws, all consecutive: one batched call.
+      key_batch_.resize(fanout);
+      keys.sample_batch(rng_, key_batch_.data(), fanout);
+      for (std::uint32_t i = 0; i < fanout; ++i) push_read(key_batch_[i]);
     }
-    for (store::KeyId key = 0; chosen.size() < fanout && key < keys.num_keys(); ++key) {
-      if (try_insert(key)) push(key);
+    return;
+  }
+
+  // Distinct keys. Sorted-vector membership: insertion keeps the
+  // scratch ordered so the dedup check is a binary search. Requests are
+  // emitted in sample order; the RNG stream and the generated task are
+  // byte-identical to the scalar rejection loop (pinned by
+  // workload_test's DistinctKeyStreamIsPinned).
+  std::vector<store::KeyId>& chosen = chosen_scratch_;
+  chosen.clear();
+  chosen.reserve(fanout);
+  const auto try_insert = [&chosen](store::KeyId key) {
+    const auto it = std::lower_bound(chosen.begin(), chosen.end(), key);
+    if (it != chosen.end() && *it == key) return false;
+    chosen.insert(it, key);
+    return true;
+  };
+  // The popularity distribution may not reach every key (scrambled
+  // Zipf can collide), so bound the rejection loop and fill any
+  // remainder by deterministic scan — only reachable in tests with
+  // tiny keyspaces.
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64ULL * fanout + 256;
+  if (!is_write && fanout > 0) {
+    // The rejection loop below consumes one key draw per iteration and
+    // needs `fanout` acceptances, so its first `fanout` draws are
+    // always consumed — pre-draw exactly those in one batched call.
+    key_batch_.resize(fanout);
+    keys.sample_batch(rng_, key_batch_.data(), fanout);
+    for (std::uint32_t i = 0; i < fanout; ++i, ++attempts) {
+      const store::KeyId key = key_batch_[i];
+      if (try_insert(key)) push_read(key);
     }
-  } else {
-    for (std::uint32_t i = 0; i < fanout; ++i) push(keys.sample(rng_));
+  }
+  while (chosen.size() < fanout && attempts++ < max_attempts) {
+    const store::KeyId key = keys.sample(rng_);
+    if (try_insert(key)) {
+      if (is_write) {
+        push_write(key);
+      } else {
+        push_read(key);
+      }
+    }
+  }
+  for (store::KeyId key = 0; chosen.size() < fanout && key < keys.num_keys(); ++key) {
+    if (try_insert(key)) {
+      if (is_write) {
+        push_write(key);
+      } else {
+        push_read(key);
+      }
+    }
   }
 }
 
-TaskSpec TaskGenerator::next() {
-  clock_ += arrivals_->next_gap(rng_);
-  TaskSpec task;
-  task.id = next_task_id_++;
-  task.arrival = clock_;
+void TaskGenerator::append_task(TaskBlock& block) {
+  clock_ += draw_gap();
+  block.arrivals.push_back(clock_);
+  block.ids.push_back(next_task_id_++);
 
+  store::TenantId tenant{};
+  store::ClientId client = 0;
   if (!tenants_.empty()) {
     const double u = rng_.uniform();
     std::size_t t = 0;
     while (t + 1 < tenant_cdf_.size() && u > tenant_cdf_[t]) ++t;
-    task.tenant = store::TenantId{static_cast<std::uint32_t>(t)};
+    tenant = store::TenantId{static_cast<std::uint32_t>(t)};
     const std::uint32_t begin = tenant_client_begin_[t];
     const std::uint32_t width = tenant_client_begin_[t + 1] - begin;
     if (config_.round_robin_clients) {
-      task.client = begin + tenant_next_client_[t];
+      client = begin + tenant_next_client_[t];
       tenant_next_client_[t] = (tenant_next_client_[t] + 1) % width;
     } else {
-      task.client = begin + static_cast<store::ClientId>(
-                                rng_.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+      client = begin + static_cast<store::ClientId>(
+                           rng_.uniform_int(0, static_cast<std::int64_t>(width) - 1));
     }
   } else if (config_.round_robin_clients) {
-    task.client = next_client_;
+    client = next_client_;
     next_client_ = (next_client_ + 1) % config_.num_clients;
   } else {
-    task.client = static_cast<store::ClientId>(
+    client = static_cast<store::ClientId>(
         rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_clients) - 1));
   }
+  block.tenants.push_back(tenant);
+  block.clients.push_back(client);
+
+  const TenantMix* mix = tenants_.empty() ? nullptr : &tenants_[tenant.value()];
 
   // Task-level write decision: write tasks fan every request out to
   // all replicas, so mixing kinds within a task would blur the
   // asymmetry this knob exists to study. No RNG is consumed in the
   // read-only default, keeping legacy streams bit-identical.
   double write_fraction = write_fraction_;
-  if (!tenants_.empty() && tenants_[task.tenant.value()].write_fraction >= 0.0) {
-    write_fraction = tenants_[task.tenant.value()].write_fraction;
-  }
+  if (mix != nullptr && mix->write_fraction >= 0.0) write_fraction = mix->write_fraction;
   const bool is_write = write_fraction > 0.0 && rng_.uniform() < write_fraction;
 
-  const KeyDistribution& keys = (!tenants_.empty() && tenants_[task.tenant.value()].keys)
-                                    ? *tenants_[task.tenant.value()].keys
-                                    : *keys_;
-  fill_requests(task, keys, is_write);
-  return task;
+  const KeyDistribution& keys = (mix != nullptr && mix->keys) ? *mix->keys : *keys_;
+
+  std::uint32_t fanout = draw_fanout(mix);
+  // A task cannot request more distinct keys than the keyspace holds.
+  if (config_.distinct_keys && fanout > keys.num_keys()) {
+    fanout = static_cast<std::uint32_t>(keys.num_keys());
+  }
+  append_requests(block, keys, is_write, fanout);
+  block.req_begin.push_back(static_cast<std::uint32_t>(block.pool.size()));
+}
+
+void TaskGenerator::fill_block(TaskBlock& block, std::size_t max_tasks) {
+  block.clear();
+  for (std::size_t i = 0; i < max_tasks; ++i) append_task(block);
+}
+
+TaskSpec TaskGenerator::next() {
+  scratch_block_.clear();
+  append_task(scratch_block_);
+  return scratch_block_.view(0).to_spec();
 }
 
 std::vector<TaskSpec> TaskGenerator::generate(std::size_t count) {

@@ -96,7 +96,17 @@ class TaskGenerator {
   void set_tenants(std::vector<TenantMix> tenants);
 
   /// Produces the next task; arrival times are strictly increasing.
+  /// Routed through the same block path as fill_block, so the two are
+  /// structurally draw-for-draw identical.
   TaskSpec next();
+
+  /// Appends up to `max_tasks` tasks into `block` (cleared first),
+  /// storing all requests in the block's slab. This is the hot path:
+  /// one devirtualized, allocation-free pass per block instead of one
+  /// virtual dispatch and one heap vector per task. The RNG stream is
+  /// consumed in exactly the order of `max_tasks` successive next()
+  /// calls (pinned by workload_test).
+  void fill_block(TaskBlock& block, std::size_t max_tasks);
 
   /// Materializes `count` tasks (for traces and tests).
   std::vector<TaskSpec> generate(std::size_t count);
@@ -109,13 +119,24 @@ class TaskGenerator {
   std::pair<std::uint32_t, std::uint32_t> tenant_clients(std::size_t i) const;
 
  private:
-  void fill_requests(TaskSpec& task, const KeyDistribution& keys, bool is_write);
+  void append_task(TaskBlock& block);
+  void append_requests(TaskBlock& block, const KeyDistribution& keys, bool is_write,
+                       std::uint32_t fanout);
+  sim::Duration draw_gap();
+  std::uint32_t draw_fanout(const TenantMix* tenant);
 
   Config config_;
   const Dataset* dataset_;
   const KeyDistribution* keys_;
   const FanoutDistribution* fanout_;
   std::unique_ptr<ArrivalProcess> arrivals_;
+  /// Devirtualized aliases for the hot concrete types, resolved once at
+  /// construction (null when the runtime type is something else).
+  const PoissonArrivals* poisson_arrivals_ = nullptr;
+  const PacedArrivals* paced_arrivals_ = nullptr;
+  const FixedFanout* fixed_fanout_ = nullptr;
+  const GeometricFanout* geometric_fanout_ = nullptr;
+  const LogNormalFanout* lognormal_fanout_ = nullptr;
   util::Rng rng_;
   sim::Time clock_ = sim::Time::zero();
   std::uint64_t next_task_id_ = 0;
@@ -134,6 +155,11 @@ class TaskGenerator {
   /// search beats hashing at this size, and the artifact path stays
   /// free of unordered containers (brblint BRB-D01).
   std::vector<store::KeyId> chosen_scratch_;
+  /// Pre-drawn key batch for the distinct-keys fast path (reused).
+  std::vector<store::KeyId> key_batch_;
+  /// One-task block backing next(); keeps next() and fill_block on a
+  /// single code path.
+  TaskBlock scratch_block_;
 };
 
 }  // namespace brb::workload

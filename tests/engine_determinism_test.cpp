@@ -264,6 +264,45 @@ TEST(ThreadDeterminism, PolicyShootoutSubstrateByteIdenticalAcrossWorkerCounts) 
   EXPECT_EQ(dumps[0], dumps[1]);
 }
 
+TEST(ThreadDeterminism, BatchedArrivalPumpByteIdenticalAcrossWorkerCounts) {
+  // The block-based arrival pump pregenerates 256-task TaskBlocks
+  // (batched sampling, slab-backed requests) and each arrival submits
+  // straight from the block. Multi-tenant + write traffic drives every
+  // draw the generator makes (tenant, client, write decision, write
+  // sizes, per-tenant fan-out/keys) through fill_block; worker count
+  // must still not leak into the artifact.
+  core::ScenarioConfig config;
+  config.system = core::SystemKind::kEqualMaxCredits;
+  config.num_tasks = 4000;
+  config.cluster.num_servers = 5;
+  config.num_clients = 6;
+  config.write_fraction = 0.2;
+  config.tenant_spec = "fg,share=0.7,fanout=fixed:2;bg,share=0.3,fanout=fixed:16,write=0.5";
+  const std::vector<std::uint64_t> seeds = {21, 22, 23};
+
+  core::RunSeedsOptions serial;
+  serial.max_threads = 1;
+  core::RunSeedsOptions threaded;
+  threaded.max_threads = 0;  // one worker per seed
+
+  std::vector<core::AggregateResult> results;
+  results.push_back(core::run_seeds(config, seeds, serial));
+  results.push_back(core::run_seeds(config, seeds, threaded));
+
+  std::vector<std::string> dumps;
+  for (core::AggregateResult& result : results) {
+    cli::CaseResult case_result;
+    case_result.spec = {"pump-determinism", config};
+    case_result.aggregate = std::move(result);
+    std::vector<cli::CaseResult> cases;
+    cases.push_back(std::move(case_result));
+    stats::Json doc = cli::report_json("pump-determinism", config, seeds, cases);
+    doc.erase("timing");
+    dumps.push_back(doc.dump_string());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
 // ---------------------------------------------------------------------------
 // Driver flag validation
 

@@ -1,11 +1,13 @@
 // brblint self-test fixture: BRB-D02 must fire on each banned
 // nondeterminism source (one per line below).
-// expect: BRB-D02=7
+// expect: BRB-D02=8
 #include <chrono>
+#include <cstddef>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <thread>
+#include <vector>
 
 namespace fixture {
 
@@ -33,6 +35,15 @@ int pointer_keyed(Slot* a, Slot* b) {
   int total = 0;
   for (const auto& [slot, value] : by_slot) total += value + slot->value;
   return total + static_cast<int>(seen.size());
+}
+
+// Per-thread scratch whose stale content is readable on reuse: which
+// thread (and therefore which leftover values) serves a call varies
+// across runs.
+int leaky_scratch(int i) {
+  thread_local std::vector<int> scratch;
+  if (scratch.empty()) scratch.resize(16);
+  return scratch[static_cast<std::size_t>(i) % scratch.size()];
 }
 
 }  // namespace fixture

@@ -5,8 +5,11 @@
 // appears in the lambda body) and behind the DispatchPlan executor
 // callbacks (dispatch_plan/issue_copy/hedge_fire and the
 // DispatchEndpoint on_send/on_response/on_cancel feedback hooks, which
-// rewrite per-request slot state and SignalTable accounting).
-// expect: BRB-R01=3
+// rewrite per-request slot state and SignalTable accounting) and behind
+// the workload batch entry points (fill_block/sample_batch/
+// next_gap_batch advance the shared generator's RNG stream and rewrite
+// the TaskBlock slab).
+// expect: BRB-R01=4
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -49,6 +52,20 @@ void race_through_dispatch_executor(FakeEndpoint& endpoint) {
   for (int w = 0; w < 4; ++w) {
     workers.emplace_back([&] {
       endpoint.on_cancel(static_cast<std::uint32_t>(w), 1.0);  // SignalTable accounting inside
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+struct FakeGenerator {
+  void fill_block(int& block, std::uint64_t max_tasks);
+};
+
+void race_through_batch_generation(FakeGenerator& gen, int& block) {
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      gen.fill_block(block, 256);  // advances shared RNG + rewrites the slab
     });
   }
   for (auto& worker : workers) worker.join();

@@ -372,6 +372,125 @@ TEST(TaskGenerator, EmpiricalMeanFanoutTracksDistribution) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched sampling: every sample_batch/next_gap_batch path must consume
+// the RNG stream draw-for-draw identically to scalar sampling — the
+// byte-identity of seeded artifacts rests on it.
+
+template <typename Dist, typename Value>
+void expect_batch_matches_scalar(const Dist& dist, std::uint64_t seed, std::size_t n) {
+  util::Rng scalar_rng(seed);
+  util::Rng batch_rng(seed);
+  std::vector<Value> batch(n);
+  dist.sample_batch(batch_rng, batch.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(batch[i], dist.sample(scalar_rng)) << "draw " << i;
+  }
+  // Both streams must land on the same state: no extra or missing draws.
+  EXPECT_EQ(scalar_rng.next_u64(), batch_rng.next_u64());
+}
+
+TEST(KeyDistBatch, MatchesScalarDrawForDraw) {
+  expect_batch_matches_scalar<ZipfKeys, store::KeyId>(ZipfKeys(100'000, 0.9), 41, 4096);
+  expect_batch_matches_scalar<UniformKeys, store::KeyId>(UniformKeys(5000), 42, 4096);
+}
+
+TEST(FanoutBatch, MatchesScalarDrawForDraw) {
+  expect_batch_matches_scalar<FixedFanout, std::uint32_t>(FixedFanout(16), 43, 1024);
+  expect_batch_matches_scalar<GeometricFanout, std::uint32_t>(GeometricFanout(8.6), 44, 4096);
+  expect_batch_matches_scalar<LogNormalFanout, std::uint32_t>(
+      LogNormalFanout(2.0, 0.8, 512), 45, 4096);
+  expect_batch_matches_scalar<EmpiricalFanout, std::uint32_t>(
+      EmpiricalFanout({0.5, 0.3, 0.2}), 46, 1024);  // default (virtual-loop) batch path
+}
+
+TEST(SizeDistBatch, MatchesScalarDrawForDraw) {
+  expect_batch_matches_scalar<GeneralizedParetoSizeDist, std::uint32_t>(
+      GeneralizedParetoSizeDist(), 47, 4096);
+  expect_batch_matches_scalar<FixedSizeDist, std::uint32_t>(FixedSizeDist(100), 48, 512);
+}
+
+TEST(ArrivalBatch, MatchesScalarDrawForDraw) {
+  PoissonArrivals poisson(14'000.0);
+  util::Rng scalar_rng(49);
+  util::Rng batch_rng(49);
+  std::vector<sim::Duration> gaps(4096);
+  poisson.next_gap_batch(batch_rng, gaps.data(), gaps.size());
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    ASSERT_EQ(gaps[i], poisson.next_gap(scalar_rng)) << "gap " << i;
+  }
+  EXPECT_EQ(scalar_rng.next_u64(), batch_rng.next_u64());
+
+  PacedArrivals paced(1000.0);
+  util::Rng paced_rng(50);
+  std::vector<sim::Duration> paced_gaps(64);
+  paced.next_gap_batch(paced_rng, paced_gaps.data(), paced_gaps.size());
+  for (const sim::Duration gap : paced_gaps) EXPECT_EQ(gap, paced.next_gap(paced_rng));
+}
+
+TEST(TaskGenerator, FillBlockMatchesNextDrawForDraw) {
+  // Two identically-seeded generators: one consumed task-by-task via
+  // next(), one in uneven fill_block chunks. Every field of every task
+  // (and the final RNG stream position, via the last arrival) must
+  // coincide — the block path is the scalar path.
+  GeneralizedParetoSizeDist sizes;
+  Dataset dataset(2000, sizes, util::Rng(61));
+  ZipfKeys keys(2000, 0.9);
+  GeometricFanout fanout(6.0);
+  auto scalar_gen = make_generator(dataset, keys, fanout, 62);
+  auto block_gen = make_generator(dataset, keys, fanout, 62);
+  FixedSizeDist write_sizes(256);
+  scalar_gen.set_write_traffic(0.25, &write_sizes);
+  block_gen.set_write_traffic(0.25, &write_sizes);
+
+  TaskBlock block;
+  const std::size_t chunks[] = {1, 64, 7, 256, 128, 44};
+  for (const std::size_t chunk : chunks) {
+    block_gen.fill_block(block, chunk);
+    ASSERT_EQ(block.size(), chunk);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const TaskSpec expected = scalar_gen.next();
+      const TaskView got = block.view(i);
+      ASSERT_EQ(got.id, expected.id);
+      ASSERT_EQ(got.client, expected.client);
+      ASSERT_EQ(got.tenant, expected.tenant);
+      ASSERT_EQ(got.arrival, expected.arrival);
+      ASSERT_EQ(got.fanout, expected.requests.size());
+      for (std::size_t r = 0; r < got.fanout; ++r) {
+        ASSERT_EQ(got.requests[r].key, expected.requests[r].key);
+        ASSERT_EQ(got.requests[r].size_hint, expected.requests[r].size_hint);
+        ASSERT_EQ(got.requests[r].is_write, expected.requests[r].is_write);
+      }
+    }
+  }
+}
+
+TEST(TenantClientBlocks, LargestRemainderBoundariesPinned) {
+  // Regression pin for the sort-based largest-remainder split: slots go
+  // to the largest fractional parts, ties to the lowest tenant index —
+  // exactly the order the old repeated-argmax rescan awarded them.
+  const auto make_tenants = [](std::initializer_list<double> shares) {
+    std::vector<TenantMix> tenants;
+    for (const double share : shares) {
+      TenantMix mix;
+      mix.name = "t" + std::to_string(tenants.size());
+      mix.share = share;
+      tenants.push_back(std::move(mix));
+    }
+    return tenants;
+  };
+  // Three-way fractional tie (.667 each), two spare slots: tenants 0
+  // and 1 win.
+  EXPECT_EQ(tenant_client_blocks(make_tenants({1.0, 1.0, 1.0}), 11),
+            (std::vector<std::uint32_t>{0, 4, 8, 11}));
+  // Two-way tie (.5 vs .5), one slot: lowest index wins.
+  EXPECT_EQ(tenant_client_blocks(make_tenants({0.5, 0.25, 0.25}), 9),
+            (std::vector<std::uint32_t>{0, 4, 7, 9}));
+  // Mixed fractions: award order .833, .833 (tie -> index 3 then 4), .667.
+  EXPECT_EQ(tenant_client_blocks(make_tenants({5.0, 3.0, 2.0, 1.0, 1.0}), 27),
+            (std::vector<std::uint32_t>{0, 10, 16, 21, 24, 27}));
+}
+
+// ---------------------------------------------------------------------------
 // Trace I/O
 
 TEST(Trace, RoundTripsThroughStream) {
